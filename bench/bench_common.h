@@ -1,0 +1,47 @@
+#ifndef SPHERE_BENCH_BENCH_COMMON_H_
+#define SPHERE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "benchlib/metrics.h"
+#include "benchlib/setup.h"
+
+namespace sphere::benchlib {
+
+/// Shared bench-wide scaling: SPHERE_BENCH_FAST=1 shrinks durations for smoke
+/// runs; SPHERE_BENCH_LONG=1 stretches them for low-noise numbers.
+inline BenchOptions DefaultBenchOptions() {
+  BenchOptions options;
+  options.threads = 8;
+  options.duration_ms = 700;
+  options.warmup_ms = 120;
+  if (const char* fast = std::getenv("SPHERE_BENCH_FAST"); fast && fast[0] == '1') {
+    options.duration_ms = 250;
+    options.warmup_ms = 30;
+  }
+  if (const char* slow = std::getenv("SPHERE_BENCH_LONG"); slow && slow[0] == '1') {
+    options.duration_ms = 3000;
+    options.warmup_ms = 500;
+  }
+  return options;
+}
+
+/// The simulated LAN used by all macro benches (one value so comparisons are
+/// apples-to-apples).
+inline net::NetworkConfig BenchNetwork() {
+  net::NetworkConfig network;
+  network.hop_latency_us = 40;
+  network.per_kb_latency_us = 4;
+  return network;
+}
+
+inline void PrintHeader(const char* title, const char* paper_note) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("paper reference: %s\n\n", paper_note);
+}
+
+}  // namespace sphere::benchlib
+
+#endif  // SPHERE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,152 @@
+// Micro-benchmarks of the SQL engine stages (google-benchmark): parser,
+// router, rewriter, merger, B+Tree and the deadlock-free connection
+// acquisition. These back the DESIGN.md ablation notes with per-stage costs.
+
+#include <benchmark/benchmark.h>
+
+#include "core/merge.h"
+#include "core/rewrite.h"
+#include "core/route.h"
+#include "core/rule.h"
+#include "net/pool.h"
+#include "sql/parser.h"
+#include "storage/btree.h"
+
+namespace sphere {
+namespace {
+
+const char* kPointSQL = "SELECT c FROM sbtest WHERE id = 42";
+const char* kComplexSQL =
+    "SELECT age, COUNT(*), AVG(score) FROM t_user "
+    "WHERE uid BETWEEN 10 AND 500 AND age > 18 GROUP BY age ORDER BY age "
+    "LIMIT 10, 20";
+
+void BM_ParsePointSelect(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = sql::ParseSQL(kPointSQL);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ParsePointSelect);
+
+void BM_ParseComplexSelect(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = sql::ParseSQL(kComplexSQL);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ParseComplexSelect);
+
+std::unique_ptr<core::ShardingRule> MakeRule(int shards) {
+  core::ShardingRuleConfig config;
+  core::TableRuleConfig t;
+  t.logic_table = "sbtest";
+  t.auto_resources = {"ds_0", "ds_1", "ds_2", "ds_3"};
+  t.auto_sharding_count = shards;
+  t.table_strategy.columns = {"id"};
+  t.table_strategy.algorithm_type = "MOD";
+  t.table_strategy.props.Set("sharding-count", std::to_string(shards));
+  config.tables.push_back(std::move(t));
+  auto rule = core::ShardingRule::Build(std::move(config));
+  return std::move(rule).value();
+}
+
+void BM_RoutePointQuery(benchmark::State& state) {
+  auto rule = MakeRule(static_cast<int>(state.range(0)));
+  auto stmt = sql::ParseSQL(kPointSQL).value();
+  core::RouteEngine engine(rule.get());
+  for (auto _ : state) {
+    auto r = engine.Route(*stmt, {});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RoutePointQuery)->Arg(4)->Arg(40)->Arg(400);
+
+void BM_RouteAndRewriteScatter(benchmark::State& state) {
+  auto rule = MakeRule(40);
+  auto stmt = sql::ParseSQL("SELECT SUM(k) FROM sbtest WHERE k > 5").value();
+  core::RouteEngine router(rule.get());
+  core::RewriteEngine rewriter;
+  for (auto _ : state) {
+    auto route = router.Route(*stmt, {});
+    auto rewritten = rewriter.Rewrite(*stmt, route.value(), {});
+    benchmark::DoNotOptimize(rewritten);
+  }
+}
+BENCHMARK(BM_RouteAndRewriteScatter);
+
+void BM_MergeOrderedStreams(benchmark::State& state) {
+  int sources = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<engine::ExecResult> partials;
+    for (int s = 0; s < sources; ++s) {
+      std::vector<Row> rows;
+      for (int i = 0; i < 100; ++i) {
+        rows.push_back({Value(static_cast<int64_t>(i * sources + s))});
+      }
+      partials.push_back(engine::ExecResult::Query(
+          std::make_unique<engine::VectorResultSet>(
+              std::vector<std::string>{"id"}, std::move(rows))));
+    }
+    core::MergeContext ctx;
+    ctx.is_select = true;
+    ctx.labels = {"id"};
+    ctx.visible_columns = 1;
+    ctx.order_by.push_back(core::MergeKey{0, "id", false});
+    state.ResumeTiming();
+    core::MergeEngine merger;
+    auto merged = merger.Merge(std::move(partials), ctx);
+    Row row;
+    while (merged.value().result_set->Next(&row)) {
+      benchmark::DoNotOptimize(row);
+    }
+  }
+}
+BENCHMARK(BM_MergeOrderedStreams)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  storage::BPlusTree<int64_t> tree;
+  int64_t i = 0;
+  for (auto _ : state) {
+    tree.Insert(Value(i), i);
+    ++i;
+  }
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  storage::BPlusTree<int64_t> tree;
+  int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) tree.Insert(Value(i), i);
+  int64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find(Value(k++ % n)));
+  }
+  state.SetLabel("height=" + std::to_string(tree.Height()));
+}
+BENCHMARK(BM_BTreeLookup)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_PoolAcquireManyVsSingle(benchmark::State& state) {
+  engine::StorageNode node("ds_0");
+  net::LatencyModel network(net::NetworkConfig::Zero());
+  net::ConnectionPool pool(&node, &network, 16);
+  bool batched = state.range(0) != 0;
+  for (auto _ : state) {
+    if (batched) {
+      auto leases = pool.AcquireMany(8);
+      benchmark::DoNotOptimize(leases);
+    } else {
+      auto lease = pool.Acquire();
+      benchmark::DoNotOptimize(lease);
+    }
+  }
+  state.SetLabel(batched ? "AcquireMany(8) [deadlock-free batch]"
+                         : "Acquire() [single]");
+}
+BENCHMARK(BM_PoolAcquireManyVsSingle)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace sphere
+
+BENCHMARK_MAIN();

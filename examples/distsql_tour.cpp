@@ -1,0 +1,62 @@
+// DistSQL tour (paper §V-A): configure sharding with SQL instead of config
+// files — RDL to define rules (AutoTable), RQL to inspect them, RAL to
+// administer the runtime, and PREVIEW to see routing decisions.
+//
+//   ./examples/distsql_tour
+
+#include <cstdio>
+
+#include "examples/example_util.h"
+
+using namespace sphere;            // NOLINT
+using namespace sphere::examples;  // NOLINT
+
+int main() {
+  std::printf("== DistSQL tour ==\n\n");
+
+  engine::StorageNode ds0("ds0");
+  engine::StorageNode ds1("ds1");
+  adaptor::ShardingDataSource ds;
+  Check(ds.AttachNode("ds0", &ds0), "attach");
+  Check(ds.AttachNode("ds1", &ds1), "attach");
+  auto conn = ds.GetConnection();
+
+  // --- RDL: the paper's own example statement ---
+  std::printf("RDL> CREATE SHARDING TABLE RULE t_user_h (...)\n");
+  Exec(conn.get(),
+       "CREATE SHARDING TABLE RULE t_user_h (RESOURCES(ds0, ds1), "
+       "SHARDING_COLUMN=uid, TYPE=hash_mod, PROPERTIES(\"sharding-count\"=2))");
+  std::printf("  -> AutoTable computed the layout; no physical table named "
+              "by hand.\n\n");
+
+  // The logical DDL materializes t_user_h_0 on ds0 and t_user_h_1 on ds1.
+  Exec(conn.get(),
+       "CREATE TABLE t_user_h (uid BIGINT PRIMARY KEY, name VARCHAR(32))");
+  Exec(conn.get(),
+       "INSERT INTO t_user_h (uid, name) VALUES (1, 'a'), (2, 'b'), (3, 'c')");
+
+  // --- RQL ---
+  PrintQuery(conn.get(), "SHOW SHARDING TABLE RULES");
+  PrintQuery(conn.get(), "SHOW STORAGE UNITS");
+  PrintQuery(conn.get(), "SHOW SHARDING ALGORITHMS");
+
+  // --- RAL ---
+  std::printf("RAL> SET VARIABLE transaction_type = XA\n");
+  Exec(conn.get(), "SET VARIABLE transaction_type = XA");
+  PrintQuery(conn.get(), "SHOW VARIABLE transaction_type");
+
+  // --- PREVIEW: where would this SQL go? ---
+  PrintQuery(conn.get(), "PREVIEW SELECT * FROM t_user_h WHERE uid = 3");
+  PrintQuery(conn.get(), "PREVIEW SELECT COUNT(*) FROM t_user_h");
+
+  // Rules are live objects: ALTER reshards the metadata on the fly.
+  std::printf("RDL> ALTER SHARDING TABLE RULE t_user_h (sharding-count=4)\n");
+  Exec(conn.get(),
+       "ALTER SHARDING TABLE RULE t_user_h (RESOURCES(ds0, ds1), "
+       "SHARDING_COLUMN=uid, TYPE=hash_mod, PROPERTIES(\"sharding-count\"=4))");
+  PrintQuery(conn.get(), "SHOW SHARDING TABLE RULES");
+
+  std::printf("DistSQL lets operators manage the middleware like a database — "
+              "no config files were harmed.\n");
+  return 0;
+}

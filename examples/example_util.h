@@ -1,0 +1,56 @@
+#ifndef SPHERE_EXAMPLES_EXAMPLE_UTIL_H_
+#define SPHERE_EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "adaptor/jdbc.h"
+#include "common/strings.h"
+
+namespace sphere::examples {
+
+/// Aborts the example with a readable message when a Status is not OK.
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL at %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  Check(result.status(), what);
+  return std::move(result).value();
+}
+
+/// Executes a statement through a connection, aborting on error.
+inline void Exec(adaptor::ShardingConnection* conn, const std::string& sql) {
+  auto r = conn->ExecuteSQL(sql);
+  Check(r.status(), sql.c_str());
+}
+
+/// Runs a query and prints it as an aligned table.
+inline void PrintQuery(adaptor::ShardingConnection* conn,
+                       const std::string& sql) {
+  std::printf("sql> %s\n", sql.c_str());
+  auto rs = Unwrap(conn->ExecuteQuery(sql), sql.c_str());
+  const auto& cols = rs.columns();
+  for (const auto& c : cols) std::printf("%-18s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < cols.size(); ++i) std::printf("%-18s", "------");
+  std::printf("\n");
+  int rows = 0;
+  while (rs.Next()) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      std::printf("%-18s", rs.Get(static_cast<int>(i)).ToString().c_str());
+    }
+    std::printf("\n");
+    ++rows;
+  }
+  std::printf("(%d rows)\n\n", rows);
+}
+
+}  // namespace sphere::examples
+
+#endif  // SPHERE_EXAMPLES_EXAMPLE_UTIL_H_

@@ -1,0 +1,65 @@
+// Quickstart: shard one table over two database servers and use it like a
+// single database — the core promise of the platform.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "examples/example_util.h"
+
+using namespace sphere;            // NOLINT
+using namespace sphere::examples;  // NOLINT
+
+int main() {
+  std::printf("== quickstart: one logical table over two databases ==\n\n");
+
+  // 1. Two storage nodes stand in for two MySQL servers.
+  engine::StorageNode ds0("ds_0");
+  engine::StorageNode ds1("ds_1");
+
+  // 2. The embedded (JDBC-like) data source fronting them.
+  adaptor::ShardingDataSource sphere_ds;
+  Check(sphere_ds.AttachNode("ds_0", &ds0), "attach ds_0");
+  Check(sphere_ds.AttachNode("ds_1", &ds1), "attach ds_1");
+
+  // 3. Shard t_user by uid into 4 tables spread over both servers
+  //    (AutoTable: we only say *where* and *how many*).
+  core::ShardingRuleConfig rule;
+  rule.default_data_source = "ds_0";
+  core::TableRuleConfig user_rule;
+  user_rule.logic_table = "t_user";
+  user_rule.auto_resources = {"ds_0", "ds_1"};
+  user_rule.auto_sharding_count = 4;
+  user_rule.table_strategy.columns = {"uid"};
+  user_rule.table_strategy.algorithm_type = "MOD";
+  user_rule.table_strategy.props.Set("sharding-count", "4");
+  rule.tables.push_back(std::move(user_rule));
+  Check(sphere_ds.SetRule(std::move(rule)), "set rule");
+
+  // 4. Use it like one database.
+  auto conn = sphere_ds.GetConnection();
+  Exec(conn.get(),
+       "CREATE TABLE t_user (uid BIGINT PRIMARY KEY, name VARCHAR(64), "
+       "age INT)");
+  Exec(conn.get(),
+       "INSERT INTO t_user (uid, name, age) VALUES "
+       "(1, 'ann', 23), (2, 'bob', 31), (3, 'carol', 27), (4, 'dave', 23), "
+       "(5, 'eve', 35), (6, 'frank', 31)");
+
+  PrintQuery(conn.get(), "SELECT name, age FROM t_user WHERE uid = 3");
+  PrintQuery(conn.get(), "SELECT uid, name FROM t_user ORDER BY uid DESC LIMIT 3");
+  PrintQuery(conn.get(),
+             "SELECT age, COUNT(*) AS n FROM t_user GROUP BY age ORDER BY age");
+
+  // 5. Where did the rows actually go?
+  std::printf("physical layout:\n");
+  for (engine::StorageNode* node : {&ds0, &ds1}) {
+    for (const auto& table : node->database()->TableNames()) {
+      std::printf("  %s.%s: %zu rows\n", node->name().c_str(), table.c_str(),
+                  node->database()->FindTable(table)->row_count());
+    }
+  }
+  std::printf("\nThe application never mentioned t_user_0..t_user_3 — "
+              "that is the point.\n");
+  return 0;
+}

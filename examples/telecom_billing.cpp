@@ -1,0 +1,93 @@
+// Telecom billing modeled on the paper's China Telecom BestPay case (§VII-B):
+// bills split across two database servers by merchant_code % 2 and, inside
+// each server, into monthly tables — plus transparent AES encryption of the
+// account column (the Encrypt feature).
+//
+//   ./examples/telecom_billing
+
+#include <cstdio>
+
+#include "examples/example_util.h"
+#include "features/encrypt.h"
+
+using namespace sphere;            // NOLINT
+using namespace sphere::examples;  // NOLINT
+
+int main() {
+  std::printf("== telecom billing (BestPay-style) ==\n\n");
+
+  engine::StorageNode server0("server_0");
+  engine::StorageNode server1("server_1");
+  adaptor::ShardingDataSource ds;
+  Check(ds.AttachNode("server_0", &server0), "attach 0");
+  Check(ds.AttachNode("server_1", &server1), "attach 1");
+
+  // Two-level sharding, exactly the BestPay layout: database strategy
+  // merchant_code % 2, table strategy per month.
+  core::ShardingRuleConfig rule;
+  rule.default_data_source = "server_0";
+  core::TableRuleConfig bills;
+  bills.logic_table = "t_bill";
+  // 6 monthly tables on each of the 2 servers.
+  bills.actual_data_nodes = "server_0.t_bill_${0..5}, server_1.t_bill_${0..5}";
+  bills.database_strategy.columns = {"merchant_code"};
+  bills.database_strategy.algorithm_type = "INLINE";
+  bills.database_strategy.props.Set("algorithm-expression",
+                                    "server_${merchant_code % 2}");
+  bills.database_strategy.props.Set("sharding-column", "merchant_code");
+  bills.table_strategy.columns = {"bill_month"};
+  bills.table_strategy.algorithm_type = "INTERVAL";
+  bills.table_strategy.props.Set("datetime-lower", "2021-01");
+  bills.table_strategy.props.Set("sharding-months", "1");
+  rule.tables.push_back(std::move(bills));
+  Check(ds.SetRule(std::move(rule)), "set rule");
+
+  // Transparent encryption of the subscriber account column.
+  ds.runtime()->AddInterceptor(
+      std::make_shared<features::EncryptInterceptor>(
+          std::vector<features::EncryptColumnConfig>{
+              {"t_bill", "account", "bestpay-secret-key"}}));
+
+  auto conn = ds.GetConnection();
+  Exec(conn.get(),
+       "CREATE TABLE t_bill (bill_id BIGINT PRIMARY KEY, merchant_code BIGINT, "
+       "bill_month INT, account VARCHAR(64), amount DOUBLE)");
+
+  std::printf("loading bills for 4 merchants x 3 months...\n");
+  int64_t bill_id = 1;
+  for (int merchant = 10; merchant < 14; ++merchant) {
+    for (int month : {202101, 202102, 202103}) {
+      Exec(conn.get(),
+           StrFormat("INSERT INTO t_bill (bill_id, merchant_code, bill_month, "
+                     "account, amount) VALUES (%lld, %d, %d, 'acct-%d', %d.50)",
+                     static_cast<long long>(bill_id++), merchant, month,
+                     merchant, merchant * month % 1000));
+    }
+  }
+
+  // Queries route by merchant (server) AND month (table): a single data node.
+  PrintQuery(conn.get(),
+             "SELECT bill_id, account, amount FROM t_bill "
+             "WHERE merchant_code = 11 AND bill_month = 202102");
+
+  // Month-range query on one merchant: two monthly tables on one server.
+  PrintQuery(conn.get(),
+             "SELECT bill_month, SUM(amount) AS total FROM t_bill "
+             "WHERE merchant_code = 12 AND bill_month BETWEEN 202101 AND 202102 "
+             "GROUP BY bill_month ORDER BY bill_month");
+
+  // The stored account values are AES ciphertext, not plaintext:
+  std::printf("raw storage on server_0.t_bill_1 (ciphertext at rest):\n");
+  const storage::Table* raw = server0.database()->FindTable("t_bill_1");
+  if (raw != nullptr) {
+    for (auto it = raw->Begin(); it.Valid(); it.Next()) {
+      std::printf("  bill %s account=%.32s...\n",
+                  it.payload()[0].ToString().c_str(),
+                  it.payload()[3].ToString().c_str());
+    }
+  }
+
+  std::printf("\nresponse-time story: every query above touched exactly the "
+              "server and monthly table it needed (the <50ms BestPay fix).\n");
+  return 0;
+}

@@ -1,0 +1,259 @@
+#include "adaptor/jdbc.h"
+
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace sphere::adaptor {
+
+ShardingDataSource::ShardingDataSource(core::RuntimeConfig config,
+                                       net::NetworkConfig network)
+    : runtime_(config, network),
+      txn_context_(runtime_.data_sources(), &runtime_.network()),
+      distsql_(&runtime_) {}
+
+Status ShardingDataSource::AttachNode(const std::string& name,
+                                      engine::StorageNode* node) {
+  return runtime_.AttachNode(name, node);
+}
+
+Status ShardingDataSource::SetRule(core::ShardingRuleConfig config) {
+  distsql_.SeedConfig(config);
+  SPHERE_RETURN_NOT_OK(runtime_.SetRule(std::move(config)));
+  PersistRules();
+  return Status::OK();
+}
+
+namespace {
+
+std::string DescribeStrategyConfig(const core::ShardingStrategyConfig& s) {
+  if (s.empty()) return "-";
+  std::string out = Join(s.columns, ",") + " " + s.algorithm_type;
+  if (!s.props.empty()) out += " (" + s.props.ToString() + ")";
+  return out;
+}
+
+/// Serializes one table rule for the registry (human-readable; the consumer
+/// is an operator or another instance's bootstrap).
+std::string SerializeTableRule(const core::TableRuleConfig& t) {
+  std::string out;
+  if (!t.actual_data_nodes.empty()) {
+    out += "nodes=" + t.actual_data_nodes;
+  } else {
+    out += "auto=" + Join(t.auto_resources, ",") + " x" +
+           std::to_string(t.auto_sharding_count);
+  }
+  out += "; db=" + DescribeStrategyConfig(t.database_strategy);
+  out += "; table=" + DescribeStrategyConfig(t.table_strategy);
+  if (!t.keygen_column.empty()) {
+    out += "; keygen=" + t.keygen_column + " " + t.keygen_type;
+  }
+  return out;
+}
+
+}  // namespace
+
+Status ShardingDataSource::BindGovernor(
+    governor::ConfigManager* config_manager, const std::string& instance_id) {
+  governor_ = config_manager;
+  governor_session_ = config_manager->registry()->Connect();
+  SPHERE_RETURN_NOT_OK(
+      config_manager->RegisterInstance(instance_id, governor_session_));
+  for (const auto& name : runtime_.data_sources()->Names()) {
+    SPHERE_RETURN_NOT_OK(config_manager->SaveDataSource(name, "attached"));
+  }
+  distsql_.SetOnRuleChange([this] { PersistRules(); });
+  PersistRules();
+  return Status::OK();
+}
+
+void ShardingDataSource::PersistRules() {
+  if (governor_ == nullptr) return;
+  // Replace the rule subtree with the current declarative config.
+  for (const auto& table : governor_->ListRules()) {
+    (void)governor_->DropRule(table);
+  }
+  for (const auto& t : distsql_.config().tables) {
+    (void)governor_->SaveRule(t.logic_table, SerializeTableRule(t));
+  }
+}
+
+std::unique_ptr<ShardingConnection> ShardingDataSource::GetConnection() {
+  return std::make_unique<ShardingConnection>(this);
+}
+
+int ShardingResultSet::ColumnIndex(const std::string& label) const {
+  const auto& cols = rs_->columns();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (EqualsIgnoreCase(cols[i], label)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ShardingConnection::~ShardingConnection() {
+  if (txn_ != nullptr) {
+    (void)txn_->Rollback();
+    txn_.reset();
+  }
+}
+
+Status ShardingConnection::EnsureTransaction() {
+  if (txn_ == nullptr) {
+    txn_ = std::make_unique<transaction::DistributedTransaction>(
+        txn_type_, data_source_->transaction_context());
+  }
+  return Status::OK();
+}
+
+Status ShardingConnection::SetAutoCommit(bool autocommit) {
+  if (autocommit && txn_ != nullptr) {
+    SPHERE_RETURN_NOT_OK(Commit());
+  }
+  autocommit_ = autocommit;
+  return Status::OK();
+}
+
+Status ShardingConnection::Begin() {
+  if (txn_ != nullptr) {
+    SPHERE_RETURN_NOT_OK(Commit());  // implicit commit, MySQL style
+  }
+  return EnsureTransaction();
+}
+
+Status ShardingConnection::Commit() {
+  if (txn_ == nullptr) return Status::OK();
+  Status st = txn_->Commit();
+  txn_.reset();
+  return st;
+}
+
+Status ShardingConnection::Rollback() {
+  if (txn_ == nullptr) return Status::OK();
+  Status st = txn_->Rollback();
+  txn_.reset();
+  return st;
+}
+
+Status ShardingConnection::SetTransactionType(
+    transaction::TransactionType type) {
+  if (txn_ != nullptr) {
+    return Status::TransactionError(
+        "cannot switch transaction type inside a transaction");
+  }
+  txn_type_ = type;
+  return Status::OK();
+}
+
+Result<engine::ExecResult> ShardingConnection::ExecuteParsed(
+    const sql::Statement& stmt, std::vector<Value> params) {
+  switch (stmt.kind()) {
+    case sql::StatementKind::kBegin:
+      SPHERE_RETURN_NOT_OK(Begin());
+      return engine::ExecResult::Update(0);
+    case sql::StatementKind::kCommit:
+      SPHERE_RETURN_NOT_OK(Commit());
+      return engine::ExecResult::Update(0);
+    case sql::StatementKind::kRollback:
+      SPHERE_RETURN_NOT_OK(Rollback());
+      return engine::ExecResult::Update(0);
+    case sql::StatementKind::kSet: {
+      const auto& set = static_cast<const sql::SetStatement&>(stmt);
+      if (EqualsIgnoreCase(set.name, "transaction_type")) {
+        SPHERE_ASSIGN_OR_RETURN(
+            transaction::TransactionType type,
+            transaction::ParseTransactionType(set.value.ToString()));
+        SPHERE_RETURN_NOT_OK(SetTransactionType(type));
+        return engine::ExecResult::Update(0);
+      }
+      if (EqualsIgnoreCase(set.name, "autocommit")) {
+        SPHERE_RETURN_NOT_OK(SetAutoCommit(set.value.ToInt() != 0));
+        return engine::ExecResult::Update(0);
+      }
+      return engine::ExecResult::Update(0);  // other session vars: no-op
+    }
+    default:
+      break;
+  }
+
+  // Implicit transaction when autocommit is off.
+  if (!autocommit_ && txn_ == nullptr && stmt.IsDML()) {
+    SPHERE_RETURN_NOT_OK(EnsureTransaction());
+  }
+  core::ConnectionSource* source = txn_ != nullptr ? txn_.get() : nullptr;
+  core::UnitObserver* observer = txn_ != nullptr ? txn_->observer() : nullptr;
+  return data_source_->runtime()->ExecuteStatement(stmt, std::move(params),
+                                                   source, observer);
+}
+
+Result<engine::ExecResult> ShardingConnection::ExecuteSQL(
+    std::string_view sql_text, std::vector<Value> params) {
+  if (distsql::DistSQLEngine::IsDistSQL(sql_text)) {
+    distsql::SessionHooks hooks;
+    hooks.get_transaction_type = [this] {
+      return std::string(transaction::TransactionTypeName(txn_type_));
+    };
+    hooks.set_transaction_type = [this](const std::string& name) -> Status {
+      SPHERE_ASSIGN_OR_RETURN(transaction::TransactionType type,
+                              transaction::ParseTransactionType(name));
+      return SetTransactionType(type);
+    };
+    std::lock_guard lk(*data_source_->distsql_mutex());
+    return data_source_->distsql()->Execute(sql_text, hooks);
+  }
+  sql::Parser parser(data_source_->runtime()->dialect());
+  SPHERE_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.Parse(sql_text));
+  return ExecuteParsed(*stmt, std::move(params));
+}
+
+Result<ShardingResultSet> ShardingConnection::ExecuteQuery(
+    std::string_view sql_text, std::vector<Value> params) {
+  SPHERE_ASSIGN_OR_RETURN(engine::ExecResult r,
+                          ExecuteSQL(sql_text, std::move(params)));
+  if (!r.is_query) {
+    return Status::InvalidArgument("statement produced no result set");
+  }
+  return ShardingResultSet(std::move(r.result_set));
+}
+
+Result<int64_t> ShardingConnection::ExecuteUpdate(std::string_view sql_text,
+                                                  std::vector<Value> params) {
+  SPHERE_ASSIGN_OR_RETURN(engine::ExecResult r,
+                          ExecuteSQL(sql_text, std::move(params)));
+  if (r.is_query) {
+    return Status::InvalidArgument("statement produced a result set");
+  }
+  return r.affected_rows;
+}
+
+std::unique_ptr<ShardingStatement> ShardingConnection::CreateStatement() {
+  return std::make_unique<ShardingStatement>(this);
+}
+
+Result<std::unique_ptr<ShardingPreparedStatement>>
+ShardingConnection::PrepareStatement(std::string_view sql_text) {
+  sql::Parser parser(data_source_->runtime()->dialect());
+  SPHERE_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.Parse(sql_text));
+  return std::make_unique<ShardingPreparedStatement>(this, std::move(stmt),
+                                                     parser.param_count());
+}
+
+Result<ShardingResultSet> ShardingPreparedStatement::ExecuteQuery() {
+  SPHERE_ASSIGN_OR_RETURN(engine::ExecResult r, Execute());
+  if (!r.is_query) {
+    return Status::InvalidArgument("statement produced no result set");
+  }
+  return ShardingResultSet(std::move(r.result_set));
+}
+
+Result<int64_t> ShardingPreparedStatement::ExecuteUpdate() {
+  SPHERE_ASSIGN_OR_RETURN(engine::ExecResult r, Execute());
+  if (r.is_query) {
+    return Status::InvalidArgument("statement produced a result set");
+  }
+  return r.affected_rows;
+}
+
+Result<engine::ExecResult> ShardingPreparedStatement::Execute() {
+  return conn_->ExecuteParsed(*stmt_, params_);
+}
+
+}  // namespace sphere::adaptor

@@ -1,0 +1,201 @@
+#ifndef SPHERE_ADAPTOR_JDBC_H_
+#define SPHERE_ADAPTOR_JDBC_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "distsql/distsql.h"
+#include "governor/config_manager.h"
+#include "transaction/manager.h"
+
+namespace sphere::adaptor {
+
+class ShardingConnection;
+class ShardingStatement;
+class ShardingPreparedStatement;
+
+/// The embedded adaptor (paper's ShardingSphere-JDBC): lives in the
+/// application's process and talks to the data sources directly, which is why
+/// it outruns the proxy. The public API mirrors JDBC: DataSource ->
+/// Connection -> (Prepared)Statement -> ResultSet.
+class ShardingDataSource {
+ public:
+  explicit ShardingDataSource(
+      core::RuntimeConfig config = core::RuntimeConfig(),
+      net::NetworkConfig network = net::NetworkConfig());
+
+  /// Attaches a storage node under a data source name (caller keeps
+  /// ownership; the node must outlive this object).
+  Status AttachNode(const std::string& name, engine::StorageNode* node);
+
+  /// Installs the sharding rule programmatically (the config-file path);
+  /// DistSQL is the other way to do this.
+  Status SetRule(core::ShardingRuleConfig config);
+
+  /// Joins a governed cluster (paper §V): registers this instance as an
+  /// ephemeral node in the registry (its marker disappears when the instance
+  /// dies) and persists every rule change — whether made through SetRule or
+  /// DistSQL — under /config so other instances can pick it up.
+  Status BindGovernor(governor::ConfigManager* config_manager,
+                      const std::string& instance_id);
+  /// Writes the current rules to the bound registry (no-op when unbound).
+  void PersistRules();
+
+  /// Opens a logical connection.
+  std::unique_ptr<ShardingConnection> GetConnection();
+
+  core::ShardingRuntime* runtime() { return &runtime_; }
+  transaction::TransactionContext* transaction_context() { return &txn_context_; }
+  distsql::DistSQLEngine* distsql() { return &distsql_; }
+  std::mutex* distsql_mutex() { return &distsql_mu_; }
+
+ private:
+  core::ShardingRuntime runtime_;
+  transaction::TransactionContext txn_context_;
+  distsql::DistSQLEngine distsql_;
+  std::mutex distsql_mu_;
+  governor::ConfigManager* governor_ = nullptr;
+  governor::Registry::SessionId governor_session_ = 0;
+};
+
+/// Cursor wrapper with JDBC-style typed getters.
+class ShardingResultSet {
+ public:
+  explicit ShardingResultSet(engine::ResultSetPtr rs) : rs_(std::move(rs)) {}
+
+  /// Advances to the next row; false at end.
+  bool Next() { return rs_ != nullptr && rs_->Next(&current_); }
+
+  const std::vector<std::string>& columns() const { return rs_->columns(); }
+  /// Column index by (case-insensitive) label, or -1.
+  int ColumnIndex(const std::string& label) const;
+
+  const Value& Get(int index) const { return current_[static_cast<size_t>(index)]; }
+  int64_t GetInt(int index) const { return Get(index).ToInt(); }
+  double GetDouble(int index) const { return Get(index).ToDouble(); }
+  std::string GetString(int index) const { return Get(index).ToString(); }
+  bool IsNull(int index) const { return Get(index).is_null(); }
+
+  int64_t GetInt(const std::string& label) const {
+    return Get(ColumnIndex(label)).ToInt();
+  }
+  std::string GetString(const std::string& label) const {
+    return Get(ColumnIndex(label)).ToString();
+  }
+
+  const Row& row() const { return current_; }
+
+ private:
+  engine::ResultSetPtr rs_;
+  Row current_;
+};
+
+/// A logical connection: the unit of transaction scope. Holds at most one
+/// open distributed transaction whose type is switchable between statements
+/// (`SET VARIABLE transaction_type = LOCAL|XA|BASE`).
+class ShardingConnection {
+ public:
+  explicit ShardingConnection(ShardingDataSource* data_source)
+      : data_source_(data_source) {}
+  ~ShardingConnection();
+
+  ShardingConnection(const ShardingConnection&) = delete;
+  ShardingConnection& operator=(const ShardingConnection&) = delete;
+
+  /// Executes any statement: ordinary SQL, TCL, or DistSQL.
+  Result<engine::ExecResult> ExecuteSQL(std::string_view sql_text,
+                                        std::vector<Value> params = {});
+  /// Convenience: query returning a cursor.
+  Result<ShardingResultSet> ExecuteQuery(std::string_view sql_text,
+                                         std::vector<Value> params = {});
+  /// Convenience: update returning the affected row count.
+  Result<int64_t> ExecuteUpdate(std::string_view sql_text,
+                                std::vector<Value> params = {});
+
+  /// JDBC-style autocommit. Turning it off opens a transaction on the next
+  /// statement; turning it on commits any open transaction.
+  Status SetAutoCommit(bool autocommit);
+  bool autocommit() const { return autocommit_; }
+
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+  bool in_transaction() const { return txn_ != nullptr; }
+
+  /// Switches the distributed transaction type (outside a transaction only).
+  Status SetTransactionType(transaction::TransactionType type);
+  transaction::TransactionType transaction_type() const { return txn_type_; }
+
+  std::unique_ptr<ShardingStatement> CreateStatement();
+  Result<std::unique_ptr<ShardingPreparedStatement>> PrepareStatement(
+      std::string_view sql_text);
+
+  ShardingDataSource* data_source() { return data_source_; }
+
+ private:
+  friend class ShardingPreparedStatement;
+
+  Result<engine::ExecResult> ExecuteParsed(const sql::Statement& stmt,
+                                           std::vector<Value> params);
+  Status EnsureTransaction();
+
+  ShardingDataSource* data_source_;
+  bool autocommit_ = true;
+  transaction::TransactionType txn_type_ = transaction::TransactionType::kLocal;
+  std::unique_ptr<transaction::DistributedTransaction> txn_;
+};
+
+/// Plain statement (parse per execution).
+class ShardingStatement {
+ public:
+  explicit ShardingStatement(ShardingConnection* conn) : conn_(conn) {}
+
+  Result<ShardingResultSet> ExecuteQuery(std::string_view sql_text) {
+    return conn_->ExecuteQuery(sql_text);
+  }
+  Result<int64_t> ExecuteUpdate(std::string_view sql_text) {
+    return conn_->ExecuteUpdate(sql_text);
+  }
+  Result<engine::ExecResult> Execute(std::string_view sql_text) {
+    return conn_->ExecuteSQL(sql_text);
+  }
+
+ private:
+  ShardingConnection* conn_;
+};
+
+/// Prepared statement: parsed once, parameters bound per execution
+/// (1-indexed setters, JDBC style).
+class ShardingPreparedStatement {
+ public:
+  ShardingPreparedStatement(ShardingConnection* conn, sql::StatementPtr stmt,
+                            int param_count)
+      : conn_(conn), stmt_(std::move(stmt)),
+        params_(static_cast<size_t>(param_count), Value::Null()) {}
+
+  void SetValue(int index, Value v) {
+    if (index >= 1 && static_cast<size_t>(index) <= params_.size()) {
+      params_[static_cast<size_t>(index - 1)] = std::move(v);
+    }
+  }
+  void SetInt(int index, int64_t v) { SetValue(index, Value(v)); }
+  void SetDouble(int index, double v) { SetValue(index, Value(v)); }
+  void SetString(int index, std::string v) { SetValue(index, Value(std::move(v))); }
+  void SetNull(int index) { SetValue(index, Value::Null()); }
+
+  Result<ShardingResultSet> ExecuteQuery();
+  Result<int64_t> ExecuteUpdate();
+  Result<engine::ExecResult> Execute();
+
+ private:
+  ShardingConnection* conn_;
+  sql::StatementPtr stmt_;
+  std::vector<Value> params_;
+};
+
+}  // namespace sphere::adaptor
+
+#endif  // SPHERE_ADAPTOR_JDBC_H_

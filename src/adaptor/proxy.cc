@@ -1,0 +1,52 @@
+#include "adaptor/proxy.h"
+
+namespace sphere::adaptor {
+
+void ShardingProxy::set_worker_capacity(int workers) {
+  {
+    std::lock_guard lk(worker_mu_);
+    worker_capacity_ = workers;
+  }
+  worker_cv_.notify_all();
+}
+
+void ShardingProxy::AcquireWorker() {
+  std::unique_lock lk(worker_mu_);
+  if (worker_capacity_ <= 0) return;
+  worker_cv_.wait(lk, [&] { return workers_busy_ < worker_capacity_; });
+  ++workers_busy_;
+}
+
+void ShardingProxy::ReleaseWorker() {
+  {
+    std::lock_guard lk(worker_mu_);
+    if (worker_capacity_ <= 0) return;
+    --workers_busy_;
+  }
+  worker_cv_.notify_one();
+}
+
+Result<engine::ExecResult> ShardingProxy::Connection::Execute(
+    std::string_view sql_text, const std::vector<Value>& params) {
+  // Client -> proxy: the command packet crosses the client network.
+  std::string request = net::EncodeQuery(sql_text, params);
+  proxy_->client_network_->Transfer(request.size());
+
+  // Proxy frontend: decode and execute on the shared backend, holding one of
+  // the proxy process's worker slots.
+  auto decoded = net::DecodeRequest(request);
+  if (!decoded.ok()) return decoded.status();
+  proxy_->statements_served_.fetch_add(1, std::memory_order_relaxed);
+  proxy_->AcquireWorker();
+  auto result = backend_->ExecuteSQL(decoded->sql, decoded->params);
+  proxy_->ReleaseWorker();
+
+  // Proxy -> client: result (or error) packet crosses back.
+  std::string response = result.ok() ? net::EncodeExecResult(&result.value())
+                                     : net::EncodeError(result.status());
+  proxy_->client_network_->Transfer(response.size());
+  if (!result.ok()) return result.status();
+  return net::DecodeResponse(response);
+}
+
+}  // namespace sphere::adaptor

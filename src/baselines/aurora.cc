@@ -1,0 +1,55 @@
+#include "baselines/aurora.h"
+
+#include "sql/parser.h"
+
+namespace sphere::baselines {
+
+class AuroraLikeSystem::Session : public SqlSession {
+ public:
+  explicit Session(AuroraLikeSystem* system)
+      : system_(system), conn_(system->compute_, system->network_) {}
+
+  Result<engine::ExecResult> Execute(std::string_view sql_text,
+                                     const std::vector<Value>& params) override {
+    auto result = conn_.Execute(sql_text, params);
+    if (result.ok() && !result->is_query && IsWrite(sql_text)) {
+      // Redo-log shipping: wait for the write quorum of the storage fleet.
+      for (int i = 0; i < system_->options_.write_quorum; ++i) {
+        system_->network_->Transfer(
+            static_cast<size_t>(system_->options_.redo_record_bytes));
+      }
+      system_->redo_shipped_.fetch_add(system_->options_.write_quorum,
+                                       std::memory_order_relaxed);
+    }
+    return result;
+  }
+
+ private:
+  static bool IsWrite(std::string_view sql_text) {
+    // Cheap classification without a full parse.
+    size_t i = 0;
+    while (i < sql_text.size() && std::isspace(static_cast<unsigned char>(sql_text[i]))) {
+      ++i;
+    }
+    switch (i < sql_text.size() ? std::toupper(static_cast<unsigned char>(sql_text[i]))
+                                : '\0') {
+      case 'I':  // INSERT
+      case 'U':  // UPDATE
+      case 'D':  // DELETE / DROP
+      case 'C':  // CREATE / COMMIT (commit ships the final log record too)
+      case 'T':  // TRUNCATE
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  AuroraLikeSystem* system_;
+  net::RemoteConnection conn_;
+};
+
+std::unique_ptr<SqlSession> AuroraLikeSystem::Connect() {
+  return std::make_unique<Session>(this);
+}
+
+}  // namespace sphere::baselines

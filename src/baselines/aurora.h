@@ -1,0 +1,51 @@
+#ifndef SPHERE_BASELINES_AURORA_H_
+#define SPHERE_BASELINES_AURORA_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "baselines/system.h"
+
+namespace sphere::baselines {
+
+/// The shared-storage cloud database baseline (Amazon Aurora, Table IV):
+/// a single compute node whose writes ship only redo-log records to a
+/// six-replica storage service and wait for a 4/6 quorum; reads are served
+/// from the compute node's caches.
+///
+/// The compute node's `statement_delay_us` knob models the buffer-pool
+/// profile: benchmarks give Aurora a lower delay than the plain standalone
+/// database because its storage fleet absorbs IO ("the storage power of
+/// Aurora can be seen as unlimited", §VIII-B).
+struct AuroraOptions {
+  std::string name = "aurora";
+  int storage_replicas = 6;
+  int write_quorum = 4;
+  int64_t redo_record_bytes = 160;  ///< per-write redo payload ("only redo logs
+                                    ///< across the network")
+};
+
+class AuroraLikeSystem : public SqlSystem {
+ public:
+  AuroraLikeSystem(AuroraOptions options, engine::StorageNode* compute,
+                   const net::LatencyModel* network)
+      : options_(std::move(options)), compute_(compute), network_(network) {}
+
+  const std::string& name() const override { return options_.name; }
+  std::unique_ptr<SqlSession> Connect() override;
+
+  int64_t redo_records_shipped() const { return redo_shipped_.load(); }
+
+ private:
+  class Session;
+
+  AuroraOptions options_;
+  engine::StorageNode* compute_;
+  const net::LatencyModel* network_;
+  std::atomic<int64_t> redo_shipped_{0};
+};
+
+}  // namespace sphere::baselines
+
+#endif  // SPHERE_BASELINES_AURORA_H_

@@ -1,0 +1,27 @@
+#ifndef SPHERE_BASELINES_NAIVE_MERGE_H_
+#define SPHERE_BASELINES_NAIVE_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/result_set.h"
+#include "sql/ast.h"
+
+namespace sphere::baselines {
+
+/// The gather step shared by the baseline middlewares: concatenate partial
+/// results in memory, then apply global aggregates (COUNT/SUM/MIN/MAX only),
+/// ORDER BY over selected columns, DISTINCT and LIMIT. Deliberately naive —
+/// no stream merging, no AVG decomposition, no grouped scatter — matching the
+/// planner restrictions of the systems these baselines stand in for.
+Result<engine::ExecResult> NaiveScatterMerge(
+    const sql::SelectStatement& stmt,
+    std::vector<engine::ExecResult> partials, const std::string& system_name);
+
+/// Update-result merge: sums affected rows.
+engine::ExecResult SumAffected(std::vector<engine::ExecResult> partials);
+
+}  // namespace sphere::baselines
+
+#endif  // SPHERE_BASELINES_NAIVE_MERGE_H_

@@ -1,0 +1,77 @@
+#ifndef SPHERE_BASELINES_RAFTDB_H_
+#define SPHERE_BASELINES_RAFTDB_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/system.h"
+#include "raft/raft.h"
+
+namespace sphere::baselines {
+
+/// A new-architecture distributed SQL database (the TiDB / CockroachDB
+/// stand-in of Tables III and Fig. 9-12): stateless SQL layer over data
+/// partitioned into regions, each region a Raft group of replicas.
+///
+/// Cost profile reproduced from the real systems:
+///  - every statement pays the client -> SQL-layer hop;
+///  - writes go through Raft (leader append + majority replication);
+///  - reads execute on the region leader (TiDB profile) or pay an extra
+///    quorum round (`quorum_reads`, the CockroachDB profile before leaseholder
+///    optimizations — this is why CRDB trails TiDB in the paper's numbers);
+///  - multi-region transactions run 2PC *through Raft* (each phase is a
+///    replicated log entry), the overhead behind TiDB's slow TPC-C Delivery.
+struct RaftDbOptions {
+  std::string name = "raftdb";
+  int num_regions = 4;
+  int replicas_per_region = 3;
+  bool quorum_reads = false;   ///< CRDB-like consistency on reads
+  int64_t sql_layer_overhead_us = 10;  ///< distributed planner cost
+};
+
+class RaftDb : public SqlSystem {
+ public:
+  RaftDb(RaftDbOptions options, const net::LatencyModel* network);
+
+  /// Declares `table` partitioned by `column` (value % num_regions).
+  /// Tables without a declaration are replicated to region 0 only.
+  void AddPartitionedTable(const std::string& table, const std::string& column);
+
+  /// Executes DDL on every replica of every region (schema changes are
+  /// replicated through Raft too).
+  Status ExecuteDDL(const std::string& ddl_sql);
+
+  const std::string& name() const override { return options_.name; }
+  std::unique_ptr<SqlSession> Connect() override;
+
+  raft::RaftGroup* region(int i) { return regions_[static_cast<size_t>(i)].group.get(); }
+  engine::StorageNode* replica_node(int region, int replica) {
+    return regions_[static_cast<size_t>(region)]
+        .replicas[static_cast<size_t>(replica)]
+        .get();
+  }
+
+ private:
+  struct Region {
+    std::vector<std::unique_ptr<engine::StorageNode>> replicas;
+    std::unique_ptr<raft::RaftGroup> group;
+  };
+
+  class Session;
+
+  /// Applies a replicated command to one replica's state machine.
+  void Apply(Region* region, int replica_id, const std::string& command);
+
+  RaftDbOptions options_;
+  const net::LatencyModel* network_;
+  std::vector<Region> regions_;
+  std::map<std::string, std::string> partition_column_;  // lower table -> col
+  std::atomic<int64_t> xid_counter_{1};
+};
+
+}  // namespace sphere::baselines
+
+#endif  // SPHERE_BASELINES_RAFTDB_H_

@@ -1,0 +1,17 @@
+#include "baselines/system.h"
+
+namespace sphere::baselines {
+
+std::unique_ptr<SqlSession> SingleNodeSystem::Connect() {
+  return std::make_unique<Session>(node_, network_);
+}
+
+std::unique_ptr<SqlSession> JdbcSystem::Connect() {
+  return std::make_unique<Session>(ds_);
+}
+
+std::unique_ptr<SqlSession> ProxySystem::Connect() {
+  return std::make_unique<Session>(proxy_);
+}
+
+}  // namespace sphere::baselines

@@ -1,0 +1,122 @@
+#ifndef SPHERE_BASELINES_SYSTEM_H_
+#define SPHERE_BASELINES_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaptor/jdbc.h"
+#include "adaptor/proxy.h"
+#include "net/remote.h"
+
+namespace sphere::baselines {
+
+/// One client session of a system under test. The benchmark harness speaks
+/// only this interface, so every system (ours and every baseline) is driven
+/// identically — the fairness requirement of §VIII.
+class SqlSession {
+ public:
+  virtual ~SqlSession() = default;
+  virtual Result<engine::ExecResult> Execute(
+      std::string_view sql_text, const std::vector<Value>& params = {}) = 0;
+};
+
+/// A benchmarkable SQL system.
+class SqlSystem {
+ public:
+  virtual ~SqlSystem() = default;
+  virtual const std::string& name() const = 0;
+  virtual std::unique_ptr<SqlSession> Connect() = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Wrappers over the systems this repository already provides.
+// ---------------------------------------------------------------------------
+
+/// A plain standalone database reached over the network — the MS / PG
+/// baselines of Tables III & IV.
+class SingleNodeSystem : public SqlSystem {
+ public:
+  SingleNodeSystem(std::string name, engine::StorageNode* node,
+                   const net::LatencyModel* network)
+      : name_(std::move(name)), node_(node), network_(network) {}
+
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<SqlSession> Connect() override;
+
+ private:
+  class Session : public SqlSession {
+   public:
+    Session(engine::StorageNode* node, const net::LatencyModel* network)
+        : conn_(node, network) {}
+    Result<engine::ExecResult> Execute(
+        std::string_view sql_text, const std::vector<Value>& params) override {
+      return conn_.Execute(sql_text, params);
+    }
+
+   private:
+    net::RemoteConnection conn_;
+  };
+
+  std::string name_;
+  engine::StorageNode* node_;
+  const net::LatencyModel* network_;
+};
+
+/// ShardingSphere-JDBC mode (SSJ): the embedded adaptor.
+class JdbcSystem : public SqlSystem {
+ public:
+  JdbcSystem(std::string name, adaptor::ShardingDataSource* ds)
+      : name_(std::move(name)), ds_(ds) {}
+
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<SqlSession> Connect() override;
+
+ private:
+  class Session : public SqlSession {
+   public:
+    explicit Session(adaptor::ShardingDataSource* ds)
+        : conn_(ds->GetConnection()) {}
+    Result<engine::ExecResult> Execute(
+        std::string_view sql_text, const std::vector<Value>& params) override {
+      return conn_->ExecuteSQL(sql_text, params);
+    }
+
+   private:
+    std::unique_ptr<adaptor::ShardingConnection> conn_;
+  };
+
+  std::string name_;
+  adaptor::ShardingDataSource* ds_;
+};
+
+/// ShardingSphere-Proxy mode (SSP).
+class ProxySystem : public SqlSystem {
+ public:
+  ProxySystem(std::string name, adaptor::ShardingProxy* proxy)
+      : name_(std::move(name)), proxy_(proxy) {}
+
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<SqlSession> Connect() override;
+
+ private:
+  class Session : public SqlSession {
+   public:
+    explicit Session(adaptor::ShardingProxy* proxy)
+        : conn_(proxy->Connect()) {}
+    Result<engine::ExecResult> Execute(
+        std::string_view sql_text, const std::vector<Value>& params) override {
+      return conn_->Execute(sql_text, params);
+    }
+
+   private:
+    std::unique_ptr<adaptor::ShardingProxy::Connection> conn_;
+  };
+
+  std::string name_;
+  adaptor::ShardingProxy* proxy_;
+};
+
+}  // namespace sphere::baselines
+
+#endif  // SPHERE_BASELINES_SYSTEM_H_

@@ -1,0 +1,115 @@
+#include "benchlib/metrics.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/strings.h"
+
+namespace sphere::benchlib {
+
+BenchResult RunBenchmark(baselines::SqlSystem* system,
+                         const std::string& scenario,
+                         const BenchOptions& options, const BenchOp& op) {
+  Histogram histogram;
+  std::atomic<int64_t> operations{0};
+  std::atomic<int64_t> errors{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> recording{false};
+
+  auto worker = [&](int thread_id) {
+    auto session = system->Connect();
+    Rng rng(options.seed + static_cast<uint64_t>(thread_id) * 7919);
+    while (!stop.load(std::memory_order_relaxed)) {
+      int64_t start = NowMicros();
+      Status st = op(session.get(), &rng);
+      int64_t elapsed = NowMicros() - start;
+      if (recording.load(std::memory_order_relaxed)) {
+        histogram.Record(elapsed);
+        operations.fetch_add(1, std::memory_order_relaxed);
+        if (!st.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(options.threads));
+  for (int t = 0; t < options.threads; ++t) {
+    threads.emplace_back(worker, t);
+  }
+  SleepMicros(options.warmup_ms * 1000);
+  recording.store(true);
+  int64_t measure_start = NowMicros();
+  SleepMicros(options.duration_ms * 1000);
+  recording.store(false);
+  int64_t measured_us = NowMicros() - measure_start;
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  BenchResult result;
+  result.system = system->name();
+  result.scenario = scenario;
+  result.operations = operations.load();
+  result.errors = errors.load();
+  result.tps = measured_us > 0
+                   ? static_cast<double>(result.operations) * 1e6 /
+                         static_cast<double>(measured_us)
+                   : 0;
+  result.avg_ms = histogram.AvgMillis();
+  result.p90_ms = histogram.PercentileMillis(90);
+  result.p95_ms = histogram.PercentileMillis(95);
+  result.p99_ms = histogram.PercentileMillis(99);
+  return result;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double v, int decimals) {
+  return StrFormat("%.*f", decimals, v);
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_sep = [&] {
+    std::printf("+");
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+  std::fflush(stdout);
+}
+
+void AddResultRow(TablePrinter* table, const BenchResult& r) {
+  table->AddRow({r.system, TablePrinter::Fmt(r.tps, 0),
+                 TablePrinter::Fmt(r.avg_ms), TablePrinter::Fmt(r.p90_ms),
+                 TablePrinter::Fmt(r.p99_ms), std::to_string(r.errors)});
+}
+
+}  // namespace sphere::benchlib

@@ -1,0 +1,230 @@
+#include "benchlib/setup.h"
+
+#include "common/strings.h"
+
+namespace sphere::benchlib {
+
+namespace {
+
+Status RunAll(baselines::SqlSession* session,
+              const std::vector<std::string>& statements) {
+  for (const auto& sql : statements) {
+    auto r = session->Execute(sql);
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SphereCluster
+// ---------------------------------------------------------------------------
+
+SphereCluster::SphereCluster(const ClusterSpec& spec, const std::string& flavor)
+    : spec_(spec) {
+  core::RuntimeConfig config;
+  config.max_connections_per_query = spec.max_connections_per_query;
+  config.dialect = flavor == "PG" ? sql::DialectType::kPostgreSQL
+                                  : sql::DialectType::kMySQL;
+  ds_ = std::make_unique<adaptor::ShardingDataSource>(config, spec.network);
+  for (int i = 0; i < spec.data_sources; ++i) {
+    nodes_.push_back(std::make_unique<engine::StorageNode>(
+        "ds_" + std::to_string(i), config.dialect));
+    nodes_.back()->set_statement_delay_us(spec.node_delay_us);
+    nodes_.back()->set_io_concurrency(spec.node_io_slots);
+    (void)ds_->AttachNode(nodes_.back()->name(), nodes_.back().get());
+  }
+  proxy_ = std::make_unique<adaptor::ShardingProxy>(ds_.get(),
+                                                    &ds_->runtime()->network());
+  jdbc_system_ = std::make_unique<baselines::JdbcSystem>("SSJ-" + flavor, ds_.get());
+  proxy_system_ =
+      std::make_unique<baselines::ProxySystem>("SSP-" + flavor, proxy_.get());
+}
+
+Status SphereCluster::SetupSysbench(const SysbenchConfig& config) {
+  core::ShardingRuleConfig rule;
+  rule.default_data_source = "ds_0";
+  core::TableRuleConfig t;
+  t.logic_table = "sbtest";
+  for (const auto& node : nodes_) t.auto_resources.push_back(node->name());
+  t.auto_sharding_count = spec_.data_sources * spec_.tables_per_source;
+  t.table_strategy.columns = {"id"};
+  if (spec_.sysbench_algorithm == "BOUNDARY_RANGE") {
+    // Range partitioning over the dense id space: shard k holds
+    // (k*N/count, (k+1)*N/count].
+    t.table_strategy.algorithm_type = "BOUNDARY_RANGE";
+    std::string boundaries;
+    for (int k = 1; k < t.auto_sharding_count; ++k) {
+      if (!boundaries.empty()) boundaries += ",";
+      boundaries += std::to_string(config.table_size * k /
+                                   t.auto_sharding_count);
+    }
+    t.table_strategy.props.Set("sharding-ranges", boundaries);
+  } else {
+    t.table_strategy.algorithm_type = "MOD";
+    t.table_strategy.props.Set("sharding-count",
+                               std::to_string(t.auto_sharding_count));
+  }
+  rule.tables.push_back(std::move(t));
+  SPHERE_RETURN_NOT_OK(ds_->SetRule(std::move(rule)));
+
+  auto session = jdbc_system_->Connect();
+  auto r = session->Execute(SysbenchCreateTableSQL());
+  if (!r.ok()) return r.status();
+  return SysbenchLoad(session.get(), config, /*seed=*/7);
+}
+
+Status SphereCluster::SetupTpcc(const TpccConfig& config) {
+  core::ShardingRuleConfig rule;
+  rule.default_data_source = "ds_0";
+  rule.broadcast_tables.insert("item");
+  std::vector<std::string> aligned_group;
+  for (const auto& [table, column] : TpccShardedTables()) {
+    core::TableRuleConfig t;
+    t.logic_table = table;
+    for (const auto& node : nodes_) t.auto_resources.push_back(node->name());
+    // order_line is the biggest table: 10x further sharded (paper §VIII-A).
+    int count = table == "order_line"
+                    ? spec_.data_sources * spec_.tables_per_source
+                    : spec_.data_sources;
+    t.auto_sharding_count = count;
+    t.table_strategy.columns = {column};
+    t.table_strategy.algorithm_type = "MOD";
+    t.table_strategy.props.Set("sharding-count", std::to_string(count));
+    rule.tables.push_back(std::move(t));
+    if (table != "order_line") aligned_group.push_back(table);
+  }
+  rule.binding_groups.push_back(std::move(aligned_group));
+  SPHERE_RETURN_NOT_OK(ds_->SetRule(std::move(rule)));
+
+  auto session = jdbc_system_->Connect();
+  SPHERE_RETURN_NOT_OK(RunAll(session.get(), TpccCreateTableSQL()));
+  return TpccLoad(session.get(), config, /*seed=*/11);
+}
+
+// ---------------------------------------------------------------------------
+// SingleNodeCluster
+// ---------------------------------------------------------------------------
+
+SingleNodeCluster::SingleNodeCluster(const std::string& name,
+                                     const ClusterSpec& spec)
+    : network_(spec.network) {
+  node_ = std::make_unique<engine::StorageNode>(name);
+  node_->set_statement_delay_us(spec.node_delay_us);
+  node_->set_io_concurrency(spec.node_io_slots);
+  system_ = std::make_unique<baselines::SingleNodeSystem>(name, node_.get(),
+                                                          &network_);
+}
+
+Status SingleNodeCluster::SetupSysbench(const SysbenchConfig& config) {
+  auto session = system_->Connect();
+  auto r = session->Execute(SysbenchCreateTableSQL());
+  if (!r.ok()) return r.status();
+  return SysbenchLoad(session.get(), config, 7);
+}
+
+// ---------------------------------------------------------------------------
+// MiddlewareCluster
+// ---------------------------------------------------------------------------
+
+MiddlewareCluster::MiddlewareCluster(
+    const baselines::SimpleMiddlewareOptions& options, const ClusterSpec& spec)
+    : spec_(spec), network_(spec.network) {
+  middleware_ = std::make_unique<baselines::SimpleMiddleware>(options, &network_);
+  for (int i = 0; i < spec.data_sources; ++i) {
+    nodes_.push_back(
+        std::make_unique<engine::StorageNode>("ds_" + std::to_string(i)));
+    nodes_.back()->set_statement_delay_us(spec.node_delay_us);
+    nodes_.back()->set_io_concurrency(spec.node_io_slots);
+    (void)middleware_->AttachNode(nodes_.back()->name(), nodes_.back().get());
+  }
+}
+
+Status MiddlewareCluster::SetupSysbench(const SysbenchConfig& config) {
+  int count = spec_.data_sources * spec_.tables_per_source;
+  SPHERE_RETURN_NOT_OK(middleware_->AddShardedTable(
+      "sbtest", "id",
+      StrFormat("ds_${0..%d}.sbtest_${0..%d}", spec_.data_sources - 1,
+                count - 1)));
+  auto session = middleware_->Connect();
+  auto r = session->Execute(SysbenchCreateTableSQL());
+  if (!r.ok()) return r.status();
+  return SysbenchLoad(session.get(), config, 7);
+}
+
+Status MiddlewareCluster::SetupTpcc(const TpccConfig& config) {
+  for (const auto& [table, column] : TpccShardedTables()) {
+    int count = table == "order_line"
+                    ? spec_.data_sources * spec_.tables_per_source
+                    : spec_.data_sources;
+    SPHERE_RETURN_NOT_OK(middleware_->AddShardedTable(
+        table, column,
+        StrFormat("ds_${0..%d}.%s_${0..%d}", spec_.data_sources - 1,
+                  table.c_str(), count - 1)));
+  }
+  auto session = middleware_->Connect();
+  SPHERE_RETURN_NOT_OK(RunAll(session.get(), TpccCreateTableSQL()));
+  return TpccLoad(session.get(), config, 11);
+}
+
+// ---------------------------------------------------------------------------
+// RaftDbCluster
+// ---------------------------------------------------------------------------
+
+RaftDbCluster::RaftDbCluster(const baselines::RaftDbOptions& options,
+                             const ClusterSpec& spec)
+    : network_(spec.network) {
+  baselines::RaftDbOptions opts = options;
+  opts.num_regions = spec.data_sources;
+  db_ = std::make_unique<baselines::RaftDb>(opts, &network_);
+  // The storage replicas run on the same class of machines as everyone
+  // else's data nodes: apply the same storage-delay/IO-slot model.
+  for (int r = 0; r < opts.num_regions; ++r) {
+    for (int i = 0; i < opts.replicas_per_region; ++i) {
+      db_->replica_node(r, i)->set_statement_delay_us(spec.node_delay_us);
+      db_->replica_node(r, i)->set_io_concurrency(spec.node_io_slots);
+    }
+  }
+}
+
+Status RaftDbCluster::SetupSysbench(const SysbenchConfig& config) {
+  db_->AddPartitionedTable("sbtest", "id");
+  auto session = db_->Connect();
+  auto r = session->Execute(SysbenchCreateTableSQL());
+  if (!r.ok()) return r.status();
+  return SysbenchLoad(session.get(), config, 7);
+}
+
+Status RaftDbCluster::SetupTpcc(const TpccConfig& config) {
+  for (const auto& [table, column] : TpccShardedTables()) {
+    db_->AddPartitionedTable(table, column);
+  }
+  auto session = db_->Connect();
+  SPHERE_RETURN_NOT_OK(RunAll(session.get(), TpccCreateTableSQL()));
+  return TpccLoad(session.get(), config, 11);
+}
+
+// ---------------------------------------------------------------------------
+// AuroraCluster
+// ---------------------------------------------------------------------------
+
+AuroraCluster::AuroraCluster(const std::string& name, const ClusterSpec& spec)
+    : network_(spec.network) {
+  node_ = std::make_unique<engine::StorageNode>(name + "-compute");
+  node_->set_statement_delay_us(spec.node_delay_us);
+  node_->set_io_concurrency(spec.node_io_slots);
+  baselines::AuroraOptions options;
+  options.name = name;
+  system_ = std::make_unique<baselines::AuroraLikeSystem>(options, node_.get(),
+                                                          &network_);
+}
+
+Status AuroraCluster::SetupSysbench(const SysbenchConfig& config) {
+  auto session = system_->Connect();
+  auto r = session->Execute(SysbenchCreateTableSQL());
+  if (!r.ok()) return r.status();
+  return SysbenchLoad(session.get(), config, 7);
+}
+
+}  // namespace sphere::benchlib

@@ -1,0 +1,128 @@
+#ifndef SPHERE_BENCHLIB_SETUP_H_
+#define SPHERE_BENCHLIB_SETUP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaptor/jdbc.h"
+#include "adaptor/proxy.h"
+#include "baselines/aurora.h"
+#include "baselines/raftdb.h"
+#include "baselines/simple_middleware.h"
+#include "baselines/system.h"
+#include "benchlib/sysbench.h"
+#include "benchlib/tpcc.h"
+
+namespace sphere::benchlib {
+
+/// Shape of a benchmark cluster (paper §VIII settings, scaled).
+struct ClusterSpec {
+  int data_sources = 4;
+  int tables_per_source = 10;  ///< "in each data source, 10 tables"
+  net::NetworkConfig network;  ///< simulated LAN
+  int max_connections_per_query = 8;
+  /// Per-statement storage delay on every node (0 = pure in-memory).
+  int64_t node_delay_us = 0;
+  /// Concurrent delayed statements per node (disk-queue model; 0 = unlimited).
+  int node_io_slots = 0;
+  /// Sysbench sharding algorithm: "MOD" (hash-style scatter, the default) or
+  /// "BOUNDARY_RANGE" (range partitioning on the dense id — point AND small
+  /// range queries hit one shard).
+  std::string sysbench_algorithm = "MOD";
+};
+
+/// A ShardingSphere deployment: storage nodes + embedded adaptor (SSJ) +
+/// proxy adaptor (SSP) over one shared runtime.
+class SphereCluster {
+ public:
+  explicit SphereCluster(const ClusterSpec& spec,
+                         const std::string& flavor = "MS");
+
+  /// Installs the sysbench rule (sbtest MOD-sharded over all nodes), creates
+  /// the schema and loads rows through the embedded adaptor.
+  Status SetupSysbench(const SysbenchConfig& config);
+
+  /// Installs the TPC-C rules — every table sharded by its warehouse column,
+  /// order_line 10x further sharded, item broadcast, the aligned tables bound
+  /// (paper §VIII-A TPCC layout) — then creates schemas and loads.
+  Status SetupTpcc(const TpccConfig& config);
+
+  baselines::SqlSystem* jdbc() { return jdbc_system_.get(); }
+  baselines::SqlSystem* proxy() { return proxy_system_.get(); }
+  adaptor::ShardingProxy* proxy_server() { return proxy_.get(); }
+  adaptor::ShardingDataSource* data_source() { return ds_.get(); }
+  engine::StorageNode* node(int i) { return nodes_[static_cast<size_t>(i)].get(); }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  ClusterSpec spec_;
+  std::vector<std::unique_ptr<engine::StorageNode>> nodes_;
+  std::unique_ptr<adaptor::ShardingDataSource> ds_;
+  std::unique_ptr<adaptor::ShardingProxy> proxy_;
+  std::unique_ptr<baselines::JdbcSystem> jdbc_system_;
+  std::unique_ptr<baselines::ProxySystem> proxy_system_;
+};
+
+/// A plain standalone database (the MS / PG baselines).
+class SingleNodeCluster {
+ public:
+  SingleNodeCluster(const std::string& name, const ClusterSpec& spec);
+  Status SetupSysbench(const SysbenchConfig& config);
+  baselines::SqlSystem* system() { return system_.get(); }
+  engine::StorageNode* node() { return node_.get(); }
+  const net::LatencyModel* network() const { return &network_; }
+
+ private:
+  net::LatencyModel network_;
+  std::unique_ptr<engine::StorageNode> node_;
+  std::unique_ptr<baselines::SingleNodeSystem> system_;
+};
+
+/// A Vitess/Citus-like proxy middleware over its own storage nodes.
+class MiddlewareCluster {
+ public:
+  MiddlewareCluster(const baselines::SimpleMiddlewareOptions& options,
+                    const ClusterSpec& spec);
+  Status SetupSysbench(const SysbenchConfig& config);
+  Status SetupTpcc(const TpccConfig& config);
+  baselines::SqlSystem* system() { return middleware_.get(); }
+
+ private:
+  ClusterSpec spec_;
+  net::LatencyModel network_;
+  std::vector<std::unique_ptr<engine::StorageNode>> nodes_;
+  std::unique_ptr<baselines::SimpleMiddleware> middleware_;
+};
+
+/// A raft-replicated new-architecture database (TiDB / CRDB profiles).
+class RaftDbCluster {
+ public:
+  RaftDbCluster(const baselines::RaftDbOptions& options,
+                const ClusterSpec& spec);
+  Status SetupSysbench(const SysbenchConfig& config);
+  Status SetupTpcc(const TpccConfig& config);
+  baselines::SqlSystem* system() { return db_.get(); }
+
+ private:
+  net::LatencyModel network_;
+  std::unique_ptr<baselines::RaftDb> db_;
+};
+
+/// The Aurora-like shared-storage cloud database.
+class AuroraCluster {
+ public:
+  AuroraCluster(const std::string& name, const ClusterSpec& spec);
+  Status SetupSysbench(const SysbenchConfig& config);
+  baselines::SqlSystem* system() { return system_.get(); }
+  engine::StorageNode* node() { return node_.get(); }
+
+ private:
+  net::LatencyModel network_;
+  std::unique_ptr<engine::StorageNode> node_;
+  std::unique_ptr<baselines::AuroraLikeSystem> system_;
+};
+
+}  // namespace sphere::benchlib
+
+#endif  // SPHERE_BENCHLIB_SETUP_H_

@@ -1,0 +1,160 @@
+#include "benchlib/sysbench.h"
+
+#include "common/strings.h"
+
+namespace sphere::benchlib {
+
+namespace {
+
+/// sysbench's c column is a 120-char string, pad 60; shortened here to keep
+/// the in-memory footprint proportional.
+std::string RandomC(Rng* rng) { return rng->RandomString(32); }
+std::string RandomPad(Rng* rng) { return rng->RandomString(16); }
+
+int64_t RandomId(const SysbenchConfig& config, Rng* rng) {
+  return rng->Uniform(1, config.table_size);
+}
+
+Status Run(baselines::SqlSession* session, const std::string& sql,
+           std::vector<Value> params = {}) {
+  auto r = session->Execute(sql, params);
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status PointSelects(baselines::SqlSession* session,
+                    const SysbenchConfig& config, Rng* rng) {
+  for (int i = 0; i < config.point_selects; ++i) {
+    SPHERE_RETURN_NOT_OK(Run(session, "SELECT c FROM sbtest WHERE id = ?",
+                             {Value(RandomId(config, rng))}));
+  }
+  return Status::OK();
+}
+
+Status RangeQueries(baselines::SqlSession* session,
+                    const SysbenchConfig& config, Rng* rng) {
+  auto range = [&](const char* fmt) -> Status {
+    int64_t lo = RandomId(config, rng);
+    int64_t hi = lo + config.range_size - 1;
+    return Run(session, StrFormat(fmt, static_cast<long long>(lo),
+                                  static_cast<long long>(hi)));
+  };
+  for (int i = 0; i < config.simple_ranges; ++i) {
+    SPHERE_RETURN_NOT_OK(
+        range("SELECT c FROM sbtest WHERE id BETWEEN %lld AND %lld"));
+  }
+  for (int i = 0; i < config.sum_ranges; ++i) {
+    SPHERE_RETURN_NOT_OK(
+        range("SELECT SUM(k) FROM sbtest WHERE id BETWEEN %lld AND %lld"));
+  }
+  for (int i = 0; i < config.order_ranges; ++i) {
+    SPHERE_RETURN_NOT_OK(range(
+        "SELECT c FROM sbtest WHERE id BETWEEN %lld AND %lld ORDER BY c"));
+  }
+  for (int i = 0; i < config.distinct_ranges; ++i) {
+    SPHERE_RETURN_NOT_OK(range(
+        "SELECT DISTINCT c FROM sbtest WHERE id BETWEEN %lld AND %lld ORDER BY c"));
+  }
+  return Status::OK();
+}
+
+Status Writes(baselines::SqlSession* session, const SysbenchConfig& config,
+              Rng* rng) {
+  for (int i = 0; i < config.index_updates; ++i) {
+    SPHERE_RETURN_NOT_OK(Run(session,
+                             "UPDATE sbtest SET k = k + 1 WHERE id = ?",
+                             {Value(RandomId(config, rng))}));
+  }
+  for (int i = 0; i < config.non_index_updates; ++i) {
+    SPHERE_RETURN_NOT_OK(Run(session, "UPDATE sbtest SET c = ? WHERE id = ?",
+                             {Value(RandomC(rng)), Value(RandomId(config, rng))}));
+  }
+  for (int i = 0; i < config.delete_inserts; ++i) {
+    int64_t id = RandomId(config, rng);
+    SPHERE_RETURN_NOT_OK(
+        Run(session, "DELETE FROM sbtest WHERE id = ?", {Value(id)}));
+    SPHERE_RETURN_NOT_OK(
+        Run(session,
+            "INSERT INTO sbtest (id, k, c, pad) VALUES (?, ?, ?, ?)",
+            {Value(id), Value(rng->Uniform(1, config.table_size)),
+             Value(RandomC(rng)), Value(RandomPad(rng))}));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* SysbenchScenarioName(SysbenchScenario scenario) {
+  switch (scenario) {
+    case SysbenchScenario::kPointSelect:
+      return "Point Select";
+    case SysbenchScenario::kReadOnly:
+      return "Read Only";
+    case SysbenchScenario::kWriteOnly:
+      return "Write Only";
+    case SysbenchScenario::kReadWrite:
+      return "Read Write";
+  }
+  return "?";
+}
+
+std::string SysbenchCreateTableSQL() {
+  return "CREATE TABLE sbtest (id BIGINT PRIMARY KEY, k BIGINT, "
+         "c VARCHAR(120), pad VARCHAR(60))";
+}
+
+Status SysbenchLoad(baselines::SqlSession* session,
+                    const SysbenchConfig& config, uint64_t seed) {
+  Rng rng(seed);
+  constexpr int64_t kBatch = 100;
+  for (int64_t id = 1; id <= config.table_size; id += kBatch) {
+    std::string sql = "INSERT INTO sbtest (id, k, c, pad) VALUES ";
+    bool first = true;
+    for (int64_t i = id; i < id + kBatch && i <= config.table_size; ++i) {
+      if (!first) sql += ", ";
+      first = false;
+      sql += StrFormat("(%lld, %lld, '%s', '%s')", static_cast<long long>(i),
+                       static_cast<long long>(rng.Uniform(1, config.table_size)),
+                       RandomC(&rng).c_str(), RandomPad(&rng).c_str());
+    }
+    SPHERE_RETURN_NOT_OK(Run(session, sql));
+  }
+  return Status::OK();
+}
+
+Status SysbenchTransaction(baselines::SqlSession* session,
+                           SysbenchScenario scenario,
+                           const SysbenchConfig& config, Rng* rng) {
+  if (scenario == SysbenchScenario::kPointSelect) {
+    // oltp_point_select: a single query, no transaction wrapper.
+    return Run(session, "SELECT c FROM sbtest WHERE id = ?",
+               {Value(RandomId(config, rng))});
+  }
+  if (config.use_transactions) SPHERE_RETURN_NOT_OK(Run(session, "BEGIN"));
+  Status st = Status::OK();
+  switch (scenario) {
+    case SysbenchScenario::kReadOnly:
+      st = PointSelects(session, config, rng);
+      if (st.ok()) st = RangeQueries(session, config, rng);
+      break;
+    case SysbenchScenario::kWriteOnly:
+      st = Writes(session, config, rng);
+      break;
+    case SysbenchScenario::kReadWrite:
+      st = PointSelects(session, config, rng);
+      if (st.ok()) st = RangeQueries(session, config, rng);
+      if (st.ok()) st = Writes(session, config, rng);
+      break;
+    default:
+      break;
+  }
+  if (config.use_transactions) {
+    if (st.ok()) {
+      return Run(session, "COMMIT");
+    }
+    (void)Run(session, "ROLLBACK");
+    return st;
+  }
+  return st;
+}
+
+}  // namespace sphere::benchlib

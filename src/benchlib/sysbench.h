@@ -1,0 +1,48 @@
+#ifndef SPHERE_BENCHLIB_SYSBENCH_H_
+#define SPHERE_BENCHLIB_SYSBENCH_H_
+
+#include <string>
+
+#include "baselines/system.h"
+#include "common/rng.h"
+
+namespace sphere::benchlib {
+
+/// The sysbench OLTP workload (paper Table II defaults, scaled down so a
+/// single host finishes in seconds; shapes, not absolute numbers, are the
+/// reproduction target). Logical table `sbtest(id pk, k, c, pad)`.
+struct SysbenchConfig {
+  int64_t table_size = 10000;  ///< rows in the logical table
+  int range_size = 100;
+  // Per-transaction query mix (sysbench oltp_read_write defaults).
+  int point_selects = 10;
+  int simple_ranges = 1;
+  int sum_ranges = 1;
+  int order_ranges = 1;
+  int distinct_ranges = 1;
+  int index_updates = 1;
+  int non_index_updates = 1;
+  int delete_inserts = 1;
+  bool use_transactions = true;
+};
+
+/// The paper's four comparison scenarios (Table III).
+enum class SysbenchScenario { kPointSelect, kReadOnly, kWriteOnly, kReadWrite };
+const char* SysbenchScenarioName(SysbenchScenario scenario);
+
+/// CREATE TABLE for the sbtest schema (logical SQL; sharded systems broadcast).
+std::string SysbenchCreateTableSQL();
+
+/// Loads `config.table_size` rows in batches through `session`.
+Status SysbenchLoad(baselines::SqlSession* session, const SysbenchConfig& config,
+                    uint64_t seed);
+
+/// Executes one transaction of `scenario`. Mirrors the classic oltp_* Lua
+/// scripts' statement sequences.
+Status SysbenchTransaction(baselines::SqlSession* session,
+                           SysbenchScenario scenario,
+                           const SysbenchConfig& config, Rng* rng);
+
+}  // namespace sphere::benchlib
+
+#endif  // SPHERE_BENCHLIB_SYSBENCH_H_

@@ -1,0 +1,428 @@
+#include "benchlib/tpcc.h"
+
+#include "common/strings.h"
+
+namespace sphere::benchlib {
+
+namespace {
+
+Status Run(baselines::SqlSession* session, const std::string& sql,
+           std::vector<Value> params = {}) {
+  auto r = session->Execute(sql, params);
+  return r.ok() ? Status::OK() : r.status();
+}
+
+/// Runs a query expected to return at most one row; stores it in `row`
+/// (empty when no row matched).
+Status QueryOne(baselines::SqlSession* session, const std::string& sql,
+                std::vector<Value> params, Row* row) {
+  auto r = session->Execute(sql, std::move(params));
+  if (!r.ok()) return r.status();
+  if (!r->is_query) return Status::Internal("expected a result set");
+  row->clear();
+  Row tmp;
+  if (r->result_set->Next(&tmp)) *row = std::move(tmp);
+  return Status::OK();
+}
+
+}  // namespace
+
+int64_t TpccDistrictKey(int w, int d) { return static_cast<int64_t>(w) * 10 + (d - 1); }
+int64_t TpccCustomerKey(int w, int d, int c) {
+  return TpccDistrictKey(w, d) * 100000 + c;
+}
+int64_t TpccOrderKey(int w, int d, int64_t o) {
+  return TpccDistrictKey(w, d) * 10000000 + o;
+}
+int64_t TpccOrderLineKey(int64_t o_key, int ol_number) {
+  return o_key * 20 + ol_number;
+}
+int64_t TpccStockKey(int w, int i) {
+  return static_cast<int64_t>(w) * 1000000 + i;
+}
+
+const char* TpccProfileName(TpccProfile profile) {
+  switch (profile) {
+    case TpccProfile::kNewOrder: return "NewOrder";
+    case TpccProfile::kPayment: return "Payment";
+    case TpccProfile::kOrderStatus: return "OrderStatus";
+    case TpccProfile::kDelivery: return "Delivery";
+    case TpccProfile::kStockLevel: return "StockLevel";
+  }
+  return "?";
+}
+
+TpccProfile TpccDrawProfile(Rng* rng) {
+  int64_t p = rng->Uniform(1, 100);
+  if (p <= 45) return TpccProfile::kNewOrder;
+  if (p <= 88) return TpccProfile::kPayment;
+  if (p <= 92) return TpccProfile::kOrderStatus;
+  if (p <= 96) return TpccProfile::kDelivery;
+  return TpccProfile::kStockLevel;
+}
+
+std::vector<std::string> TpccCreateTableSQL() {
+  return {
+      "CREATE TABLE warehouse (w_id BIGINT PRIMARY KEY, w_name VARCHAR(10), "
+      "w_tax DOUBLE, w_ytd DOUBLE)",
+      "CREATE TABLE district (d_key BIGINT PRIMARY KEY, d_w_id BIGINT, "
+      "d_id INT, d_tax DOUBLE, d_ytd DOUBLE, d_next_o_id BIGINT)",
+      "CREATE TABLE customer (c_key BIGINT PRIMARY KEY, c_w_id BIGINT, "
+      "c_d_id INT, c_id INT, c_name VARCHAR(16), c_balance DOUBLE, "
+      "c_ytd_payment DOUBLE, c_payment_cnt INT, c_delivery_cnt INT)",
+      "CREATE TABLE history (h_w_id BIGINT, h_c_key BIGINT, h_amount DOUBLE, "
+      "h_data VARCHAR(24))",
+      "CREATE TABLE new_order (no_key BIGINT PRIMARY KEY, no_w_id BIGINT)",
+      "CREATE TABLE orders (o_key BIGINT PRIMARY KEY, o_w_id BIGINT, "
+      "o_d_id INT, o_id BIGINT, o_c_key BIGINT, o_carrier_id INT, "
+      "o_ol_cnt INT, o_entry_d BIGINT)",
+      "CREATE TABLE order_line (ol_key BIGINT PRIMARY KEY, ol_w_id BIGINT, "
+      "ol_o_key BIGINT, ol_number INT, ol_i_id INT, ol_qty INT, "
+      "ol_amount DOUBLE, ol_delivery_d BIGINT)",
+      "CREATE TABLE item (i_id BIGINT PRIMARY KEY, i_name VARCHAR(24), "
+      "i_price DOUBLE)",
+      "CREATE TABLE stock (s_key BIGINT PRIMARY KEY, s_w_id BIGINT, "
+      "s_i_id INT, s_quantity INT, s_ytd DOUBLE, s_order_cnt INT)",
+  };
+}
+
+std::vector<std::pair<std::string, std::string>> TpccShardedTables() {
+  return {{"warehouse", "w_id"},   {"district", "d_w_id"},
+          {"customer", "c_w_id"},  {"history", "h_w_id"},
+          {"new_order", "no_w_id"}, {"orders", "o_w_id"},
+          {"order_line", "ol_w_id"}, {"stock", "s_w_id"}};
+}
+
+Status TpccLoad(baselines::SqlSession* session, const TpccConfig& config,
+                uint64_t seed) {
+  Rng rng(seed);
+  // Items (reference data).
+  for (int i = 1; i <= config.items; i += 50) {
+    std::string sql = "INSERT INTO item (i_id, i_name, i_price) VALUES ";
+    bool first = true;
+    for (int j = i; j < i + 50 && j <= config.items; ++j) {
+      if (!first) sql += ", ";
+      first = false;
+      sql += StrFormat("(%d, 'item-%d', %.2f)", j, j,
+                       static_cast<double>(rng.Uniform(100, 9999)) / 100.0);
+    }
+    SPHERE_RETURN_NOT_OK(Run(session, sql));
+  }
+
+  for (int w = 1; w <= config.warehouses; ++w) {
+    SPHERE_RETURN_NOT_OK(Run(
+        session, StrFormat("INSERT INTO warehouse (w_id, w_name, w_tax, w_ytd) "
+                           "VALUES (%d, 'wh-%d', %.4f, 300000.0)",
+                           w, w, static_cast<double>(rng.Uniform(0, 2000)) / 10000.0)));
+    // Stock for every item.
+    for (int i = 1; i <= config.items; i += 50) {
+      std::string sql =
+          "INSERT INTO stock (s_key, s_w_id, s_i_id, s_quantity, s_ytd, "
+          "s_order_cnt) VALUES ";
+      bool first = true;
+      for (int j = i; j < i + 50 && j <= config.items; ++j) {
+        if (!first) sql += ", ";
+        first = false;
+        sql += StrFormat("(%lld, %d, %d, %d, 0.0, 0)",
+                         static_cast<long long>(TpccStockKey(w, j)), w, j,
+                         static_cast<int>(rng.Uniform(10, 100)));
+      }
+      SPHERE_RETURN_NOT_OK(Run(session, sql));
+    }
+
+    for (int d = 1; d <= config.districts_per_warehouse; ++d) {
+      int64_t d_key = TpccDistrictKey(w, d);
+      SPHERE_RETURN_NOT_OK(Run(
+          session,
+          StrFormat("INSERT INTO district (d_key, d_w_id, d_id, d_tax, d_ytd, "
+                    "d_next_o_id) VALUES (%lld, %d, %d, %.4f, 30000.0, %d)",
+                    static_cast<long long>(d_key), w, d,
+                    static_cast<double>(rng.Uniform(0, 2000)) / 10000.0,
+                    config.initial_orders_per_district + 1)));
+      // Customers.
+      std::string csql =
+          "INSERT INTO customer (c_key, c_w_id, c_d_id, c_id, c_name, "
+          "c_balance, c_ytd_payment, c_payment_cnt, c_delivery_cnt) VALUES ";
+      for (int c = 1; c <= config.customers_per_district; ++c) {
+        if (c > 1) csql += ", ";
+        csql += StrFormat("(%lld, %d, %d, %d, 'cust-%d-%d-%d', -10.0, 10.0, 1, 0)",
+                          static_cast<long long>(TpccCustomerKey(w, d, c)), w, d,
+                          c, w, d, c);
+      }
+      SPHERE_RETURN_NOT_OK(Run(session, csql));
+
+      // Initial orders with lines; the most recent third stay undelivered
+      // (rows in new_order), as the spec's initial population does.
+      for (int64_t o = 1; o <= config.initial_orders_per_district; ++o) {
+        int64_t o_key = TpccOrderKey(w, d, o);
+        int c = static_cast<int>(rng.Uniform(1, config.customers_per_district));
+        int ol_cnt = static_cast<int>(
+            rng.Uniform(config.min_ol_cnt, config.max_ol_cnt));
+        bool undelivered = o > config.initial_orders_per_district * 2 / 3;
+        SPHERE_RETURN_NOT_OK(Run(
+            session,
+            StrFormat("INSERT INTO orders (o_key, o_w_id, o_d_id, o_id, o_c_key, "
+                      "o_carrier_id, o_ol_cnt, o_entry_d) VALUES "
+                      "(%lld, %d, %d, %lld, %lld, %d, %d, 0)",
+                      static_cast<long long>(o_key), w, d,
+                      static_cast<long long>(o),
+                      static_cast<long long>(TpccCustomerKey(w, d, c)),
+                      undelivered ? 0 : static_cast<int>(rng.Uniform(1, 10)),
+                      ol_cnt)));
+        if (undelivered) {
+          SPHERE_RETURN_NOT_OK(Run(
+              session, StrFormat("INSERT INTO new_order (no_key, no_w_id) "
+                                 "VALUES (%lld, %d)",
+                                 static_cast<long long>(o_key), w)));
+        }
+        std::string olsql =
+            "INSERT INTO order_line (ol_key, ol_w_id, ol_o_key, ol_number, "
+            "ol_i_id, ol_qty, ol_amount, ol_delivery_d) VALUES ";
+        for (int n = 1; n <= ol_cnt; ++n) {
+          if (n > 1) olsql += ", ";
+          olsql += StrFormat("(%lld, %d, %lld, %d, %d, 5, %.2f, 0)",
+                             static_cast<long long>(TpccOrderLineKey(o_key, n)),
+                             w, static_cast<long long>(o_key), n,
+                             static_cast<int>(rng.Uniform(1, config.items)),
+                             static_cast<double>(rng.Uniform(10, 9999)) / 100.0);
+        }
+        SPHERE_RETURN_NOT_OK(Run(session, olsql));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status NewOrder(baselines::SqlSession* s, const TpccConfig& cfg, Rng* rng) {
+  int w = static_cast<int>(rng->Uniform(1, cfg.warehouses));
+  int d = static_cast<int>(rng->Uniform(1, cfg.districts_per_warehouse));
+  int c = static_cast<int>(rng->NURand(255, 1, cfg.customers_per_district));
+  int64_t d_key = TpccDistrictKey(w, d);
+
+  SPHERE_RETURN_NOT_OK(Run(s, "BEGIN"));
+  Row row;
+  SPHERE_RETURN_NOT_OK(QueryOne(
+      s, "SELECT w_tax FROM warehouse WHERE w_id = ?", {Value(w)}, &row));
+  SPHERE_RETURN_NOT_OK(QueryOne(
+      s, "SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = ? AND d_key = ?",
+      {Value(w), Value(d_key)}, &row));
+  if (row.empty()) {
+    (void)Run(s, "ROLLBACK");
+    return Status::NotFound("district");
+  }
+  int64_t o_id = row[1].ToInt();
+  SPHERE_RETURN_NOT_OK(
+      Run(s, "UPDATE district SET d_next_o_id = d_next_o_id + 1 "
+             "WHERE d_w_id = ? AND d_key = ?",
+          {Value(w), Value(d_key)}));
+  SPHERE_RETURN_NOT_OK(QueryOne(
+      s, "SELECT c_name FROM customer WHERE c_w_id = ? AND c_key = ?",
+      {Value(w), Value(TpccCustomerKey(w, d, c))}, &row));
+
+  int ol_cnt = static_cast<int>(rng->Uniform(cfg.min_ol_cnt, cfg.max_ol_cnt));
+  int64_t o_key = TpccOrderKey(w, d, o_id);
+  SPHERE_RETURN_NOT_OK(
+      Run(s, StrFormat("INSERT INTO orders (o_key, o_w_id, o_d_id, o_id, "
+                       "o_c_key, o_carrier_id, o_ol_cnt, o_entry_d) VALUES "
+                       "(%lld, %d, %d, %lld, %lld, 0, %d, 1)",
+                       static_cast<long long>(o_key), w, d,
+                       static_cast<long long>(o_id),
+                       static_cast<long long>(TpccCustomerKey(w, d, c)), ol_cnt)));
+  SPHERE_RETURN_NOT_OK(
+      Run(s, StrFormat("INSERT INTO new_order (no_key, no_w_id) VALUES (%lld, %d)",
+                       static_cast<long long>(o_key), w)));
+
+  for (int n = 1; n <= ol_cnt; ++n) {
+    int i_id = static_cast<int>(rng->NURand(8191, 1, cfg.items));
+    int qty = static_cast<int>(rng->Uniform(1, 10));
+    SPHERE_RETURN_NOT_OK(QueryOne(
+        s, "SELECT i_price FROM item WHERE i_id = ?", {Value(i_id)}, &row));
+    if (row.empty()) {
+      // Unused item id: the spec's 1%-rollback trigger.
+      (void)Run(s, "ROLLBACK");
+      return Status::OK();
+    }
+    double price = row[0].ToDouble();
+    SPHERE_RETURN_NOT_OK(QueryOne(
+        s, "SELECT s_quantity FROM stock WHERE s_w_id = ? AND s_key = ?",
+        {Value(w), Value(TpccStockKey(w, i_id))}, &row));
+    SPHERE_RETURN_NOT_OK(
+        Run(s, "UPDATE stock SET s_quantity = s_quantity - ?, s_ytd = s_ytd + ?, "
+               "s_order_cnt = s_order_cnt + 1 WHERE s_w_id = ? AND s_key = ?",
+            {Value(qty), Value(static_cast<double>(qty)), Value(w),
+             Value(TpccStockKey(w, i_id))}));
+    SPHERE_RETURN_NOT_OK(Run(
+        s, StrFormat("INSERT INTO order_line (ol_key, ol_w_id, ol_o_key, "
+                     "ol_number, ol_i_id, ol_qty, ol_amount, ol_delivery_d) "
+                     "VALUES (%lld, %d, %lld, %d, %d, %d, %.2f, 0)",
+                     static_cast<long long>(TpccOrderLineKey(o_key, n)), w,
+                     static_cast<long long>(o_key), n, i_id, qty,
+                     price * qty)));
+  }
+  if (rng->NextDouble() < cfg.new_order_rollback_rate) {
+    return Run(s, "ROLLBACK");  // user abort, still a successful profile run
+  }
+  return Run(s, "COMMIT");
+}
+
+Status Payment(baselines::SqlSession* s, const TpccConfig& cfg, Rng* rng) {
+  int w = static_cast<int>(rng->Uniform(1, cfg.warehouses));
+  int d = static_cast<int>(rng->Uniform(1, cfg.districts_per_warehouse));
+  // 15% of payments come from a customer of a remote warehouse.
+  int cw = w, cd = d;
+  if (cfg.warehouses > 1 && rng->NextDouble() < cfg.remote_payment_rate) {
+    do {
+      cw = static_cast<int>(rng->Uniform(1, cfg.warehouses));
+    } while (cw == w);
+    cd = static_cast<int>(rng->Uniform(1, cfg.districts_per_warehouse));
+  }
+  int c = static_cast<int>(rng->NURand(255, 1, cfg.customers_per_district));
+  double amount = static_cast<double>(rng->Uniform(100, 500000)) / 100.0;
+
+  SPHERE_RETURN_NOT_OK(Run(s, "BEGIN"));
+  SPHERE_RETURN_NOT_OK(Run(s, "UPDATE warehouse SET w_ytd = w_ytd + ? WHERE w_id = ?",
+                           {Value(amount), Value(w)}));
+  Row row;
+  SPHERE_RETURN_NOT_OK(QueryOne(
+      s, "SELECT w_name FROM warehouse WHERE w_id = ?", {Value(w)}, &row));
+  SPHERE_RETURN_NOT_OK(
+      Run(s, "UPDATE district SET d_ytd = d_ytd + ? WHERE d_w_id = ? AND d_key = ?",
+          {Value(amount), Value(w), Value(TpccDistrictKey(w, d))}));
+  int64_t c_key = TpccCustomerKey(cw, cd, c);
+  SPHERE_RETURN_NOT_OK(
+      Run(s, "UPDATE customer SET c_balance = c_balance - ?, "
+             "c_ytd_payment = c_ytd_payment + ?, "
+             "c_payment_cnt = c_payment_cnt + 1 WHERE c_w_id = ? AND c_key = ?",
+          {Value(amount), Value(amount), Value(cw), Value(c_key)}));
+  SPHERE_RETURN_NOT_OK(QueryOne(
+      s, "SELECT c_name, c_balance FROM customer WHERE c_w_id = ? AND c_key = ?",
+      {Value(cw), Value(c_key)}, &row));
+  SPHERE_RETURN_NOT_OK(Run(
+      s, StrFormat("INSERT INTO history (h_w_id, h_c_key, h_amount, h_data) "
+                   "VALUES (%d, %lld, %.2f, 'pay')",
+                   w, static_cast<long long>(c_key), amount)));
+  return Run(s, "COMMIT");
+}
+
+Status OrderStatus(baselines::SqlSession* s, const TpccConfig& cfg, Rng* rng) {
+  int w = static_cast<int>(rng->Uniform(1, cfg.warehouses));
+  int d = static_cast<int>(rng->Uniform(1, cfg.districts_per_warehouse));
+  int c = static_cast<int>(rng->NURand(255, 1, cfg.customers_per_district));
+  int64_t c_key = TpccCustomerKey(w, d, c);
+  int64_t d_lo = TpccOrderKey(w, d, 0);
+  int64_t d_hi = TpccOrderKey(w, d, 9999999);
+
+  Row row;
+  SPHERE_RETURN_NOT_OK(QueryOne(
+      s, "SELECT c_name, c_balance FROM customer WHERE c_w_id = ? AND c_key = ?",
+      {Value(w), Value(c_key)}, &row));
+  SPHERE_RETURN_NOT_OK(QueryOne(
+      s, "SELECT MAX(o_key) FROM orders WHERE o_w_id = ? AND o_key BETWEEN ? "
+         "AND ? AND o_c_key = ?",
+      {Value(w), Value(d_lo), Value(d_hi), Value(c_key)}, &row));
+  if (row.empty() || row[0].is_null()) return Status::OK();  // no orders yet
+  int64_t o_key = row[0].ToInt();
+  return Run(s, "SELECT ol_i_id, ol_qty, ol_amount, ol_delivery_d FROM "
+                "order_line WHERE ol_w_id = ? AND ol_key BETWEEN ? AND ?",
+             {Value(w), Value(TpccOrderLineKey(o_key, 0)),
+              Value(TpccOrderLineKey(o_key, 19))});
+}
+
+Status Delivery(baselines::SqlSession* s, const TpccConfig& cfg, Rng* rng) {
+  int w = static_cast<int>(rng->Uniform(1, cfg.warehouses));
+  int carrier = static_cast<int>(rng->Uniform(1, 10));
+  SPHERE_RETURN_NOT_OK(Run(s, "BEGIN"));
+  for (int d = 1; d <= cfg.districts_per_warehouse; ++d) {
+    int64_t d_lo = TpccOrderKey(w, d, 0);
+    int64_t d_hi = TpccOrderKey(w, d, 9999999);
+    Row row;
+    SPHERE_RETURN_NOT_OK(QueryOne(
+        s, "SELECT MIN(no_key) FROM new_order WHERE no_w_id = ? AND "
+           "no_key BETWEEN ? AND ?",
+        {Value(w), Value(d_lo), Value(d_hi)}, &row));
+    if (row.empty() || row[0].is_null()) continue;  // nothing to deliver here
+    int64_t o_key = row[0].ToInt();
+    SPHERE_RETURN_NOT_OK(
+        Run(s, "DELETE FROM new_order WHERE no_w_id = ? AND no_key = ?",
+            {Value(w), Value(o_key)}));
+    SPHERE_RETURN_NOT_OK(QueryOne(
+        s, "SELECT o_c_key FROM orders WHERE o_w_id = ? AND o_key = ?",
+        {Value(w), Value(o_key)}, &row));
+    if (row.empty()) continue;
+    int64_t c_key = row[0].ToInt();
+    SPHERE_RETURN_NOT_OK(
+        Run(s, "UPDATE orders SET o_carrier_id = ? WHERE o_w_id = ? AND o_key = ?",
+            {Value(carrier), Value(w), Value(o_key)}));
+    SPHERE_RETURN_NOT_OK(QueryOne(
+        s, "SELECT SUM(ol_amount) FROM order_line WHERE ol_w_id = ? AND "
+           "ol_key BETWEEN ? AND ?",
+        {Value(w), Value(TpccOrderLineKey(o_key, 0)),
+         Value(TpccOrderLineKey(o_key, 19))},
+        &row));
+    double total = row.empty() ? 0.0 : row[0].ToDouble();
+    SPHERE_RETURN_NOT_OK(
+        Run(s, "UPDATE order_line SET ol_delivery_d = 1 WHERE ol_w_id = ? AND "
+               "ol_key BETWEEN ? AND ?",
+            {Value(w), Value(TpccOrderLineKey(o_key, 0)),
+             Value(TpccOrderLineKey(o_key, 19))}));
+    SPHERE_RETURN_NOT_OK(
+        Run(s, "UPDATE customer SET c_balance = c_balance + ?, "
+               "c_delivery_cnt = c_delivery_cnt + 1 WHERE c_w_id = ? AND c_key = ?",
+            {Value(total), Value(w), Value(c_key)}));
+  }
+  return Run(s, "COMMIT");
+}
+
+Status StockLevel(baselines::SqlSession* s, const TpccConfig& cfg, Rng* rng) {
+  int w = static_cast<int>(rng->Uniform(1, cfg.warehouses));
+  int d = static_cast<int>(rng->Uniform(1, cfg.districts_per_warehouse));
+  int threshold = static_cast<int>(rng->Uniform(10, 20));
+  Row row;
+  SPHERE_RETURN_NOT_OK(QueryOne(
+      s, "SELECT d_next_o_id FROM district WHERE d_w_id = ? AND d_key = ?",
+      {Value(w), Value(TpccDistrictKey(w, d))}, &row));
+  if (row.empty()) return Status::NotFound("district");
+  int64_t next_o = row[0].ToInt();
+  int64_t o_lo = TpccOrderKey(w, d, std::max<int64_t>(1, next_o - 20));
+  int64_t o_hi = TpccOrderKey(w, d, next_o);
+  // Count distinct low-stock items among the last 20 orders' lines: the
+  // spec's order_line x stock join.
+  return Run(s,
+             "SELECT COUNT(DISTINCT s_i_id) FROM order_line ol JOIN stock st "
+             "ON ol.ol_i_id = st.s_i_id WHERE ol.ol_w_id = ? AND st.s_w_id = ? "
+             "AND ol.ol_key BETWEEN ? AND ? AND st.s_quantity < ?",
+             {Value(w), Value(w), Value(TpccOrderLineKey(o_lo, 0)),
+              Value(TpccOrderLineKey(o_hi, 19)), Value(threshold)});
+}
+
+}  // namespace
+
+Status TpccTransaction(baselines::SqlSession* session, TpccProfile profile,
+                       const TpccConfig& config, Rng* rng) {
+  switch (profile) {
+    case TpccProfile::kNewOrder:
+      return NewOrder(session, config, rng);
+    case TpccProfile::kPayment:
+      return Payment(session, config, rng);
+    case TpccProfile::kOrderStatus:
+      return OrderStatus(session, config, rng);
+    case TpccProfile::kDelivery:
+      return Delivery(session, config, rng);
+    case TpccProfile::kStockLevel:
+      return StockLevel(session, config, rng);
+  }
+  return Status::Internal("bad profile");
+}
+
+Status TpccMixedTransaction(baselines::SqlSession* session,
+                            const TpccConfig& config, Rng* rng) {
+  return TpccTransaction(session, TpccDrawProfile(rng), config, rng);
+}
+
+}  // namespace sphere::benchlib

@@ -1,0 +1,70 @@
+#ifndef SPHERE_BENCHLIB_TPCC_H_
+#define SPHERE_BENCHLIB_TPCC_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/system.h"
+#include "common/rng.h"
+
+namespace sphere::benchlib {
+
+/// Scaled-down TPC-C (paper §VIII: 200 warehouses on a 12-server cluster —
+/// here warehouse count and per-warehouse cardinalities shrink so a laptop
+/// run finishes in seconds; the five transaction profiles and their standard
+/// mix are kept intact).
+///
+/// Composite TPC-C keys are encoded into single-column synthetic keys (the
+/// storage nodes index a single primary-key column):
+///   d_key  = w * 10 + (d - 1)
+///   c_key  = d_key * 100000 + c
+///   o_key  = d_key * 10000000 + o
+///   ol_key = o_key * 20 + ol_number
+///   s_key  = w * 1000000 + i
+struct TpccConfig {
+  int warehouses = 4;
+  int districts_per_warehouse = 10;   // TPC-C fixed
+  int customers_per_district = 30;    // spec: 3000 (scaled 1:100)
+  int items = 200;                    // spec: 100000 (scaled)
+  int initial_orders_per_district = 30;
+  int min_ol_cnt = 5, max_ol_cnt = 15;  // spec
+  double new_order_rollback_rate = 0.01;  // spec: 1% user aborts
+  double remote_payment_rate = 0.15;      // spec: 15% remote customers
+};
+
+/// TPC-C key helpers (shared by loader, transactions and sharding configs).
+int64_t TpccDistrictKey(int w, int d);
+int64_t TpccCustomerKey(int w, int d, int c);
+int64_t TpccOrderKey(int w, int d, int64_t o);
+int64_t TpccOrderLineKey(int64_t o_key, int ol_number);
+int64_t TpccStockKey(int w, int i);
+
+/// The five transaction profiles with their standard mix weights
+/// (NewOrder 45%, Payment 43%, OrderStatus 4%, Delivery 4%, StockLevel 4%).
+enum class TpccProfile { kNewOrder, kPayment, kOrderStatus, kDelivery, kStockLevel };
+const char* TpccProfileName(TpccProfile profile);
+/// Draws a profile according to the standard mix.
+TpccProfile TpccDrawProfile(Rng* rng);
+
+/// CREATE TABLE statements for the nine tables (logical SQL).
+std::vector<std::string> TpccCreateTableSQL();
+/// Names of the tables sharded by their warehouse column, with that column
+/// (item is a read-only reference table and is not in this list).
+std::vector<std::pair<std::string, std::string>> TpccShardedTables();
+
+/// Populates all tables through `session`.
+Status TpccLoad(baselines::SqlSession* session, const TpccConfig& config,
+                uint64_t seed);
+
+/// Executes one transaction of `profile`. Returns the status (user-initiated
+/// NewOrder rollbacks return OK).
+Status TpccTransaction(baselines::SqlSession* session, TpccProfile profile,
+                       const TpccConfig& config, Rng* rng);
+
+/// Convenience: draw a profile and run it.
+Status TpccMixedTransaction(baselines::SqlSession* session,
+                            const TpccConfig& config, Rng* rng);
+
+}  // namespace sphere::benchlib
+
+#endif  // SPHERE_BENCHLIB_TPCC_H_

@@ -1,0 +1,51 @@
+#ifndef SPHERE_COMMON_CLOCK_H_
+#define SPHERE_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace sphere {
+
+/// Monotonic microseconds since an arbitrary epoch.
+inline int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Wall-clock milliseconds since the Unix epoch (snowflake IDs use this).
+inline int64_t WallMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Sleeps for the given number of microseconds. Short waits (<20us) spin to
+/// keep the simulated-network latency model accurate on coarse schedulers.
+inline void SleepMicros(int64_t us) {
+  if (us <= 0) return;
+  if (us < 20) {
+    int64_t end = NowMicros() + us;
+    while (NowMicros() < end) {
+    }
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+/// Simple elapsed-time stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowMicros()) {}
+  void Reset() { start_ = NowMicros(); }
+  int64_t ElapsedMicros() const { return NowMicros() - start_; }
+  double ElapsedSeconds() const { return ElapsedMicros() / 1e6; }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace sphere
+
+#endif  // SPHERE_COMMON_CLOCK_H_

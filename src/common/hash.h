@@ -1,0 +1,47 @@
+#ifndef SPHERE_COMMON_HASH_H_
+#define SPHERE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sphere {
+
+/// 64-bit finalizer (MurmurHash3 fmix64). Good avalanche for integer keys;
+/// used by hash sharding algorithms and hash joins.
+inline uint64_t Hash64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// FNV-1a over a byte buffer.
+inline uint64_t HashBytes(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// Boost-style hash combiner.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// CRC32 (reflected, poly 0xEDB88320), table-driven. Used for consistency
+/// checks by the scaling feature.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace sphere
+
+#endif  // SPHERE_COMMON_HASH_H_

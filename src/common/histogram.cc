@@ -1,0 +1,66 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sphere {
+
+Histogram::Histogram()
+    : buckets_(kNumBuckets, 0), count_(0), sum_(0), min_(INT64_MAX), max_(0) {}
+
+int64_t Histogram::BucketLimit(int i) {
+  // Geometric progression: 1us * 1.06^i, giving ~6% resolution over
+  // ~1us..~10min in 512 buckets.
+  return static_cast<int64_t>(std::pow(1.06, i));
+}
+
+int Histogram::BucketFor(int64_t micros) {
+  if (micros < 1) micros = 1;
+  int idx = static_cast<int>(std::log(static_cast<double>(micros)) / std::log(1.06));
+  if (idx < 0) idx = 0;
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  return idx;
+}
+
+void Histogram::Record(int64_t micros) {
+  std::lock_guard<std::mutex> g(mu_);
+  buckets_[BucketFor(micros)]++;
+  count_++;
+  sum_ += static_cast<double>(micros);
+  min_ = std::min(min_, micros);
+  max_ = std::max(max_, micros);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  std::scoped_lock g(mu_, other.mu_);
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::PercentileMillis(double p) const {
+  std::lock_guard<std::mutex> g(mu_);
+  if (count_ == 0) return 0.0;
+  int64_t threshold = static_cast<int64_t>(std::ceil(count_ * p / 100.0));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= threshold) {
+      return static_cast<double>(BucketLimit(i)) / 1000.0;
+    }
+  }
+  return static_cast<double>(max_) / 1000.0;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> g(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = INT64_MAX;
+  max_ = 0;
+}
+
+}  // namespace sphere

@@ -1,0 +1,50 @@
+#ifndef SPHERE_COMMON_HISTOGRAM_H_
+#define SPHERE_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace sphere {
+
+/// Latency histogram with logarithmic-ish buckets (~2% resolution), tracking
+/// count/sum/min/max and percentile estimates. Thread-safe via an internal
+/// mutex on Record; Merge/percentile readers should run after recording ends.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one latency observation (microseconds).
+  void Record(int64_t micros);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  int64_t count() const { return count_; }
+  double sum_micros() const { return sum_; }
+  int64_t min_micros() const { return count_ ? min_ : 0; }
+  int64_t max_micros() const { return max_; }
+
+  /// Mean latency in milliseconds.
+  double AvgMillis() const { return count_ ? sum_ / count_ / 1000.0 : 0.0; }
+  /// Estimated percentile (p in [0,100]) in milliseconds.
+  double PercentileMillis(double p) const;
+
+  void Reset();
+
+ private:
+  static constexpr int kNumBuckets = 512;
+  /// Upper bound in micros for bucket i.
+  static int64_t BucketLimit(int i);
+  static int BucketFor(int64_t micros);
+
+  mutable std::mutex mu_;
+  std::vector<int64_t> buckets_;
+  int64_t count_;
+  double sum_;
+  int64_t min_, max_;
+};
+
+}  // namespace sphere
+
+#endif  // SPHERE_COMMON_HISTOGRAM_H_

@@ -1,0 +1,77 @@
+#include "common/keygen.h"
+
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace sphere {
+
+namespace {
+constexpr int kWorkerBits = 10;
+constexpr int kSequenceBits = 12;
+constexpr int64_t kSequenceMask = (1LL << kSequenceBits) - 1;
+}  // namespace
+
+SnowflakeKeyGenerator::SnowflakeKeyGenerator(uint16_t worker_id)
+    : worker_id_(static_cast<uint16_t>(worker_id & ((1u << kWorkerBits) - 1))),
+      last_state_(0) {}
+
+Value SnowflakeKeyGenerator::NextKey() {
+  for (;;) {
+    int64_t prev = last_state_.load(std::memory_order_relaxed);
+    int64_t prev_millis = prev >> kSequenceBits;
+    int64_t now = WallMillis() - kEpochMillis;
+    int64_t millis = now > prev_millis ? now : prev_millis;
+    int64_t seq = (millis == prev_millis) ? ((prev & kSequenceMask) + 1) : 0;
+    if (seq > kSequenceMask) {
+      // Sequence exhausted within this millisecond: borrow the next one.
+      millis += 1;
+      seq = 0;
+    }
+    int64_t next = (millis << kSequenceBits) | seq;
+    if (last_state_.compare_exchange_weak(prev, next,
+                                          std::memory_order_relaxed)) {
+      return Value((millis << (kWorkerBits + kSequenceBits)) |
+                   (static_cast<int64_t>(worker_id_) << kSequenceBits) | seq);
+    }
+  }
+}
+
+int64_t SnowflakeKeyGenerator::TimestampOf(int64_t id) {
+  return (id >> (kWorkerBits + kSequenceBits)) + kEpochMillis;
+}
+
+int64_t SnowflakeKeyGenerator::WorkerOf(int64_t id) {
+  return (id >> kSequenceBits) & ((1LL << kWorkerBits) - 1);
+}
+
+UuidKeyGenerator::UuidKeyGenerator(uint64_t seed)
+    : state_(seed ? seed : 0x853c49e6748fea9bULL) {}
+
+Value UuidKeyGenerator::NextKey() {
+  uint64_t a = Hash64(state_.fetch_add(0x9E3779B97F4A7C15ULL));
+  uint64_t b = Hash64(a ^ 0xda3e39cb94b95bdbULL);
+  char buf[37];
+  std::snprintf(buf, sizeof(buf), "%08x-%04x-4%03x-%04x-%012llx",
+                static_cast<uint32_t>(a >> 32),
+                static_cast<uint32_t>(a >> 16) & 0xFFFF,
+                static_cast<uint32_t>(a) & 0xFFF,
+                (static_cast<uint32_t>(b >> 48) & 0x3FFF) | 0x8000,
+                static_cast<unsigned long long>(b & 0xFFFFFFFFFFFFULL));
+  return Value(std::string(buf));
+}
+
+std::unique_ptr<KeyGenerator> CreateKeyGenerator(const std::string& type,
+                                                 uint16_t worker_id) {
+  if (EqualsIgnoreCase(type, "SNOWFLAKE")) {
+    return std::make_unique<SnowflakeKeyGenerator>(worker_id);
+  }
+  if (EqualsIgnoreCase(type, "UUID")) {
+    return std::make_unique<UuidKeyGenerator>(worker_id + 1);
+  }
+  return nullptr;
+}
+
+}  // namespace sphere

@@ -1,0 +1,63 @@
+#ifndef SPHERE_COMMON_KEYGEN_H_
+#define SPHERE_COMMON_KEYGEN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/value.h"
+
+namespace sphere {
+
+/// Distributed key generator interface (SPI extension point). Implementations
+/// must produce unique keys across shards without coordination.
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+  /// Generator type name ("SNOWFLAKE", "UUID").
+  virtual const char* Type() const = 0;
+  /// Produces the next key.
+  virtual Value NextKey() = 0;
+};
+
+/// Twitter-snowflake style 64-bit IDs:
+/// 41 bits millisecond timestamp | 10 bits worker id | 12 bits sequence.
+/// Monotonic per worker; tolerates small clock regressions by borrowing
+/// sequence space.
+class SnowflakeKeyGenerator : public KeyGenerator {
+ public:
+  explicit SnowflakeKeyGenerator(uint16_t worker_id = 0);
+  const char* Type() const override { return "SNOWFLAKE"; }
+  Value NextKey() override;
+
+  /// Extracts the embedded millisecond timestamp of an ID.
+  static int64_t TimestampOf(int64_t id);
+  /// Extracts the worker id of an ID.
+  static int64_t WorkerOf(int64_t id);
+
+  static constexpr int64_t kEpochMillis = 1609459200000LL;  // 2021-01-01
+
+ private:
+  const uint16_t worker_id_;
+  std::atomic<int64_t> last_state_;  // (millis << 12) | sequence
+};
+
+/// Random 128-bit identifiers rendered as canonical UUIDv4 strings.
+class UuidKeyGenerator : public KeyGenerator {
+ public:
+  explicit UuidKeyGenerator(uint64_t seed = 0);
+  const char* Type() const override { return "UUID"; }
+  Value NextKey() override;
+
+ private:
+  std::atomic<uint64_t> state_;
+};
+
+/// Creates a key generator by type name; returns nullptr for unknown types.
+std::unique_ptr<KeyGenerator> CreateKeyGenerator(const std::string& type,
+                                                 uint16_t worker_id = 0);
+
+}  // namespace sphere
+
+#endif  // SPHERE_COMMON_KEYGEN_H_

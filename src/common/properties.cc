@@ -1,0 +1,42 @@
+#include "common/properties.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace sphere {
+
+std::string Properties::GetString(const std::string& key,
+                                  const std::string& fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+int64_t Properties::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Properties::GetDouble(const std::string& key, double fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Properties::GetBool(const std::string& key, bool fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return EqualsIgnoreCase(it->second, "true") || it->second == "1";
+}
+
+std::string Properties::ToString() const {
+  std::string out;
+  for (const auto& [k, v] : kv_) {
+    if (!out.empty()) out += ", ";
+    out += "\"" + k + "\"=\"" + v + "\"";
+  }
+  return out;
+}
+
+}  // namespace sphere

@@ -1,0 +1,42 @@
+#ifndef SPHERE_COMMON_PROPERTIES_H_
+#define SPHERE_COMMON_PROPERTIES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sphere {
+
+/// String key/value property bag with typed getters. Sharding algorithm
+/// configuration (e.g. "sharding-count"=4) and adaptor options flow through
+/// this, mirroring the Java Properties the paper's DistSQL examples use.
+class Properties {
+ public:
+  Properties() = default;
+  Properties(std::initializer_list<std::pair<const std::string, std::string>> init)
+      : kv_(init) {}
+
+  void Set(const std::string& key, std::string value) {
+    kv_[key] = std::move(value);
+  }
+  bool Has(const std::string& key) const { return kv_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  const std::map<std::string, std::string>& entries() const { return kv_; }
+  bool empty() const { return kv_.empty(); }
+
+  /// Renders as `"k"="v", ...` for RQL display.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace sphere
+
+#endif  // SPHERE_COMMON_PROPERTIES_H_

@@ -1,0 +1,76 @@
+#ifndef SPHERE_COMMON_RESULT_H_
+#define SPHERE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace sphere {
+
+/// A Status or a value of type T. The project-wide return type for fallible
+/// functions that produce a value (Arrow's Result / absl::StatusOr idiom).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define SPHERE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define SPHERE_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  SPHERE_ASSIGN_OR_RETURN_IMPL(SPHERE_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define SPHERE_CONCAT_INNER_(a, b) a##b
+#define SPHERE_CONCAT_(a, b) SPHERE_CONCAT_INNER_(a, b)
+
+}  // namespace sphere
+
+#endif  // SPHERE_COMMON_RESULT_H_

@@ -1,0 +1,60 @@
+#ifndef SPHERE_COMMON_RNG_H_
+#define SPHERE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sphere {
+
+/// Deterministic, fast xorshift128+ RNG. Benchmarks and workload generators
+/// use this so runs are reproducible given a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x2545F4914F6CDD1DULL) {
+    s0_ = seed ? seed : 1;
+    s1_ = seed * 0x9E3779B97F4A7C15ULL + 0xBF58476D1CE4E5B9ULL;
+    if (!s1_) s1_ = 2;
+    // Warm up.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// TPC-C style non-uniform random (NURand).
+  int64_t NURand(int64_t a, int64_t x, int64_t y, int64_t c = 42) {
+    return (((Uniform(0, a) | Uniform(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  /// Random lower-case alphanumeric string of length n.
+  std::string RandomString(size_t n) {
+    static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string s(n, 'a');
+    for (size_t i = 0; i < n; ++i) s[i] = kAlphabet[Next() % 36];
+    return s;
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+}  // namespace sphere
+
+#endif  // SPHERE_COMMON_RNG_H_

@@ -1,0 +1,52 @@
+#ifndef SPHERE_COMMON_SCHEMA_H_
+#define SPHERE_COMMON_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sphere {
+
+/// Definition of one table column.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+  bool primary_key = false;
+  bool not_null = false;
+
+  Column() = default;
+  Column(std::string n, ColumnType t, bool pk = false, bool nn = false)
+      : name(std::move(n)), type(t), primary_key(pk), not_null(nn) {}
+};
+
+/// Ordered column list of a table (or of a derived result set).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Returns the index of `name` (case-insensitive) or -1.
+  int IndexOf(const std::string& name) const;
+
+  /// Index of the (single-column) primary key, or -1 when none is declared.
+  int PrimaryKeyIndex() const;
+
+  /// Column names in order.
+  std::vector<std::string> ColumnNames() const;
+
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace sphere
+
+#endif  // SPHERE_COMMON_SCHEMA_H_

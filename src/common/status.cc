@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace sphere {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kSyntaxError:
+      return "SyntaxError";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kRouteError:
+      return "RouteError";
+    case StatusCode::kTransactionError:
+      return "TransactionError";
+    case StatusCode::kConflict:
+      return "Conflict";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeName(code_);
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace sphere

@@ -1,0 +1,103 @@
+#ifndef SPHERE_COMMON_STATUS_H_
+#define SPHERE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace sphere {
+
+/// Error categories used across the whole platform. Mirrors the failure
+/// surface of a sharding middleware: client errors (bad SQL, unknown table),
+/// routing errors, transaction outcomes and infrastructure failures.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kSyntaxError,
+  kUnsupported,
+  kRouteError,
+  kTransactionError,
+  kConflict,
+  kUnavailable,
+  kInternal,
+  kTimeout,
+  kResourceExhausted,
+};
+
+/// Returns a stable human-readable name for a status code ("OK", "NotFound"...).
+const char* StatusCodeName(StatusCode code);
+
+/// Cheap value-type status carrying a code and an optional message.
+///
+/// The data plane of this project does not throw exceptions; every fallible
+/// operation returns a Status (or Result<T>). Follows the RocksDB/Arrow idiom.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status SyntaxError(std::string m) {
+    return Status(StatusCode::kSyntaxError, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status RouteError(std::string m) {
+    return Status(StatusCode::kRouteError, std::move(m));
+  }
+  static Status TransactionError(std::string m) {
+    return Status(StatusCode::kTransactionError, std::move(m));
+  }
+  static Status Conflict(std::string m) {
+    return Status(StatusCode::kConflict, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Timeout(std::string m) {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Formats as "Code: message" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define SPHERE_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::sphere::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace sphere
+
+#endif  // SPHERE_COMMON_STATUS_H_

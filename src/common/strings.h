@@ -1,0 +1,33 @@
+#ifndef SPHERE_COMMON_STRINGS_H_
+#define SPHERE_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sphere {
+
+/// ASCII lower-case copy.
+std::string ToLower(std::string_view s);
+/// ASCII upper-case copy.
+std::string ToUpper(std::string_view s);
+/// Case-insensitive equality (ASCII). SQL identifiers compare this way.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+/// Trims ASCII whitespace on both sides.
+std::string Trim(std::string_view s);
+/// Splits on a single character; keeps empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+/// True if `s` starts with `prefix`, case-insensitively.
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+/// True if `s` contains `needle`, case-insensitively.
+bool ContainsIgnoreCase(std::string_view s, std::string_view needle);
+/// Simple SQL LIKE matcher supporting % and _.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace sphere
+
+#endif  // SPHERE_COMMON_STRINGS_H_

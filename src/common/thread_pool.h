@@ -1,0 +1,66 @@
+#ifndef SPHERE_COMMON_THREAD_POOL_H_
+#define SPHERE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sphere {
+
+/// Fixed-size worker pool used by the SQL execution engine to run the SQL
+/// units of one query group in parallel against the data sources.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Counts down to zero; used to join a known number of parallel SQL units.
+class Latch {
+ public:
+  explicit Latch(int count) : count_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> g(mu_);
+    if (--count_ <= 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return count_ <= 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+}  // namespace sphere
+
+#endif  // SPHERE_COMMON_THREAD_POOL_H_

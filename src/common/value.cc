@@ -1,0 +1,133 @@
+#include "common/value.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace sphere {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt:
+      return "INT";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "VARCHAR";
+  }
+  return "UNKNOWN";
+}
+
+double Value::ToDouble() const {
+  if (is_int()) return static_cast<double>(AsInt());
+  if (is_double()) return AsDouble();
+  if (is_string()) {
+    const std::string& s = AsString();
+    double d = 0;
+    std::from_chars(s.data(), s.data() + s.size(), d);
+    return d;
+  }
+  return 0.0;
+}
+
+int64_t Value::ToInt() const {
+  if (is_int()) return AsInt();
+  if (is_double()) return static_cast<int64_t>(AsDouble());
+  if (is_string()) {
+    const std::string& s = AsString();
+    int64_t i = 0;
+    std::from_chars(s.data(), s.data() + s.size(), i);
+    return i;
+  }
+  return 0;
+}
+
+namespace {
+int TypeRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_numeric()) return 1;
+  return 2;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int lr = TypeRank(*this), rr = TypeRank(other);
+  if (lr != rr) return lr < rr ? -1 : 1;
+  if (lr == 0) return 0;  // both NULL
+  if (lr == 1) {
+    if (is_int() && other.is_int()) {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = ToDouble(), b = other.ToDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  return AsString().compare(other.AsString()) < 0
+             ? -1
+             : (AsString() == other.AsString() ? 0 : 1);
+}
+
+uint64_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ULL;
+  if (is_numeric()) {
+    // Hash ints and integral doubles identically so 1 == 1.0 hash alike.
+    double d = ToDouble();
+    int64_t i = static_cast<int64_t>(d);
+    if (static_cast<double>(i) == d) return Hash64(static_cast<uint64_t>(i));
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return Hash64(bits);
+  }
+  const std::string& s = AsString();
+  return HashBytes(s.data(), s.size());
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+    return buf;
+  }
+  return AsString();
+}
+
+std::string Value::ToSQLLiteral() const {
+  if (is_string()) {
+    std::string out = "'";
+    for (char c : AsString()) {
+      if (c == '\'') out += "''";
+      else out += c;
+    }
+    out += "'";
+    return out;
+  }
+  return ToString();
+}
+
+Value Value::CastTo(ColumnType type) const {
+  if (is_null()) return Value::Null();
+  switch (type) {
+    case ColumnType::kInt:
+      return Value(ToInt());
+    case ColumnType::kDouble:
+      return Value(ToDouble());
+    case ColumnType::kString:
+      if (is_string()) return *this;
+      return Value(ToString());
+  }
+  return *this;
+}
+
+uint64_t HashRow(const Row& row) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Value& v : row) {
+    h = HashCombine(h, v.Hash());
+  }
+  return h;
+}
+
+}  // namespace sphere

@@ -1,0 +1,95 @@
+#ifndef SPHERE_COMMON_VALUE_H_
+#define SPHERE_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sphere {
+
+/// Column data types supported by the embedded storage nodes. The SQL front
+/// end maps dialect type names (INT, BIGINT, VARCHAR(n), TEXT, DOUBLE,
+/// DECIMAL...) onto these.
+enum class ColumnType {
+  kInt,     ///< 64-bit signed integer.
+  kDouble,  ///< IEEE double.
+  kString,  ///< Variable-length UTF-8 string.
+};
+
+const char* ColumnTypeName(ColumnType type);
+
+/// A dynamically typed SQL value: NULL, INTEGER, DOUBLE or STRING.
+///
+/// Values are small, copyable and totally ordered (NULL sorts first; numeric
+/// types compare numerically across int/double, mirroring SQL comparison
+/// semantics of the integrated databases).
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : v_(std::monostate{}) {}
+  Value(int64_t i) : v_(i) {}              // NOLINT
+  Value(int i) : v_(int64_t{i}) {}         // NOLINT
+  Value(double d) : v_(d) {}               // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}  // NOLINT
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Precondition: is_int().
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  /// Precondition: is_double().
+  double AsDouble() const { return std::get<double>(v_); }
+  /// Precondition: is_string().
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric coercion: int -> double, double -> double. Returns 0.0 for
+  /// non-numeric values.
+  double ToDouble() const;
+  /// Numeric coercion to integer (double truncates). Returns 0 otherwise.
+  int64_t ToInt() const;
+
+  /// SQL-style three-valued-free total order used by ORDER BY and index keys:
+  /// NULL < numerics < strings; numerics compare by value across types.
+  /// Returns <0, 0 or >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(o) >= 0; }
+
+  /// Stable 64-bit hash consistent with operator== (ints and equal doubles
+  /// hash alike).
+  uint64_t Hash() const;
+
+  /// Renders the value for result display ("NULL", 42, 1.5, abc).
+  std::string ToString() const;
+  /// Renders as a SQL literal (strings quoted and escaped, NULL keyword).
+  std::string ToSQLLiteral() const;
+
+  /// Coerces the value to the given column type (e.g. on INSERT). Lossy
+  /// string->number conversions parse the prefix; NULL stays NULL.
+  Value CastTo(ColumnType type) const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+/// A tuple of values; the unit that flows through executors and mergers.
+using Row = std::vector<Value>;
+
+/// Hash of a full row (order-sensitive), used by hash joins and group-by.
+uint64_t HashRow(const Row& row);
+
+}  // namespace sphere
+
+#endif  // SPHERE_COMMON_VALUE_H_

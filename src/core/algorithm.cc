@@ -1,0 +1,591 @@
+#include "core/algorithm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "common/hash.h"
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace sphere::core {
+
+namespace {
+
+/// Numeric suffix after the last '_', or -1 ("t_user_3" -> 3).
+int SuffixOf(const std::string& name) {
+  size_t us = name.find_last_of('_');
+  if (us == std::string::npos || us + 1 >= name.size()) return -1;
+  int v = 0;
+  for (size_t i = us + 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    v = v * 10 + (name[i] - '0');
+  }
+  return v;
+}
+
+/// Picks the target for a shard index: prefer the one whose numeric suffix
+/// equals the index (the naming convention of sharded actual tables),
+/// falling back to positional selection.
+Result<std::string> PickTarget(const std::vector<std::string>& targets,
+                               int64_t index) {
+  if (targets.empty()) return Status::RouteError("no sharding targets");
+  for (const auto& t : targets) {
+    if (SuffixOf(t) == index) return t;
+  }
+  size_t i = static_cast<size_t>(((index % static_cast<int64_t>(targets.size())) +
+                                  static_cast<int64_t>(targets.size())) %
+                                 static_cast<int64_t>(targets.size()));
+  return targets[i];
+}
+
+/// Collects the targets for a contiguous index interval [lo, hi].
+std::vector<std::string> PickTargetRange(const std::vector<std::string>& targets,
+                                         int64_t lo, int64_t hi) {
+  std::vector<std::string> out;
+  for (const auto& t : targets) {
+    int suffix = SuffixOf(t);
+    int64_t idx = suffix >= 0
+                      ? suffix
+                      : static_cast<int64_t>(&t - targets.data());
+    if (idx >= lo && idx <= hi) out.push_back(t);
+  }
+  if (out.empty()) return targets;  // be safe rather than drop shards
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MOD / HASH_MOD
+// ---------------------------------------------------------------------------
+
+class ModAlgorithm : public ShardingAlgorithm {
+ public:
+  const char* Type() const override { return "MOD"; }
+  Status Init(const Properties& props) override {
+    count_ = props.GetInt("sharding-count", 0);
+    return Status::OK();
+  }
+  Result<std::string> DoSharding(const std::vector<std::string>& targets,
+                                 const Value& value) const override {
+    int64_t n = count_ > 0 ? count_ : static_cast<int64_t>(targets.size());
+    if (n <= 0) return Status::RouteError("MOD: no shards");
+    int64_t v = value.ToInt();
+    return PickTarget(targets, ((v % n) + n) % n);
+  }
+  std::vector<std::string> DoRangeSharding(
+      const std::vector<std::string>& targets, const std::optional<Value>& low,
+      const std::optional<Value>& high) const override {
+    int64_t n = count_ > 0 ? count_ : static_cast<int64_t>(targets.size());
+    if (low.has_value() && high.has_value() && low->is_int() && high->is_int() &&
+        high->AsInt() - low->AsInt() + 1 < n) {
+      std::vector<std::string> out;
+      for (int64_t v = low->AsInt(); v <= high->AsInt(); ++v) {
+        auto t = PickTarget(targets, ((v % n) + n) % n);
+        if (t.ok() && std::find(out.begin(), out.end(), *t) == out.end()) {
+          out.push_back(*t);
+        }
+      }
+      return out;
+    }
+    return targets;
+  }
+
+ private:
+  int64_t count_ = 0;
+};
+
+class HashModAlgorithm : public ShardingAlgorithm {
+ public:
+  const char* Type() const override { return "HASH_MOD"; }
+  Status Init(const Properties& props) override {
+    count_ = props.GetInt("sharding-count", 0);
+    return Status::OK();
+  }
+  Result<std::string> DoSharding(const std::vector<std::string>& targets,
+                                 const Value& value) const override {
+    int64_t n = count_ > 0 ? count_ : static_cast<int64_t>(targets.size());
+    if (n <= 0) return Status::RouteError("HASH_MOD: no shards");
+    uint64_t h = value.is_string() ? HashString(value.AsString())
+                                   : Hash64(static_cast<uint64_t>(value.ToInt()));
+    return PickTarget(targets, static_cast<int64_t>(h % static_cast<uint64_t>(n)));
+  }
+
+ private:
+  int64_t count_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Index-mapped range algorithms
+// ---------------------------------------------------------------------------
+
+/// Base for algorithms that map a value to a monotone shard index.
+class IndexMappedAlgorithm : public ShardingAlgorithm {
+ public:
+  Result<std::string> DoSharding(const std::vector<std::string>& targets,
+                                 const Value& value) const override {
+    return PickTarget(targets, IndexOf(value));
+  }
+  std::vector<std::string> DoRangeSharding(
+      const std::vector<std::string>& targets, const std::optional<Value>& low,
+      const std::optional<Value>& high) const override {
+    int64_t lo = low.has_value() ? IndexOf(*low) : 0;
+    int64_t hi = high.has_value() ? IndexOf(*high) : MaxIndex(targets);
+    return PickTargetRange(targets, lo, hi);
+  }
+
+ protected:
+  virtual int64_t IndexOf(const Value& value) const = 0;
+  virtual int64_t MaxIndex(const std::vector<std::string>& targets) const {
+    return static_cast<int64_t>(targets.size()) - 1;
+  }
+};
+
+/// VOLUME_RANGE: fixed-width numeric intervals between a lower and upper
+/// bound; values outside the bounds fall into the two edge shards.
+class VolumeRangeAlgorithm : public IndexMappedAlgorithm {
+ public:
+  const char* Type() const override { return "VOLUME_RANGE"; }
+  Status Init(const Properties& props) override {
+    lower_ = props.GetDouble("range-lower", 0);
+    upper_ = props.GetDouble("range-upper", 0);
+    volume_ = props.GetDouble("sharding-volume", 1);
+    if (volume_ <= 0 || upper_ < lower_) {
+      return Status::InvalidArgument("VOLUME_RANGE: bad bounds/volume");
+    }
+    return Status::OK();
+  }
+
+ protected:
+  int64_t IndexOf(const Value& value) const override {
+    double v = value.ToDouble();
+    if (v < lower_) return 0;
+    if (v >= upper_) {
+      return 1 + static_cast<int64_t>(std::ceil((upper_ - lower_) / volume_));
+    }
+    return 1 + static_cast<int64_t>((v - lower_) / volume_);
+  }
+
+ private:
+  double lower_ = 0, upper_ = 0, volume_ = 1;
+};
+
+/// BOUNDARY_RANGE: explicit split points, e.g. "10,20,30" -> 4 shards.
+class BoundaryRangeAlgorithm : public IndexMappedAlgorithm {
+ public:
+  const char* Type() const override { return "BOUNDARY_RANGE"; }
+  Status Init(const Properties& props) override {
+    for (const auto& piece : Split(props.GetString("sharding-ranges"), ',')) {
+      std::string t = Trim(piece);
+      if (t.empty()) continue;
+      boundaries_.push_back(std::strtod(t.c_str(), nullptr));
+    }
+    if (boundaries_.empty()) {
+      return Status::InvalidArgument("BOUNDARY_RANGE: sharding-ranges required");
+    }
+    if (!std::is_sorted(boundaries_.begin(), boundaries_.end())) {
+      return Status::InvalidArgument("BOUNDARY_RANGE: boundaries must ascend");
+    }
+    return Status::OK();
+  }
+
+ protected:
+  int64_t IndexOf(const Value& value) const override {
+    double v = value.ToDouble();
+    return static_cast<int64_t>(
+        std::upper_bound(boundaries_.begin(), boundaries_.end(), v) -
+        boundaries_.begin());
+  }
+
+ private:
+  std::vector<double> boundaries_;
+};
+
+/// AUTO_INTERVAL: epoch-seconds timestamps in fixed-duration shards.
+class AutoIntervalAlgorithm : public IndexMappedAlgorithm {
+ public:
+  const char* Type() const override { return "AUTO_INTERVAL"; }
+  Status Init(const Properties& props) override {
+    lower_ = props.GetInt("datetime-lower", 0);
+    seconds_ = props.GetInt("sharding-seconds", 86400);
+    if (seconds_ <= 0) {
+      return Status::InvalidArgument("AUTO_INTERVAL: sharding-seconds > 0");
+    }
+    return Status::OK();
+  }
+
+ protected:
+  int64_t IndexOf(const Value& value) const override {
+    int64_t v = value.ToInt();
+    if (v < lower_) return 0;
+    return (v - lower_) / seconds_;
+  }
+
+ private:
+  int64_t lower_ = 0, seconds_ = 86400;
+};
+
+/// INTERVAL: month-granularity intervals over yyyymm keys (the BestPay
+/// per-month split of paper §VII-B). Accepts ints (202104) or "2021-04".
+class IntervalAlgorithm : public IndexMappedAlgorithm {
+ public:
+  const char* Type() const override { return "INTERVAL"; }
+  Status Init(const Properties& props) override {
+    lower_months_ = MonthsOf(Value(props.GetString("datetime-lower", "1970-01")));
+    months_per_shard_ = props.GetInt("sharding-months", 1);
+    if (months_per_shard_ <= 0) {
+      return Status::InvalidArgument("INTERVAL: sharding-months > 0");
+    }
+    return Status::OK();
+  }
+
+ protected:
+  int64_t IndexOf(const Value& value) const override {
+    int64_t m = MonthsOf(value) - lower_months_;
+    if (m < 0) m = 0;
+    return m / months_per_shard_;
+  }
+
+ private:
+  static int64_t MonthsOf(const Value& v) {
+    if (v.is_string()) {
+      // "yyyy-mm" (a longer date string's prefix also works).
+      const std::string& s = v.AsString();
+      if (s.size() >= 7 && s[4] == '-') {
+        int64_t y = std::strtoll(s.substr(0, 4).c_str(), nullptr, 10);
+        int64_t m = std::strtoll(s.substr(5, 2).c_str(), nullptr, 10);
+        return y * 12 + (m - 1);
+      }
+    }
+    int64_t i = v.ToInt();  // yyyymm
+    return (i / 100) * 12 + (i % 100 - 1);
+  }
+
+  int64_t lower_months_ = 0;
+  int64_t months_per_shard_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Inline expressions
+// ---------------------------------------------------------------------------
+
+/// Evaluates the integer expression inside ${...}: identifiers resolve via
+/// `vars`, operators + - * / % and parentheses are supported.
+class InlineEvaluator {
+ public:
+  InlineEvaluator(const std::vector<sql::Token>& tokens,
+                  const std::map<std::string, Value>& vars)
+      : tokens_(tokens), vars_(vars) {}
+
+  Result<int64_t> Eval() {
+    SPHERE_ASSIGN_OR_RETURN(int64_t v, Additive());
+    if (tokens_[pos_].type != sql::TokenType::kEof) {
+      return Status::InvalidArgument("trailing tokens in inline expression");
+    }
+    return v;
+  }
+
+ private:
+  Result<int64_t> Additive() {
+    SPHERE_ASSIGN_OR_RETURN(int64_t v, Multiplicative());
+    for (;;) {
+      if (tokens_[pos_].IsOperator("+")) {
+        ++pos_;
+        SPHERE_ASSIGN_OR_RETURN(int64_t r, Multiplicative());
+        v += r;
+      } else if (tokens_[pos_].IsOperator("-")) {
+        ++pos_;
+        SPHERE_ASSIGN_OR_RETURN(int64_t r, Multiplicative());
+        v -= r;
+      } else {
+        return v;
+      }
+    }
+  }
+  Result<int64_t> Multiplicative() {
+    SPHERE_ASSIGN_OR_RETURN(int64_t v, Primary());
+    for (;;) {
+      if (tokens_[pos_].IsOperator("*")) {
+        ++pos_;
+        SPHERE_ASSIGN_OR_RETURN(int64_t r, Primary());
+        v *= r;
+      } else if (tokens_[pos_].IsOperator("/")) {
+        ++pos_;
+        SPHERE_ASSIGN_OR_RETURN(int64_t r, Primary());
+        if (r == 0) return Status::InvalidArgument("inline division by zero");
+        v /= r;
+      } else if (tokens_[pos_].IsOperator("%")) {
+        ++pos_;
+        SPHERE_ASSIGN_OR_RETURN(int64_t r, Primary());
+        if (r == 0) return Status::InvalidArgument("inline modulo by zero");
+        v = ((v % r) + r) % r;
+      } else {
+        return v;
+      }
+    }
+  }
+  Result<int64_t> Primary() {
+    const sql::Token& t = tokens_[pos_];
+    if (t.type == sql::TokenType::kIntLiteral) {
+      ++pos_;
+      return t.int_value;
+    }
+    if (t.type == sql::TokenType::kIdentifier ||
+        t.type == sql::TokenType::kKeyword) {
+      ++pos_;
+      for (const auto& [name, value] : vars_) {
+        if (EqualsIgnoreCase(name, t.text)) return value.ToInt();
+      }
+      return Status::InvalidArgument("unknown inline variable: " + t.text);
+    }
+    if (t.IsOperator("(")) {
+      ++pos_;
+      SPHERE_ASSIGN_OR_RETURN(int64_t v, Additive());
+      if (!tokens_[pos_].IsOperator(")")) {
+        return Status::InvalidArgument("expected ) in inline expression");
+      }
+      ++pos_;
+      return v;
+    }
+    if (t.IsOperator("-")) {
+      ++pos_;
+      SPHERE_ASSIGN_OR_RETURN(int64_t v, Primary());
+      return -v;
+    }
+    return Status::InvalidArgument("bad inline expression token: " + t.text);
+  }
+
+  const std::vector<sql::Token>& tokens_;
+  const std::map<std::string, Value>& vars_;
+  size_t pos_ = 0;
+};
+
+/// Renders an inline sharding expression like "t_user_${uid % 2}".
+Result<std::string> RenderInline(const std::string& expression,
+                                 const std::map<std::string, Value>& vars) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < expression.size()) {
+    size_t open = expression.find("${", pos);
+    if (open == std::string::npos) {
+      out += expression.substr(pos);
+      break;
+    }
+    out += expression.substr(pos, open - pos);
+    size_t close = expression.find('}', open);
+    if (close == std::string::npos) {
+      return Status::InvalidArgument("unterminated ${ in " + expression);
+    }
+    std::string inner = expression.substr(open + 2, close - open - 2);
+    sql::Lexer lexer(inner);
+    SPHERE_ASSIGN_OR_RETURN(std::vector<sql::Token> tokens, lexer.Tokenize());
+    InlineEvaluator eval(tokens, vars);
+    SPHERE_ASSIGN_OR_RETURN(int64_t v, eval.Eval());
+    out += std::to_string(v);
+    pos = close + 1;
+  }
+  return out;
+}
+
+/// INLINE: a Groovy-style expression over the (single) sharding column, e.g.
+/// algorithm-expression = "t_user_${uid % 2}".
+class InlineAlgorithm : public ShardingAlgorithm {
+ public:
+  const char* Type() const override { return "INLINE"; }
+  Status Init(const Properties& props) override {
+    expression_ = props.GetString("algorithm-expression");
+    column_ = props.GetString("sharding-column", "value");
+    if (expression_.empty()) {
+      return Status::InvalidArgument("INLINE: algorithm-expression required");
+    }
+    return Status::OK();
+  }
+  Result<std::string> DoSharding(const std::vector<std::string>& targets,
+                                 const Value& value) const override {
+    std::map<std::string, Value> vars{{column_, value}, {"value", value}};
+    SPHERE_ASSIGN_OR_RETURN(std::string name, RenderInline(expression_, vars));
+    for (const auto& t : targets) {
+      if (EqualsIgnoreCase(t, name)) return t;
+    }
+    return Status::RouteError("INLINE: computed target " + name +
+                              " not among actual targets");
+  }
+
+ private:
+  std::string expression_;
+  std::string column_;
+};
+
+/// COMPLEX_INLINE: an inline expression over several sharding columns.
+class ComplexInlineAlgorithm : public ShardingAlgorithm {
+ public:
+  const char* Type() const override { return "COMPLEX_INLINE"; }
+  Status Init(const Properties& props) override {
+    expression_ = props.GetString("algorithm-expression");
+    if (expression_.empty()) {
+      return Status::InvalidArgument("COMPLEX_INLINE: algorithm-expression required");
+    }
+    return Status::OK();
+  }
+  Result<std::string> DoSharding(const std::vector<std::string>& targets,
+                                 const Value& value) const override {
+    return DoComplexSharding(targets, {{"value", value}});
+  }
+  Result<std::string> DoComplexSharding(
+      const std::vector<std::string>& targets,
+      const std::map<std::string, Value>& values) const override {
+    SPHERE_ASSIGN_OR_RETURN(std::string name, RenderInline(expression_, values));
+    for (const auto& t : targets) {
+      if (EqualsIgnoreCase(t, name)) return t;
+    }
+    return Status::RouteError("COMPLEX_INLINE: computed target " + name +
+                              " not among actual targets");
+  }
+
+ private:
+  std::string expression_;
+};
+
+/// HINT_INLINE: shards by a value supplied through the HintManager rather
+/// than by any SQL column.
+class HintInlineAlgorithm : public ShardingAlgorithm {
+ public:
+  const char* Type() const override { return "HINT_INLINE"; }
+  Status Init(const Properties& props) override {
+    expression_ = props.GetString("algorithm-expression");  // may be empty
+    return Status::OK();
+  }
+  Result<std::string> DoSharding(const std::vector<std::string>& targets,
+                                 const Value& value) const override {
+    if (expression_.empty()) {
+      int64_t n = static_cast<int64_t>(targets.size());
+      if (n == 0) return Status::RouteError("HINT_INLINE: no targets");
+      return PickTarget(targets, ((value.ToInt() % n) + n) % n);
+    }
+    std::map<std::string, Value> vars{{"value", value}};
+    SPHERE_ASSIGN_OR_RETURN(std::string name, RenderInline(expression_, vars));
+    for (const auto& t : targets) {
+      if (EqualsIgnoreCase(t, name)) return t;
+    }
+    return Status::RouteError("HINT_INLINE: computed target " + name);
+  }
+
+ private:
+  std::string expression_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct AlgorithmRegistry {
+  std::mutex mu;
+  std::map<std::string, ShardingAlgorithmFactory> factories;
+};
+
+AlgorithmRegistry& GetRegistry() {
+  static AlgorithmRegistry* registry = [] {
+    auto* r = new AlgorithmRegistry();
+    r->factories["MOD"] = [] { return std::make_unique<ModAlgorithm>(); };
+    r->factories["HASH_MOD"] = [] { return std::make_unique<HashModAlgorithm>(); };
+    r->factories["VOLUME_RANGE"] = [] {
+      return std::make_unique<VolumeRangeAlgorithm>();
+    };
+    r->factories["BOUNDARY_RANGE"] = [] {
+      return std::make_unique<BoundaryRangeAlgorithm>();
+    };
+    r->factories["AUTO_INTERVAL"] = [] {
+      return std::make_unique<AutoIntervalAlgorithm>();
+    };
+    r->factories["INTERVAL"] = [] { return std::make_unique<IntervalAlgorithm>(); };
+    r->factories["INLINE"] = [] { return std::make_unique<InlineAlgorithm>(); };
+    r->factories["COMPLEX_INLINE"] = [] {
+      return std::make_unique<ComplexInlineAlgorithm>();
+    };
+    r->factories["HINT_INLINE"] = [] {
+      return std::make_unique<HintInlineAlgorithm>();
+    };
+    return r;
+  }();
+  return *registry;
+}
+
+/// CLASS_BASED delegates to another registered type named by
+/// "algorithm-class-name" — the C++ analog of ShardingSphere's reflection-
+/// instantiated user classes.
+class ClassBasedAlgorithm : public ShardingAlgorithm {
+ public:
+  const char* Type() const override { return "CLASS_BASED"; }
+  Status Init(const Properties& props) override {
+    std::string name = props.GetString("algorithm-class-name");
+    if (name.empty()) {
+      return Status::InvalidArgument("CLASS_BASED: algorithm-class-name required");
+    }
+    auto delegate = CreateShardingAlgorithm(name, props);
+    if (!delegate.ok()) return delegate.status();
+    delegate_ = std::move(delegate).value();
+    return Status::OK();
+  }
+  Result<std::string> DoSharding(const std::vector<std::string>& targets,
+                                 const Value& value) const override {
+    return delegate_->DoSharding(targets, value);
+  }
+  std::vector<std::string> DoRangeSharding(
+      const std::vector<std::string>& targets, const std::optional<Value>& low,
+      const std::optional<Value>& high) const override {
+    return delegate_->DoRangeSharding(targets, low, high);
+  }
+  Result<std::string> DoComplexSharding(
+      const std::vector<std::string>& targets,
+      const std::map<std::string, Value>& values) const override {
+    return delegate_->DoComplexSharding(targets, values);
+  }
+
+ private:
+  std::unique_ptr<ShardingAlgorithm> delegate_;
+};
+
+}  // namespace
+
+Status RegisterShardingAlgorithmFactory(const std::string& type,
+                                        ShardingAlgorithmFactory factory) {
+  auto& reg = GetRegistry();
+  std::lock_guard lk(reg.mu);
+  std::string key = ToUpper(type);
+  if (key == "CLASS_BASED" || reg.factories.count(key)) {
+    return Status::AlreadyExists("algorithm type " + key);
+  }
+  reg.factories[key] = std::move(factory);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ShardingAlgorithm>> CreateShardingAlgorithm(
+    const std::string& type, const Properties& props) {
+  std::string key = ToUpper(type);
+  std::unique_ptr<ShardingAlgorithm> algo;
+  if (key == "CLASS_BASED") {
+    algo = std::make_unique<ClassBasedAlgorithm>();
+  } else {
+    auto& reg = GetRegistry();
+    std::lock_guard lk(reg.mu);
+    auto it = reg.factories.find(key);
+    if (it == reg.factories.end()) {
+      return Status::NotFound("sharding algorithm type " + key);
+    }
+    algo = it->second();
+  }
+  SPHERE_RETURN_NOT_OK(algo->Init(props));
+  return algo;
+}
+
+std::vector<std::string> ListShardingAlgorithmTypes() {
+  auto& reg = GetRegistry();
+  std::lock_guard lk(reg.mu);
+  std::vector<std::string> out;
+  out.reserve(reg.factories.size() + 1);
+  for (const auto& [name, f] : reg.factories) out.push_back(name);
+  out.push_back("CLASS_BASED");
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sphere::core

@@ -1,0 +1,82 @@
+#ifndef SPHERE_CORE_ALGORITHM_H_
+#define SPHERE_CORE_ALGORITHM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/properties.h"
+#include "common/result.h"
+#include "common/value.h"
+
+namespace sphere::core {
+
+/// Strategy that maps a sharding value to one of the available targets
+/// (actual table names or data source names) — the paper's
+/// `ShardingAlgorithm` SPI (§IV-A).
+///
+/// ShardingSphere presets ten algorithms; this library ships the same set
+/// (see CreateShardingAlgorithm) and user algorithms register through
+/// RegisterShardingAlgorithmFactory, mirroring Java SPI discovery.
+class ShardingAlgorithm {
+ public:
+  virtual ~ShardingAlgorithm() = default;
+
+  /// Algorithm type name, e.g. "MOD".
+  virtual const char* Type() const = 0;
+
+  /// Consumes configuration properties; called once before use.
+  virtual Status Init(const Properties& props) {
+    (void)props;
+    return Status::OK();
+  }
+
+  /// Precise sharding: chooses the target for one value (= / IN routes).
+  virtual Result<std::string> DoSharding(
+      const std::vector<std::string>& targets, const Value& value) const = 0;
+
+  /// Range sharding: the subset of targets that may contain values in
+  /// [low, high] (absent bound = unbounded). Default: every target.
+  virtual std::vector<std::string> DoRangeSharding(
+      const std::vector<std::string>& targets, const std::optional<Value>& low,
+      const std::optional<Value>& high) const {
+    (void)low;
+    (void)high;
+    return targets;
+  }
+
+  /// Multi-column ("complex") sharding. Only COMPLEX_INLINE implements it.
+  virtual Result<std::string> DoComplexSharding(
+      const std::vector<std::string>& targets,
+      const std::map<std::string, Value>& values) const {
+    (void)targets;
+    (void)values;
+    return Status::Unsupported(std::string(Type()) +
+                               " does not support complex sharding");
+  }
+};
+
+using ShardingAlgorithmFactory =
+    std::function<std::unique_ptr<ShardingAlgorithm>()>;
+
+/// Registers a user algorithm type (SPI extension point). Returns
+/// AlreadyExists when the type name is taken by a preset or earlier
+/// registration.
+Status RegisterShardingAlgorithmFactory(const std::string& type,
+                                        ShardingAlgorithmFactory factory);
+
+/// Instantiates and initializes an algorithm by type name. Preset types:
+/// MOD, HASH_MOD, VOLUME_RANGE, BOUNDARY_RANGE, AUTO_INTERVAL, INTERVAL,
+/// INLINE, COMPLEX_INLINE, HINT_INLINE, CLASS_BASED.
+Result<std::unique_ptr<ShardingAlgorithm>> CreateShardingAlgorithm(
+    const std::string& type, const Properties& props);
+
+/// All registered type names (presets + user), sorted.
+std::vector<std::string> ListShardingAlgorithmTypes();
+
+}  // namespace sphere::core
+
+#endif  // SPHERE_CORE_ALGORITHM_H_

@@ -1,0 +1,174 @@
+#include "core/execute.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/strings.h"
+
+namespace sphere::core {
+
+Status DataSourceRegistry::Register(std::unique_ptr<net::DataSource> ds) {
+  std::string key = ToLower(ds->name());
+  if (sources_.count(key)) {
+    return Status::AlreadyExists("data source " + ds->name());
+  }
+  sources_[key] = std::move(ds);
+  return Status::OK();
+}
+
+net::DataSource* DataSourceRegistry::Find(const std::string& name) {
+  auto it = sources_.find(ToLower(name));
+  return it == sources_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> DataSourceRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(sources_.size());
+  for (const auto& [key, ds] : sources_) out.push_back(ds->name());
+  return out;
+}
+
+namespace {
+
+/// One data source's slice of the statement's units.
+struct Group {
+  net::DataSource* ds = nullptr;
+  net::RemoteConnection* txn_conn = nullptr;  ///< non-null inside a transaction
+  std::vector<size_t> unit_indices;
+};
+
+/// Executes a list of units serially on one connection.
+void RunSerial(net::RemoteConnection* conn, const std::vector<SQLUnit>& units,
+               const std::vector<size_t>& indices, UnitObserver* observer,
+               std::vector<Result<engine::ExecResult>>* results) {
+  for (size_t idx : indices) {
+    if (observer != nullptr) {
+      Status st = observer->BeforeUnit(conn, units[idx]);
+      if (!st.ok()) {
+        (*results)[idx] = st;
+        continue;
+      }
+    }
+    (*results)[idx] = conn->Execute(units[idx].sql, units[idx].params);
+    if (observer != nullptr && (*results)[idx].ok()) {
+      Status st = observer->AfterUnit(conn, units[idx], (*results)[idx].value());
+      if (!st.ok()) (*results)[idx] = st;
+    }
+  }
+}
+
+}  // namespace
+
+Result<ExecutionOutcome> ExecutionEngine::Execute(
+    const std::vector<SQLUnit>& units, ConnectionSource* txn_source,
+    UnitObserver* observer) const {
+  if (units.empty()) return Status::Internal("no SQL units to execute");
+
+  // ----- Preparation phase: group by data source. -----
+  std::vector<Group> groups;
+  for (size_t i = 0; i < units.size(); ++i) {
+    Group* group = nullptr;
+    for (auto& g : groups) {
+      if (EqualsIgnoreCase(g.ds->name(), units[i].data_source)) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      net::DataSource* ds = registry_->Find(units[i].data_source);
+      if (ds == nullptr) {
+        return Status::NotFound("data source " + units[i].data_source);
+      }
+      groups.push_back(Group{ds, nullptr, {}});
+      group = &groups.back();
+    }
+    group->unit_indices.push_back(i);
+  }
+
+  // Transaction affinity: each touched data source pins to its txn connection.
+  if (txn_source != nullptr) {
+    for (auto& g : groups) {
+      SPHERE_ASSIGN_OR_RETURN(g.txn_conn,
+                              txn_source->TransactionConnection(g.ds->name()));
+    }
+  }
+
+  ConnectionMode overall = ConnectionMode::kMemoryStrictly;
+  std::vector<Result<engine::ExecResult>> results;
+  results.reserve(units.size());
+  for (size_t i = 0; i < units.size(); ++i) {
+    results.emplace_back(Status::Internal("not executed"));
+  }
+
+  // ----- Execution phase. -----
+  struct Task {
+    net::RemoteConnection* conn = nullptr;
+    net::ConnectionPool::Lease lease;  ///< owns pooled connections
+    std::vector<size_t> indices;
+  };
+  std::vector<Task> tasks;
+
+  for (auto& g : groups) {
+    int n = static_cast<int>(g.unit_indices.size());
+    if (g.txn_conn != nullptr) {
+      // All statements of this group ride the transaction's connection.
+      if (n > 1) overall = ConnectionMode::kConnectionStrictly;
+      Task t;
+      t.conn = g.txn_conn;
+      t.indices = g.unit_indices;
+      tasks.push_back(std::move(t));
+      continue;
+    }
+    int want = std::min(max_con_, n);
+    // θ = ⌈#SQL / MaxCon⌉; θ > 1 means some connection executes several SQLs,
+    // which forces connection-strictly mode and a memory merger.
+    int theta = (n + want - 1) / want;
+    if (theta > 1) overall = ConnectionMode::kConnectionStrictly;
+
+    std::vector<net::ConnectionPool::Lease> leases;
+    if (want == 1) {
+      // Single connection: no batch lock needed (paper's lock-elision rule).
+      leases.push_back(g.ds->pool().Acquire());
+    } else {
+      leases = g.ds->pool().AcquireMany(want);
+    }
+    // Round-robin units over the acquired connections.
+    std::vector<Task> group_tasks(leases.size());
+    for (size_t i = 0; i < leases.size(); ++i) {
+      group_tasks[i].lease = std::move(leases[i]);
+      group_tasks[i].conn = group_tasks[i].lease.get();
+    }
+    for (size_t i = 0; i < g.unit_indices.size(); ++i) {
+      group_tasks[i % group_tasks.size()].indices.push_back(g.unit_indices[i]);
+    }
+    for (auto& t : group_tasks) {
+      if (!t.indices.empty()) tasks.push_back(std::move(t));
+    }
+  }
+
+  if (tasks.size() == 1) {
+    RunSerial(tasks[0].conn, units, tasks[0].indices, observer, &results);
+  } else {
+    // The data sources execute their SQLs in parallel (paper Fig. 8).
+    std::vector<std::thread> threads;
+    threads.reserve(tasks.size() - 1);
+    for (size_t i = 1; i < tasks.size(); ++i) {
+      threads.emplace_back([&, i] {
+        RunSerial(tasks[i].conn, units, tasks[i].indices, observer, &results);
+      });
+    }
+    RunSerial(tasks[0].conn, units, tasks[0].indices, observer, &results);
+    for (auto& t : threads) t.join();
+  }
+
+  ExecutionOutcome outcome;
+  outcome.mode = overall;
+  outcome.results.reserve(units.size());
+  for (auto& r : results) {
+    if (!r.ok()) return r.status();
+    outcome.results.push_back(std::move(r).value());
+  }
+  return outcome;
+}
+
+}  // namespace sphere::core

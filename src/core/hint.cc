@@ -1,0 +1,33 @@
+#include "core/hint.h"
+
+namespace sphere::core {
+
+namespace {
+thread_local std::optional<Value> tls_sharding_value;
+thread_local bool tls_shadow = false;
+}  // namespace
+
+void HintManager::SetShardingValue(Value v) { tls_sharding_value = std::move(v); }
+
+std::optional<Value> HintManager::GetShardingValue() {
+  return tls_sharding_value;
+}
+
+void HintManager::SetShadow(bool shadow) { tls_shadow = shadow; }
+
+bool HintManager::IsShadow() { return tls_shadow; }
+
+void HintManager::Clear() {
+  tls_sharding_value.reset();
+  tls_shadow = false;
+}
+
+HintManager::Scope::Scope()
+    : saved_value_(tls_sharding_value), saved_shadow_(tls_shadow) {}
+
+HintManager::Scope::~Scope() {
+  tls_sharding_value = saved_value_;
+  tls_shadow = saved_shadow_;
+}
+
+}  // namespace sphere::core

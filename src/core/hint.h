@@ -1,0 +1,41 @@
+#ifndef SPHERE_CORE_HINT_H_
+#define SPHERE_CORE_HINT_H_
+
+#include <optional>
+
+#include "common/value.h"
+
+namespace sphere::core {
+
+/// Thread-local sharding hints: lets an application force routing decisions
+/// that cannot be derived from the SQL itself (HINT_INLINE algorithm), and
+/// flag traffic for the shadow database. RAII-style: clear with Clear() or
+/// the scoped guard.
+class HintManager {
+ public:
+  /// Value consumed by HINT_INLINE database/table algorithms.
+  static void SetShardingValue(Value v);
+  static std::optional<Value> GetShardingValue();
+
+  /// Marks subsequent statements on this thread as test traffic for the
+  /// shadow DB feature.
+  static void SetShadow(bool shadow);
+  static bool IsShadow();
+
+  static void Clear();
+
+  /// Scoped hint: restores the previous state on destruction.
+  class Scope {
+   public:
+    Scope();
+    ~Scope();
+
+   private:
+    std::optional<Value> saved_value_;
+    bool saved_shadow_;
+  };
+};
+
+}  // namespace sphere::core
+
+#endif  // SPHERE_CORE_HINT_H_

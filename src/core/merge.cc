@@ -1,0 +1,516 @@
+#include "core/merge.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "common/strings.h"
+
+namespace sphere::core {
+
+namespace {
+
+using engine::ResultSet;
+using engine::ResultSetPtr;
+using engine::VectorResultSet;
+
+/// Resolves by-name merge keys against the physical columns.
+Result<std::vector<MergeKey>> ResolveKeys(
+    const std::vector<MergeKey>& keys, const std::vector<std::string>& columns) {
+  std::vector<MergeKey> out = keys;
+  for (auto& key : out) {
+    if (key.index >= 0) continue;
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (EqualsIgnoreCase(columns[i], key.name)) {
+        key.index = static_cast<int>(i);
+        break;
+      }
+    }
+    if (key.index < 0) {
+      return Status::InvalidArgument("merge key column not found: " + key.name);
+    }
+  }
+  return out;
+}
+
+int CompareByKeys(const Row& a, const Row& b, const std::vector<MergeKey>& keys) {
+  for (const auto& key : keys) {
+    size_t i = static_cast<size_t>(key.index);
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return key.desc ? -c : c;
+  }
+  return 0;
+}
+
+bool SameGroup(const Row& a, const Row& b, const std::vector<MergeKey>& keys) {
+  for (const auto& key : keys) {
+    size_t i = static_cast<size_t>(key.index);
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation units
+// ---------------------------------------------------------------------------
+
+/// Combines partial aggregate values coming from the shards.
+struct AggUnit {
+  const AggDesc* desc;
+  bool any = false;
+  Value acc;
+
+  void Accumulate(const Value& v) {
+    if (v.is_null()) return;
+    if (!any) {
+      acc = v;
+      any = true;
+      return;
+    }
+    switch (desc->kind) {
+      case AggKind::kCount:
+      case AggKind::kSum:
+        if (acc.is_int() && v.is_int()) {
+          acc = Value(acc.AsInt() + v.AsInt());
+        } else {
+          acc = Value(acc.ToDouble() + v.ToDouble());
+        }
+        break;
+      case AggKind::kMin:
+        if (v.Compare(acc) < 0) acc = v;
+        break;
+      case AggKind::kMax:
+        if (v.Compare(acc) > 0) acc = v;
+        break;
+      case AggKind::kAvg:
+        break;  // recomputed from derived SUM/COUNT
+    }
+  }
+
+  Value Finish() const {
+    if (!any) {
+      return desc->kind == AggKind::kCount ? Value(int64_t{0}) : Value::Null();
+    }
+    return acc;
+  }
+};
+
+/// Aggregates the shard rows of one group into one output row.
+class GroupAccumulator {
+ public:
+  GroupAccumulator(const MergeContext& ctx) : ctx_(ctx) {}
+
+  void Start(const Row& first) {
+    row_ = first;
+    units_.clear();
+    units_.reserve(ctx_.aggregations.size());
+    for (const auto& desc : ctx_.aggregations) {
+      AggUnit unit{&desc, false, Value::Null()};
+      unit.Accumulate(first[desc.index]);
+      units_.push_back(std::move(unit));
+      // Derived AVG inputs also accumulate.
+    }
+    StartDerived(first);
+  }
+
+  void Add(const Row& row) {
+    for (auto& unit : units_) {
+      unit.Accumulate(row[unit.desc->index]);
+    }
+    AddDerived(row);
+  }
+
+  Row Finish() {
+    for (auto& unit : units_) {
+      row_[unit.desc->index] = unit.Finish();
+    }
+    // AVG = total SUM / total COUNT from the derived columns.
+    for (const auto& desc : ctx_.aggregations) {
+      if (desc.kind != AggKind::kAvg) continue;
+      double count = derived_.count(desc.count_index)
+                         ? derived_[desc.count_index].ToDouble()
+                         : 0.0;
+      double sum = derived_.count(desc.sum_index)
+                       ? derived_[desc.sum_index].ToDouble()
+                       : 0.0;
+      row_[desc.index] = count > 0 ? Value(sum / count) : Value::Null();
+      if (desc.count_index >= 0 &&
+          static_cast<size_t>(desc.count_index) < row_.size()) {
+        row_[static_cast<size_t>(desc.count_index)] =
+            derived_.count(desc.count_index) ? derived_[desc.count_index]
+                                             : Value(int64_t{0});
+      }
+      if (desc.sum_index >= 0 && static_cast<size_t>(desc.sum_index) < row_.size()) {
+        row_[static_cast<size_t>(desc.sum_index)] =
+            derived_.count(desc.sum_index) ? derived_[desc.sum_index]
+                                           : Value::Null();
+      }
+    }
+    return row_;
+  }
+
+ private:
+  void StartDerived(const Row& row) {
+    derived_.clear();
+    AddDerived(row);
+  }
+  void AddDerived(const Row& row) {
+    for (const auto& desc : ctx_.aggregations) {
+      if (desc.kind != AggKind::kAvg) continue;
+      for (int idx : {desc.count_index, desc.sum_index}) {
+        if (idx < 0 || static_cast<size_t>(idx) >= row.size()) continue;
+        const Value& v = row[static_cast<size_t>(idx)];
+        if (v.is_null()) continue;
+        auto it = derived_.find(idx);
+        if (it == derived_.end()) {
+          derived_[idx] = v;
+        } else if (it->second.is_int() && v.is_int()) {
+          it->second = Value(it->second.AsInt() + v.AsInt());
+        } else {
+          it->second = Value(it->second.ToDouble() + v.ToDouble());
+        }
+      }
+    }
+  }
+
+  const MergeContext& ctx_;
+  Row row_;
+  std::vector<AggUnit> units_;
+  std::map<int, Value> derived_;
+};
+
+// ---------------------------------------------------------------------------
+// Stream mergers
+// ---------------------------------------------------------------------------
+
+/// Concatenates cursors (paper's iteration merger).
+class IterationMergedResult : public ResultSet {
+ public:
+  IterationMergedResult(std::vector<ResultSetPtr> sources,
+                        std::vector<std::string> columns)
+      : sources_(std::move(sources)), columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const override { return columns_; }
+
+  bool Next(Row* row) override {
+    while (cursor_ < sources_.size()) {
+      if (sources_[cursor_]->Next(row)) return true;
+      ++cursor_;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<ResultSetPtr> sources_;
+  std::vector<std::string> columns_;
+  size_t cursor_ = 0;
+};
+
+/// K-way merge by sort keys over per-shard cursors that are already sorted
+/// (paper's order-by stream merger with a priority queue).
+class OrderByStreamMergedResult : public ResultSet {
+ public:
+  OrderByStreamMergedResult(std::vector<ResultSetPtr> sources,
+                            std::vector<std::string> columns,
+                            std::vector<MergeKey> keys)
+      : sources_(std::move(sources)), columns_(std::move(columns)),
+        keys_(std::move(keys)) {
+    for (size_t i = 0; i < sources_.size(); ++i) {
+      Row row;
+      if (sources_[i]->Next(&row)) {
+        heap_.push(Entry{std::move(row), i});
+      }
+    }
+  }
+
+  const std::vector<std::string>& columns() const override { return columns_; }
+
+  bool Next(Row* row) override {
+    if (heap_.empty()) return false;
+    Entry top = heap_.top();
+    heap_.pop();
+    *row = top.row;
+    Row next;
+    if (sources_[top.source]->Next(&next)) {
+      heap_.push(Entry{std::move(next), top.source});
+    }
+    return true;
+  }
+
+ private:
+  struct Entry {
+    Row row;
+    size_t source;
+  };
+  struct EntryGreater {
+    const std::vector<MergeKey>* keys;
+    bool operator()(const Entry& a, const Entry& b) const {
+      return CompareByKeys(a.row, b.row, *keys) > 0;
+    }
+  };
+
+  std::vector<ResultSetPtr> sources_;
+  std::vector<std::string> columns_;
+  std::vector<MergeKey> keys_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_{
+      EntryGreater{&keys_}};
+};
+
+/// Group-by stream merger: consumes a group-key-sorted stream and folds the
+/// consecutive rows of one group through the aggregation units.
+class GroupByStreamMergedResult : public ResultSet {
+ public:
+  GroupByStreamMergedResult(ResultSetPtr sorted, const MergeContext& ctx,
+                            std::vector<MergeKey> group_keys,
+                            std::vector<std::string> columns)
+      : sorted_(std::move(sorted)), ctx_(ctx), group_keys_(std::move(group_keys)),
+        columns_(std::move(columns)), acc_(ctx) {
+    has_pending_ = sorted_->Next(&pending_);
+  }
+
+  const std::vector<std::string>& columns() const override { return columns_; }
+
+  bool Next(Row* row) override {
+    if (!has_pending_) return false;
+    acc_.Start(pending_);
+    Row current = pending_;
+    for (;;) {
+      has_pending_ = sorted_->Next(&pending_);
+      if (!has_pending_ || !SameGroup(current, pending_, group_keys_)) break;
+      acc_.Add(pending_);
+    }
+    *row = acc_.Finish();
+    return true;
+  }
+
+ private:
+  ResultSetPtr sorted_;
+  const MergeContext& ctx_;
+  std::vector<MergeKey> group_keys_;
+  std::vector<std::string> columns_;
+  GroupAccumulator acc_;
+  Row pending_;
+  bool has_pending_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Decorators
+// ---------------------------------------------------------------------------
+
+/// Applies the logical LIMIT/OFFSET after merging (pagination decorator).
+class LimitDecoratorResult : public ResultSet {
+ public:
+  LimitDecoratorResult(ResultSetPtr inner, sql::LimitClause limit)
+      : inner_(std::move(inner)), limit_(limit) {}
+
+  const std::vector<std::string>& columns() const override {
+    return inner_->columns();
+  }
+
+  bool Next(Row* row) override {
+    while (skipped_ < limit_.offset) {
+      Row tmp;
+      if (!inner_->Next(&tmp)) return false;
+      ++skipped_;
+    }
+    if (limit_.count >= 0 && returned_ >= limit_.count) return false;
+    if (!inner_->Next(row)) return false;
+    ++returned_;
+    return true;
+  }
+
+ private:
+  ResultSetPtr inner_;
+  sql::LimitClause limit_;
+  int64_t skipped_ = 0;
+  int64_t returned_ = 0;
+};
+
+/// Trims derived columns away so the client sees the logical projection.
+class ProjectionDecoratorResult : public ResultSet {
+ public:
+  ProjectionDecoratorResult(ResultSetPtr inner, size_t visible)
+      : inner_(std::move(inner)), visible_(visible) {
+    const auto& cols = inner_->columns();
+    columns_.assign(cols.begin(),
+                    cols.begin() + static_cast<long>(std::min(visible_, cols.size())));
+  }
+
+  const std::vector<std::string>& columns() const override { return columns_; }
+
+  bool Next(Row* row) override {
+    if (!inner_->Next(row)) return false;
+    if (row->size() > visible_) row->resize(visible_);
+    return true;
+  }
+
+ private:
+  ResultSetPtr inner_;
+  size_t visible_;
+  std::vector<std::string> columns_;
+};
+
+/// DISTINCT decorator (memory-backed set of seen rows).
+class DistinctDecoratorResult : public ResultSet {
+ public:
+  explicit DistinctDecoratorResult(ResultSetPtr inner)
+      : inner_(std::move(inner)) {}
+
+  const std::vector<std::string>& columns() const override {
+    return inner_->columns();
+  }
+
+  bool Next(Row* row) override {
+    while (inner_->Next(row)) {
+      if (seen_.insert(*row).second) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct RowLess {
+    bool operator()(const Row& a, const Row& b) const {
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c < 0;
+      }
+      return a.size() < b.size();
+    }
+  };
+  ResultSetPtr inner_;
+  std::set<Row, RowLess> seen_;
+};
+
+}  // namespace
+
+Result<engine::ExecResult> MergeEngine::Merge(
+    std::vector<engine::ExecResult> results, const MergeContext& ctx) const {
+  if (results.empty()) {
+    return Status::Internal("merge of zero results");
+  }
+
+  if (!ctx.is_select) {
+    int64_t affected = 0;
+    int64_t last_id = 0;
+    for (auto& r : results) {
+      affected += r.affected_rows;
+      last_id = std::max(last_id, r.last_insert_id);
+    }
+    return engine::ExecResult::Update(affected, last_id);
+  }
+
+  if (ctx.pass_through || results.size() == 1) {
+    return std::move(results[0]);
+  }
+
+  // Gather cursors; all shards return the same physical shape.
+  std::vector<ResultSetPtr> sources;
+  sources.reserve(results.size());
+  for (auto& r : results) {
+    if (!r.is_query || r.result_set == nullptr) {
+      return Status::Internal("non-query result in select merge");
+    }
+    sources.push_back(std::move(r.result_set));
+  }
+  const std::vector<std::string> physical_columns = sources[0]->columns();
+  std::vector<std::string> labels =
+      ctx.labels.empty() ? physical_columns : ctx.labels;
+  size_t visible = ctx.visible_columns == 0 ? labels.size() : ctx.visible_columns;
+
+  SPHERE_ASSIGN_OR_RETURN(std::vector<MergeKey> order_keys,
+                          ResolveKeys(ctx.order_by, physical_columns));
+  SPHERE_ASSIGN_OR_RETURN(std::vector<MergeKey> group_keys,
+                          ResolveKeys(ctx.group_by, physical_columns));
+
+  ResultSetPtr merged;
+  bool has_group = !group_keys.empty();
+  bool has_agg = !ctx.aggregations.empty();
+
+  if (has_agg && !has_group) {
+    // Global aggregation: every shard returns one row; fold them all.
+    GroupAccumulator acc(ctx);
+    bool started = false;
+    Row row;
+    for (auto& src : sources) {
+      while (src->Next(&row)) {
+        if (!started) {
+          acc.Start(row);
+          started = true;
+        } else {
+          acc.Add(row);
+        }
+      }
+    }
+    std::vector<Row> rows;
+    if (started) rows.push_back(acc.Finish());
+    merged = std::make_unique<VectorResultSet>(labels, std::move(rows));
+  } else if (has_group) {
+    if (ctx.sorted_for_group) {
+      // Stream path: k-way merge by group keys, then streaming aggregation.
+      std::vector<MergeKey> sort_keys = group_keys;
+      auto sorted = std::make_unique<OrderByStreamMergedResult>(
+          std::move(sources), labels, sort_keys);
+      merged = std::make_unique<GroupByStreamMergedResult>(
+          std::move(sorted), ctx, group_keys, labels);
+      // Materialize so the (stack-local) context outlives safely and user
+      // ORDER BY can re-sort.
+      auto* stream = merged.get();
+      std::vector<Row> rows = engine::DrainResultSet(stream);
+      merged = std::make_unique<VectorResultSet>(labels, std::move(rows));
+    } else {
+      // Memory path: hash aggregation over all rows.
+      struct RowLess {
+        const std::vector<MergeKey>* keys;
+        bool operator()(const Row& a, const Row& b) const {
+          return CompareByKeys(a, b, *keys) < 0;
+        }
+      };
+      std::map<Row, GroupAccumulator, RowLess> groups{RowLess{&group_keys}};
+      Row row;
+      for (auto& src : sources) {
+        while (src->Next(&row)) {
+          auto it = groups.find(row);
+          if (it == groups.end()) {
+            auto [ins, ok] = groups.emplace(row, GroupAccumulator(ctx));
+            ins->second.Start(row);
+          } else {
+            it->second.Add(row);
+          }
+        }
+      }
+      std::vector<Row> rows;
+      rows.reserve(groups.size());
+      for (auto& [key, acc] : groups) rows.push_back(acc.Finish());
+      merged = std::make_unique<VectorResultSet>(labels, std::move(rows));
+    }
+    // Re-sort by the user's ORDER BY when it differs from the group order.
+    if (!order_keys.empty()) {
+      std::vector<Row> rows = engine::DrainResultSet(merged.get());
+      std::stable_sort(rows.begin(), rows.end(),
+                       [&](const Row& a, const Row& b) {
+                         return CompareByKeys(a, b, order_keys) < 0;
+                       });
+      merged = std::make_unique<VectorResultSet>(labels, std::move(rows));
+    }
+  } else if (!order_keys.empty()) {
+    merged = std::make_unique<OrderByStreamMergedResult>(std::move(sources),
+                                                         labels, order_keys);
+  } else {
+    merged = std::make_unique<IterationMergedResult>(std::move(sources), labels);
+  }
+
+  if (ctx.distinct) {
+    merged = std::make_unique<DistinctDecoratorResult>(std::move(merged));
+  }
+  if (ctx.limit.has_value()) {
+    merged = std::make_unique<LimitDecoratorResult>(std::move(merged), *ctx.limit);
+  }
+  if (visible < merged->columns().size()) {
+    merged = std::make_unique<ProjectionDecoratorResult>(std::move(merged), visible);
+  }
+  return engine::ExecResult::Query(std::move(merged));
+}
+
+}  // namespace sphere::core

@@ -1,0 +1,33 @@
+#ifndef SPHERE_CORE_MERGE_H_
+#define SPHERE_CORE_MERGE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/rewrite.h"
+#include "engine/result_set.h"
+
+namespace sphere::core {
+
+/// The result merger (paper §VI-E): combines the per-shard ExecResults of one
+/// logical statement into a single result.
+///
+/// Queries merge through a pipeline of mergers and decorators, mirroring the
+/// original architecture:
+///   - iteration merger: plain concatenation of cursors,
+///   - order-by stream merger: k-way merge with a priority queue,
+///   - group-by stream merger: aggregation over group-key-sorted cursors,
+///   - group-by memory merger: hash aggregation when inputs are unsorted,
+///   - decorators: AVG recomputation, DISTINCT, pagination, projection of
+///     derived columns away.
+/// Updates merge by summing affected row counts.
+class MergeEngine {
+ public:
+  /// `results` must align 1:1 with the rewrite's SQL units.
+  Result<engine::ExecResult> Merge(std::vector<engine::ExecResult> results,
+                                   const MergeContext& context) const;
+};
+
+}  // namespace sphere::core
+
+#endif  // SPHERE_CORE_MERGE_H_

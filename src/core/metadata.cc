@@ -1,0 +1,102 @@
+#include "core/metadata.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace sphere::core {
+
+Result<DataNode> ParseDataNode(const std::string& text) {
+  auto parts = Split(text, '.');
+  if (parts.size() != 2 || parts[0].empty() || parts[1].empty()) {
+    return Status::InvalidArgument("bad data node: " + text);
+  }
+  return DataNode(Trim(parts[0]), Trim(parts[1]));
+}
+
+namespace {
+
+/// Expands "prefix${a..b}suffix" into the enumerated strings; a plain string
+/// expands to itself.
+Result<std::vector<std::string>> ExpandRange(const std::string& text) {
+  size_t open = text.find("${");
+  if (open == std::string::npos) return std::vector<std::string>{text};
+  size_t close = text.find('}', open);
+  if (close == std::string::npos) {
+    return Status::InvalidArgument("unterminated ${..} in " + text);
+  }
+  std::string prefix = text.substr(0, open);
+  std::string suffix = text.substr(close + 1);
+  std::string range = text.substr(open + 2, close - open - 2);
+  size_t dots = range.find("..");
+  if (dots == std::string::npos) {
+    return Status::InvalidArgument("expected ${lo..hi} in " + text);
+  }
+  std::string lo_text = Trim(range.substr(0, dots));
+  std::string hi_text = Trim(range.substr(dots + 2));
+  char* lo_end = nullptr;
+  char* hi_end = nullptr;
+  long lo = std::strtol(lo_text.c_str(), &lo_end, 10);
+  long hi = std::strtol(hi_text.c_str(), &hi_end, 10);
+  if (lo_text.empty() || hi_text.empty() || *lo_end != '\0' || *hi_end != '\0') {
+    return Status::InvalidArgument("non-numeric bound in " + text);
+  }
+  if (hi < lo || hi - lo > 100000) {
+    return Status::InvalidArgument("bad range in " + text);
+  }
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(hi - lo + 1));
+  for (long i = lo; i <= hi; ++i) {
+    out.push_back(prefix + std::to_string(i) + suffix);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<DataNode>> ExpandDataNodes(const std::string& expression) {
+  std::vector<DataNode> nodes;
+  for (const std::string& piece : Split(expression, ',')) {
+    std::string text = Trim(piece);
+    if (text.empty()) continue;
+    size_t dot = text.find('.');
+    // The dot may sit inside ${..}; find the dot that separates ds from table
+    // by scanning outside brace groups.
+    int depth = 0;
+    dot = std::string::npos;
+    for (size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '{') ++depth;
+      else if (text[i] == '}') --depth;
+      else if (text[i] == '.' && depth == 0 &&
+               !(i + 1 < text.size() && text[i + 1] == '.')) {
+        dot = i;
+        break;
+      }
+    }
+    if (dot == std::string::npos) {
+      return Status::InvalidArgument("bad data node expression: " + text);
+    }
+    SPHERE_ASSIGN_OR_RETURN(std::vector<std::string> ds_list,
+                            ExpandRange(text.substr(0, dot)));
+    SPHERE_ASSIGN_OR_RETURN(std::vector<std::string> tbl_list,
+                            ExpandRange(text.substr(dot + 1)));
+    if (ds_list.size() > 1 && tbl_list.size() > 1) {
+      // Joint expansion: table k -> data source (k mod #ds).
+      for (size_t k = 0; k < tbl_list.size(); ++k) {
+        nodes.emplace_back(ds_list[k % ds_list.size()], tbl_list[k]);
+      }
+    } else {
+      for (const auto& ds : ds_list) {
+        for (const auto& tbl : tbl_list) {
+          nodes.emplace_back(ds, tbl);
+        }
+      }
+    }
+  }
+  if (nodes.empty()) {
+    return Status::InvalidArgument("empty data node expression");
+  }
+  return nodes;
+}
+
+}  // namespace sphere::core

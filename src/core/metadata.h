@@ -1,0 +1,44 @@
+#ifndef SPHERE_CORE_METADATA_H_
+#define SPHERE_CORE_METADATA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sphere::core {
+
+/// The atomic unit of sharding (paper §IV-A): one actual table in one data
+/// source, e.g. "ds_0.t_user_1".
+struct DataNode {
+  std::string data_source;
+  std::string table;
+
+  DataNode() = default;
+  DataNode(std::string ds, std::string tbl)
+      : data_source(std::move(ds)), table(std::move(tbl)) {}
+
+  std::string ToString() const { return data_source + "." + table; }
+
+  bool operator==(const DataNode& o) const {
+    return data_source == o.data_source && table == o.table;
+  }
+  bool operator<(const DataNode& o) const {
+    return data_source != o.data_source ? data_source < o.data_source
+                                        : table < o.table;
+  }
+};
+
+/// Parses "ds.table"; fails on malformed input.
+Result<DataNode> ParseDataNode(const std::string& text);
+
+/// Expands an inline data-node expression of the form
+/// "ds_${0..1}.t_user_${0..3}" (either or both ranges may be literal).
+/// The produced order iterates the table range in the outer loop so that
+/// table suffix k lands on data source (k mod #ds), matching the AutoTable
+/// layout of the paper's §V-A example.
+Result<std::vector<DataNode>> ExpandDataNodes(const std::string& expression);
+
+}  // namespace sphere::core
+
+#endif  // SPHERE_CORE_METADATA_H_

@@ -1,0 +1,437 @@
+#include "core/route.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "core/hint.h"
+
+namespace sphere::core {
+
+namespace {
+
+/// True when a condition's qualifier can refer to this table (matches the
+/// logic table name or its alias, or is unqualified).
+bool Applies(const sql::ColumnCondition& cond, const std::string& logic,
+             const sql::TableRef* ref) {
+  if (cond.table.empty()) return true;
+  if (EqualsIgnoreCase(cond.table, logic)) return true;
+  return ref != nullptr && !ref->alias.empty() &&
+         EqualsIgnoreCase(cond.table, ref->alias);
+}
+
+const sql::ColumnCondition* FindCondition(const sql::ConditionGroup& group,
+                                          const std::string& column,
+                                          const std::string& logic,
+                                          const sql::TableRef* ref) {
+  for (const auto& cond : group) {
+    if (EqualsIgnoreCase(cond.column, column) && Applies(cond, logic, ref)) {
+      return &cond;
+    }
+  }
+  return nullptr;
+}
+
+void AddUnique(std::vector<std::string>* out, const std::string& v) {
+  if (std::find(out->begin(), out->end(), v) == out->end()) out->push_back(v);
+}
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+}  // namespace
+
+const std::string* RouteUnit::ActualOf(const std::string& logic) const {
+  for (const auto& m : mappings) {
+    if (EqualsIgnoreCase(m.logic, logic)) return &m.actual;
+  }
+  return nullptr;
+}
+
+Result<std::vector<std::string>> RouteEngine::ShardLevel(
+    const ShardingStrategyConfig& strategy, const ShardingAlgorithm* algorithm,
+    const std::vector<std::string>& targets, const sql::ConditionGroup& group,
+    const TableContext& table) const {
+  if (strategy.empty() || algorithm == nullptr) return targets;
+
+  // Hint strategy: value comes from the thread-local HintManager.
+  if (std::string(algorithm->Type()) == "HINT_INLINE") {
+    auto hint = HintManager::GetShardingValue();
+    if (!hint.has_value()) return targets;
+    SPHERE_ASSIGN_OR_RETURN(std::string t, algorithm->DoSharding(targets, *hint));
+    return std::vector<std::string>{t};
+  }
+
+  // Complex (multi-column) strategy: needs equality on every column.
+  if (strategy.complex()) {
+    std::map<std::string, Value> values;
+    for (const auto& col : strategy.columns) {
+      const sql::ColumnCondition* cond =
+          FindCondition(group, col, table.logic, table.ref);
+      if (cond == nullptr || cond->kind != sql::ColumnCondition::Kind::kEqual) {
+        return targets;  // insufficient information: full level
+      }
+      values[col] = cond->values[0];
+    }
+    SPHERE_ASSIGN_OR_RETURN(std::string t,
+                            algorithm->DoComplexSharding(targets, values));
+    return std::vector<std::string>{t};
+  }
+
+  const std::string& column = strategy.columns.empty() ? "" : strategy.columns[0];
+  const sql::ColumnCondition* cond =
+      FindCondition(group, column, table.logic, table.ref);
+  if (cond == nullptr) return targets;
+
+  switch (cond->kind) {
+    case sql::ColumnCondition::Kind::kEqual:
+    case sql::ColumnCondition::Kind::kIn: {
+      std::vector<std::string> out;
+      for (const Value& v : cond->values) {
+        SPHERE_ASSIGN_OR_RETURN(std::string t, algorithm->DoSharding(targets, v));
+        AddUnique(&out, t);
+      }
+      return out;
+    }
+    case sql::ColumnCondition::Kind::kRange:
+      return algorithm->DoRangeSharding(targets, cond->low, cond->high);
+  }
+  return targets;
+}
+
+Result<std::vector<size_t>> RouteEngine::RouteTable(
+    const TableContext& table,
+    const std::vector<sql::ConditionGroup>& groups) const {
+  const TableRule* rule = table.rule;
+  std::set<size_t> result;
+
+  std::vector<sql::ConditionGroup> effective = groups;
+  if (effective.empty()) effective.emplace_back();  // no WHERE: full route
+
+  for (const auto& group : effective) {
+    SPHERE_ASSIGN_OR_RETURN(
+        std::vector<std::string> ds_set,
+        ShardLevel(rule->database_strategy(), rule->database_algorithm(),
+                   rule->data_sources(), group, table));
+    SPHERE_ASSIGN_OR_RETURN(
+        std::vector<std::string> table_set,
+        ShardLevel(rule->table_strategy(), rule->table_algorithm(),
+                   rule->actual_tables(), group, table));
+    const auto& nodes = rule->actual_nodes();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (Contains(ds_set, nodes[i].data_source) &&
+          Contains(table_set, nodes[i].table)) {
+        result.insert(i);
+      }
+    }
+  }
+  if (result.empty()) {
+    return Status::RouteError("no data node matched for table " + table.logic);
+  }
+  return std::vector<size_t>(result.begin(), result.end());
+}
+
+Result<RouteResult> RouteEngine::RouteSelectLike(
+    const sql::Statement& stmt, const std::vector<TableContext>& tables,
+    const sql::Expr* where, const std::vector<Value>& params) const {
+  (void)stmt;
+  std::vector<const TableContext*> sharded;
+  std::vector<const TableContext*> broadcast;
+  std::vector<const TableContext*> single;
+  for (const auto& t : tables) {
+    if (t.rule != nullptr) {
+      sharded.push_back(&t);
+    } else if (rule_->IsBroadcastTable(t.logic)) {
+      broadcast.push_back(&t);
+    } else {
+      single.push_back(&t);
+    }
+  }
+
+  RouteResult result;
+  if (sharded.empty()) {
+    if (!broadcast.empty() && single.empty()) {
+      // A read on broadcast tables can go to any node; writes must reach all.
+      bool is_write = stmt.kind() != sql::StatementKind::kSelect;
+      std::vector<std::string> all_ds = rule_->AllDataSources();
+      if (all_ds.empty()) {
+        return Status::RouteError("no data sources configured");
+      }
+      if (is_write) {
+        result.type = RouteType::kBroadcast;
+        for (const auto& ds : all_ds) {
+          result.units.push_back(RouteUnit{ds, {}, {}});
+        }
+      } else {
+        result.type = RouteType::kUnicast;
+        result.units.push_back(RouteUnit{all_ds[0], {}, {}});
+      }
+      return result;
+    }
+    if (rule_->default_data_source().empty()) {
+      return Status::RouteError("no rule for table and no default data source");
+    }
+    result.type = RouteType::kSingle;
+    result.units.push_back(RouteUnit{rule_->default_data_source(), {}, {}});
+    return result;
+  }
+
+  if (!single.empty()) {
+    return Status::RouteError(
+        "cannot join sharded table with unsharded single table " +
+        single[0]->logic);
+  }
+
+  auto groups = sql::ExtractConditionGroups(where, params);
+
+  if (sharded.size() == 1) {
+    // Standard route.
+    const TableContext& t = *sharded[0];
+    SPHERE_ASSIGN_OR_RETURN(std::vector<size_t> nodes, RouteTable(t, groups));
+    result.type = RouteType::kStandard;
+    for (size_t idx : nodes) {
+      const DataNode& node = t.rule->actual_nodes()[idx];
+      RouteUnit unit;
+      unit.data_source = node.data_source;
+      unit.mappings.push_back({t.logic, node.table});
+      result.units.push_back(std::move(unit));
+    }
+    return result;
+  }
+
+  // Multiple sharded tables: binding route when every pair is bound.
+  bool all_binding = true;
+  for (size_t i = 1; i < sharded.size(); ++i) {
+    if (!rule_->IsBinding(sharded[0]->logic, sharded[i]->logic)) {
+      all_binding = false;
+      break;
+    }
+  }
+
+  if (all_binding) {
+    const TableContext& primary = *sharded[0];
+    SPHERE_ASSIGN_OR_RETURN(std::vector<size_t> nodes,
+                            RouteTable(primary, groups));
+    result.type = RouteType::kStandard;
+    for (size_t idx : nodes) {
+      const DataNode& node = primary.rule->actual_nodes()[idx];
+      RouteUnit unit;
+      unit.data_source = node.data_source;
+      unit.mappings.push_back({primary.logic, node.table});
+      // Binding tables align node-for-node (validated at rule build).
+      for (size_t i = 1; i < sharded.size(); ++i) {
+        const DataNode& bound = sharded[i]->rule->actual_nodes()[idx];
+        unit.mappings.push_back({sharded[i]->logic, bound.table});
+      }
+      result.units.push_back(std::move(unit));
+    }
+    return result;
+  }
+
+  // Cartesian route: per data source, cross product of each table's routed
+  // actual tables in that data source.
+  result.type = RouteType::kCartesian;
+  std::vector<std::vector<size_t>> routed;
+  routed.reserve(sharded.size());
+  for (const auto* t : sharded) {
+    SPHERE_ASSIGN_OR_RETURN(std::vector<size_t> nodes, RouteTable(*t, groups));
+    routed.push_back(std::move(nodes));
+  }
+  for (const std::string& ds : rule_->AllDataSources()) {
+    // Tables of each logic table routed onto this data source.
+    std::vector<std::vector<const DataNode*>> per_table;
+    bool all_present = true;
+    for (size_t i = 0; i < sharded.size(); ++i) {
+      std::vector<const DataNode*> here;
+      for (size_t idx : routed[i]) {
+        const DataNode& node = sharded[i]->rule->actual_nodes()[idx];
+        if (node.data_source == ds) here.push_back(&node);
+      }
+      if (here.empty()) {
+        all_present = false;
+        break;
+      }
+      per_table.push_back(std::move(here));
+    }
+    if (!all_present) continue;
+    // Cross product (odometer enumeration).
+    std::vector<size_t> cursor(per_table.size(), 0);
+    bool exhausted = false;
+    while (!exhausted) {
+      RouteUnit unit;
+      unit.data_source = ds;
+      for (size_t i = 0; i < per_table.size(); ++i) {
+        unit.mappings.push_back({sharded[i]->logic, per_table[i][cursor[i]]->table});
+      }
+      result.units.push_back(std::move(unit));
+      int level = static_cast<int>(per_table.size()) - 1;
+      while (level >= 0) {
+        size_t l = static_cast<size_t>(level);
+        if (++cursor[l] < per_table[l].size()) break;
+        cursor[l] = 0;
+        --level;
+      }
+      if (level < 0) exhausted = true;
+    }
+  }
+  if (result.units.empty()) {
+    return Status::RouteError("cartesian route produced no units");
+  }
+  return result;
+}
+
+Result<RouteResult> RouteEngine::RouteInsert(
+    const sql::InsertStatement& stmt, const std::vector<Value>& params) const {
+  const TableRule* table_rule = rule_->FindTableRule(stmt.table.name);
+  RouteResult result;
+
+  if (table_rule == nullptr) {
+    if (rule_->IsBroadcastTable(stmt.table.name)) {
+      result.type = RouteType::kBroadcast;
+      for (const auto& ds : rule_->AllDataSources()) {
+        RouteUnit unit{ds, {}, {}};
+        for (size_t r = 0; r < stmt.rows.size(); ++r) unit.insert_rows.push_back(r);
+        result.units.push_back(std::move(unit));
+      }
+      return result;
+    }
+    if (rule_->default_data_source().empty()) {
+      return Status::RouteError("no rule for table " + stmt.table.name);
+    }
+    result.type = RouteType::kSingle;
+    RouteUnit unit{rule_->default_data_source(), {}, {}};
+    for (size_t r = 0; r < stmt.rows.size(); ++r) unit.insert_rows.push_back(r);
+    result.units.push_back(std::move(unit));
+    return result;
+  }
+
+  // Sharded insert: route each VALUES row by its sharding values.
+  result.type = RouteType::kStandard;
+  std::map<size_t, std::vector<size_t>> rows_by_node;  // node index -> rows
+  TableContext ctx{&stmt.table, stmt.table.name, table_rule};
+  for (size_t r = 0; r < stmt.rows.size(); ++r) {
+    // Build a synthetic equality condition group from this row's values.
+    sql::ConditionGroup group;
+    auto add_value = [&](const std::string& column) -> Status {
+      for (size_t c = 0; c < stmt.columns.size(); ++c) {
+        if (!EqualsIgnoreCase(stmt.columns[c], column)) continue;
+        auto v = sql::EvalConstExpr(stmt.rows[r][c].get(), params);
+        if (!v.has_value()) {
+          return Status::RouteError("non-constant sharding value in INSERT");
+        }
+        sql::ColumnCondition cond;
+        cond.column = column;
+        cond.kind = sql::ColumnCondition::Kind::kEqual;
+        cond.values.push_back(*v);
+        group.push_back(std::move(cond));
+        return Status::OK();
+      }
+      return Status::RouteError("INSERT misses sharding column " + column);
+    };
+    for (const auto& col : table_rule->database_strategy().columns) {
+      SPHERE_RETURN_NOT_OK(add_value(col));
+    }
+    for (const auto& col : table_rule->table_strategy().columns) {
+      SPHERE_RETURN_NOT_OK(add_value(col));
+    }
+    SPHERE_ASSIGN_OR_RETURN(std::vector<size_t> nodes, RouteTable(ctx, {group}));
+    if (nodes.size() != 1) {
+      return Status::RouteError("INSERT row routed to " +
+                                std::to_string(nodes.size()) + " nodes");
+    }
+    rows_by_node[nodes[0]].push_back(r);
+  }
+  for (const auto& [node_idx, rows] : rows_by_node) {
+    const DataNode& node = table_rule->actual_nodes()[node_idx];
+    RouteUnit unit;
+    unit.data_source = node.data_source;
+    unit.mappings.push_back({stmt.table.name, node.table});
+    unit.insert_rows = rows;
+    result.units.push_back(std::move(unit));
+  }
+  return result;
+}
+
+Result<RouteResult> RouteEngine::RouteDDL(const std::string& table) const {
+  const TableRule* table_rule = rule_->FindTableRule(table);
+  RouteResult result;
+  if (table_rule != nullptr) {
+    // One unit per actual node: the DDL must reach every physical table.
+    result.type = RouteType::kBroadcast;
+    for (const auto& node : table_rule->actual_nodes()) {
+      RouteUnit unit;
+      unit.data_source = node.data_source;
+      unit.mappings.push_back({table, node.table});
+      result.units.push_back(std::move(unit));
+    }
+    return result;
+  }
+  if (rule_->IsBroadcastTable(table)) {
+    result.type = RouteType::kBroadcast;
+    for (const auto& ds : rule_->AllDataSources()) {
+      result.units.push_back(RouteUnit{ds, {}, {}});
+    }
+    return result;
+  }
+  if (rule_->default_data_source().empty()) {
+    return Status::RouteError("no rule and no default data source for " + table);
+  }
+  result.type = RouteType::kSingle;
+  result.units.push_back(RouteUnit{rule_->default_data_source(), {}, {}});
+  return result;
+}
+
+Result<RouteResult> RouteEngine::Route(const sql::Statement& stmt,
+                                       const std::vector<Value>& params) const {
+  switch (stmt.kind()) {
+    case sql::StatementKind::kSelect: {
+      const auto& sel = static_cast<const sql::SelectStatement&>(stmt);
+      if (sel.from.empty()) {
+        // SELECT without FROM: any single data source will do.
+        RouteResult r;
+        r.type = RouteType::kUnicast;
+        std::vector<std::string> ds = rule_->AllDataSources();
+        if (ds.empty() && !rule_->default_data_source().empty()) {
+          ds.push_back(rule_->default_data_source());
+        }
+        if (ds.empty()) return Status::RouteError("no data sources");
+        r.units.push_back(RouteUnit{ds[0], {}, {}});
+        return r;
+      }
+      std::vector<TableContext> tables;
+      for (const sql::TableRef* ref : sel.AllTables()) {
+        tables.push_back(
+            TableContext{ref, ref->name, rule_->FindTableRule(ref->name)});
+      }
+      return RouteSelectLike(stmt, tables, sel.where.get(), params);
+    }
+    case sql::StatementKind::kInsert:
+      return RouteInsert(static_cast<const sql::InsertStatement&>(stmt), params);
+    case sql::StatementKind::kUpdate: {
+      const auto& up = static_cast<const sql::UpdateStatement&>(stmt);
+      std::vector<TableContext> tables{
+          TableContext{&up.table, up.table.name, rule_->FindTableRule(up.table.name)}};
+      return RouteSelectLike(stmt, tables, up.where.get(), params);
+    }
+    case sql::StatementKind::kDelete: {
+      const auto& del = static_cast<const sql::DeleteStatement&>(stmt);
+      std::vector<TableContext> tables{
+          TableContext{&del.table, del.table.name,
+                       rule_->FindTableRule(del.table.name)}};
+      return RouteSelectLike(stmt, tables, del.where.get(), params);
+    }
+    case sql::StatementKind::kCreateTable:
+      return RouteDDL(static_cast<const sql::CreateTableStatement&>(stmt).table);
+    case sql::StatementKind::kDropTable:
+      return RouteDDL(static_cast<const sql::DropTableStatement&>(stmt).table);
+    case sql::StatementKind::kTruncate:
+      return RouteDDL(static_cast<const sql::TruncateStatement&>(stmt).table);
+    case sql::StatementKind::kCreateIndex:
+      return RouteDDL(static_cast<const sql::CreateIndexStatement&>(stmt).table);
+    default:
+      return Status::RouteError("statement kind is not routable");
+  }
+}
+
+}  // namespace sphere::core

@@ -1,0 +1,88 @@
+#ifndef SPHERE_CORE_ROUTE_H_
+#define SPHERE_CORE_ROUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/rule.h"
+#include "sql/ast.h"
+#include "sql/condition.h"
+
+namespace sphere::core {
+
+/// logic table -> actual table substitution within one route unit.
+struct TableMapping {
+  std::string logic;
+  std::string actual;
+};
+
+/// One physical SQL destination: a data source plus the table substitutions
+/// to apply there.
+struct RouteUnit {
+  std::string data_source;
+  std::vector<TableMapping> mappings;
+  /// INSERT only: which VALUES rows belong to this unit.
+  std::vector<size_t> insert_rows;
+
+  /// Actual name for `logic` in this unit, or nullptr (not renamed here).
+  const std::string* ActualOf(const std::string& logic) const;
+};
+
+/// How the statement was routed (observability + tests).
+enum class RouteType {
+  kStandard,   ///< single sharded table or binding group
+  kCartesian,  ///< non-binding multi-table join
+  kBroadcast,  ///< all data sources / all nodes (DDL, broadcast tables)
+  kSingle,     ///< unsharded table on the default data source
+  kUnicast,    ///< any one node is enough (e.g. SELECT on broadcast table)
+};
+
+struct RouteResult {
+  RouteType type = RouteType::kSingle;
+  std::vector<RouteUnit> units;
+
+  bool IsSingleUnit() const { return units.size() == 1; }
+};
+
+/// The SQL router (paper §V-B... §VI): matches a logical statement onto data
+/// nodes using the sharding rule, the extracted conditions and hints.
+class RouteEngine {
+ public:
+  explicit RouteEngine(const ShardingRule* rule) : rule_(rule) {}
+
+  Result<RouteResult> Route(const sql::Statement& stmt,
+                            const std::vector<Value>& params) const;
+
+ private:
+  struct TableContext {
+    const sql::TableRef* ref;        // may be null (DDL)
+    std::string logic;               // logic table name
+    const TableRule* rule;           // null when not sharded
+  };
+
+  Result<RouteResult> RouteSelectLike(const sql::Statement& stmt,
+                                      const std::vector<TableContext>& tables,
+                                      const sql::Expr* where,
+                                      const std::vector<Value>& params) const;
+  Result<RouteResult> RouteInsert(const sql::InsertStatement& stmt,
+                                  const std::vector<Value>& params) const;
+  Result<RouteResult> RouteDDL(const std::string& table) const;
+
+  /// Node indices (into rule->actual_nodes()) matching the condition groups.
+  Result<std::vector<size_t>> RouteTable(
+      const TableContext& table,
+      const std::vector<sql::ConditionGroup>& groups) const;
+
+  /// Target subset produced by one strategy level for one condition group.
+  Result<std::vector<std::string>> ShardLevel(
+      const ShardingStrategyConfig& strategy, const ShardingAlgorithm* algorithm,
+      const std::vector<std::string>& targets, const sql::ConditionGroup& group,
+      const TableContext& table) const;
+
+  const ShardingRule* rule_;
+};
+
+}  // namespace sphere::core
+
+#endif  // SPHERE_CORE_ROUTE_H_

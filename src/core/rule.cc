@@ -1,0 +1,171 @@
+#include "core/rule.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace sphere::core {
+
+namespace {
+
+/// AutoTable layout: table suffix k lives on resource (k mod #resources).
+std::vector<DataNode> AutoTableNodes(const std::string& logic_table,
+                                     const std::vector<std::string>& resources,
+                                     int count) {
+  std::vector<DataNode> nodes;
+  nodes.reserve(static_cast<size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    nodes.emplace_back(resources[static_cast<size_t>(k) % resources.size()],
+                       logic_table + "_" + std::to_string(k));
+  }
+  return nodes;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TableRule>> TableRule::Build(
+    const TableRuleConfig& config, uint16_t keygen_worker_id) {
+  auto rule = std::make_unique<TableRule>();
+  rule->config_ = config;
+
+  if (!config.actual_data_nodes.empty()) {
+    SPHERE_ASSIGN_OR_RETURN(rule->actual_nodes_,
+                            ExpandDataNodes(config.actual_data_nodes));
+  } else if (!config.auto_resources.empty() && config.auto_sharding_count > 0) {
+    rule->actual_nodes_ = AutoTableNodes(config.logic_table,
+                                         config.auto_resources,
+                                         config.auto_sharding_count);
+  } else {
+    return Status::InvalidArgument(
+        "table rule " + config.logic_table +
+        " needs actual_data_nodes or auto resources + sharding count");
+  }
+
+  for (const auto& node : rule->actual_nodes_) {
+    if (std::find(rule->data_sources_.begin(), rule->data_sources_.end(),
+                  node.data_source) == rule->data_sources_.end()) {
+      rule->data_sources_.push_back(node.data_source);
+    }
+    if (std::find(rule->actual_tables_.begin(), rule->actual_tables_.end(),
+                  node.table) == rule->actual_tables_.end()) {
+      rule->actual_tables_.push_back(node.table);
+    }
+    rule->tables_by_ds_[node.data_source].push_back(node.table);
+  }
+
+  if (!config.database_strategy.empty()) {
+    SPHERE_ASSIGN_OR_RETURN(
+        rule->database_algorithm_,
+        CreateShardingAlgorithm(config.database_strategy.algorithm_type,
+                                config.database_strategy.props));
+  }
+  if (!config.table_strategy.empty()) {
+    SPHERE_ASSIGN_OR_RETURN(
+        rule->table_algorithm_,
+        CreateShardingAlgorithm(config.table_strategy.algorithm_type,
+                                config.table_strategy.props));
+  }
+  if (!config.keygen_column.empty()) {
+    rule->keygen_ = CreateKeyGenerator(config.keygen_type, keygen_worker_id);
+    if (rule->keygen_ == nullptr) {
+      return Status::NotFound("key generator type " + config.keygen_type);
+    }
+  }
+  return rule;
+}
+
+const std::vector<std::string>& TableRule::TablesIn(const std::string& ds) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = tables_by_ds_.find(ds);
+  return it == tables_by_ds_.end() ? kEmpty : it->second;
+}
+
+bool TableRule::IsShardingColumn(const std::string& column) const {
+  for (const auto& c : config_.database_strategy.columns) {
+    if (EqualsIgnoreCase(c, column)) return true;
+  }
+  for (const auto& c : config_.table_strategy.columns) {
+    if (EqualsIgnoreCase(c, column)) return true;
+  }
+  return false;
+}
+
+Result<std::unique_ptr<ShardingRule>> ShardingRule::Build(
+    ShardingRuleConfig config) {
+  auto rule = std::make_unique<ShardingRule>();
+  uint16_t worker = 0;
+  for (const auto& table_config : config.tables) {
+    SPHERE_ASSIGN_OR_RETURN(std::unique_ptr<TableRule> table,
+                            TableRule::Build(table_config, worker++));
+    std::string key = ToLower(table_config.logic_table);
+    if (rule->tables_.count(key)) {
+      return Status::AlreadyExists("duplicate rule for " +
+                                   table_config.logic_table);
+    }
+    rule->tables_[key] = std::move(table);
+  }
+  // Validate binding groups: same node count and same data sources.
+  for (const auto& group : config.binding_groups) {
+    const TableRule* first = nullptr;
+    for (const auto& name : group) {
+      const auto it = rule->tables_.find(ToLower(name));
+      if (it == rule->tables_.end()) {
+        return Status::InvalidArgument("binding table " + name + " has no rule");
+      }
+      if (first == nullptr) {
+        first = it->second.get();
+      } else if (it->second->actual_nodes().size() !=
+                 first->actual_nodes().size()) {
+        return Status::InvalidArgument(
+            "binding tables must shard into the same number of nodes: " + name);
+      }
+    }
+  }
+  rule->config_ = std::move(config);
+  return rule;
+}
+
+const TableRule* ShardingRule::FindTableRule(
+    const std::string& logic_table) const {
+  auto it = tables_.find(ToLower(logic_table));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+bool ShardingRule::IsBroadcastTable(const std::string& logic_table) const {
+  for (const auto& t : config_.broadcast_tables) {
+    if (EqualsIgnoreCase(t, logic_table)) return true;
+  }
+  return false;
+}
+
+bool ShardingRule::IsBinding(const std::string& a, const std::string& b) const {
+  for (const auto& group : config_.binding_groups) {
+    bool has_a = false, has_b = false;
+    for (const auto& name : group) {
+      if (EqualsIgnoreCase(name, a)) has_a = true;
+      if (EqualsIgnoreCase(name, b)) has_b = true;
+    }
+    if (has_a && has_b) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ShardingRule::AllDataSources() const {
+  std::set<std::string> set;
+  for (const auto& [name, table] : tables_) {
+    for (const auto& ds : table->data_sources()) set.insert(ds);
+  }
+  if (!config_.default_data_source.empty()) {
+    set.insert(config_.default_data_source);
+  }
+  return std::vector<std::string>(set.begin(), set.end());
+}
+
+std::vector<std::string> ShardingRule::LogicTables() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) out.push_back(table->logic_table());
+  return out;
+}
+
+}  // namespace sphere::core

@@ -1,0 +1,133 @@
+#ifndef SPHERE_CORE_RULE_H_
+#define SPHERE_CORE_RULE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/keygen.h"
+#include "common/properties.h"
+#include "common/result.h"
+#include "core/algorithm.h"
+#include "core/metadata.h"
+
+namespace sphere::core {
+
+/// How one level (data source or table) of a logic table shards.
+struct ShardingStrategyConfig {
+  std::vector<std::string> columns;  ///< sharding key column(s); empty = none
+  std::string algorithm_type;        ///< e.g. "MOD"
+  Properties props;
+
+  bool empty() const { return algorithm_type.empty(); }
+  bool complex() const { return columns.size() > 1; }
+};
+
+/// Declarative configuration of one sharded logic table.
+struct TableRuleConfig {
+  std::string logic_table;
+  /// Explicit actual nodes ("ds_${0..1}.t_user_${0..3}"), or empty when
+  /// auto_table below is used.
+  std::string actual_data_nodes;
+  ShardingStrategyConfig database_strategy;
+  ShardingStrategyConfig table_strategy;
+  std::string keygen_column;  ///< generated-key column, optional
+  std::string keygen_type = "SNOWFLAKE";
+
+  /// AutoTable (paper §V-A): give data sources + shard count instead of
+  /// explicit nodes; the platform computes the layout.
+  std::vector<std::string> auto_resources;
+  int auto_sharding_count = 0;
+};
+
+/// Whole-schema sharding configuration.
+struct ShardingRuleConfig {
+  std::vector<TableRuleConfig> tables;
+  /// Groups of logic tables sharded identically (paper's binding tables).
+  std::vector<std::vector<std::string>> binding_groups;
+  /// Tables fully replicated to every data source.
+  std::set<std::string> broadcast_tables;
+  /// Data source for tables with no rule (single tables).
+  std::string default_data_source;
+};
+
+/// Compiled rule for one logic table: resolved node lists + live algorithm
+/// instances + key generator.
+class TableRule {
+ public:
+  static Result<std::unique_ptr<TableRule>> Build(const TableRuleConfig& config,
+                                                  uint16_t keygen_worker_id);
+
+  const std::string& logic_table() const { return config_.logic_table; }
+  const TableRuleConfig& config() const { return config_; }
+  const std::vector<DataNode>& actual_nodes() const { return actual_nodes_; }
+  /// Distinct data source names, first-appearance order.
+  const std::vector<std::string>& data_sources() const { return data_sources_; }
+  /// Distinct actual table names, first-appearance order.
+  const std::vector<std::string>& actual_tables() const { return actual_tables_; }
+  /// Actual tables hosted by one data source.
+  const std::vector<std::string>& TablesIn(const std::string& ds) const;
+
+  const ShardingAlgorithm* database_algorithm() const {
+    return database_algorithm_.get();
+  }
+  const ShardingAlgorithm* table_algorithm() const {
+    return table_algorithm_.get();
+  }
+  const ShardingStrategyConfig& database_strategy() const {
+    return config_.database_strategy;
+  }
+  const ShardingStrategyConfig& table_strategy() const {
+    return config_.table_strategy;
+  }
+
+  /// True when `column` is a sharding key at either level.
+  bool IsShardingColumn(const std::string& column) const;
+
+  KeyGenerator* key_generator() const { return keygen_.get(); }
+  const std::string& keygen_column() const { return config_.keygen_column; }
+
+ private:
+  TableRuleConfig config_;
+  std::vector<DataNode> actual_nodes_;
+  std::vector<std::string> data_sources_;
+  std::vector<std::string> actual_tables_;
+  std::map<std::string, std::vector<std::string>> tables_by_ds_;
+  std::unique_ptr<ShardingAlgorithm> database_algorithm_;
+  std::unique_ptr<ShardingAlgorithm> table_algorithm_;
+  std::unique_ptr<KeyGenerator> keygen_;
+};
+
+/// Compiled schema-wide rule: the router's main input.
+class ShardingRule {
+ public:
+  static Result<std::unique_ptr<ShardingRule>> Build(ShardingRuleConfig config);
+
+  const ShardingRuleConfig& config() const { return config_; }
+
+  /// The rule for `logic_table` or nullptr (not sharded).
+  const TableRule* FindTableRule(const std::string& logic_table) const;
+  bool IsShardedTable(const std::string& logic_table) const {
+    return FindTableRule(logic_table) != nullptr;
+  }
+  bool IsBroadcastTable(const std::string& logic_table) const;
+  /// True when the two tables are in one binding group.
+  bool IsBinding(const std::string& a, const std::string& b) const;
+
+  const std::string& default_data_source() const {
+    return config_.default_data_source;
+  }
+  /// Every data source referenced by any rule (plus the default), sorted.
+  std::vector<std::string> AllDataSources() const;
+  std::vector<std::string> LogicTables() const;
+
+ private:
+  ShardingRuleConfig config_;
+  std::map<std::string, std::unique_ptr<TableRule>> tables_;  // lower-case key
+};
+
+}  // namespace sphere::core
+
+#endif  // SPHERE_CORE_RULE_H_

@@ -1,0 +1,133 @@
+#include "core/runtime.h"
+
+#include "common/strings.h"
+
+namespace sphere::core {
+
+ShardingRuntime::ShardingRuntime(RuntimeConfig config, net::NetworkConfig network)
+    : config_(config), network_(network), dialect_(sql::Dialect::Get(config.dialect)),
+      executor_(&registry_, config.max_connections_per_query) {
+  // An empty rule still routes unsharded tables to the default data source
+  // once SetRule is called; start with a null rule (Execute requires one).
+}
+
+Status ShardingRuntime::AttachNode(const std::string& name,
+                                   engine::StorageNode* node) {
+  return registry_.Register(std::make_unique<net::DataSource>(
+      name, node, &network_, config_.pool_size_per_source));
+}
+
+Status ShardingRuntime::SetRule(ShardingRuleConfig config) {
+  SPHERE_ASSIGN_OR_RETURN(rule_, ShardingRule::Build(std::move(config)));
+  // Validate that every referenced data source is attached.
+  for (const auto& ds : rule_->AllDataSources()) {
+    if (registry_.Find(ds) == nullptr) {
+      rule_.reset();
+      return Status::NotFound("rule references unattached data source " + ds);
+    }
+  }
+  return Status::OK();
+}
+
+Result<sql::StatementPtr> ShardingRuntime::ApplyKeyGeneration(
+    const sql::Statement& stmt, int64_t* generated) const {
+  *generated = 0;
+  if (stmt.kind() != sql::StatementKind::kInsert || rule_ == nullptr) {
+    return sql::StatementPtr(nullptr);
+  }
+  const auto& ins = static_cast<const sql::InsertStatement&>(stmt);
+  const TableRule* table_rule = rule_->FindTableRule(ins.table.name);
+  if (table_rule == nullptr || table_rule->key_generator() == nullptr ||
+      ins.columns.empty()) {
+    return sql::StatementPtr(nullptr);
+  }
+  for (const auto& c : ins.columns) {
+    if (EqualsIgnoreCase(c, table_rule->keygen_column())) {
+      return sql::StatementPtr(nullptr);  // caller supplied the key
+    }
+  }
+  // Append the generated-key column with fresh keys on every row.
+  auto clone = stmt.Clone();
+  auto* mutable_ins = static_cast<sql::InsertStatement*>(clone.get());
+  mutable_ins->columns.push_back(table_rule->keygen_column());
+  for (auto& row : mutable_ins->rows) {
+    Value key = table_rule->key_generator()->NextKey();
+    if (key.is_int()) *generated = key.AsInt();
+    row.push_back(std::make_unique<sql::LiteralExpr>(std::move(key)));
+  }
+  return clone;
+}
+
+Result<engine::ExecResult> ShardingRuntime::ExecuteStatement(
+    const sql::Statement& stmt, std::vector<Value> params,
+    ConnectionSource* txn_source, UnitObserver* observer) {
+  if (rule_ == nullptr) {
+    return Status::InvalidArgument("no sharding rule configured");
+  }
+
+  const sql::Statement* effective = &stmt;
+  sql::StatementPtr keygen_stmt;
+  int64_t generated_key = 0;
+  SPHERE_ASSIGN_OR_RETURN(keygen_stmt, ApplyKeyGeneration(stmt, &generated_key));
+  if (keygen_stmt != nullptr) effective = keygen_stmt.get();
+
+  // Feature hooks: statement-level rewrites (encrypt etc.).
+  std::vector<sql::StatementPtr> owned;
+  for (auto& interceptor : interceptors_) {
+    SPHERE_ASSIGN_OR_RETURN(sql::StatementPtr replaced,
+                            interceptor->BeforeRoute(*effective, &params));
+    if (replaced != nullptr) {
+      effective = replaced.get();
+      owned.push_back(std::move(replaced));
+    }
+  }
+
+  RouteEngine router(rule_.get());
+  SPHERE_ASSIGN_OR_RETURN(RouteResult route, router.Route(*effective, params));
+
+  RewriteEngine rewriter(dialect_);
+  SPHERE_ASSIGN_OR_RETURN(RewriteResult rewritten,
+                          rewriter.Rewrite(*effective, route, params));
+
+  bool in_txn = txn_source != nullptr;
+  for (auto& interceptor : interceptors_) {
+    SPHERE_RETURN_NOT_OK(
+        interceptor->AfterRewrite(*effective, &rewritten.units, in_txn));
+  }
+
+  SPHERE_ASSIGN_OR_RETURN(
+      ExecutionOutcome outcome,
+      executor_.Execute(rewritten.units, txn_source, observer));
+  last_mode_ = outcome.mode;
+
+  SPHERE_ASSIGN_OR_RETURN(
+      engine::ExecResult merged,
+      merger_.Merge(std::move(outcome.results), rewritten.merge));
+  if (generated_key != 0 && merged.last_insert_id == 0) {
+    merged.last_insert_id = generated_key;
+  }
+
+  for (auto it = interceptors_.rbegin(); it != interceptors_.rend(); ++it) {
+    SPHERE_ASSIGN_OR_RETURN(merged,
+                            (*it)->DecorateResult(*effective, std::move(merged)));
+  }
+  return merged;
+}
+
+Result<engine::ExecResult> ShardingRuntime::Execute(std::string_view sql_text,
+                                                    std::vector<Value> params) {
+  sql::Parser parser(dialect_);
+  SPHERE_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.Parse(sql_text));
+  return ExecuteStatement(*stmt, std::move(params), nullptr);
+}
+
+Result<RouteResult> ShardingRuntime::PreviewRoute(
+    const sql::Statement& stmt, const std::vector<Value>& params) const {
+  if (rule_ == nullptr) {
+    return Status::InvalidArgument("no sharding rule configured");
+  }
+  RouteEngine router(rule_.get());
+  return router.Route(stmt, params);
+}
+
+}  // namespace sphere::core

@@ -1,0 +1,441 @@
+#include "distsql/distsql.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "core/rewrite.h"
+#include "core/route.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "transaction/types.h"
+
+namespace sphere::distsql {
+
+namespace {
+
+using engine::ExecResult;
+using engine::VectorResultSet;
+
+ExecResult MakeTable(std::vector<std::string> columns, std::vector<Row> rows) {
+  return ExecResult::Query(
+      std::make_unique<VectorResultSet>(std::move(columns), std::move(rows)));
+}
+
+/// Cursor over a DistSQL token stream.
+class TokenCursor {
+ public:
+  static Result<TokenCursor> Lex(std::string_view text) {
+    sql::Lexer lexer(text);
+    SPHERE_ASSIGN_OR_RETURN(std::vector<sql::Token> tokens, lexer.Tokenize());
+    return TokenCursor(std::move(tokens));
+  }
+
+  const sql::Token& Peek() const { return tokens_[pos_]; }
+  const sql::Token& Advance() {
+    const sql::Token& t = tokens_[pos_];
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return t;
+  }
+  bool MatchWord(const char* w) {
+    if (Peek().IsKeyword(w)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchOp(const char* op) {
+    if (Peek().IsOperator(op)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectWord(const char* w) {
+    if (!MatchWord(w)) {
+      return Status::SyntaxError(std::string("expected ") + w + " near '" +
+                                 Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectOp(const char* op) {
+    if (!MatchOp(op)) {
+      return Status::SyntaxError(std::string("expected '") + op + "' near '" +
+                                 Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    const sql::Token& t = Peek();
+    if (t.type == sql::TokenType::kIdentifier ||
+        t.type == sql::TokenType::kKeyword ||
+        t.type == sql::TokenType::kStringLiteral) {
+      Advance();
+      return t.text;
+    }
+    return Status::SyntaxError("expected identifier near '" + t.text + "'");
+  }
+  bool AtEnd() const {
+    return Peek().type == sql::TokenType::kEof || Peek().IsOperator(";");
+  }
+
+ private:
+  explicit TokenCursor(std::vector<sql::Token> tokens)
+      : tokens_(std::move(tokens)) {}
+  std::vector<sql::Token> tokens_;
+  size_t pos_ = 0;
+};
+
+/// Parses PROPERTIES("k"=v, ...) into a Properties bag.
+Status ParseProperties(TokenCursor* cur, Properties* props) {
+  SPHERE_RETURN_NOT_OK(cur->ExpectOp("("));
+  if (!cur->Peek().IsOperator(")")) {
+    do {
+      SPHERE_ASSIGN_OR_RETURN(std::string key, cur->ExpectIdent());
+      SPHERE_RETURN_NOT_OK(cur->ExpectOp("="));
+      const sql::Token& v = cur->Advance();
+      switch (v.type) {
+        case sql::TokenType::kIntLiteral:
+          props->Set(key, std::to_string(v.int_value));
+          break;
+        case sql::TokenType::kDoubleLiteral:
+          props->Set(key, std::to_string(v.double_value));
+          break;
+        default:
+          props->Set(key, v.text);
+      }
+    } while (cur->MatchOp(","));
+  }
+  return cur->ExpectOp(")");
+}
+
+std::string DescribeStrategy(const core::ShardingStrategyConfig& s) {
+  if (s.empty()) return "-";
+  return Join(s.columns, ",") + " " + s.algorithm_type +
+         (s.props.empty() ? "" : " (" + s.props.ToString() + ")");
+}
+
+}  // namespace
+
+bool DistSQLEngine::IsDistSQL(std::string_view sql_text) {
+  std::string t = Trim(sql_text);
+  return StartsWithIgnoreCase(t, "CREATE SHARDING") ||
+         StartsWithIgnoreCase(t, "ALTER SHARDING") ||
+         StartsWithIgnoreCase(t, "DROP SHARDING") ||
+         StartsWithIgnoreCase(t, "CREATE BROADCAST") ||
+         StartsWithIgnoreCase(t, "DROP BROADCAST") ||
+         StartsWithIgnoreCase(t, "SHOW SHARDING") ||
+         StartsWithIgnoreCase(t, "SHOW BINDING") ||
+         StartsWithIgnoreCase(t, "SHOW BROADCAST") ||
+         StartsWithIgnoreCase(t, "SHOW STORAGE") ||
+         StartsWithIgnoreCase(t, "SHOW RESOURCES") ||
+         StartsWithIgnoreCase(t, "SHOW VARIABLE") ||
+         StartsWithIgnoreCase(t, "SET VARIABLE") ||
+         StartsWithIgnoreCase(t, "SET DEFAULT STORAGE") ||
+         StartsWithIgnoreCase(t, "PREVIEW ");
+}
+
+Status DistSQLEngine::Reinstall() {
+  core::ShardingRuleConfig copy = config_;
+  SPHERE_RETURN_NOT_OK(runtime_->SetRule(std::move(copy)));
+  if (on_rule_change_) on_rule_change_();
+  return Status::OK();
+}
+
+Result<engine::ExecResult> DistSQLEngine::CreateOrAlterShardingRule(
+    std::string_view rest, bool is_alter) {
+  SPHERE_ASSIGN_OR_RETURN(TokenCursor cur, TokenCursor::Lex(rest));
+  SPHERE_ASSIGN_OR_RETURN(std::string logic_table, cur.ExpectIdent());
+  SPHERE_RETURN_NOT_OK(cur.ExpectOp("("));
+
+  core::TableRuleConfig rule;
+  rule.logic_table = logic_table;
+  do {
+    SPHERE_ASSIGN_OR_RETURN(std::string clause, cur.ExpectIdent());
+    if (EqualsIgnoreCase(clause, "RESOURCES")) {
+      SPHERE_RETURN_NOT_OK(cur.ExpectOp("("));
+      do {
+        SPHERE_ASSIGN_OR_RETURN(std::string ds, cur.ExpectIdent());
+        rule.auto_resources.push_back(std::move(ds));
+      } while (cur.MatchOp(","));
+      SPHERE_RETURN_NOT_OK(cur.ExpectOp(")"));
+    } else if (EqualsIgnoreCase(clause, "SHARDING_COLUMN")) {
+      SPHERE_RETURN_NOT_OK(cur.ExpectOp("="));
+      SPHERE_ASSIGN_OR_RETURN(std::string col, cur.ExpectIdent());
+      rule.table_strategy.columns = {col};
+    } else if (EqualsIgnoreCase(clause, "TYPE")) {
+      SPHERE_RETURN_NOT_OK(cur.ExpectOp("="));
+      SPHERE_ASSIGN_OR_RETURN(std::string type, cur.ExpectIdent());
+      rule.table_strategy.algorithm_type = ToUpper(type);
+    } else if (EqualsIgnoreCase(clause, "PROPERTIES")) {
+      SPHERE_RETURN_NOT_OK(ParseProperties(&cur, &rule.table_strategy.props));
+    } else if (EqualsIgnoreCase(clause, "KEY_GENERATE_STRATEGY")) {
+      SPHERE_RETURN_NOT_OK(cur.ExpectOp("("));
+      do {
+        SPHERE_ASSIGN_OR_RETURN(std::string key, cur.ExpectIdent());
+        SPHERE_RETURN_NOT_OK(cur.ExpectOp("="));
+        SPHERE_ASSIGN_OR_RETURN(std::string value, cur.ExpectIdent());
+        if (EqualsIgnoreCase(key, "COLUMN")) rule.keygen_column = value;
+        else if (EqualsIgnoreCase(key, "TYPE")) rule.keygen_type = ToUpper(value);
+      } while (cur.MatchOp(","));
+      SPHERE_RETURN_NOT_OK(cur.ExpectOp(")"));
+    } else {
+      return Status::SyntaxError("unknown clause " + clause);
+    }
+  } while (cur.MatchOp(","));
+  SPHERE_RETURN_NOT_OK(cur.ExpectOp(")"));
+
+  if (rule.auto_resources.empty()) {
+    return Status::InvalidArgument("RESOURCES(...) is required");
+  }
+  // AutoTable (paper §V-A): the user only supplies resources and shard count;
+  // the layout (which table lives where) is computed by the rule compiler.
+  rule.auto_sharding_count = static_cast<int>(
+      rule.table_strategy.props.GetInt("sharding-count",
+                                       static_cast<int64_t>(rule.auto_resources.size())));
+  if (rule.table_strategy.algorithm_type.empty()) {
+    rule.table_strategy.algorithm_type = "HASH_MOD";
+  }
+
+  auto it = std::find_if(config_.tables.begin(), config_.tables.end(),
+                         [&](const core::TableRuleConfig& t) {
+                           return EqualsIgnoreCase(t.logic_table, logic_table);
+                         });
+  if (is_alter) {
+    if (it == config_.tables.end()) {
+      return Status::NotFound("no sharding rule for " + logic_table);
+    }
+    *it = std::move(rule);
+  } else {
+    if (it != config_.tables.end()) {
+      return Status::AlreadyExists("sharding rule for " + logic_table);
+    }
+    config_.tables.push_back(std::move(rule));
+  }
+  SPHERE_RETURN_NOT_OK(Reinstall());
+  return ExecResult::Update(0);
+}
+
+Result<engine::ExecResult> DistSQLEngine::DropShardingRule(
+    const std::string& table) {
+  auto it = std::find_if(config_.tables.begin(), config_.tables.end(),
+                         [&](const core::TableRuleConfig& t) {
+                           return EqualsIgnoreCase(t.logic_table, table);
+                         });
+  if (it == config_.tables.end()) {
+    return Status::NotFound("no sharding rule for " + table);
+  }
+  config_.tables.erase(it);
+  // Drop dangling binding references.
+  for (auto& group : config_.binding_groups) {
+    group.erase(std::remove_if(group.begin(), group.end(),
+                               [&](const std::string& t) {
+                                 return EqualsIgnoreCase(t, table);
+                               }),
+                group.end());
+  }
+  config_.binding_groups.erase(
+      std::remove_if(config_.binding_groups.begin(), config_.binding_groups.end(),
+                     [](const std::vector<std::string>& g) {
+                       return g.size() < 2;
+                     }),
+      config_.binding_groups.end());
+  SPHERE_RETURN_NOT_OK(Reinstall());
+  return ExecResult::Update(0);
+}
+
+Result<engine::ExecResult> DistSQLEngine::CreateBindingRule(
+    std::string_view rest) {
+  SPHERE_ASSIGN_OR_RETURN(TokenCursor cur, TokenCursor::Lex(rest));
+  SPHERE_RETURN_NOT_OK(cur.ExpectOp("("));
+  std::vector<std::string> group;
+  do {
+    SPHERE_ASSIGN_OR_RETURN(std::string t, cur.ExpectIdent());
+    group.push_back(std::move(t));
+  } while (cur.MatchOp(","));
+  SPHERE_RETURN_NOT_OK(cur.ExpectOp(")"));
+  if (group.size() < 2) {
+    return Status::InvalidArgument("binding rule needs at least two tables");
+  }
+  config_.binding_groups.push_back(std::move(group));
+  Status st = Reinstall();
+  if (!st.ok()) {
+    config_.binding_groups.pop_back();
+    (void)Reinstall();
+    return st;
+  }
+  return ExecResult::Update(0);
+}
+
+Result<engine::ExecResult> DistSQLEngine::CreateBroadcastRule(
+    const std::string& table) {
+  config_.broadcast_tables.insert(table);
+  SPHERE_RETURN_NOT_OK(Reinstall());
+  return ExecResult::Update(0);
+}
+
+Result<engine::ExecResult> DistSQLEngine::ShowShardingRules() {
+  std::vector<Row> rows;
+  for (const auto& t : config_.tables) {
+    std::string nodes;
+    if (const core::TableRule* compiled =
+            runtime_->rule() ? runtime_->rule()->FindTableRule(t.logic_table)
+                             : nullptr) {
+      for (const auto& node : compiled->actual_nodes()) {
+        if (!nodes.empty()) nodes += ", ";
+        nodes += node.ToString();
+      }
+    }
+    rows.push_back(Row{Value(t.logic_table),
+                       Value(t.actual_data_nodes.empty()
+                                 ? Join(t.auto_resources, ",")
+                                 : t.actual_data_nodes),
+                       Value(DescribeStrategy(t.database_strategy)),
+                       Value(DescribeStrategy(t.table_strategy)),
+                       Value(t.keygen_column.empty()
+                                 ? "-"
+                                 : t.keygen_column + " " + t.keygen_type),
+                       Value(nodes)});
+  }
+  return MakeTable({"table", "resources", "database_strategy", "table_strategy",
+                    "key_generator", "actual_data_nodes"},
+                   std::move(rows));
+}
+
+Result<engine::ExecResult> DistSQLEngine::ShowAlgorithms() {
+  std::vector<Row> rows;
+  for (const auto& type : core::ListShardingAlgorithmTypes()) {
+    rows.push_back(Row{Value(type)});
+  }
+  return MakeTable({"type"}, std::move(rows));
+}
+
+Result<engine::ExecResult> DistSQLEngine::ShowStorageUnits() {
+  std::vector<Row> rows;
+  for (const auto& name : runtime_->data_sources()->Names()) {
+    net::DataSource* ds = runtime_->data_sources()->Find(name);
+    rows.push_back(Row{Value(name),
+                       Value(static_cast<int64_t>(ds->pool().max_size())),
+                       Value(static_cast<int64_t>(ds->pool().available()))});
+  }
+  return MakeTable({"name", "pool_size", "pool_available"}, std::move(rows));
+}
+
+Result<engine::ExecResult> DistSQLEngine::ShowBindingRules() {
+  std::vector<Row> rows;
+  for (const auto& group : config_.binding_groups) {
+    rows.push_back(Row{Value(Join(group, ","))});
+  }
+  return MakeTable({"binding_tables"}, std::move(rows));
+}
+
+Result<engine::ExecResult> DistSQLEngine::ShowBroadcastRules() {
+  std::vector<Row> rows;
+  for (const auto& t : config_.broadcast_tables) {
+    rows.push_back(Row{Value(t)});
+  }
+  return MakeTable({"broadcast_table"}, std::move(rows));
+}
+
+Result<engine::ExecResult> DistSQLEngine::Preview(std::string_view sql_text) {
+  sql::Parser parser(runtime_->dialect());
+  SPHERE_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.Parse(sql_text));
+  SPHERE_ASSIGN_OR_RETURN(core::RouteResult route,
+                          runtime_->PreviewRoute(*stmt, {}));
+  core::RewriteEngine rewriter(runtime_->dialect());
+  SPHERE_ASSIGN_OR_RETURN(core::RewriteResult rewritten,
+                          rewriter.Rewrite(*stmt, route, {}));
+  std::vector<Row> rows;
+  for (const auto& unit : rewritten.units) {
+    rows.push_back(Row{Value(unit.data_source), Value(unit.sql)});
+  }
+  return MakeTable({"data_source", "actual_sql"}, std::move(rows));
+}
+
+Result<engine::ExecResult> DistSQLEngine::Execute(std::string_view sql_text,
+                                                  const SessionHooks& hooks) {
+  std::string text = Trim(sql_text);
+  if (!text.empty() && text.back() == ';') text.pop_back();
+
+  if (StartsWithIgnoreCase(text, "CREATE SHARDING TABLE RULE")) {
+    return CreateOrAlterShardingRule(std::string_view(text).substr(26), false);
+  }
+  if (StartsWithIgnoreCase(text, "ALTER SHARDING TABLE RULE")) {
+    return CreateOrAlterShardingRule(std::string_view(text).substr(25), true);
+  }
+  if (StartsWithIgnoreCase(text, "DROP SHARDING TABLE RULE")) {
+    return DropShardingRule(Trim(text.substr(24)));
+  }
+  if (StartsWithIgnoreCase(text, "CREATE SHARDING BINDING TABLE RULES")) {
+    return CreateBindingRule(std::string_view(text).substr(35));
+  }
+  if (StartsWithIgnoreCase(text, "CREATE BROADCAST TABLE RULE")) {
+    return CreateBroadcastRule(Trim(text.substr(27)));
+  }
+  if (StartsWithIgnoreCase(text, "SHOW SHARDING TABLE RULES")) {
+    return ShowShardingRules();
+  }
+  if (StartsWithIgnoreCase(text, "SHOW SHARDING ALGORITHMS")) {
+    return ShowAlgorithms();
+  }
+  if (StartsWithIgnoreCase(text, "SHOW STORAGE UNITS") ||
+      StartsWithIgnoreCase(text, "SHOW RESOURCES")) {
+    return ShowStorageUnits();
+  }
+  if (StartsWithIgnoreCase(text, "SHOW BINDING TABLE RULES")) {
+    return ShowBindingRules();
+  }
+  if (StartsWithIgnoreCase(text, "SHOW BROADCAST TABLE RULES")) {
+    return ShowBroadcastRules();
+  }
+  if (StartsWithIgnoreCase(text, "SET DEFAULT STORAGE UNIT")) {
+    config_.default_data_source = Trim(text.substr(24));
+    SPHERE_RETURN_NOT_OK(Reinstall());
+    return ExecResult::Update(0);
+  }
+  if (StartsWithIgnoreCase(text, "SET VARIABLE")) {
+    // RAL: SET VARIABLE transaction_type = XA (paper §V-A).
+    SPHERE_ASSIGN_OR_RETURN(TokenCursor cur,
+                            TokenCursor::Lex(std::string_view(text).substr(12)));
+    SPHERE_ASSIGN_OR_RETURN(std::string name, cur.ExpectIdent());
+    SPHERE_RETURN_NOT_OK(cur.ExpectOp("="));
+    const sql::Token& value_token = cur.Advance();
+    std::string value = value_token.type == sql::TokenType::kIntLiteral
+                            ? std::to_string(value_token.int_value)
+                            : value_token.text;
+    if (EqualsIgnoreCase(name, "transaction_type")) {
+      if (!hooks.set_transaction_type) {
+        return Status::Unsupported("no session transaction hook");
+      }
+      SPHERE_RETURN_NOT_OK(hooks.set_transaction_type(value));
+      return ExecResult::Update(0);
+    }
+    if (EqualsIgnoreCase(name, "max_connections_per_query")) {
+      runtime_->SetMaxConnectionsPerQuery(
+          static_cast<int>(std::strtol(value.c_str(), nullptr, 10)));
+      return ExecResult::Update(0);
+    }
+    return Status::Unsupported("variable " + name);
+  }
+  if (StartsWithIgnoreCase(text, "SHOW VARIABLE")) {
+    std::string name = Trim(text.substr(13));
+    if (EqualsIgnoreCase(name, "transaction_type")) {
+      std::string type =
+          hooks.get_transaction_type ? hooks.get_transaction_type() : "LOCAL";
+      return MakeTable({"variable", "value"},
+                       {Row{Value("transaction_type"), Value(type)}});
+    }
+    if (EqualsIgnoreCase(name, "max_connections_per_query")) {
+      return MakeTable(
+          {"variable", "value"},
+          {Row{Value("max_connections_per_query"),
+               Value(static_cast<int64_t>(runtime_->max_connections_per_query()))}});
+    }
+    return Status::Unsupported("variable " + name);
+  }
+  if (StartsWithIgnoreCase(text, "PREVIEW ")) {
+    return Preview(std::string_view(text).substr(8));
+  }
+  return Status::SyntaxError("unrecognized DistSQL statement: " + text);
+}
+
+}  // namespace sphere::distsql

@@ -1,0 +1,89 @@
+#ifndef SPHERE_DISTSQL_DISTSQL_H_
+#define SPHERE_DISTSQL_DISTSQL_H_
+
+#include <functional>
+#include <string>
+
+#include "core/runtime.h"
+#include "engine/result_set.h"
+
+namespace sphere::distsql {
+
+/// Session-level hooks a DistSQL statement may need (RAL touches per-session
+/// state such as the transaction type).
+struct SessionHooks {
+  std::function<std::string()> get_transaction_type;
+  std::function<Status(const std::string&)> set_transaction_type;
+};
+
+/// The DistSQL engine (paper §V-A): lets operators manage sharding through
+/// SQL instead of config files. Supported dialect:
+///
+/// RDL (Resource & Rule Definition Language)
+///   CREATE|ALTER SHARDING TABLE RULE t (RESOURCES(ds_0, ds_1),
+///       SHARDING_COLUMN=uid, TYPE=hash_mod,
+///       PROPERTIES("sharding-count"=4)
+///       [, KEY_GENERATE_STRATEGY(COLUMN=oid, TYPE=SNOWFLAKE)])   -- AutoTable
+///   DROP SHARDING TABLE RULE t
+///   CREATE SHARDING BINDING TABLE RULES (t_user, t_order)
+///   CREATE BROADCAST TABLE RULE t_dict
+///   SET DEFAULT STORAGE UNIT ds_0
+///
+/// RQL (Resource & Rule Query Language)
+///   SHOW SHARDING TABLE RULES
+///   SHOW SHARDING ALGORITHMS
+///   SHOW STORAGE UNITS | SHOW RESOURCES
+///   SHOW BINDING TABLE RULES
+///   SHOW BROADCAST TABLE RULES
+///
+/// RAL (Resource & Rule Administration Language)
+///   SET VARIABLE transaction_type = LOCAL|XA|BASE
+///   SHOW VARIABLE transaction_type
+///   PREVIEW <sql>          -- shows the route + rewrite result
+///
+/// The engine owns the declarative rule configuration: every RDL statement
+/// mutates it and re-installs the compiled rule into the runtime (AutoTable
+/// layout computation happens in the rule compiler).
+class DistSQLEngine {
+ public:
+  explicit DistSQLEngine(core::ShardingRuntime* runtime) : runtime_(runtime) {}
+
+  /// Quick syntactic test: is this statement DistSQL (vs ordinary SQL)?
+  static bool IsDistSQL(std::string_view sql_text);
+
+  /// Parses and executes one DistSQL statement.
+  Result<engine::ExecResult> Execute(std::string_view sql_text,
+                                     const SessionHooks& hooks);
+
+  /// Current declarative config (source of truth for RQL output).
+  const core::ShardingRuleConfig& config() const { return config_; }
+  /// Seeds the declarative config (when rules were installed directly).
+  void SeedConfig(core::ShardingRuleConfig config) { config_ = std::move(config); }
+
+  /// Invoked after every successful rule mutation (governance persistence).
+  void SetOnRuleChange(std::function<void()> callback) {
+    on_rule_change_ = std::move(callback);
+  }
+
+ private:
+  Result<engine::ExecResult> CreateOrAlterShardingRule(std::string_view rest,
+                                                       bool is_alter);
+  Result<engine::ExecResult> DropShardingRule(const std::string& table);
+  Result<engine::ExecResult> CreateBindingRule(std::string_view rest);
+  Result<engine::ExecResult> CreateBroadcastRule(const std::string& table);
+  Result<engine::ExecResult> ShowShardingRules();
+  Result<engine::ExecResult> ShowAlgorithms();
+  Result<engine::ExecResult> ShowStorageUnits();
+  Result<engine::ExecResult> ShowBindingRules();
+  Result<engine::ExecResult> ShowBroadcastRules();
+  Result<engine::ExecResult> Preview(std::string_view sql_text);
+  Status Reinstall();
+
+  core::ShardingRuntime* runtime_;
+  core::ShardingRuleConfig config_;
+  std::function<void()> on_rule_change_;
+};
+
+}  // namespace sphere::distsql
+
+#endif  // SPHERE_DISTSQL_DISTSQL_H_

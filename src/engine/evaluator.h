@@ -1,0 +1,48 @@
+#ifndef SPHERE_ENGINE_EVALUATOR_H_
+#define SPHERE_ENGINE_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace sphere::engine {
+
+/// Name environment of a row flowing through the executor: one
+/// (qualifier, column) pair per value slot. Qualifiers are table aliases (or
+/// table names); derived columns have empty qualifiers.
+class BoundColumns {
+ public:
+  void Add(const std::string& qualifier, const std::string& name) {
+    cols_.emplace_back(qualifier, name);
+  }
+
+  size_t size() const { return cols_.size(); }
+  const std::pair<std::string, std::string>& at(size_t i) const {
+    return cols_[i];
+  }
+
+  /// Resolves a column reference. A qualified ref must match the qualifier;
+  /// an unqualified ref matches by name (first match wins, as in MySQL's
+  /// permissive mode). Returns -1 when not found.
+  int Resolve(const std::string& qualifier, const std::string& name) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> cols_;
+};
+
+/// Evaluates `expr` against one row. Aggregate function calls are rejected
+/// here; the executor computes them over groups and never routes them through
+/// the row evaluator. Scalar functions: ABS, MOD, LENGTH, LOWER, UPPER,
+/// SUBSTR, CONCAT, COALESCE, NOW.
+Result<Value> EvalExpr(const sql::Expr* expr, const BoundColumns& columns,
+                       const Row& row, const std::vector<Value>& params);
+
+/// SQL truthiness: NULL and numeric zero are false.
+bool IsTruthy(const Value& v);
+
+}  // namespace sphere::engine
+
+#endif  // SPHERE_ENGINE_EVALUATOR_H_

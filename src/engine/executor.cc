@@ -1,0 +1,823 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "sql/condition.h"
+#include "sql/dialect.h"
+
+namespace sphere::engine {
+
+namespace {
+
+using sql::ColumnCondition;
+
+/// Lexicographic row order for DISTINCT/GROUP keys.
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+/// True when `cond`'s qualifier can refer to this table.
+bool ConditionApplies(const ColumnCondition& cond, const sql::TableRef& ref,
+                      const Schema& schema) {
+  if (!cond.table.empty() && !EqualsIgnoreCase(cond.table, ref.EffectiveName())) {
+    return false;
+  }
+  return schema.IndexOf(cond.column) >= 0;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+enum class AggType { kCount, kSum, kMin, kMax, kAvg };
+
+Result<AggType> AggTypeOf(const std::string& name) {
+  if (EqualsIgnoreCase(name, "COUNT")) return AggType::kCount;
+  if (EqualsIgnoreCase(name, "SUM")) return AggType::kSum;
+  if (EqualsIgnoreCase(name, "MIN")) return AggType::kMin;
+  if (EqualsIgnoreCase(name, "MAX")) return AggType::kMax;
+  if (EqualsIgnoreCase(name, "AVG")) return AggType::kAvg;
+  return Status::Unsupported("aggregate " + name);
+}
+
+/// One aggregate accumulator.
+struct AggState {
+  AggType type = AggType::kCount;
+  bool distinct = false;
+  int64_t count = 0;
+  double sum = 0;
+  bool sum_is_int = true;
+  int64_t isum = 0;
+  Value min, max;
+  std::set<Value> distinct_values;
+
+  void Accumulate(const Value& v) {
+    if (v.is_null()) return;
+    if (distinct) {
+      if (!distinct_values.insert(v).second) return;
+    }
+    ++count;
+    if (v.is_int()) {
+      isum += v.AsInt();
+      sum += static_cast<double>(v.AsInt());
+    } else if (v.is_double()) {
+      sum_is_int = false;
+      sum += v.AsDouble();
+    }
+    if (min.is_null() || v.Compare(min) < 0) min = v;
+    if (max.is_null() || v.Compare(max) > 0) max = v;
+  }
+
+  Value Finish() const {
+    switch (type) {
+      case AggType::kCount:
+        return Value(count);
+      case AggType::kSum:
+        if (count == 0) return Value::Null();
+        return sum_is_int ? Value(isum) : Value(sum);
+      case AggType::kMin:
+        return min;
+      case AggType::kMax:
+        return max;
+      case AggType::kAvg:
+        if (count == 0) return Value::Null();
+        return Value(sum / static_cast<double>(count));
+    }
+    return Value::Null();
+  }
+};
+
+/// The aggregates referenced by a query, keyed by their normalized SQL text.
+struct AggPlan {
+  std::vector<const sql::FuncCallExpr*> exprs;  ///< unique aggregate calls
+  std::map<std::string, size_t> index_by_key;
+
+  static std::string KeyOf(const sql::FuncCallExpr* f) {
+    return f->ToSQL(sql::Dialect::MySQL());
+  }
+
+  void Collect(const sql::Expr* e) {
+    sql::WalkExpr(e, [this](const sql::Expr* node) {
+      if (node->kind() == sql::ExprKind::kFuncCall) {
+        const auto* f = static_cast<const sql::FuncCallExpr*>(node);
+        if (f->IsAggregate()) {
+          std::string key = KeyOf(f);
+          if (!index_by_key.count(key)) {
+            index_by_key[key] = exprs.size();
+            exprs.push_back(f);
+          }
+        }
+      }
+    });
+  }
+};
+
+/// One group's accumulated state.
+struct Group {
+  Row key;
+  Row first_row;  ///< first source row of the group (for non-agg items)
+  std::vector<AggState> aggs;
+};
+
+/// Evaluates an expression over a finished group: aggregate calls resolve to
+/// their accumulated value, everything else evaluates against the group's
+/// first source row.
+Result<Value> EvalOverGroup(const sql::Expr* e, const AggPlan& plan,
+                            const Group& g, const BoundColumns& cols,
+                            const std::vector<Value>& params) {
+  if (e->kind() == sql::ExprKind::kFuncCall) {
+    const auto* f = static_cast<const sql::FuncCallExpr*>(e);
+    if (f->IsAggregate()) {
+      auto it = plan.index_by_key.find(AggPlan::KeyOf(f));
+      if (it == plan.index_by_key.end()) {
+        return Status::Internal("aggregate not planned: " + f->name);
+      }
+      return g.aggs[it->second].Finish();
+    }
+  }
+  if (e->kind() == sql::ExprKind::kBinary) {
+    const auto* b = static_cast<const sql::BinaryExpr*>(e);
+    SPHERE_ASSIGN_OR_RETURN(Value l, EvalOverGroup(b->left.get(), plan, g, cols, params));
+    SPHERE_ASSIGN_OR_RETURN(Value r, EvalOverGroup(b->right.get(), plan, g, cols, params));
+    // Re-evaluate the operator on computed operands via a tiny literal tree.
+    sql::BinaryExpr tmp(b->op, std::make_unique<sql::LiteralExpr>(l),
+                        std::make_unique<sql::LiteralExpr>(r));
+    return EvalExpr(&tmp, cols, g.first_row, params);
+  }
+  return EvalExpr(e, cols, g.first_row, params);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+Result<Executor::SourceRows> Executor::ScanTable(
+    const sql::TableRef& ref, const sql::Expr* where,
+    const std::vector<Value>& params) {
+  storage::Table* table = db_->FindTable(ref.name);
+  if (table == nullptr) {
+    return Status::NotFound("table " + ref.name);
+  }
+  SourceRows out;
+  const std::string& qual = ref.EffectiveName();
+  for (const auto& col : table->schema().columns()) {
+    out.columns.Add(qual, col.name);
+  }
+
+  // Try to find an index-friendly condition (single AND-group only).
+  const ColumnCondition* pk_cond = nullptr;
+  const ColumnCondition* idx_cond = nullptr;
+  std::vector<sql::ConditionGroup> groups =
+      sql::ExtractConditionGroups(where, params);
+  int pk = table->pk_index();
+  if (groups.size() == 1) {
+    for (const auto& cond : groups[0]) {
+      if (!ConditionApplies(cond, ref, table->schema())) continue;
+      int ci = table->schema().IndexOf(cond.column);
+      if (ci == pk && pk_cond == nullptr) {
+        pk_cond = &cond;
+      } else if (cond.kind == ColumnCondition::Kind::kEqual &&
+                 table->FindIndexOn(ci) != nullptr && idx_cond == nullptr) {
+        idx_cond = &cond;
+      }
+    }
+  }
+
+  std::shared_lock lk(table->latch());
+  if (pk_cond != nullptr) {
+    switch (pk_cond->kind) {
+      case ColumnCondition::Kind::kEqual:
+      case ColumnCondition::Kind::kIn: {
+        for (const Value& v : pk_cond->values) {
+          const Row* row = table->Find(v.CastTo(table->schema().column(
+              static_cast<size_t>(pk)).type));
+          if (row != nullptr) out.rows.push_back(*row);
+        }
+        return out;
+      }
+      case ColumnCondition::Kind::kRange: {
+        auto it = pk_cond->low.has_value() ? table->LowerBound(*pk_cond->low)
+                                           : table->Begin();
+        for (; it.Valid(); it.Next()) {
+          if (pk_cond->low.has_value() && !pk_cond->low_inclusive &&
+              it.key().Compare(*pk_cond->low) == 0) {
+            continue;
+          }
+          if (pk_cond->high.has_value()) {
+            int c = it.key().Compare(*pk_cond->high);
+            if (c > 0 || (c == 0 && !pk_cond->high_inclusive)) break;
+          }
+          out.rows.push_back(it.payload());
+        }
+        return out;
+      }
+    }
+  }
+  if (idx_cond != nullptr) {
+    int ci = table->schema().IndexOf(idx_cond->column);
+    const storage::SecondaryIndex* index = table->FindIndexOn(ci);
+    for (const Value& v : idx_cond->values) {
+      const std::vector<Value>* pks =
+          index->Lookup(v.CastTo(table->schema().column(static_cast<size_t>(ci)).type));
+      if (pks == nullptr) continue;
+      for (const Value& k : *pks) {
+        const Row* row = table->Find(k);
+        if (row != nullptr) out.rows.push_back(*row);
+      }
+    }
+    return out;
+  }
+  // Full scan.
+  out.rows.reserve(table->row_count());
+  for (auto it = table->Begin(); it.Valid(); it.Next()) {
+    out.rows.push_back(it.payload());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+Result<Executor::SourceRows> Executor::BuildSource(
+    const sql::SelectStatement& stmt, const std::vector<Value>& params) {
+  if (stmt.from.empty()) {
+    // SELECT without FROM: one empty row.
+    SourceRows out;
+    out.rows.emplace_back();
+    return out;
+  }
+  SPHERE_ASSIGN_OR_RETURN(SourceRows acc,
+                          ScanTable(stmt.from[0], stmt.where.get(), params));
+
+  // Comma-joined tables: cross product (WHERE filters later).
+  for (size_t i = 1; i < stmt.from.size(); ++i) {
+    SPHERE_ASSIGN_OR_RETURN(SourceRows next,
+                            ScanTable(stmt.from[i], stmt.where.get(), params));
+    SourceRows combined;
+    combined.columns = acc.columns;
+    for (size_t c = 0; c < next.columns.size(); ++c) {
+      combined.columns.Add(next.columns.at(c).first, next.columns.at(c).second);
+    }
+    combined.rows.reserve(acc.rows.size() * next.rows.size());
+    for (const Row& l : acc.rows) {
+      for (const Row& r : next.rows) {
+        Row joined = l;
+        joined.insert(joined.end(), r.begin(), r.end());
+        combined.rows.push_back(std::move(joined));
+      }
+    }
+    acc = std::move(combined);
+  }
+
+  // Explicit JOIN ... ON clauses.
+  for (const auto& join : stmt.joins) {
+    SPHERE_ASSIGN_OR_RETURN(SourceRows right,
+                            ScanTable(join.table, stmt.where.get(), params));
+    SourceRows combined;
+    combined.columns = acc.columns;
+    for (size_t c = 0; c < right.columns.size(); ++c) {
+      combined.columns.Add(right.columns.at(c).first, right.columns.at(c).second);
+    }
+
+    // Hash join when ON is a single equality with one side from each input.
+    int left_key = -1, right_key = -1;
+    if (join.on != nullptr && join.on->kind() == sql::ExprKind::kBinary) {
+      const auto* b = static_cast<const sql::BinaryExpr*>(join.on.get());
+      if (b->op == sql::BinaryOp::kEq &&
+          b->left->kind() == sql::ExprKind::kColumnRef &&
+          b->right->kind() == sql::ExprKind::kColumnRef) {
+        const auto* lc = static_cast<const sql::ColumnRefExpr*>(b->left.get());
+        const auto* rc = static_cast<const sql::ColumnRefExpr*>(b->right.get());
+        int l_in_acc = acc.columns.Resolve(lc->table, lc->column);
+        int r_in_right = right.columns.Resolve(rc->table, rc->column);
+        if (l_in_acc >= 0 && r_in_right >= 0) {
+          left_key = l_in_acc;
+          right_key = r_in_right;
+        } else {
+          int r_in_acc = acc.columns.Resolve(rc->table, rc->column);
+          int l_in_right = right.columns.Resolve(lc->table, lc->column);
+          if (r_in_acc >= 0 && l_in_right >= 0) {
+            left_key = r_in_acc;
+            right_key = l_in_right;
+          }
+        }
+      }
+    }
+
+    bool left_outer = join.type == sql::JoinClause::Type::kLeft;
+    if (join.type == sql::JoinClause::Type::kRight) {
+      return Status::Unsupported("RIGHT JOIN (rewrite as LEFT JOIN)");
+    }
+
+    if (left_key >= 0) {
+      std::unordered_multimap<uint64_t, const Row*> hash;
+      hash.reserve(right.rows.size());
+      for (const Row& r : right.rows) {
+        hash.emplace(r[static_cast<size_t>(right_key)].Hash(), &r);
+      }
+      for (const Row& l : acc.rows) {
+        const Value& key = l[static_cast<size_t>(left_key)];
+        bool matched = false;
+        auto [lo, hi] = hash.equal_range(key.Hash());
+        for (auto it = lo; it != hi; ++it) {
+          const Row& r = *it->second;
+          if (r[static_cast<size_t>(right_key)].Compare(key) != 0) continue;
+          Row joined = l;
+          joined.insert(joined.end(), r.begin(), r.end());
+          combined.rows.push_back(std::move(joined));
+          matched = true;
+        }
+        if (!matched && left_outer) {
+          Row joined = l;
+          joined.insert(joined.end(), right.columns.size(), Value::Null());
+          combined.rows.push_back(std::move(joined));
+        }
+      }
+    } else {
+      // Nested-loop join with ON predicate (or cross join).
+      for (const Row& l : acc.rows) {
+        bool matched = false;
+        for (const Row& r : right.rows) {
+          Row joined = l;
+          joined.insert(joined.end(), r.begin(), r.end());
+          if (join.on != nullptr) {
+            SPHERE_ASSIGN_OR_RETURN(
+                Value ok, EvalExpr(join.on.get(), combined.columns, joined, params));
+            if (!IsTruthy(ok)) continue;
+          }
+          combined.rows.push_back(std::move(joined));
+          matched = true;
+        }
+        if (!matched && left_outer) {
+          Row joined = l;
+          joined.insert(joined.end(), right.columns.size(), Value::Null());
+          combined.rows.push_back(std::move(joined));
+        }
+      }
+    }
+    acc = std::move(combined);
+  }
+
+  // WHERE filter.
+  if (stmt.where != nullptr) {
+    std::vector<Row> filtered;
+    filtered.reserve(acc.rows.size());
+    for (Row& row : acc.rows) {
+      SPHERE_ASSIGN_OR_RETURN(
+          Value ok, EvalExpr(stmt.where.get(), acc.columns, row, params));
+      if (IsTruthy(ok)) filtered.push_back(std::move(row));
+    }
+    acc.rows = std::move(filtered);
+  }
+  return acc;
+}
+
+Result<ExecResult> Executor::ExecuteSelect(const sql::SelectStatement& stmt,
+                                           const std::vector<Value>& params) {
+  SPHERE_ASSIGN_OR_RETURN(SourceRows src, BuildSource(stmt, params));
+  const sql::Dialect& dialect = sql::Dialect::MySQL();
+
+  // Output labels.
+  std::vector<std::string> labels;
+  for (const auto& item : stmt.items) {
+    if (item.is_star) {
+      for (size_t i = 0; i < src.columns.size(); ++i) {
+        if (!item.star_qualifier.empty() &&
+            !EqualsIgnoreCase(src.columns.at(i).first, item.star_qualifier)) {
+          continue;
+        }
+        labels.push_back(src.columns.at(i).second);
+      }
+    } else {
+      labels.push_back(item.Label(dialect));
+    }
+  }
+
+  bool aggregated = stmt.HasAggregation() || !stmt.group_by.empty();
+  std::vector<Row> output;
+
+  if (aggregated) {
+    AggPlan plan;
+    for (const auto& item : stmt.items) {
+      if (item.expr) plan.Collect(item.expr.get());
+    }
+    if (stmt.having) plan.Collect(stmt.having.get());
+
+    std::map<Row, Group, RowLess> groups;
+    for (const Row& row : src.rows) {
+      Row key;
+      key.reserve(stmt.group_by.size());
+      for (const auto& g : stmt.group_by) {
+        SPHERE_ASSIGN_OR_RETURN(Value v, EvalExpr(g.get(), src.columns, row, params));
+        key.push_back(std::move(v));
+      }
+      auto [it, inserted] = groups.try_emplace(key);
+      Group& group = it->second;
+      if (inserted) {
+        group.key = key;
+        group.first_row = row;
+        group.aggs.resize(plan.exprs.size());
+        for (size_t i = 0; i < plan.exprs.size(); ++i) {
+          SPHERE_ASSIGN_OR_RETURN(group.aggs[i].type, AggTypeOf(plan.exprs[i]->name));
+          group.aggs[i].distinct = plan.exprs[i]->distinct;
+        }
+      }
+      for (size_t i = 0; i < plan.exprs.size(); ++i) {
+        const auto* f = plan.exprs[i];
+        if (f->star) {
+          group.aggs[i].Accumulate(Value(int64_t{1}));
+        } else if (!f->args.empty()) {
+          SPHERE_ASSIGN_OR_RETURN(
+              Value v, EvalExpr(f->args[0].get(), src.columns, row, params));
+          group.aggs[i].Accumulate(v);
+        }
+      }
+    }
+    // Global aggregate over empty input still yields one row.
+    if (groups.empty() && stmt.group_by.empty()) {
+      Group g;
+      g.first_row.assign(src.columns.size(), Value::Null());
+      g.aggs.resize(plan.exprs.size());
+      for (size_t i = 0; i < plan.exprs.size(); ++i) {
+        SPHERE_ASSIGN_OR_RETURN(g.aggs[i].type, AggTypeOf(plan.exprs[i]->name));
+        g.aggs[i].distinct = plan.exprs[i]->distinct;
+      }
+      groups.emplace(Row{}, std::move(g));
+    }
+
+    for (auto& [key, group] : groups) {
+      if (stmt.having) {
+        SPHERE_ASSIGN_OR_RETURN(
+            Value ok, EvalOverGroup(stmt.having.get(), plan, group, src.columns, params));
+        if (!IsTruthy(ok)) continue;
+      }
+      Row out_row;
+      out_row.reserve(stmt.items.size());
+      for (const auto& item : stmt.items) {
+        if (item.is_star) {
+          return Status::InvalidArgument("SELECT * cannot be aggregated");
+        }
+        SPHERE_ASSIGN_OR_RETURN(
+            Value v, EvalOverGroup(item.expr.get(), plan, group, src.columns, params));
+        out_row.push_back(std::move(v));
+      }
+      output.push_back(std::move(out_row));
+    }
+  } else {
+    // Pre-projection ORDER BY when every key resolves in the source.
+    bool sort_pre_projection = !stmt.order_by.empty();
+    for (const auto& ob : stmt.order_by) {
+      if (ob.expr->kind() == sql::ExprKind::kColumnRef) {
+        const auto* c = static_cast<const sql::ColumnRefExpr*>(ob.expr.get());
+        if (src.columns.Resolve(c->table, c->column) < 0) {
+          sort_pre_projection = false;
+        }
+      }
+    }
+    if (sort_pre_projection) {
+      // Decorate-sort: evaluate keys once per row.
+      std::vector<std::pair<Row, Row>> keyed;  // (keys, row)
+      keyed.reserve(src.rows.size());
+      for (Row& row : src.rows) {
+        Row keys;
+        keys.reserve(stmt.order_by.size());
+        for (const auto& ob : stmt.order_by) {
+          SPHERE_ASSIGN_OR_RETURN(Value v,
+                                  EvalExpr(ob.expr.get(), src.columns, row, params));
+          keys.push_back(std::move(v));
+        }
+        keyed.emplace_back(std::move(keys), std::move(row));
+      }
+      std::stable_sort(keyed.begin(), keyed.end(),
+                       [&stmt](const auto& a, const auto& b) {
+                         for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+                           int c = a.first[i].Compare(b.first[i]);
+                           if (c != 0) return stmt.order_by[i].desc ? c > 0 : c < 0;
+                         }
+                         return false;
+                       });
+      src.rows.clear();
+      for (auto& [k, row] : keyed) src.rows.push_back(std::move(row));
+    }
+
+    output.reserve(src.rows.size());
+    for (const Row& row : src.rows) {
+      Row out_row;
+      out_row.reserve(labels.size());
+      for (const auto& item : stmt.items) {
+        if (item.is_star) {
+          for (size_t i = 0; i < src.columns.size(); ++i) {
+            if (!item.star_qualifier.empty() &&
+                !EqualsIgnoreCase(src.columns.at(i).first, item.star_qualifier)) {
+              continue;
+            }
+            out_row.push_back(row[i]);
+          }
+        } else {
+          SPHERE_ASSIGN_OR_RETURN(
+              Value v, EvalExpr(item.expr.get(), src.columns, row, params));
+          out_row.push_back(std::move(v));
+        }
+      }
+      output.push_back(std::move(out_row));
+    }
+  }
+
+  // DISTINCT.
+  if (stmt.distinct) {
+    std::set<Row, RowLess> seen;
+    std::vector<Row> deduped;
+    deduped.reserve(output.size());
+    for (Row& row : output) {
+      if (seen.insert(row).second) deduped.push_back(std::move(row));
+    }
+    output = std::move(deduped);
+  }
+
+  // Post-projection ORDER BY (aggregated queries, or aliases of computed
+  // items): resolve keys against output labels.
+  bool need_post_sort = !stmt.order_by.empty() && aggregated;
+  if (!stmt.order_by.empty() && !aggregated) {
+    // Already sorted pre-projection unless some key failed to resolve there.
+    for (const auto& ob : stmt.order_by) {
+      if (ob.expr->kind() == sql::ExprKind::kColumnRef) {
+        const auto* c = static_cast<const sql::ColumnRefExpr*>(ob.expr.get());
+        if (src.columns.Resolve(c->table, c->column) < 0) need_post_sort = true;
+      }
+    }
+  }
+  if (need_post_sort) {
+    std::vector<int> key_idx;
+    const sql::Dialect& d = sql::Dialect::MySQL();
+    for (const auto& ob : stmt.order_by) {
+      std::string key_label;
+      if (ob.expr->kind() == sql::ExprKind::kColumnRef) {
+        key_label = static_cast<const sql::ColumnRefExpr*>(ob.expr.get())->column;
+      } else {
+        key_label = ob.expr->ToSQL(d);
+      }
+      int idx = -1;
+      for (size_t i = 0; i < labels.size(); ++i) {
+        if (EqualsIgnoreCase(labels[i], key_label)) {
+          idx = static_cast<int>(i);
+          break;
+        }
+      }
+      // Fall back to matching the serialized select expressions.
+      if (idx < 0) {
+        for (size_t i = 0; i < stmt.items.size(); ++i) {
+          if (stmt.items[i].expr != nullptr &&
+              stmt.items[i].expr->ToSQL(d) == ob.expr->ToSQL(d)) {
+            idx = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+      if (idx < 0) {
+        return Status::InvalidArgument("ORDER BY key not in select list: " +
+                                       key_label);
+      }
+      key_idx.push_back(idx);
+    }
+    std::stable_sort(output.begin(), output.end(),
+                     [&](const Row& a, const Row& b) {
+                       for (size_t i = 0; i < key_idx.size(); ++i) {
+                         int c = a[static_cast<size_t>(key_idx[i])].Compare(
+                             b[static_cast<size_t>(key_idx[i])]);
+                         if (c != 0) return stmt.order_by[i].desc ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+  }
+
+  // LIMIT / OFFSET.
+  if (stmt.limit.has_value()) {
+    size_t off = static_cast<size_t>(std::max<int64_t>(0, stmt.limit->offset));
+    if (off >= output.size()) {
+      output.clear();
+    } else {
+      output.erase(output.begin(), output.begin() + static_cast<long>(off));
+      if (stmt.limit->count >= 0 &&
+          output.size() > static_cast<size_t>(stmt.limit->count)) {
+        output.resize(static_cast<size_t>(stmt.limit->count));
+      }
+    }
+  }
+
+  return ExecResult::Query(
+      std::make_unique<VectorResultSet>(std::move(labels), std::move(output)));
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+Result<ExecResult> Executor::ExecuteInsert(const sql::InsertStatement& stmt,
+                                           const std::vector<Value>& params,
+                                           storage::Transaction* txn) {
+  storage::Table* table = db_->FindTable(stmt.table.name);
+  if (table == nullptr) return Status::NotFound("table " + stmt.table.name);
+  const Schema& schema = table->schema();
+  BoundColumns no_cols;
+  Row empty;
+
+  // Map statement columns to schema positions.
+  std::vector<int> positions;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.size(); ++i) positions.push_back(static_cast<int>(i));
+  } else {
+    for (const auto& c : stmt.columns) {
+      int idx = schema.IndexOf(c);
+      if (idx < 0) return Status::NotFound("column " + c + " in " + stmt.table.name);
+      positions.push_back(idx);
+    }
+  }
+
+  int64_t inserted = 0;
+  Value last_pk;
+  std::unique_lock lk(table->latch());
+  for (const auto& value_row : stmt.rows) {
+    if (value_row.size() != positions.size()) {
+      return Status::InvalidArgument("VALUES arity mismatch");
+    }
+    Row row(schema.size(), Value::Null());
+    for (size_t i = 0; i < positions.size(); ++i) {
+      SPHERE_ASSIGN_OR_RETURN(Value v,
+                              EvalExpr(value_row[i].get(), no_cols, empty, params));
+      row[static_cast<size_t>(positions[i])] = std::move(v);
+    }
+    Value pk;
+    SPHERE_RETURN_NOT_OK(table->Insert(row, &pk));
+    last_pk = pk;
+    ++inserted;
+    if (txn != nullptr) {
+      txn->AddUndo({storage::UndoRecord::Op::kInsert, table->name(), pk, {}});
+    }
+  }
+  return ExecResult::Update(inserted, last_pk.is_int() ? last_pk.AsInt() : 0);
+}
+
+Result<ExecResult> Executor::ExecuteUpdate(const sql::UpdateStatement& stmt,
+                                           const std::vector<Value>& params,
+                                           storage::Transaction* txn) {
+  storage::Table* table = db_->FindTable(stmt.table.name);
+  if (table == nullptr) return Status::NotFound("table " + stmt.table.name);
+  SPHERE_ASSIGN_OR_RETURN(SourceRows src,
+                          ScanTable(stmt.table, stmt.where.get(), params));
+
+  int pk = table->pk_index();
+  if (pk < 0) return Status::Unsupported("UPDATE on table without primary key");
+
+  std::vector<int> target_cols;
+  for (const auto& a : stmt.assignments) {
+    int ci = table->schema().IndexOf(a.column);
+    if (ci < 0) return Status::NotFound("column " + a.column);
+    target_cols.push_back(ci);
+  }
+
+  int64_t updated = 0;
+  std::unique_lock lk(table->latch());
+  for (const Row& row : src.rows) {
+    if (stmt.where != nullptr) {
+      SPHERE_ASSIGN_OR_RETURN(Value ok,
+                              EvalExpr(stmt.where.get(), src.columns, row, params));
+      if (!IsTruthy(ok)) continue;
+    }
+    // Re-fetch the current image: the scan snapshot may be stale.
+    const Value& key = row[static_cast<size_t>(pk)];
+    const Row* current = table->Find(key);
+    if (current == nullptr) continue;
+    Row new_row = *current;
+    for (size_t i = 0; i < stmt.assignments.size(); ++i) {
+      SPHERE_ASSIGN_OR_RETURN(
+          Value v, EvalExpr(stmt.assignments[i].value.get(), src.columns, *current, params));
+      new_row[static_cast<size_t>(target_cols[i])] = std::move(v);
+    }
+    Row old_row = *current;
+    SPHERE_RETURN_NOT_OK(table->Update(key, new_row));
+    ++updated;
+    if (txn != nullptr) {
+      txn->AddUndo({storage::UndoRecord::Op::kUpdate, table->name(), key,
+                    std::move(old_row)});
+    }
+  }
+  return ExecResult::Update(updated);
+}
+
+Result<ExecResult> Executor::ExecuteDelete(const sql::DeleteStatement& stmt,
+                                           const std::vector<Value>& params,
+                                           storage::Transaction* txn) {
+  storage::Table* table = db_->FindTable(stmt.table.name);
+  if (table == nullptr) return Status::NotFound("table " + stmt.table.name);
+  SPHERE_ASSIGN_OR_RETURN(SourceRows src,
+                          ScanTable(stmt.table, stmt.where.get(), params));
+  int pk = table->pk_index();
+  if (pk < 0) return Status::Unsupported("DELETE on table without primary key");
+
+  int64_t deleted = 0;
+  std::unique_lock lk(table->latch());
+  for (const Row& row : src.rows) {
+    if (stmt.where != nullptr) {
+      SPHERE_ASSIGN_OR_RETURN(Value ok,
+                              EvalExpr(stmt.where.get(), src.columns, row, params));
+      if (!IsTruthy(ok)) continue;
+    }
+    Row old_row;
+    Status st = table->Delete(row[static_cast<size_t>(pk)], &old_row);
+    if (!st.ok()) continue;  // already gone
+    ++deleted;
+    if (txn != nullptr) {
+      txn->AddUndo({storage::UndoRecord::Op::kDelete, table->name(),
+                    row[static_cast<size_t>(pk)], std::move(old_row)});
+    }
+  }
+  return ExecResult::Update(deleted);
+}
+
+// ---------------------------------------------------------------------------
+// DDL + dispatch
+// ---------------------------------------------------------------------------
+
+Result<ExecResult> Executor::ExecuteDDL(const sql::Statement& stmt) {
+  switch (stmt.kind()) {
+    case sql::StatementKind::kCreateTable: {
+      const auto& s = static_cast<const sql::CreateTableStatement&>(stmt);
+      Schema schema;
+      for (const auto& c : s.columns) {
+        schema.AddColumn(Column(c.name, c.type, c.primary_key, c.not_null));
+      }
+      SPHERE_RETURN_NOT_OK(db_->CreateTable(s.table, std::move(schema),
+                                            s.if_not_exists));
+      return ExecResult::Update(0);
+    }
+    case sql::StatementKind::kDropTable: {
+      const auto& s = static_cast<const sql::DropTableStatement&>(stmt);
+      SPHERE_RETURN_NOT_OK(db_->DropTable(s.table, s.if_exists));
+      return ExecResult::Update(0);
+    }
+    case sql::StatementKind::kTruncate: {
+      const auto& s = static_cast<const sql::TruncateStatement&>(stmt);
+      storage::Table* table = db_->FindTable(s.table);
+      if (table == nullptr) return Status::NotFound("table " + s.table);
+      std::unique_lock lk(table->latch());
+      table->Truncate();
+      return ExecResult::Update(0);
+    }
+    case sql::StatementKind::kCreateIndex: {
+      const auto& s = static_cast<const sql::CreateIndexStatement&>(stmt);
+      storage::Table* table = db_->FindTable(s.table);
+      if (table == nullptr) return Status::NotFound("table " + s.table);
+      if (s.columns.size() != 1) {
+        return Status::Unsupported("multi-column indexes");
+      }
+      std::unique_lock lk(table->latch());
+      SPHERE_RETURN_NOT_OK(table->CreateIndex(s.index_name, s.columns[0]));
+      return ExecResult::Update(0);
+    }
+    default:
+      return Status::Unsupported("statement kind");
+  }
+}
+
+Result<ExecResult> Executor::Execute(const sql::Statement& stmt,
+                                     const std::vector<Value>& params,
+                                     storage::Transaction* txn) {
+  switch (stmt.kind()) {
+    case sql::StatementKind::kSelect:
+      return ExecuteSelect(static_cast<const sql::SelectStatement&>(stmt), params);
+    case sql::StatementKind::kInsert:
+      return ExecuteInsert(static_cast<const sql::InsertStatement&>(stmt), params, txn);
+    case sql::StatementKind::kUpdate:
+      return ExecuteUpdate(static_cast<const sql::UpdateStatement&>(stmt), params, txn);
+    case sql::StatementKind::kDelete:
+      return ExecuteDelete(static_cast<const sql::DeleteStatement&>(stmt), params, txn);
+    case sql::StatementKind::kCreateTable:
+    case sql::StatementKind::kDropTable:
+    case sql::StatementKind::kTruncate:
+    case sql::StatementKind::kCreateIndex:
+      return ExecuteDDL(stmt);
+    case sql::StatementKind::kSet:
+    case sql::StatementKind::kShow:
+    case sql::StatementKind::kUse:
+      return ExecResult::Update(0);
+    default:
+      return Status::Unsupported("statement must run through a session");
+  }
+}
+
+}  // namespace sphere::engine

@@ -1,0 +1,68 @@
+#ifndef SPHERE_ENGINE_EXECUTOR_H_
+#define SPHERE_ENGINE_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "engine/evaluator.h"
+#include "engine/result_set.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+#include "storage/txn.h"
+
+namespace sphere::engine {
+
+/// Executes one parsed statement against a storage::Database — the SQL
+/// execution layer that makes every storage node a small standalone RDBMS.
+///
+/// Supported surface: SELECT with joins (inner/left/cross, hash join on
+/// equi-conditions), WHERE, GROUP BY + HAVING, the five SQL aggregates
+/// (including DISTINCT), ORDER BY, LIMIT/OFFSET, DISTINCT; INSERT (multi-row),
+/// UPDATE, DELETE; CREATE/DROP/TRUNCATE TABLE, CREATE INDEX. Point and range
+/// predicates on the primary key and equality on secondarily indexed columns
+/// use index scans.
+class Executor {
+ public:
+  Executor(storage::Database* db, storage::TransactionManager* txn_manager)
+      : db_(db), txn_manager_(txn_manager) {}
+
+  /// Executes `stmt`. When `txn` is non-null, DML changes append undo records
+  /// to it; otherwise each statement is atomic by itself (auto-commit).
+  Result<ExecResult> Execute(const sql::Statement& stmt,
+                             const std::vector<Value>& params,
+                             storage::Transaction* txn);
+
+ private:
+  struct SourceRows {
+    BoundColumns columns;
+    std::vector<Row> rows;
+  };
+
+  Result<ExecResult> ExecuteSelect(const sql::SelectStatement& stmt,
+                                   const std::vector<Value>& params);
+  Result<ExecResult> ExecuteInsert(const sql::InsertStatement& stmt,
+                                   const std::vector<Value>& params,
+                                   storage::Transaction* txn);
+  Result<ExecResult> ExecuteUpdate(const sql::UpdateStatement& stmt,
+                                   const std::vector<Value>& params,
+                                   storage::Transaction* txn);
+  Result<ExecResult> ExecuteDelete(const sql::DeleteStatement& stmt,
+                                   const std::vector<Value>& params,
+                                   storage::Transaction* txn);
+  Result<ExecResult> ExecuteDDL(const sql::Statement& stmt);
+
+  /// Scans one table (index-assisted when `where` permits) into memory.
+  Result<SourceRows> ScanTable(const sql::TableRef& ref, const sql::Expr* where,
+                               const std::vector<Value>& params);
+
+  /// Builds the joined/filtered source relation of a SELECT.
+  Result<SourceRows> BuildSource(const sql::SelectStatement& stmt,
+                                 const std::vector<Value>& params);
+
+  storage::Database* db_;
+  storage::TransactionManager* txn_manager_;
+};
+
+}  // namespace sphere::engine
+
+#endif  // SPHERE_ENGINE_EXECUTOR_H_

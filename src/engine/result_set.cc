@@ -1,0 +1,12 @@
+#include "engine/result_set.h"
+
+namespace sphere::engine {
+
+std::vector<Row> DrainResultSet(ResultSet* rs) {
+  std::vector<Row> rows;
+  Row row;
+  while (rs->Next(&row)) rows.push_back(row);
+  return rows;
+}
+
+}  // namespace sphere::engine

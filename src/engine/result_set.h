@@ -1,0 +1,81 @@
+#ifndef SPHERE_ENGINE_RESULT_SET_H_
+#define SPHERE_ENGINE_RESULT_SET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace sphere::engine {
+
+/// Streaming cursor over query results. Both the local executor and the
+/// middleware's mergers speak this interface, so a merged multi-source result
+/// looks exactly like a single-node one (the property the paper's stream
+/// merger relies on).
+class ResultSet {
+ public:
+  virtual ~ResultSet() = default;
+
+  /// Output column labels.
+  virtual const std::vector<std::string>& columns() const = 0;
+
+  /// Advances to the next row; returns false at end. `row` is only valid
+  /// until the next call.
+  virtual bool Next(Row* row) = 0;
+};
+
+using ResultSetPtr = std::unique_ptr<ResultSet>;
+
+/// Fully materialized result set.
+class VectorResultSet : public ResultSet {
+ public:
+  VectorResultSet(std::vector<std::string> columns, std::vector<Row> rows)
+      : columns_(std::move(columns)), rows_(std::move(rows)) {}
+
+  const std::vector<std::string>& columns() const override { return columns_; }
+
+  bool Next(Row* row) override {
+    if (pos_ >= rows_.size()) return false;
+    *row = std::move(rows_[pos_++]);
+    return true;
+  }
+
+  size_t row_count() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Drains a result set into a materialized copy (test/bench helper).
+std::vector<Row> DrainResultSet(ResultSet* rs);
+
+/// Outcome of executing one statement: a cursor for queries, an affected-row
+/// count for updates.
+struct ExecResult {
+  bool is_query = false;
+  ResultSetPtr result_set;      ///< non-null when is_query
+  int64_t affected_rows = 0;    ///< DML row count
+  int64_t last_insert_id = 0;   ///< last generated key (0 when none)
+
+  static ExecResult Query(ResultSetPtr rs) {
+    ExecResult r;
+    r.is_query = true;
+    r.result_set = std::move(rs);
+    return r;
+  }
+  static ExecResult Update(int64_t affected, int64_t last_id = 0) {
+    ExecResult r;
+    r.affected_rows = affected;
+    r.last_insert_id = last_id;
+    return r;
+  }
+};
+
+}  // namespace sphere::engine
+
+#endif  // SPHERE_ENGINE_RESULT_SET_H_

@@ -1,0 +1,144 @@
+#include "engine/storage_node.h"
+
+#include "common/clock.h"
+#include "sql/parser.h"
+
+namespace sphere::engine {
+
+StorageNode::StorageNode(std::string name, sql::DialectType dialect)
+    : name_(std::move(name)), dialect_(sql::Dialect::Get(dialect)),
+      db_(name_), txn_manager_(&db_) {}
+
+StorageNode::Session::~Session() {
+  if (txn_ != nullptr) {
+    (void)node_->txn_manager_.Rollback(txn_);
+    txn_ = nullptr;
+  }
+}
+
+Result<std::shared_ptr<const sql::Statement>> StorageNode::ParseCached(
+    std::string_view sql_text) {
+  {
+    std::lock_guard lk(stmt_cache_mu_);
+    auto it = stmt_cache_.find(std::string(sql_text));
+    if (it != stmt_cache_.end()) return it->second;
+  }
+  sql::Parser parser(dialect_);
+  SPHERE_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.Parse(sql_text));
+  std::shared_ptr<const sql::Statement> shared(std::move(stmt));
+  std::lock_guard lk(stmt_cache_mu_);
+  if (stmt_cache_.size() >= 4096) stmt_cache_.clear();  // crude eviction
+  stmt_cache_.emplace(std::string(sql_text), shared);
+  return shared;
+}
+
+Result<ExecResult> StorageNode::Session::Execute(
+    std::string_view sql_text, const std::vector<Value>& params) {
+  SPHERE_ASSIGN_OR_RETURN(std::shared_ptr<const sql::Statement> stmt,
+                          node_->ParseCached(sql_text));
+  return ExecuteStatement(*stmt, params);
+}
+
+Result<ExecResult> StorageNode::Session::ExecuteStatement(
+    const sql::Statement& stmt, const std::vector<Value>& params) {
+  node_->statements_executed_.fetch_add(1, std::memory_order_relaxed);
+  int64_t delay = node_->statement_delay_us_.load(std::memory_order_relaxed);
+  if (delay > 0) {
+    // Occupy an IO slot for the duration of the simulated storage access.
+    bool limited;
+    {
+      std::unique_lock lk(node_->io_mu_);
+      limited = node_->io_slots_ > 0;
+      if (limited) {
+        node_->io_cv_.wait(lk, [&] { return node_->io_in_use_ < node_->io_slots_; });
+        ++node_->io_in_use_;
+      }
+    }
+    SleepMicros(delay);
+    if (limited) {
+      {
+        std::lock_guard lk(node_->io_mu_);
+        --node_->io_in_use_;
+      }
+      node_->io_cv_.notify_one();
+    }
+  }
+  switch (stmt.kind()) {
+    case sql::StatementKind::kBegin:
+      SPHERE_RETURN_NOT_OK(Begin());
+      return ExecResult::Update(0);
+    case sql::StatementKind::kCommit:
+      SPHERE_RETURN_NOT_OK(Commit());
+      return ExecResult::Update(0);
+    case sql::StatementKind::kRollback:
+      SPHERE_RETURN_NOT_OK(Rollback());
+      return ExecResult::Update(0);
+    default: {
+      Executor executor(&node_->db_, &node_->txn_manager_);
+      return executor.Execute(stmt, params, txn_);
+    }
+  }
+}
+
+Status StorageNode::Session::Begin(const std::string& xid) {
+  if (txn_ != nullptr) {
+    // Implicit commit of the previous transaction (MySQL behaviour).
+    SPHERE_RETURN_NOT_OK(Commit());
+  }
+  txn_ = node_->txn_manager_.Begin(xid);
+  return Status::OK();
+}
+
+Status StorageNode::Session::Commit() {
+  if (txn_ == nullptr) return Status::OK();  // no-op outside a transaction
+  if (node_->fail_next_commit_.exchange(false)) {
+    storage::Transaction* t = txn_;
+    txn_ = nullptr;
+    (void)node_->txn_manager_.Rollback(t);
+    return Status::Unavailable("injected commit failure on " + node_->name_);
+  }
+  Status st = node_->txn_manager_.Commit(txn_);
+  txn_ = nullptr;
+  return st;
+}
+
+Status StorageNode::Session::Rollback() {
+  if (txn_ == nullptr) return Status::OK();
+  Status st = node_->txn_manager_.Rollback(txn_);
+  txn_ = nullptr;
+  return st;
+}
+
+Status StorageNode::Session::Prepare() {
+  if (txn_ == nullptr) {
+    return Status::TransactionError("prepare without open transaction");
+  }
+  if (node_->fail_next_prepare_.exchange(false)) {
+    // Vote NO: the RM rolls back its branch (paper Fig. 5(c), phase 1).
+    storage::Transaction* t = txn_;
+    txn_ = nullptr;
+    (void)node_->txn_manager_.Rollback(t);
+    return Status::TransactionError("injected prepare failure on " + node_->name_);
+  }
+  Status st = node_->txn_manager_.Prepare(txn_);
+  if (st.ok()) txn_ = nullptr;  // ownership moves to the prepared set
+  return st;
+}
+
+void StorageNode::set_io_concurrency(int slots) {
+  {
+    std::lock_guard lk(io_mu_);
+    io_slots_ = slots;
+  }
+  io_cv_.notify_all();
+}
+
+Status StorageNode::CommitPrepared(const std::string& xid) {
+  return txn_manager_.CommitPrepared(xid);
+}
+
+Status StorageNode::RollbackPrepared(const std::string& xid) {
+  return txn_manager_.RollbackPrepared(xid);
+}
+
+}  // namespace sphere::engine

@@ -1,0 +1,132 @@
+#ifndef SPHERE_ENGINE_STORAGE_NODE_H_
+#define SPHERE_ENGINE_STORAGE_NODE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/executor.h"
+#include "engine/result_set.h"
+#include "sql/dialect.h"
+#include "storage/database.h"
+#include "storage/txn.h"
+
+namespace sphere::engine {
+
+/// One underlying "database server" (the paper's data source): catalog +
+/// transaction manager + SQL executor, addressed by name. Stands in for a
+/// MySQL/PostgreSQL instance; the middleware talks to it through sessions
+/// (its connections) and, remotely, through the net module's channels.
+class StorageNode {
+ public:
+  explicit StorageNode(std::string name,
+                       sql::DialectType dialect = sql::DialectType::kMySQL);
+
+  const std::string& name() const { return name_; }
+  const sql::Dialect& dialect() const { return dialect_; }
+  storage::Database* database() { return &db_; }
+  storage::TransactionManager* txn_manager() { return &txn_manager_; }
+
+  /// A connection to this node. Holds at most one open transaction.
+  class Session {
+   public:
+    explicit Session(StorageNode* node) : node_(node) {}
+    ~Session();
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    /// Parses and executes one statement. BEGIN/COMMIT/ROLLBACK manage this
+    /// session's transaction; other statements run inside it when open.
+    Result<ExecResult> Execute(std::string_view sql_text,
+                               const std::vector<Value>& params = {});
+
+    /// Executes an already-parsed statement (in-process fast path).
+    Result<ExecResult> ExecuteStatement(const sql::Statement& stmt,
+                                        const std::vector<Value>& params = {});
+
+    /// Starts a transaction; `xid` ties it to a global XA transaction.
+    Status Begin(const std::string& xid = "");
+    /// 1PC commit of the open transaction.
+    Status Commit();
+    Status Rollback();
+    /// XA phase 1 on the open transaction (leaves it prepared; the session
+    /// no longer owns it).
+    Status Prepare();
+
+    bool in_transaction() const { return txn_ != nullptr; }
+    StorageNode* node() { return node_; }
+
+   private:
+    StorageNode* node_;
+    storage::Transaction* txn_ = nullptr;
+  };
+
+  std::unique_ptr<Session> OpenSession() {
+    return std::make_unique<Session>(this);
+  }
+
+  /// XA phase 2 verbs, addressable without the original session (the TM may
+  /// resolve in-doubt branches from any connection after a failure).
+  Status CommitPrepared(const std::string& xid);
+  Status RollbackPrepared(const std::string& xid);
+  std::vector<std::string> InDoubtXids() const {
+    return txn_manager_.InDoubtXids();
+  }
+
+  /// Crash simulation: all active transactions vanish (rolled back), prepared
+  /// branches stay in-doubt. Used by the XA recovery tests.
+  void SimulateCrash() { txn_manager_.SimulateCrash(); }
+
+  // Fault injection for transaction tests.
+  void InjectPrepareFailure() { fail_next_prepare_ = true; }
+  void InjectCommitFailure() { fail_next_commit_ = true; }
+
+  /// Total statements executed (monitoring).
+  int64_t statements_executed() const { return statements_executed_.load(); }
+
+  /// Fixed extra latency per statement (microseconds). Benchmarks use this to
+  /// model storage-stack effects the in-memory engine doesn't have: buffer
+  /// pool misses on large tables, or Aurora's offloaded storage fleet.
+  void set_statement_delay_us(int64_t us) { statement_delay_us_ = us; }
+  int64_t statement_delay_us() const { return statement_delay_us_; }
+
+  /// Caps how many delayed statements progress concurrently on this node
+  /// (a disk-queue/worker-pool model; 0 = unlimited). Only the simulated
+  /// delay is serialized, not the in-memory execution.
+  void set_io_concurrency(int slots);
+
+ private:
+  friend class Session;
+
+  /// Server-side statement cache: SQL text -> parsed AST. Plays the role of
+  /// a prepared-statement cache; the middleware sends the same parameterized
+  /// texts over and over, so scatter queries don't pay a parse per unit.
+  Result<std::shared_ptr<const sql::Statement>> ParseCached(
+      std::string_view sql_text);
+
+  std::string name_;
+  const sql::Dialect& dialect_;
+  storage::Database db_;
+  storage::TransactionManager txn_manager_;
+  std::mutex stmt_cache_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const sql::Statement>>
+      stmt_cache_;
+  std::atomic<bool> fail_next_prepare_{false};
+  std::atomic<bool> fail_next_commit_{false};
+  std::atomic<int64_t> statements_executed_{0};
+  std::atomic<int64_t> statement_delay_us_{0};
+  std::mutex io_mu_;
+  std::condition_variable io_cv_;
+  int io_slots_ = 0;     ///< 0 = unlimited
+  int io_in_use_ = 0;
+};
+
+}  // namespace sphere::engine
+
+#endif  // SPHERE_ENGINE_STORAGE_NODE_H_

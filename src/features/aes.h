@@ -1,0 +1,34 @@
+#ifndef SPHERE_FEATURES_AES_H_
+#define SPHERE_FEATURES_AES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sphere::features {
+
+/// Minimal from-scratch AES-128 block cipher (ECB mode with PKCS#7 padding),
+/// used by the Encrypt feature. ECB keeps encryption deterministic, which the
+/// feature needs so equality predicates on encrypted columns keep working —
+/// the same trade-off the original's default AES encryptor makes.
+class Aes128 {
+ public:
+  /// Key material is derived from the passphrase (truncated/zero-padded to
+  /// 16 bytes, as the reference implementation does).
+  explicit Aes128(const std::string& passphrase);
+
+  /// Encrypts to a lowercase hex string (safe to embed in SQL literals).
+  std::string EncryptToHex(const std::string& plaintext) const;
+
+  /// Decrypts a hex string; returns false on malformed input or bad padding.
+  bool DecryptFromHex(const std::string& hex, std::string* plaintext) const;
+
+ private:
+  void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+  void DecryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+  uint8_t round_keys_[176];  ///< 11 round keys x 16 bytes
+};
+
+}  // namespace sphere::features
+
+#endif  // SPHERE_FEATURES_AES_H_

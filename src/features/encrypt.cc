@@ -1,0 +1,235 @@
+#include "features/encrypt.h"
+
+#include "common/strings.h"
+
+namespace sphere::features {
+
+EncryptInterceptor::EncryptInterceptor(
+    std::vector<EncryptColumnConfig> columns) {
+  for (auto& c : columns) {
+    entries_.push_back(
+        Entry{c.table, c.column, std::make_unique<Aes128>(c.key)});
+  }
+}
+
+const EncryptInterceptor::Entry* EncryptInterceptor::Find(
+    const std::string& table, const std::string& column) const {
+  for (const auto& e : entries_) {
+    if (EqualsIgnoreCase(e.table, table) && EqualsIgnoreCase(e.column, column)) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const EncryptInterceptor::Entry* EncryptInterceptor::FindByColumn(
+    const std::string& column) const {
+  const Entry* found = nullptr;
+  for (const auto& e : entries_) {
+    if (EqualsIgnoreCase(e.column, column)) {
+      if (found != nullptr) return nullptr;  // ambiguous
+      found = &e;
+    }
+  }
+  return found;
+}
+
+Value EncryptInterceptor::EncryptValue(const Entry& entry, const Value& v) const {
+  if (v.is_null()) return v;
+  return Value(entry.cipher->EncryptToHex(v.ToString()));
+}
+
+Result<std::string> EncryptInterceptor::Encrypt(
+    const std::string& table, const std::string& column,
+    const std::string& plaintext) const {
+  const Entry* e = Find(table, column);
+  if (e == nullptr) {
+    return Status::NotFound("no encrypt rule for " + table + "." + column);
+  }
+  return e->cipher->EncryptToHex(plaintext);
+}
+
+void EncryptInterceptor::RewriteExpr(sql::Expr* expr,
+                                     const std::string& default_table,
+                                     std::vector<Value>* params) const {
+  if (expr == nullptr) return;
+  auto entry_for = [&](const sql::Expr* col_expr) -> const Entry* {
+    if (col_expr->kind() != sql::ExprKind::kColumnRef) return nullptr;
+    const auto* c = static_cast<const sql::ColumnRefExpr*>(col_expr);
+    if (!c->table.empty()) {
+      const Entry* e = Find(c->table, c->column);
+      if (e != nullptr) return e;
+    }
+    if (!default_table.empty()) {
+      const Entry* e = Find(default_table, c->column);
+      if (e != nullptr) return e;
+    }
+    return c->table.empty() ? FindByColumn(c->column) : nullptr;
+  };
+  auto encrypt_const = [&](sql::ExprPtr* slot, const Entry& entry) {
+    if ((*slot)->kind() == sql::ExprKind::kLiteral) {
+      auto* lit = static_cast<sql::LiteralExpr*>(slot->get());
+      lit->value = EncryptValue(entry, lit->value);
+    } else if ((*slot)->kind() == sql::ExprKind::kParam) {
+      int idx = static_cast<const sql::ParamExpr*>(slot->get())->index;
+      if (idx >= 0 && static_cast<size_t>(idx) < params->size()) {
+        (*params)[static_cast<size_t>(idx)] =
+            EncryptValue(entry, (*params)[static_cast<size_t>(idx)]);
+      }
+    }
+  };
+
+  switch (expr->kind()) {
+    case sql::ExprKind::kBinary: {
+      auto* b = static_cast<sql::BinaryExpr*>(expr);
+      if (b->op == sql::BinaryOp::kEq || b->op == sql::BinaryOp::kNe) {
+        if (const Entry* e = entry_for(b->left.get())) {
+          encrypt_const(&b->right, *e);
+          return;
+        }
+        if (const Entry* e = entry_for(b->right.get())) {
+          encrypt_const(&b->left, *e);
+          return;
+        }
+      }
+      RewriteExpr(b->left.get(), default_table, params);
+      RewriteExpr(b->right.get(), default_table, params);
+      break;
+    }
+    case sql::ExprKind::kIn: {
+      auto* in = static_cast<sql::InExpr*>(expr);
+      if (const Entry* e = entry_for(in->expr.get())) {
+        for (auto& item : in->list) encrypt_const(&item, *e);
+        return;
+      }
+      for (auto& item : in->list) RewriteExpr(item.get(), default_table, params);
+      break;
+    }
+    case sql::ExprKind::kUnary:
+      RewriteExpr(static_cast<sql::UnaryExpr*>(expr)->child.get(), default_table,
+                  params);
+      break;
+    default:
+      break;
+  }
+}
+
+Result<sql::StatementPtr> EncryptInterceptor::BeforeRoute(
+    const sql::Statement& stmt, std::vector<Value>* params) {
+  switch (stmt.kind()) {
+    case sql::StatementKind::kInsert: {
+      const auto& ins = static_cast<const sql::InsertStatement&>(stmt);
+      // Is any inserted column encrypted?
+      bool relevant = false;
+      for (const auto& col : ins.columns) {
+        if (Find(ins.table.name, col) != nullptr) relevant = true;
+      }
+      if (!relevant) return sql::StatementPtr(nullptr);
+      auto clone = stmt.Clone();
+      auto* mutable_ins = static_cast<sql::InsertStatement*>(clone.get());
+      for (size_t c = 0; c < mutable_ins->columns.size(); ++c) {
+        const Entry* e = Find(ins.table.name, mutable_ins->columns[c]);
+        if (e == nullptr) continue;
+        for (auto& row : mutable_ins->rows) {
+          if (c >= row.size()) continue;
+          if (row[c]->kind() == sql::ExprKind::kLiteral) {
+            auto* lit = static_cast<sql::LiteralExpr*>(row[c].get());
+            lit->value = EncryptValue(*e, lit->value);
+          } else if (row[c]->kind() == sql::ExprKind::kParam) {
+            int idx = static_cast<const sql::ParamExpr*>(row[c].get())->index;
+            if (idx >= 0 && static_cast<size_t>(idx) < params->size()) {
+              (*params)[static_cast<size_t>(idx)] =
+                  EncryptValue(*e, (*params)[static_cast<size_t>(idx)]);
+            }
+          }
+        }
+      }
+      return clone;
+    }
+    case sql::StatementKind::kUpdate: {
+      const auto& up = static_cast<const sql::UpdateStatement&>(stmt);
+      auto clone = stmt.Clone();
+      auto* mutable_up = static_cast<sql::UpdateStatement*>(clone.get());
+      bool touched = false;
+      for (auto& a : mutable_up->assignments) {
+        const Entry* e = Find(up.table.name, a.column);
+        if (e == nullptr) continue;
+        touched = true;
+        if (a.value->kind() == sql::ExprKind::kLiteral) {
+          auto* lit = static_cast<sql::LiteralExpr*>(a.value.get());
+          lit->value = EncryptValue(*e, lit->value);
+        } else if (a.value->kind() == sql::ExprKind::kParam) {
+          int idx = static_cast<const sql::ParamExpr*>(a.value.get())->index;
+          if (idx >= 0 && static_cast<size_t>(idx) < params->size()) {
+            (*params)[static_cast<size_t>(idx)] =
+                EncryptValue(*e, (*params)[static_cast<size_t>(idx)]);
+          }
+        }
+      }
+      RewriteExpr(mutable_up->where.get(), up.table.name, params);
+      (void)touched;  // the WHERE may have been rewritten even when no
+                      // assignment was: always use the clone
+      return clone;
+    }
+    case sql::StatementKind::kSelect: {
+      const auto& sel = static_cast<const sql::SelectStatement&>(stmt);
+      if (sel.where == nullptr || sel.from.empty()) {
+        return sql::StatementPtr(nullptr);
+      }
+      auto clone = stmt.Clone();
+      auto* mutable_sel = static_cast<sql::SelectStatement*>(clone.get());
+      RewriteExpr(mutable_sel->where.get(), sel.from[0].name, params);
+      return clone;
+    }
+    case sql::StatementKind::kDelete: {
+      const auto& del = static_cast<const sql::DeleteStatement&>(stmt);
+      if (del.where == nullptr) return sql::StatementPtr(nullptr);
+      auto clone = stmt.Clone();
+      auto* mutable_del = static_cast<sql::DeleteStatement*>(clone.get());
+      RewriteExpr(mutable_del->where.get(), del.table.name, params);
+      return clone;
+    }
+    default:
+      return sql::StatementPtr(nullptr);
+  }
+}
+
+Result<engine::ExecResult> EncryptInterceptor::DecorateResult(
+    const sql::Statement& stmt, engine::ExecResult result) {
+  if (!result.is_query || stmt.kind() != sql::StatementKind::kSelect) {
+    return result;
+  }
+  const auto& sel = static_cast<const sql::SelectStatement&>(stmt);
+  // Tables involved: decrypt output columns whose label matches an encrypted
+  // column of one of them.
+  std::vector<const Entry*> output_entries;
+  const auto& columns = result.result_set->columns();
+  bool any = false;
+  for (const auto& label : columns) {
+    const Entry* found = nullptr;
+    for (const sql::TableRef* t : sel.AllTables()) {
+      if (const Entry* e = Find(t->name, label)) {
+        found = e;
+        break;
+      }
+    }
+    output_entries.push_back(found);
+    any = any || found != nullptr;
+  }
+  if (!any) return result;
+
+  std::vector<Row> rows = engine::DrainResultSet(result.result_set.get());
+  for (auto& row : rows) {
+    for (size_t i = 0; i < row.size() && i < output_entries.size(); ++i) {
+      if (output_entries[i] == nullptr || !row[i].is_string()) continue;
+      std::string plain;
+      if (output_entries[i]->cipher->DecryptFromHex(row[i].AsString(), &plain)) {
+        row[i] = Value(std::move(plain));
+      }
+    }
+  }
+  return engine::ExecResult::Query(std::make_unique<engine::VectorResultSet>(
+      columns, std::move(rows)));
+}
+
+}  // namespace sphere::features

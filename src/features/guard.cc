@@ -1,0 +1,105 @@
+#include "features/guard.h"
+
+namespace sphere::features {
+
+Status CircuitBreaker::AfterRewrite(const sql::Statement& stmt,
+                                    std::vector<core::SQLUnit>* units,
+                                    bool in_transaction) {
+  (void)stmt;
+  (void)units;
+  (void)in_transaction;
+  std::lock_guard lk(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return Status::OK();
+    case State::kOpen:
+      if (NowMicros() - opened_at_us_ >= open_duration_us_) {
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = false;
+        // fall through to half-open handling
+      } else {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Unavailable("circuit breaker is open");
+      }
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probe_in_flight_) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Unavailable("circuit breaker half-open: probe in flight");
+      }
+      probe_in_flight_ = true;
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Result<engine::ExecResult> CircuitBreaker::DecorateResult(
+    const sql::Statement& stmt, engine::ExecResult result) {
+  (void)stmt;
+  std::lock_guard lk(mu_);
+  // A decorated result means the statement succeeded.
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kClosed;
+    probe_in_flight_ = false;
+  }
+  return result;
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard lk(mu_);
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kOpen;
+    opened_at_us_ = NowMicros();
+    probe_in_flight_ = false;
+    return;
+  }
+  if (++consecutive_failures_ >= failure_threshold_ && state_ == State::kClosed) {
+    state_ = State::kOpen;
+    opened_at_us_ = NowMicros();
+  }
+}
+
+void CircuitBreaker::Trip() {
+  std::lock_guard lk(mu_);
+  state_ = State::kOpen;
+  opened_at_us_ = NowMicros();
+}
+
+void CircuitBreaker::Reset() {
+  std::lock_guard lk(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard lk(mu_);
+  return state_;
+}
+
+bool RateThrottle::TryAcquire() {
+  std::lock_guard lk(mu_);
+  int64_t now = NowMicros();
+  tokens_ += rate_ * static_cast<double>(now - last_refill_us_) / 1e6;
+  if (tokens_ > burst_) tokens_ = burst_;
+  last_refill_us_ = now;
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+Status RateThrottle::AfterRewrite(const sql::Statement& stmt,
+                                  std::vector<core::SQLUnit>* units,
+                                  bool in_transaction) {
+  (void)stmt;
+  (void)units;
+  (void)in_transaction;
+  if (TryAcquire()) return Status::OK();
+  throttled_.fetch_add(1, std::memory_order_relaxed);
+  return Status::ResourceExhausted("statement rate limit exceeded");
+}
+
+}  // namespace sphere::features

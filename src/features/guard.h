@@ -1,0 +1,78 @@
+#ifndef SPHERE_FEATURES_GUARD_H_
+#define SPHERE_FEATURES_GUARD_H_
+
+#include <atomic>
+#include <mutex>
+
+#include "common/clock.h"
+#include "core/runtime.h"
+
+namespace sphere::features {
+
+/// Circuit breaking (paper §IV-C): when the backend misbehaves, the breaker
+/// opens and statements fail fast instead of piling onto the data sources.
+/// Classic three-state breaker: closed -> (failures >= threshold) open ->
+/// (cool-down elapsed) half-open -> one probe decides.
+class CircuitBreaker : public core::StatementInterceptor {
+ public:
+  CircuitBreaker(int failure_threshold, int64_t open_duration_ms)
+      : failure_threshold_(failure_threshold),
+        open_duration_us_(open_duration_ms * 1000) {}
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  Status AfterRewrite(const sql::Statement& stmt,
+                      std::vector<core::SQLUnit>* units,
+                      bool in_transaction) override;
+  Result<engine::ExecResult> DecorateResult(const sql::Statement& stmt,
+                                            engine::ExecResult result) override;
+
+  /// Records an execution failure (callers report errors the pipeline saw).
+  void RecordFailure();
+  /// Manual controls (RAL-style administration).
+  void Trip();
+  void Reset();
+
+  State state() const;
+  int64_t rejected_statements() const { return rejected_.load(); }
+
+ private:
+  const int failure_threshold_;
+  const int64_t open_duration_us_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int64_t opened_at_us_ = 0;
+  bool probe_in_flight_ = false;
+  std::atomic<int64_t> rejected_{0};
+};
+
+/// Request throttling (paper §IV-C): a token bucket caps the statement rate;
+/// excess requests are rejected with ResourceExhausted.
+class RateThrottle : public core::StatementInterceptor {
+ public:
+  /// `rate_per_second` tokens refill continuously up to `burst`.
+  RateThrottle(double rate_per_second, double burst)
+      : rate_(rate_per_second), burst_(burst), tokens_(burst),
+        last_refill_us_(NowMicros()) {}
+
+  Status AfterRewrite(const sql::Statement& stmt,
+                      std::vector<core::SQLUnit>* units,
+                      bool in_transaction) override;
+
+  int64_t throttled_statements() const { return throttled_.load(); }
+
+ private:
+  bool TryAcquire();
+
+  const double rate_;
+  const double burst_;
+  std::mutex mu_;
+  double tokens_;
+  int64_t last_refill_us_;
+  std::atomic<int64_t> throttled_{0};
+};
+
+}  // namespace sphere::features
+
+#endif  // SPHERE_FEATURES_GUARD_H_

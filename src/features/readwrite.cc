@@ -1,0 +1,106 @@
+#include "features/readwrite.h"
+
+#include "common/strings.h"
+
+namespace sphere::features {
+
+namespace {
+/// Write fan-out of the statement currently executing on this thread.
+thread_local int tls_write_fanout = 1;
+}  // namespace
+
+const ReadWriteSplitConfig::Group* ReadWriteSplitInterceptor::GroupOf(
+    const std::string& ds) const {
+  for (const auto& g : config_.groups) {
+    if (EqualsIgnoreCase(g.write_data_source, ds)) return &g;
+  }
+  return nullptr;
+}
+
+std::string ReadWriteSplitInterceptor::PickReplica(
+    const ReadWriteSplitConfig::Group& group) {
+  if (group.read_data_sources.empty()) return group.write_data_source;
+  if (EqualsIgnoreCase(group.load_balancer, "RANDOM")) {
+    std::lock_guard lk(rng_mu_);
+    return group.read_data_sources[static_cast<size_t>(
+        rng_.Uniform(0, static_cast<int64_t>(group.read_data_sources.size()) - 1))];
+  }
+  if (EqualsIgnoreCase(group.load_balancer, "WEIGHT") &&
+      group.weights.size() == group.read_data_sources.size()) {
+    int total = 0;
+    for (int w : group.weights) total += w;
+    int64_t pick;
+    {
+      std::lock_guard lk(rng_mu_);
+      pick = rng_.Uniform(1, total);
+    }
+    for (size_t i = 0; i < group.weights.size(); ++i) {
+      pick -= group.weights[i];
+      if (pick <= 0) return group.read_data_sources[i];
+    }
+    return group.read_data_sources.back();
+  }
+  // ROUND_ROBIN default.
+  uint64_t n = round_robin_.fetch_add(1);
+  return group.read_data_sources[n % group.read_data_sources.size()];
+}
+
+Status ReadWriteSplitInterceptor::AfterRewrite(
+    const sql::Statement& stmt, std::vector<core::SQLUnit>* units,
+    bool in_transaction) {
+  bool is_read = stmt.kind() == sql::StatementKind::kSelect;
+  if (is_read &&
+      static_cast<const sql::SelectStatement&>(stmt).for_update) {
+    is_read = false;  // FOR UPDATE must see the primary
+  }
+  // Reads inside a transaction stay on the primary for consistency.
+  if (is_read && in_transaction) return Status::OK();
+
+  if (is_read) {
+    for (auto& unit : *units) {
+      const auto* group = GroupOf(unit.data_source);
+      if (group == nullptr) continue;
+      std::string replica = PickReplica(*group);
+      if (!EqualsIgnoreCase(replica, unit.data_source)) {
+        unit.data_source = replica;
+        replica_reads_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return Status::OK();
+  }
+
+  tls_write_fanout = 1;
+  if (!config_.replicate_writes) return Status::OK();
+  // Mirror each write unit onto the group's replicas.
+  size_t before = units->size();
+  std::vector<core::SQLUnit> mirrored;
+  for (const auto& unit : *units) {
+    const auto* group = GroupOf(unit.data_source);
+    if (group == nullptr) continue;
+    for (const auto& replica : group->read_data_sources) {
+      core::SQLUnit copy = unit;
+      copy.data_source = replica;
+      mirrored.push_back(std::move(copy));
+      replicated_writes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  units->insert(units->end(), std::make_move_iterator(mirrored.begin()),
+                std::make_move_iterator(mirrored.end()));
+  if (before > 0) {
+    tls_write_fanout = static_cast<int>(units->size() / before);
+    if (tls_write_fanout < 1) tls_write_fanout = 1;
+  }
+  return Status::OK();
+}
+
+Result<engine::ExecResult> ReadWriteSplitInterceptor::DecorateResult(
+    const sql::Statement& stmt, engine::ExecResult result) {
+  (void)stmt;
+  if (!result.is_query && tls_write_fanout > 1) {
+    result.affected_rows /= tls_write_fanout;
+  }
+  tls_write_fanout = 1;
+  return result;
+}
+
+}  // namespace sphere::features

@@ -1,0 +1,63 @@
+#ifndef SPHERE_FEATURES_READWRITE_H_
+#define SPHERE_FEATURES_READWRITE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/runtime.h"
+
+namespace sphere::features {
+
+/// Read-write splitting (paper §IV-C): SELECTs outside transactions go to
+/// replica data sources, writes go to (and, in this simulation, are fanned
+/// out to) the primary group. The fan-out stands in for the native
+/// primary-replica replication (MGR etc.) the real deployments rely on.
+struct ReadWriteSplitConfig {
+  struct Group {
+    std::string write_data_source;
+    std::vector<std::string> read_data_sources;
+    std::vector<int> weights;        ///< WEIGHT balancer only
+    std::string load_balancer = "ROUND_ROBIN";  ///< ROUND_ROBIN|RANDOM|WEIGHT
+  };
+  std::vector<Group> groups;
+  /// Mirror write units onto the replicas (synchronous-replication stand-in).
+  bool replicate_writes = true;
+};
+
+class ReadWriteSplitInterceptor : public core::StatementInterceptor {
+ public:
+  explicit ReadWriteSplitInterceptor(ReadWriteSplitConfig config)
+      : config_(std::move(config)), rng_(0xBADC0FFEE) {}
+
+  Status AfterRewrite(const sql::Statement& stmt,
+                      std::vector<core::SQLUnit>* units,
+                      bool in_transaction) override;
+
+  /// Divides the affected-row count by the replication fan-out so mirrored
+  /// write units are not double-counted towards the client.
+  Result<engine::ExecResult> DecorateResult(const sql::Statement& stmt,
+                                            engine::ExecResult result) override;
+
+  int64_t reads_routed_to_replicas() const { return replica_reads_.load(); }
+  int64_t writes_replicated() const { return replicated_writes_.load(); }
+
+ private:
+  const ReadWriteSplitConfig::Group* GroupOf(const std::string& ds) const;
+  std::string PickReplica(const ReadWriteSplitConfig::Group& group);
+
+  ReadWriteSplitConfig config_;
+  std::atomic<uint64_t> round_robin_{0};
+  Rng rng_;
+  std::mutex rng_mu_;
+  std::atomic<int64_t> replica_reads_{0};
+  std::atomic<int64_t> replicated_writes_{0};
+};
+
+}  // namespace sphere::features
+
+#endif  // SPHERE_FEATURES_READWRITE_H_

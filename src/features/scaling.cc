@@ -1,0 +1,161 @@
+#include "features/scaling.h"
+
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace sphere::features {
+
+namespace {
+
+/// Order-independent checksum of a row set (sum of row hashes).
+uint64_t ChecksumAdd(uint64_t acc, const Row& row) { return acc + HashRow(row); }
+
+}  // namespace
+
+Result<ScalingReport> ScalingJob::Run() {
+  if (runtime_->rule() == nullptr) {
+    return Status::InvalidArgument("no rule installed");
+  }
+  const core::TableRule* source_rule =
+      runtime_->rule()->FindTableRule(logic_table_);
+  if (source_rule == nullptr) {
+    return Status::NotFound("no sharding rule for " + logic_table_);
+  }
+
+  // ---- Phase 1: prepare ----
+  target_config_.logic_table = logic_table_;
+  SPHERE_ASSIGN_OR_RETURN(std::unique_ptr<core::TableRule> target_rule,
+                          core::TableRule::Build(target_config_, 0));
+
+  std::set<core::DataNode> source_nodes(source_rule->actual_nodes().begin(),
+                                        source_rule->actual_nodes().end());
+  for (const auto& node : target_rule->actual_nodes()) {
+    if (source_nodes.count(node)) {
+      return Status::InvalidArgument(
+          "target data node collides with source: " + node.ToString());
+    }
+    if (runtime_->data_sources()->Find(node.data_source) == nullptr) {
+      return Status::NotFound("target data source " + node.data_source);
+    }
+  }
+
+  // Schema comes from any source actual table.
+  const core::DataNode& first_source = source_rule->actual_nodes()[0];
+  net::DataSource* first_ds = runtime_->data_sources()->Find(first_source.data_source);
+  if (first_ds == nullptr) {
+    return Status::NotFound("source data source " + first_source.data_source);
+  }
+  const storage::Table* schema_table =
+      first_ds->node()->database()->FindTable(first_source.table);
+  if (schema_table == nullptr) {
+    return Status::NotFound("source table " + first_source.ToString());
+  }
+  Schema schema = schema_table->schema();
+
+  // Locate the target sharding column.
+  if (target_rule->table_strategy().columns.size() != 1) {
+    return Status::Unsupported("scaling requires a single-column table strategy");
+  }
+  int shard_col = schema.IndexOf(target_rule->table_strategy().columns[0]);
+  if (shard_col < 0) {
+    return Status::NotFound("sharding column " +
+                            target_rule->table_strategy().columns[0]);
+  }
+
+  for (const auto& node : target_rule->actual_nodes()) {
+    net::DataSource* ds = runtime_->data_sources()->Find(node.data_source);
+    SPHERE_RETURN_NOT_OK(
+        ds->node()->database()->CreateTable(node.table, schema));
+  }
+  auto drop_targets = [&] {
+    for (const auto& node : target_rule->actual_nodes()) {
+      net::DataSource* ds = runtime_->data_sources()->Find(node.data_source);
+      (void)ds->node()->database()->DropTable(node.table, /*if_exists=*/true);
+    }
+  };
+
+  // ---- Phase 2: inventory copy ----
+  ScalingReport report;
+  report.source_nodes = source_rule->actual_nodes().size();
+  report.target_nodes = target_rule->actual_nodes().size();
+
+  for (const auto& src_node : source_rule->actual_nodes()) {
+    net::DataSource* src_ds = runtime_->data_sources()->Find(src_node.data_source);
+    storage::Table* src_table =
+        src_ds->node()->database()->FindTable(src_node.table);
+    if (src_table == nullptr) continue;
+    std::shared_lock src_lock(src_table->latch());
+    for (auto it = src_table->Begin(); it.Valid(); it.Next()) {
+      const Row& row = it.payload();
+      report.source_checksum = ChecksumAdd(report.source_checksum, row);
+      // Route by the target rule.
+      auto target = target_rule->table_algorithm()->DoSharding(
+          target_rule->actual_tables(), row[static_cast<size_t>(shard_col)]);
+      if (!target.ok()) {
+        drop_targets();
+        return target.status();
+      }
+      const core::DataNode* target_node = nullptr;
+      for (const auto& node : target_rule->actual_nodes()) {
+        if (EqualsIgnoreCase(node.table, *target)) {
+          target_node = &node;
+          break;
+        }
+      }
+      if (target_node == nullptr) {
+        drop_targets();
+        return Status::RouteError("no target node hosts " + *target);
+      }
+      net::DataSource* dst_ds =
+          runtime_->data_sources()->Find(target_node->data_source);
+      storage::Table* dst_table =
+          dst_ds->node()->database()->FindTable(target_node->table);
+      std::unique_lock dst_lock(dst_table->latch());
+      Status st = dst_table->Insert(row, nullptr);
+      if (!st.ok()) {
+        drop_targets();
+        return st;
+      }
+      ++report.rows_migrated;
+    }
+  }
+
+  // ---- Phase 3: consistency check ----
+  size_t target_rows = 0;
+  for (const auto& node : target_rule->actual_nodes()) {
+    net::DataSource* ds = runtime_->data_sources()->Find(node.data_source);
+    storage::Table* t = ds->node()->database()->FindTable(node.table);
+    std::shared_lock lk(t->latch());
+    target_rows += t->row_count();
+    for (auto it = t->Begin(); it.Valid(); it.Next()) {
+      report.target_checksum = ChecksumAdd(report.target_checksum, it.payload());
+    }
+  }
+  report.consistency_ok = target_rows == report.rows_migrated &&
+                          report.source_checksum == report.target_checksum;
+  if (!report.consistency_ok) {
+    drop_targets();
+    return Status::Internal("scaling consistency check failed");
+  }
+
+  // ---- Phase 4: switch the rule ----
+  core::ShardingRuleConfig new_config = runtime_->rule()->config();
+  for (auto& table : new_config.tables) {
+    if (EqualsIgnoreCase(table.logic_table, logic_table_)) {
+      table = target_config_;
+      break;
+    }
+  }
+  Status st = runtime_->SetRule(std::move(new_config));
+  if (!st.ok()) {
+    drop_targets();
+    return st;
+  }
+  return report;
+}
+
+}  // namespace sphere::features

@@ -1,0 +1,48 @@
+#ifndef SPHERE_FEATURES_SCALING_H_
+#define SPHERE_FEATURES_SCALING_H_
+
+#include <string>
+
+#include "core/runtime.h"
+
+namespace sphere::features {
+
+/// Result of a completed scaling job.
+struct ScalingReport {
+  size_t rows_migrated = 0;
+  size_t source_nodes = 0;
+  size_t target_nodes = 0;
+  bool consistency_ok = false;
+  uint64_t source_checksum = 0;
+  uint64_t target_checksum = 0;
+};
+
+/// The Scaling feature (paper §IV-C, Table I "Scale"): reshards a logic
+/// table onto a new layout without taking the table offline for reads.
+///
+/// Phases (modeled on the original's scaling job):
+///   1. prepare  — compile the target rule and create the target physical
+///                 tables (which must not collide with source data nodes);
+///   2. inventory — copy every row, routing it by the *target* rule;
+///   3. check    — row counts and an order-independent checksum must match;
+///   4. switch   — atomically install the new rule into the runtime.
+/// On a failed check the target tables are dropped and the rule is kept.
+class ScalingJob {
+ public:
+  ScalingJob(core::ShardingRuntime* runtime, std::string logic_table,
+             core::TableRuleConfig target_config)
+      : runtime_(runtime), logic_table_(std::move(logic_table)),
+        target_config_(std::move(target_config)) {}
+
+  /// Runs all phases synchronously.
+  Result<ScalingReport> Run();
+
+ private:
+  core::ShardingRuntime* runtime_;
+  std::string logic_table_;
+  core::TableRuleConfig target_config_;
+};
+
+}  // namespace sphere::features
+
+#endif  // SPHERE_FEATURES_SCALING_H_

@@ -1,0 +1,64 @@
+#include "features/shadow.h"
+
+#include "common/strings.h"
+#include "core/hint.h"
+#include "sql/condition.h"
+
+namespace sphere::features {
+
+bool ShadowInterceptor::IsShadowTraffic(const sql::Statement& stmt) const {
+  if (core::HintManager::IsShadow()) return true;
+  if (config_.shadow_column.empty()) return false;
+
+  if (stmt.kind() == sql::StatementKind::kInsert) {
+    const auto& ins = static_cast<const sql::InsertStatement&>(stmt);
+    auto values = sql::ExtractInsertValues(ins, config_.shadow_column, {});
+    if (!values.has_value() || values->empty()) return false;
+    for (const Value& v : *values) {
+      if (v.ToInt() != 1) return false;
+    }
+    return true;
+  }
+
+  const sql::Expr* where = nullptr;
+  switch (stmt.kind()) {
+    case sql::StatementKind::kSelect:
+      where = static_cast<const sql::SelectStatement&>(stmt).where.get();
+      break;
+    case sql::StatementKind::kUpdate:
+      where = static_cast<const sql::UpdateStatement&>(stmt).where.get();
+      break;
+    case sql::StatementKind::kDelete:
+      where = static_cast<const sql::DeleteStatement&>(stmt).where.get();
+      break;
+    default:
+      return false;
+  }
+  for (const auto& group : sql::ExtractConditionGroups(where, {})) {
+    for (const auto& cond : group) {
+      if (EqualsIgnoreCase(cond.column, config_.shadow_column) &&
+          cond.kind == sql::ColumnCondition::Kind::kEqual &&
+          cond.values[0].ToInt() == 1) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Status ShadowInterceptor::AfterRewrite(const sql::Statement& stmt,
+                                       std::vector<core::SQLUnit>* units,
+                                       bool in_transaction) {
+  (void)in_transaction;
+  if (!IsShadowTraffic(stmt)) return Status::OK();
+  for (auto& unit : *units) {
+    auto it = config_.mapping.find(unit.data_source);
+    if (it != config_.mapping.end()) {
+      unit.data_source = it->second;
+    }
+  }
+  ++shadowed_;
+  return Status::OK();
+}
+
+}  // namespace sphere::features

@@ -1,0 +1,42 @@
+#ifndef SPHERE_FEATURES_SHADOW_H_
+#define SPHERE_FEATURES_SHADOW_H_
+
+#include <map>
+#include <string>
+
+#include "core/runtime.h"
+
+namespace sphere::features {
+
+/// The Shadow DB feature (paper §IV-C): full-link stress-testing traffic is
+/// diverted to shadow data sources so production data stays clean. A
+/// statement is shadow traffic when the thread set the shadow hint
+/// (HintManager::SetShadow) or when it carries `<shadow_column> = 1` — in an
+/// INSERT's values or an AND-reachable WHERE predicate.
+struct ShadowConfig {
+  /// production data source -> shadow data source.
+  std::map<std::string, std::string> mapping;
+  /// Column that flags test traffic (empty = hint only).
+  std::string shadow_column = "shadow";
+};
+
+class ShadowInterceptor : public core::StatementInterceptor {
+ public:
+  explicit ShadowInterceptor(ShadowConfig config) : config_(std::move(config)) {}
+
+  Status AfterRewrite(const sql::Statement& stmt,
+                      std::vector<core::SQLUnit>* units,
+                      bool in_transaction) override;
+
+  int64_t shadow_statements() const { return shadowed_; }
+
+ private:
+  bool IsShadowTraffic(const sql::Statement& stmt) const;
+
+  ShadowConfig config_;
+  int64_t shadowed_ = 0;
+};
+
+}  // namespace sphere::features
+
+#endif  // SPHERE_FEATURES_SHADOW_H_

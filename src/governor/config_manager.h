@@ -1,0 +1,73 @@
+#ifndef SPHERE_GOVERNOR_CONFIG_MANAGER_H_
+#define SPHERE_GOVERNOR_CONFIG_MANAGER_H_
+
+#include <string>
+#include <vector>
+
+#include "governor/registry.h"
+
+namespace sphere::governor {
+
+/// Persists middleware configuration in the registry under a conventional
+/// layout (paper §V-A):
+///   /config/datasources/<name>      data source descriptor
+///   /config/rules/<logic_table>     serialized sharding rule
+///   /config/props/<key>             global properties (MaxCon etc.)
+///   /status/instances/<id>          ephemeral proxy instance markers
+class ConfigManager {
+ public:
+  explicit ConfigManager(Registry* registry) : registry_(registry) {}
+
+  Status SaveDataSource(const std::string& name, const std::string& descriptor) {
+    return registry_->Put("/config/datasources/" + name, descriptor);
+  }
+  std::vector<std::string> ListDataSources() const {
+    return registry_->GetChildren("/config/datasources");
+  }
+  Result<std::string> GetDataSource(const std::string& name) const {
+    return registry_->Get("/config/datasources/" + name);
+  }
+  Status DropDataSource(const std::string& name) {
+    return registry_->Delete("/config/datasources/" + name);
+  }
+
+  Status SaveRule(const std::string& logic_table, const std::string& rule) {
+    return registry_->Put("/config/rules/" + logic_table, rule);
+  }
+  Result<std::string> GetRule(const std::string& logic_table) const {
+    return registry_->Get("/config/rules/" + logic_table);
+  }
+  Status DropRule(const std::string& logic_table) {
+    return registry_->Delete("/config/rules/" + logic_table);
+  }
+  std::vector<std::string> ListRules() const {
+    return registry_->GetChildren("/config/rules");
+  }
+
+  Status SetProperty(const std::string& key, const std::string& value) {
+    return registry_->Put("/config/props/" + key, value);
+  }
+  std::string GetProperty(const std::string& key,
+                          const std::string& fallback = "") const {
+    auto r = registry_->Get("/config/props/" + key);
+    return r.ok() ? r.value() : fallback;
+  }
+
+  /// Marks a running instance; the node is ephemeral so a dead instance
+  /// disappears with its registry session.
+  Status RegisterInstance(const std::string& id, Registry::SessionId session) {
+    return registry_->Create("/status/instances/" + id, "up", session);
+  }
+  std::vector<std::string> LiveInstances() const {
+    return registry_->GetChildren("/status/instances");
+  }
+
+  Registry* registry() { return registry_; }
+
+ private:
+  Registry* registry_;
+};
+
+}  // namespace sphere::governor
+
+#endif  // SPHERE_GOVERNOR_CONFIG_MANAGER_H_

@@ -1,0 +1,104 @@
+#include "governor/health.h"
+
+#include "common/clock.h"
+
+namespace sphere::governor {
+
+HealthDetector::HealthDetector(int64_t check_interval_ms, int64_t timeout_ms)
+    : check_interval_ms_(check_interval_ms), timeout_ms_(timeout_ms) {}
+
+HealthDetector::~HealthDetector() { Stop(); }
+
+void HealthDetector::RegisterInstance(const std::string& name) {
+  std::lock_guard lk(mu_);
+  instances_[name] = Instance{NowMicros(), State::kUp};
+}
+
+void HealthDetector::UnregisterInstance(const std::string& name) {
+  std::lock_guard lk(mu_);
+  instances_.erase(name);
+}
+
+void HealthDetector::Heartbeat(const std::string& name) {
+  StateChangeCallback cb;
+  {
+    std::lock_guard lk(mu_);
+    auto it = instances_.find(name);
+    if (it == instances_.end()) return;
+    it->second.last_heartbeat_us = NowMicros();
+    if (it->second.state == State::kDown) {
+      it->second.state = State::kUp;
+      cb = callback_;
+    }
+  }
+  if (cb) cb(name, State::kUp);
+}
+
+bool HealthDetector::IsHealthy(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  auto it = instances_.find(name);
+  return it != instances_.end() && it->second.state == State::kUp;
+}
+
+std::vector<std::string> HealthDetector::HealthyInstances() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, inst] : instances_) {
+    if (inst.state == State::kUp) out.push_back(name);
+  }
+  return out;
+}
+
+void HealthDetector::SetStateChangeCallback(StateChangeCallback cb) {
+  std::lock_guard lk(mu_);
+  callback_ = std::move(cb);
+}
+
+void HealthDetector::RunCheckOnce() {
+  std::vector<std::string> went_down;
+  StateChangeCallback cb;
+  {
+    std::lock_guard lk(mu_);
+    int64_t now = NowMicros();
+    for (auto& [name, inst] : instances_) {
+      if (inst.state == State::kUp &&
+          now - inst.last_heartbeat_us > timeout_ms_ * 1000) {
+        inst.state = State::kDown;
+        went_down.push_back(name);
+      }
+    }
+    cb = callback_;
+  }
+  if (cb) {
+    for (const auto& name : went_down) cb(name, State::kDown);
+  }
+}
+
+void HealthDetector::Start() {
+  std::lock_guard lk(mu_);
+  if (running_) return;
+  running_ = true;
+  thread_ = std::thread([this] {
+    std::unique_lock lk(mu_);
+    while (running_) {
+      cv_.wait_for(lk, std::chrono::milliseconds(check_interval_ms_),
+                   [this] { return !running_; });
+      if (!running_) break;
+      lk.unlock();
+      RunCheckOnce();
+      lk.lock();
+    }
+  });
+}
+
+void HealthDetector::Stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace sphere::governor

@@ -1,0 +1,69 @@
+#ifndef SPHERE_GOVERNOR_HEALTH_H_
+#define SPHERE_GOVERNOR_HEALTH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "governor/registry.h"
+
+namespace sphere::governor {
+
+/// Periodic liveness monitor for proxy instances and storage nodes
+/// (paper §V-B). Instances publish heartbeats; a detector thread marks an
+/// instance DOWN when its heartbeat is older than the timeout and fires the
+/// state-change callback so the cluster can reconfigure (e.g. disable the
+/// data source, promote a replica).
+class HealthDetector {
+ public:
+  enum class State { kUp, kDown };
+  /// (instance, new state)
+  using StateChangeCallback = std::function<void(const std::string&, State)>;
+
+  /// `check_interval_ms`: detector poll period; `timeout_ms`: heartbeat age
+  /// at which an instance is declared down.
+  HealthDetector(int64_t check_interval_ms, int64_t timeout_ms);
+  ~HealthDetector();
+
+  /// Registers an instance (initially UP with a fresh heartbeat).
+  void RegisterInstance(const std::string& name);
+  void UnregisterInstance(const std::string& name);
+
+  /// Records a heartbeat; revives a DOWN instance.
+  void Heartbeat(const std::string& name);
+
+  bool IsHealthy(const std::string& name) const;
+  std::vector<std::string> HealthyInstances() const;
+
+  void SetStateChangeCallback(StateChangeCallback cb);
+
+  /// Starts/stops the background detector thread. RunCheckOnce is exposed so
+  /// tests can drive detection deterministically without sleeping.
+  void Start();
+  void Stop();
+  void RunCheckOnce();
+
+ private:
+  struct Instance {
+    int64_t last_heartbeat_us;
+    State state = State::kUp;
+  };
+
+  const int64_t check_interval_ms_;
+  const int64_t timeout_ms_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, Instance> instances_;
+  StateChangeCallback callback_;
+  std::thread thread_;
+  bool running_ = false;
+};
+
+}  // namespace sphere::governor
+
+#endif  // SPHERE_GOVERNOR_HEALTH_H_

@@ -1,0 +1,161 @@
+#include "governor/registry.h"
+
+#include <algorithm>
+
+namespace sphere::governor {
+
+std::string Registry::ParentOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos || slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Registry::SessionId Registry::Connect() {
+  std::lock_guard lk(mu_);
+  return next_session_++;
+}
+
+void Registry::Disconnect(SessionId session) {
+  std::vector<std::pair<Watcher, RegistryEvent>> to_fire;
+  {
+    std::lock_guard lk(mu_);
+    std::vector<std::string> doomed;
+    for (const auto& [path, node] : nodes_) {
+      if (node.ephemeral_owner == session) doomed.push_back(path);
+    }
+    for (const auto& path : doomed) {
+      std::string data = nodes_[path].data;
+      nodes_.erase(path);
+      FireLocked(RegistryEvent::Type::kDeleted, path, data, &to_fire);
+    }
+    std::vector<std::string> lock_names;
+    for (const auto& [name, owner] : locks_) {
+      if (owner == session) lock_names.push_back(name);
+    }
+    for (const auto& name : lock_names) locks_.erase(name);
+  }
+  for (auto& [fn, ev] : to_fire) fn(ev);
+}
+
+void Registry::FireLocked(RegistryEvent::Type type, const std::string& path,
+                          const std::string& data,
+                          std::vector<std::pair<Watcher, RegistryEvent>>* out) {
+  std::string parent = ParentOf(path);
+  for (const auto& [id, entry] : watches_) {
+    if (entry.path == path || entry.path == parent) {
+      out->push_back({entry.fn, RegistryEvent{type, path, data}});
+    }
+  }
+}
+
+Status Registry::Create(const std::string& path, const std::string& data,
+                        SessionId ephemeral_owner) {
+  std::vector<std::pair<Watcher, RegistryEvent>> to_fire;
+  {
+    std::lock_guard lk(mu_);
+    if (nodes_.count(path)) return Status::AlreadyExists(path);
+    // Create missing ancestors as persistent empty nodes.
+    std::string parent = ParentOf(path);
+    while (parent != "/" && !nodes_.count(parent)) {
+      nodes_[parent] = Node{"", 0};
+      parent = ParentOf(parent);
+    }
+    nodes_[path] = Node{data, ephemeral_owner};
+    FireLocked(RegistryEvent::Type::kCreated, path, data, &to_fire);
+  }
+  for (auto& [fn, ev] : to_fire) fn(ev);
+  return Status::OK();
+}
+
+Status Registry::Put(const std::string& path, const std::string& data) {
+  std::vector<std::pair<Watcher, RegistryEvent>> to_fire;
+  {
+    std::lock_guard lk(mu_);
+    auto it = nodes_.find(path);
+    if (it == nodes_.end()) {
+      std::string parent = ParentOf(path);
+      while (parent != "/" && !nodes_.count(parent)) {
+        nodes_[parent] = Node{"", 0};
+        parent = ParentOf(parent);
+      }
+      nodes_[path] = Node{data, 0};
+      FireLocked(RegistryEvent::Type::kCreated, path, data, &to_fire);
+    } else {
+      it->second.data = data;
+      FireLocked(RegistryEvent::Type::kUpdated, path, data, &to_fire);
+    }
+  }
+  for (auto& [fn, ev] : to_fire) fn(ev);
+  return Status::OK();
+}
+
+Result<std::string> Registry::Get(const std::string& path) const {
+  std::lock_guard lk(mu_);
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound(path);
+  return it->second.data;
+}
+
+bool Registry::Exists(const std::string& path) const {
+  std::lock_guard lk(mu_);
+  return nodes_.count(path) > 0;
+}
+
+Status Registry::Delete(const std::string& path) {
+  std::vector<std::pair<Watcher, RegistryEvent>> to_fire;
+  {
+    std::lock_guard lk(mu_);
+    auto it = nodes_.find(path);
+    if (it == nodes_.end()) return Status::NotFound(path);
+    // Refuse to delete nodes with children (ZooKeeper semantics).
+    std::string prefix = path + "/";
+    auto next = nodes_.upper_bound(path);
+    if (next != nodes_.end() && next->first.compare(0, prefix.size(), prefix) == 0) {
+      return Status::InvalidArgument("node has children: " + path);
+    }
+    std::string data = it->second.data;
+    nodes_.erase(it);
+    FireLocked(RegistryEvent::Type::kDeleted, path, data, &to_fire);
+  }
+  for (auto& [fn, ev] : to_fire) fn(ev);
+  return Status::OK();
+}
+
+std::vector<std::string> Registry::GetChildren(const std::string& path) const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> out;
+  std::string prefix = path == "/" ? "/" : path + "/";
+  for (auto it = nodes_.lower_bound(prefix); it != nodes_.end(); ++it) {
+    const std::string& p = it->first;
+    if (p.compare(0, prefix.size(), prefix) != 0) break;
+    std::string rest = p.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) out.push_back(rest);
+  }
+  return out;
+}
+
+int64_t Registry::Watch(const std::string& path, Watcher watcher) {
+  std::lock_guard lk(mu_);
+  int64_t id = next_watch_++;
+  watches_[id] = WatchEntry{path, std::move(watcher)};
+  return id;
+}
+
+void Registry::Unwatch(int64_t watch_id) {
+  std::lock_guard lk(mu_);
+  watches_.erase(watch_id);
+}
+
+bool Registry::TryLock(const std::string& name, SessionId session) {
+  std::lock_guard lk(mu_);
+  auto [it, inserted] = locks_.try_emplace(name, session);
+  return inserted;
+}
+
+void Registry::Unlock(const std::string& name, SessionId session) {
+  std::lock_guard lk(mu_);
+  auto it = locks_.find(name);
+  if (it != locks_.end() && it->second == session) locks_.erase(it);
+}
+
+}  // namespace sphere::governor

@@ -1,0 +1,90 @@
+#ifndef SPHERE_GOVERNOR_REGISTRY_H_
+#define SPHERE_GOVERNOR_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sphere::governor {
+
+/// Event delivered to watchers.
+struct RegistryEvent {
+  enum class Type { kCreated, kUpdated, kDeleted };
+  Type type;
+  std::string path;
+  std::string data;
+};
+
+/// In-process hierarchical configuration registry — the ZooKeeper stand-in
+/// behind the Governor (paper §V-A).
+///
+/// Supports persistent and ephemeral znodes (ephemerals vanish when their
+/// owning session disconnects, which is how health detection notices a dead
+/// ShardingSphere-Proxy instance), child listing, watches on a path and its
+/// direct children, and named mutual-exclusion locks.
+class Registry {
+ public:
+  using SessionId = int64_t;
+  using Watcher = std::function<void(const RegistryEvent&)>;
+
+  Registry() = default;
+
+  /// Opens a session (owner handle for ephemeral nodes and locks).
+  SessionId Connect();
+  /// Closes a session: its ephemeral nodes are deleted (watch events fire)
+  /// and its locks released.
+  void Disconnect(SessionId session);
+
+  /// Creates a node; parents are created implicitly (persistent, empty).
+  /// AlreadyExists when the path is taken.
+  Status Create(const std::string& path, const std::string& data,
+                SessionId ephemeral_owner = 0);
+  /// Sets the node's data, creating it (persistent) when absent.
+  Status Put(const std::string& path, const std::string& data);
+  Result<std::string> Get(const std::string& path) const;
+  bool Exists(const std::string& path) const;
+  Status Delete(const std::string& path);
+  /// Direct children names (not full paths), sorted.
+  std::vector<std::string> GetChildren(const std::string& path) const;
+
+  /// Registers a watcher on `path`: fires on changes to the node itself and
+  /// to its direct children. Returns a watch id for Unwatch.
+  int64_t Watch(const std::string& path, Watcher watcher);
+  void Unwatch(int64_t watch_id);
+
+  /// Non-blocking named lock; reentrancy is not supported.
+  bool TryLock(const std::string& name, SessionId session);
+  void Unlock(const std::string& name, SessionId session);
+
+ private:
+  struct Node {
+    std::string data;
+    SessionId ephemeral_owner = 0;  // 0 = persistent
+  };
+  struct WatchEntry {
+    std::string path;
+    Watcher fn;
+  };
+
+  static std::string ParentOf(const std::string& path);
+  void FireLocked(RegistryEvent::Type type, const std::string& path,
+                  const std::string& data,
+                  std::vector<std::pair<Watcher, RegistryEvent>>* out);
+
+  mutable std::recursive_mutex mu_;
+  std::map<std::string, Node> nodes_;
+  std::map<int64_t, WatchEntry> watches_;
+  std::map<std::string, SessionId> locks_;
+  SessionId next_session_ = 1;
+  int64_t next_watch_ = 1;
+};
+
+}  // namespace sphere::governor
+
+#endif  // SPHERE_GOVERNOR_REGISTRY_H_

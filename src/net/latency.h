@@ -1,0 +1,54 @@
+#ifndef SPHERE_NET_LATENCY_H_
+#define SPHERE_NET_LATENCY_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace sphere::net {
+
+/// Parameters of the simulated network between processes (application,
+/// middleware proxy, storage nodes).
+///
+/// This stands in for the paper's cloud LAN: every message pays a fixed
+/// per-hop cost plus a size-proportional serialization/bandwidth cost.
+/// The JDBC-vs-Proxy gap, the proxy bottleneck of Fig. 12 and the MaxCon
+/// effects of Fig. 15 all emerge from these two constants.
+struct NetworkConfig {
+  int64_t hop_latency_us = 40;   ///< one-way fixed latency per message
+  int64_t per_kb_latency_us = 4; ///< additional cost per KiB transferred
+
+  /// A zero-latency network (unit tests that don't measure time).
+  static NetworkConfig Zero() { return NetworkConfig{0, 0}; }
+};
+
+/// Applies simulated transfer delays and counts traffic.
+class LatencyModel {
+ public:
+  explicit LatencyModel(NetworkConfig config = NetworkConfig())
+      : config_(config) {}
+
+  /// Blocks the caller for the simulated transfer time of `bytes`.
+  void Transfer(size_t bytes) const {
+    int64_t us = config_.hop_latency_us +
+                 (static_cast<int64_t>(bytes) * config_.per_kb_latency_us) / 1024;
+    if (us > 0) SleepMicros(us);
+    bytes_transferred_.fetch_add(static_cast<int64_t>(bytes),
+                                 std::memory_order_relaxed);
+    messages_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const NetworkConfig& config() const { return config_; }
+  int64_t bytes_transferred() const { return bytes_transferred_.load(); }
+  int64_t messages() const { return messages_.load(); }
+
+ private:
+  NetworkConfig config_;
+  mutable std::atomic<int64_t> bytes_transferred_{0};
+  mutable std::atomic<int64_t> messages_{0};
+};
+
+}  // namespace sphere::net
+
+#endif  // SPHERE_NET_LATENCY_H_

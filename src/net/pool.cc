@@ -1,0 +1,88 @@
+#include "net/pool.h"
+
+#include <algorithm>
+
+namespace sphere::net {
+
+ConnectionPool::ConnectionPool(engine::StorageNode* node,
+                               const LatencyModel* network, int max_size)
+    : node_(node), network_(network), max_size_(std::max(1, max_size)) {}
+
+ConnectionPool::~ConnectionPool() = default;
+
+void ConnectionPool::Lease::Release() {
+  if (pool_ != nullptr && conn_ != nullptr) {
+    pool_->ReleaseConn(conn_);
+  }
+  pool_ = nullptr;
+  conn_ = nullptr;
+}
+
+ConnectionPool::Lease ConnectionPool::Acquire() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (!free_.empty()) {
+      RemoteConnection* conn = free_.back();
+      free_.pop_back();
+      ++in_use_;
+      peak_in_use_ = std::max(peak_in_use_, in_use_);
+      return Lease(this, conn);
+    }
+    if (created_ < max_size_) {
+      all_.push_back(std::make_unique<RemoteConnection>(node_, network_));
+      ++created_;
+      ++in_use_;
+      peak_in_use_ = std::max(peak_in_use_, in_use_);
+      return Lease(this, all_.back().get());
+    }
+    cv_.wait(lk);
+  }
+}
+
+std::vector<ConnectionPool::Lease> ConnectionPool::AcquireMany(int n) {
+  n = std::clamp(n, 1, max_size_);
+  std::unique_lock lk(mu_);
+  // Wait until the whole batch is available, then take it atomically: this is
+  // the data-source lock of the paper's preparation phase.
+  cv_.wait(lk, [&] {
+    return static_cast<int>(free_.size()) + (max_size_ - created_) >= n;
+  });
+  std::vector<Lease> leases;
+  leases.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (!free_.empty()) {
+      RemoteConnection* conn = free_.back();
+      free_.pop_back();
+      ++in_use_;
+      leases.emplace_back(this, conn);
+    } else {
+      all_.push_back(std::make_unique<RemoteConnection>(node_, network_));
+      ++created_;
+      ++in_use_;
+      leases.emplace_back(this, all_.back().get());
+    }
+  }
+  peak_in_use_ = std::max(peak_in_use_, in_use_);
+  return leases;
+}
+
+int ConnectionPool::available() const {
+  std::lock_guard lk(mu_);
+  return static_cast<int>(free_.size()) + (max_size_ - created_);
+}
+
+int ConnectionPool::peak_in_use() const {
+  std::lock_guard lk(mu_);
+  return peak_in_use_;
+}
+
+void ConnectionPool::ReleaseConn(RemoteConnection* conn) {
+  {
+    std::lock_guard lk(mu_);
+    free_.push_back(conn);
+    --in_use_;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace sphere::net

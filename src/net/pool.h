@@ -1,0 +1,103 @@
+#ifndef SPHERE_NET_POOL_H_
+#define SPHERE_NET_POOL_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/remote.h"
+
+namespace sphere::net {
+
+/// Bounded pool of RemoteConnections to one storage node.
+///
+/// AcquireMany implements the paper's deadlock-free connection acquisition
+/// (§VI-D): a query takes all the connections it needs for one data source
+/// atomically, so two queries can never hold-and-wait against each other.
+class ConnectionPool {
+ public:
+  ConnectionPool(engine::StorageNode* node, const LatencyModel* network,
+                 int max_size);
+  ~ConnectionPool();
+
+  ConnectionPool(const ConnectionPool&) = delete;
+  ConnectionPool& operator=(const ConnectionPool&) = delete;
+
+  /// RAII connection lease; returns to the pool on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ConnectionPool* pool, RemoteConnection* conn)
+        : pool_(pool), conn_(conn) {}
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      Release();
+      pool_ = other.pool_;
+      conn_ = other.conn_;
+      other.pool_ = nullptr;
+      other.conn_ = nullptr;
+      return *this;
+    }
+    ~Lease() { Release(); }
+
+    RemoteConnection* operator->() { return conn_; }
+    RemoteConnection* get() { return conn_; }
+    bool valid() const { return conn_ != nullptr; }
+    void Release();
+
+   private:
+    ConnectionPool* pool_ = nullptr;
+    RemoteConnection* conn_ = nullptr;
+  };
+
+  /// Blocks until one connection is free.
+  Lease Acquire();
+
+  /// Blocks until `n` connections are free, then takes them all atomically.
+  /// n is clamped to the pool size.
+  std::vector<Lease> AcquireMany(int n);
+
+  int max_size() const { return max_size_; }
+  int available() const;
+  /// Peak number of simultaneously leased connections (observability).
+  int peak_in_use() const;
+
+ private:
+  void ReleaseConn(RemoteConnection* conn);
+
+  engine::StorageNode* node_;
+  const LatencyModel* network_;
+  const int max_size_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<RemoteConnection>> all_;
+  std::vector<RemoteConnection*> free_;
+  int created_ = 0;
+  int in_use_ = 0;
+  int peak_in_use_ = 0;
+};
+
+/// A named, network-attached data source: the unit the sharding middleware
+/// routes to. Owns the connection pool; the storage node itself is owned by
+/// the cluster/test harness.
+class DataSource {
+ public:
+  DataSource(std::string name, engine::StorageNode* node,
+             const LatencyModel* network, int pool_size = 64)
+      : name_(std::move(name)), node_(node), pool_(node, network, pool_size) {}
+
+  const std::string& name() const { return name_; }
+  engine::StorageNode* node() { return node_; }
+  ConnectionPool& pool() { return pool_; }
+
+ private:
+  std::string name_;
+  engine::StorageNode* node_;
+  ConnectionPool pool_;
+};
+
+}  // namespace sphere::net
+
+#endif  // SPHERE_NET_POOL_H_

@@ -1,0 +1,208 @@
+#include "raft/raft.h"
+
+#include <algorithm>
+
+namespace sphere::raft {
+
+RaftGroup::RaftGroup(int num_replicas, const net::LatencyModel* network,
+                     ApplyFn apply)
+    : network_(network), apply_(std::move(apply)) {
+  if (num_replicas < 1) num_replicas = 1;
+  replicas_.reserve(static_cast<size_t>(num_replicas));
+  for (int i = 0; i < num_replicas; ++i) {
+    Replica r;
+    r.id = i;
+    replicas_.push_back(std::move(r));
+  }
+}
+
+int RaftGroup::leader() const {
+  std::lock_guard lk(mu_);
+  return leader_;
+}
+
+int64_t RaftGroup::term() const {
+  std::lock_guard lk(mu_);
+  return replicas_[static_cast<size_t>(leader_)].current_term;
+}
+
+std::vector<LogEntry> RaftGroup::CommittedLog(int id) const {
+  std::lock_guard lk(mu_);
+  const Replica& r = replicas_[static_cast<size_t>(id)];
+  return std::vector<LogEntry>(
+      r.log.begin(), r.log.begin() + static_cast<long>(r.commit_index));
+}
+
+void RaftGroup::Disconnect(int id) {
+  std::lock_guard lk(mu_);
+  replicas_[static_cast<size_t>(id)].connected = false;
+}
+
+void RaftGroup::Reconnect(int id) {
+  std::lock_guard lk(mu_);
+  replicas_[static_cast<size_t>(id)].connected = true;
+}
+
+bool RaftGroup::IsConnected(int id) const {
+  std::lock_guard lk(mu_);
+  return replicas_[static_cast<size_t>(id)].connected;
+}
+
+bool RaftGroup::AppendEntries(Replica* follower, int64_t term,
+                              int64_t prev_index, int64_t prev_term,
+                              const std::vector<LogEntry>& entries,
+                              int64_t leader_commit) {
+  size_t bytes = 64;
+  for (const auto& e : entries) bytes += e.command.size() + 16;
+  Rpc(bytes);  // request
+  if (!follower->connected) return false;
+  if (term < follower->current_term) {
+    Rpc(32);
+    return false;
+  }
+  follower->current_term = term;
+  // Log-matching check.
+  if (prev_index > 0) {
+    if (static_cast<int64_t>(follower->log.size()) < prev_index ||
+        follower->log[static_cast<size_t>(prev_index - 1)].term != prev_term) {
+      Rpc(32);  // reject response
+      return false;
+    }
+  }
+  // Truncate conflicts, then append.
+  follower->log.resize(static_cast<size_t>(prev_index));
+  for (const auto& e : entries) follower->log.push_back(e);
+  if (leader_commit > follower->commit_index) {
+    follower->commit_index =
+        std::min<int64_t>(leader_commit, static_cast<int64_t>(follower->log.size()));
+    ApplyCommitted(follower);
+  }
+  Rpc(32);  // ack
+  return true;
+}
+
+bool RaftGroup::RequestVote(Replica* voter, int64_t term, int candidate_id,
+                            int64_t last_log_index, int64_t last_log_term) {
+  Rpc(48);
+  if (!voter->connected) return false;
+  if (term < voter->current_term) {
+    Rpc(16);
+    return false;
+  }
+  if (term > voter->current_term) {
+    voter->current_term = term;
+    voter->voted_for = -1;
+  }
+  // Up-to-date restriction (Raft §5.4.1).
+  int64_t my_last_term = voter->log.empty() ? 0 : voter->log.back().term;
+  int64_t my_last_index = static_cast<int64_t>(voter->log.size());
+  bool up_to_date = last_log_term > my_last_term ||
+                    (last_log_term == my_last_term &&
+                     last_log_index >= my_last_index);
+  bool grant = up_to_date &&
+               (voter->voted_for == -1 || voter->voted_for == candidate_id);
+  if (grant) voter->voted_for = candidate_id;
+  Rpc(16);
+  return grant;
+}
+
+void RaftGroup::ApplyCommitted(Replica* replica) {
+  while (replica->last_applied < replica->commit_index) {
+    const LogEntry& e = replica->log[static_cast<size_t>(replica->last_applied)];
+    if (apply_) apply_(replica->id, e.command);
+    ++replica->last_applied;
+  }
+}
+
+Result<int64_t> RaftGroup::Propose(const std::string& command) {
+  std::lock_guard lk(mu_);
+  Replica& leader = replicas_[static_cast<size_t>(leader_)];
+  if (!leader.connected) {
+    return Status::Unavailable("raft leader is down");
+  }
+  LogEntry entry{leader.current_term, command};
+  int64_t prev_index = static_cast<int64_t>(leader.log.size());
+  int64_t prev_term = leader.log.empty() ? 0 : leader.log.back().term;
+  leader.log.push_back(entry);
+
+  // Replicate to every follower; count acks.
+  int acks = 1;  // self
+  for (auto& follower : replicas_) {
+    if (follower.id == leader.id) continue;
+    if (AppendEntries(&follower, leader.current_term, prev_index, prev_term,
+                      {entry}, leader.commit_index)) {
+      ++acks;
+    } else if (follower.connected) {
+      // Log mismatch: walk back and retransmit the whole suffix (simplified
+      // nextIndex backtracking).
+      int64_t from = prev_index;
+      while (from > 0) {
+        --from;
+        int64_t pt = from == 0 ? 0 : leader.log[static_cast<size_t>(from - 1)].term;
+        std::vector<LogEntry> suffix(leader.log.begin() + static_cast<long>(from),
+                                     leader.log.end());
+        if (AppendEntries(&follower, leader.current_term, from, pt, suffix,
+                          leader.commit_index)) {
+          ++acks;
+          break;
+        }
+      }
+    }
+  }
+
+  int majority = static_cast<int>(replicas_.size()) / 2 + 1;
+  if (acks < majority) {
+    // Not committed: the entry stays in the leader log uncommitted (it may
+    // commit later after reconnects); the client sees a failure.
+    return Status::Unavailable("raft: no majority (" + std::to_string(acks) +
+                               "/" + std::to_string(replicas_.size()) + ")");
+  }
+  leader.commit_index = static_cast<int64_t>(leader.log.size());
+  ApplyCommitted(&leader);
+  // Followers learn the commit index with the next heartbeat; propagate now
+  // so reads-from-followers in tests see the result.
+  for (auto& follower : replicas_) {
+    if (follower.id == leader.id || !follower.connected) continue;
+    if (static_cast<int64_t>(follower.log.size()) >= leader.commit_index) {
+      follower.commit_index = leader.commit_index;
+      ApplyCommitted(&follower);
+    }
+  }
+  return leader.commit_index;
+}
+
+bool RaftGroup::TriggerElection(int candidate) {
+  std::lock_guard lk(mu_);
+  Replica& cand = replicas_[static_cast<size_t>(candidate)];
+  if (!cand.connected) return false;
+  cand.current_term += 1;
+  cand.voted_for = candidate;
+  int64_t last_term = cand.log.empty() ? 0 : cand.log.back().term;
+  int64_t last_index = static_cast<int64_t>(cand.log.size());
+  int votes = 1;
+  for (auto& voter : replicas_) {
+    if (voter.id == candidate) continue;
+    if (RequestVote(&voter, cand.current_term, candidate, last_index, last_term)) {
+      ++votes;
+    }
+  }
+  int majority = static_cast<int>(replicas_.size()) / 2 + 1;
+  if (votes >= majority) {
+    leader_ = candidate;
+    return true;
+  }
+  return false;
+}
+
+void RaftGroup::CatchUp(int id) {
+  std::lock_guard lk(mu_);
+  Replica& leader = replicas_[static_cast<size_t>(leader_)];
+  Replica& follower = replicas_[static_cast<size_t>(id)];
+  if (!follower.connected || id == leader_) return;
+  follower.current_term = leader.current_term;
+  follower.log = leader.log;
+  follower.commit_index = leader.commit_index;
+  ApplyCommitted(&follower);
+}
+
+}  // namespace sphere::raft

@@ -1,0 +1,94 @@
+#ifndef SPHERE_RAFT_RAFT_H_
+#define SPHERE_RAFT_RAFT_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/latency.h"
+
+namespace sphere::raft {
+
+/// One replicated log entry.
+struct LogEntry {
+  int64_t term = 0;
+  std::string command;
+};
+
+/// The consensus substrate behind the new-architecture-database baseline
+/// (TiDB's multi-Raft storage, CockroachDB's ranges). A deliberately
+/// synchronous simulation: RPCs are function calls that pay simulated network
+/// latency, so a committed write costs what Raft replication costs — one
+/// round to a majority — which is exactly the overhead the paper attributes
+/// to the new-architecture systems.
+///
+/// Implements the core Raft rules: leader append, log-matching consistency
+/// check on AppendEntries, majority commit, term-checked RequestVote with the
+/// up-to-date-log restriction, and crash/partition injection for tests.
+class RaftGroup {
+ public:
+  /// Applies a committed command to replica `replica_id`'s state machine.
+  using ApplyFn = std::function<void(int replica_id, const std::string& command)>;
+
+  RaftGroup(int num_replicas, const net::LatencyModel* network, ApplyFn apply);
+
+  /// Proposes a command on the current leader. Blocks until the entry is
+  /// committed (majority replicated) and applied, then returns its log index.
+  /// Fails when no leader is reachable or the majority is down.
+  Result<int64_t> Propose(const std::string& command);
+
+  int leader() const;
+  int64_t term() const;
+  size_t num_replicas() const { return replicas_.size(); }
+
+  /// Committed length of replica `id`'s log (test/verify hook).
+  std::vector<LogEntry> CommittedLog(int id) const;
+
+  /// Fault injection: a disconnected replica receives and emits nothing.
+  void Disconnect(int id);
+  void Reconnect(int id);
+  bool IsConnected(int id) const;
+
+  /// Forces an election with `candidate` requesting votes. Returns true when
+  /// it wins (gathers a majority under Raft's voting rules).
+  bool TriggerElection(int candidate);
+
+  /// Brings a lagging reconnected replica up to date from the leader.
+  void CatchUp(int id);
+
+ private:
+  struct Replica {
+    int id;
+    bool connected = true;
+    int64_t current_term = 1;
+    int voted_for = -1;
+    std::vector<LogEntry> log;
+    int64_t commit_index = 0;  ///< number of committed entries
+    int64_t last_applied = 0;
+  };
+
+  /// AppendEntries RPC body (leader -> follower). Returns success.
+  bool AppendEntries(Replica* follower, int64_t term, int64_t prev_index,
+                     int64_t prev_term, const std::vector<LogEntry>& entries,
+                     int64_t leader_commit);
+  /// RequestVote RPC body.
+  bool RequestVote(Replica* voter, int64_t term, int candidate_id,
+                   int64_t last_log_index, int64_t last_log_term);
+  void ApplyCommitted(Replica* replica);
+  void Rpc(size_t bytes) const {
+    if (network_ != nullptr) network_->Transfer(bytes);
+  }
+
+  const net::LatencyModel* network_;
+  ApplyFn apply_;
+  mutable std::mutex mu_;
+  std::vector<Replica> replicas_;
+  int leader_ = 0;
+};
+
+}  // namespace sphere::raft
+
+#endif  // SPHERE_RAFT_RAFT_H_

@@ -1,0 +1,468 @@
+#include "sql/ast.h"
+
+#include "common/strings.h"
+#include "sql/dialect.h"
+
+namespace sphere::sql {
+
+const char* BinaryOpSymbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kLike: return "LIKE";
+    case BinaryOp::kNotLike: return "NOT LIKE";
+    case BinaryOp::kConcat: return "||";
+  }
+  return "?";
+}
+
+std::string LiteralExpr::ToSQL(const Dialect&) const {
+  return value.ToSQLLiteral();
+}
+
+std::string ColumnRefExpr::ToSQL(const Dialect& dialect) const {
+  if (table.empty()) return dialect.QuoteIdentifier(column);
+  return dialect.QuoteIdentifier(table) + "." + dialect.QuoteIdentifier(column);
+}
+
+std::string ParamExpr::ToSQL(const Dialect&) const { return "?"; }
+
+std::string UnaryExpr::ToSQL(const Dialect& dialect) const {
+  switch (op) {
+    case UnaryOp::kNot:
+      return "NOT (" + child->ToSQL(dialect) + ")";
+    case UnaryOp::kNeg:
+      return "-(" + child->ToSQL(dialect) + ")";
+    case UnaryOp::kIsNull:
+      return child->ToSQL(dialect) + " IS NULL";
+    case UnaryOp::kIsNotNull:
+      return child->ToSQL(dialect) + " IS NOT NULL";
+  }
+  return "";
+}
+
+std::string BinaryExpr::ToSQL(const Dialect& dialect) const {
+  return "(" + left->ToSQL(dialect) + " " + BinaryOpSymbol(op) + " " +
+         right->ToSQL(dialect) + ")";
+}
+
+std::string BetweenExpr::ToSQL(const Dialect& dialect) const {
+  return expr->ToSQL(dialect) + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+         low->ToSQL(dialect) + " AND " + high->ToSQL(dialect);
+}
+
+ExprPtr InExpr::Clone() const {
+  std::vector<ExprPtr> l;
+  l.reserve(list.size());
+  for (const auto& e : list) l.push_back(e->Clone());
+  return std::make_unique<InExpr>(expr->Clone(), std::move(l), negated);
+}
+
+std::string InExpr::ToSQL(const Dialect& dialect) const {
+  std::string out = expr->ToSQL(dialect) + (negated ? " NOT IN (" : " IN (");
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (i) out += ", ";
+    out += list[i]->ToSQL(dialect);
+  }
+  out += ")";
+  return out;
+}
+
+bool FuncCallExpr::IsAggregate() const {
+  return EqualsIgnoreCase(name, "COUNT") || EqualsIgnoreCase(name, "SUM") ||
+         EqualsIgnoreCase(name, "MIN") || EqualsIgnoreCase(name, "MAX") ||
+         EqualsIgnoreCase(name, "AVG");
+}
+
+ExprPtr FuncCallExpr::Clone() const {
+  std::vector<ExprPtr> a;
+  a.reserve(args.size());
+  for (const auto& e : args) a.push_back(e->Clone());
+  return std::make_unique<FuncCallExpr>(name, std::move(a), distinct, star);
+}
+
+std::string FuncCallExpr::ToSQL(const Dialect& dialect) const {
+  std::string out = ToUpper(name) + "(";
+  if (star) {
+    out += "*";
+  } else {
+    if (distinct) out += "DISTINCT ";
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i) out += ", ";
+      out += args[i]->ToSQL(dialect);
+    }
+  }
+  out += ")";
+  return out;
+}
+
+ExprPtr CaseExpr::Clone() const {
+  auto c = std::make_unique<CaseExpr>();
+  for (const auto& [w, t] : branches) {
+    c->branches.emplace_back(w->Clone(), t->Clone());
+  }
+  if (else_expr) c->else_expr = else_expr->Clone();
+  return c;
+}
+
+std::string CaseExpr::ToSQL(const Dialect& dialect) const {
+  std::string out = "CASE";
+  for (const auto& [w, t] : branches) {
+    out += " WHEN " + w->ToSQL(dialect) + " THEN " + t->ToSQL(dialect);
+  }
+  if (else_expr) out += " ELSE " + else_expr->ToSQL(dialect);
+  out += " END";
+  return out;
+}
+
+void WalkExpr(const Expr* e, const std::function<void(const Expr*)>& fn) {
+  if (e == nullptr) return;
+  fn(e);
+  switch (e->kind()) {
+    case ExprKind::kUnary:
+      WalkExpr(static_cast<const UnaryExpr*>(e)->child.get(), fn);
+      break;
+    case ExprKind::kBinary: {
+      const auto* b = static_cast<const BinaryExpr*>(e);
+      WalkExpr(b->left.get(), fn);
+      WalkExpr(b->right.get(), fn);
+      break;
+    }
+    case ExprKind::kBetween: {
+      const auto* b = static_cast<const BetweenExpr*>(e);
+      WalkExpr(b->expr.get(), fn);
+      WalkExpr(b->low.get(), fn);
+      WalkExpr(b->high.get(), fn);
+      break;
+    }
+    case ExprKind::kIn: {
+      const auto* in = static_cast<const InExpr*>(e);
+      WalkExpr(in->expr.get(), fn);
+      for (const auto& i : in->list) WalkExpr(i.get(), fn);
+      break;
+    }
+    case ExprKind::kFuncCall: {
+      const auto* f = static_cast<const FuncCallExpr*>(e);
+      for (const auto& a : f->args) WalkExpr(a.get(), fn);
+      break;
+    }
+    case ExprKind::kCase: {
+      const auto* c = static_cast<const CaseExpr*>(e);
+      for (const auto& [w, t] : c->branches) {
+        WalkExpr(w.get(), fn);
+        WalkExpr(t.get(), fn);
+      }
+      WalkExpr(c->else_expr.get(), fn);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+SelectItem SelectItem::Clone() const {
+  SelectItem item;
+  item.expr = expr ? expr->Clone() : nullptr;
+  item.alias = alias;
+  item.is_star = is_star;
+  item.star_qualifier = star_qualifier;
+  return item;
+}
+
+std::string SelectItem::Label(const Dialect& dialect) const {
+  if (!alias.empty()) return alias;
+  if (is_star) return "*";
+  if (expr->kind() == ExprKind::kColumnRef) {
+    return static_cast<const ColumnRefExpr*>(expr.get())->column;
+  }
+  return expr->ToSQL(dialect);
+}
+
+JoinClause JoinClause::Clone() const {
+  JoinClause j;
+  j.type = type;
+  j.table = table;
+  j.on = on ? on->Clone() : nullptr;
+  return j;
+}
+
+std::vector<const TableRef*> SelectStatement::AllTables() const {
+  std::vector<const TableRef*> out;
+  for (const auto& t : from) out.push_back(&t);
+  for (const auto& j : joins) out.push_back(&j.table);
+  return out;
+}
+
+bool SelectStatement::HasAggregation() const {
+  for (const auto& item : items) {
+    if (item.expr && item.expr->kind() == ExprKind::kFuncCall &&
+        static_cast<const FuncCallExpr*>(item.expr.get())->IsAggregate()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+StatementPtr SelectStatement::Clone() const {
+  auto s = std::make_unique<SelectStatement>();
+  s->distinct = distinct;
+  for (const auto& item : items) s->items.push_back(item.Clone());
+  s->from = from;
+  for (const auto& j : joins) s->joins.push_back(j.Clone());
+  s->where = where ? where->Clone() : nullptr;
+  for (const auto& g : group_by) s->group_by.push_back(g->Clone());
+  s->having = having ? having->Clone() : nullptr;
+  for (const auto& o : order_by) s->order_by.push_back(o.Clone());
+  s->limit = limit;
+  s->for_update = for_update;
+  return s;
+}
+
+namespace {
+std::string RenderTableRef(const TableRef& t, const Dialect& dialect) {
+  std::string out = dialect.QuoteIdentifier(t.name);
+  if (!t.alias.empty()) out += " " + dialect.QuoteIdentifier(t.alias);
+  return out;
+}
+}  // namespace
+
+std::string SelectStatement::ToSQL(const Dialect& dialect) const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ", ";
+    const auto& item = items[i];
+    if (item.is_star) {
+      if (!item.star_qualifier.empty()) {
+        out += dialect.QuoteIdentifier(item.star_qualifier) + ".*";
+      } else {
+        out += "*";
+      }
+    } else {
+      out += item.expr->ToSQL(dialect);
+      if (!item.alias.empty()) out += " AS " + dialect.QuoteIdentifier(item.alias);
+    }
+  }
+  if (!from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (i) out += ", ";
+      out += RenderTableRef(from[i], dialect);
+    }
+    for (const auto& j : joins) {
+      switch (j.type) {
+        case JoinClause::Type::kInner: out += " JOIN "; break;
+        case JoinClause::Type::kLeft: out += " LEFT JOIN "; break;
+        case JoinClause::Type::kRight: out += " RIGHT JOIN "; break;
+        case JoinClause::Type::kCross: out += " CROSS JOIN "; break;
+      }
+      out += RenderTableRef(j.table, dialect);
+      if (j.on) out += " ON " + j.on->ToSQL(dialect);
+    }
+  }
+  if (where) out += " WHERE " + where->ToSQL(dialect);
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i) out += ", ";
+      out += group_by[i]->ToSQL(dialect);
+    }
+  }
+  if (having) out += " HAVING " + having->ToSQL(dialect);
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i) out += ", ";
+      out += order_by[i].expr->ToSQL(dialect);
+      if (order_by[i].desc) out += " DESC";
+    }
+  }
+  if (limit.has_value()) {
+    std::string lim = dialect.RenderLimit(limit->offset, limit->count);
+    if (!lim.empty()) out += " " + lim;
+  }
+  if (for_update) out += " FOR UPDATE";
+  return out;
+}
+
+StatementPtr InsertStatement::Clone() const {
+  auto s = std::make_unique<InsertStatement>();
+  s->table = table;
+  s->columns = columns;
+  for (const auto& row : rows) {
+    std::vector<ExprPtr> r;
+    r.reserve(row.size());
+    for (const auto& e : row) r.push_back(e->Clone());
+    s->rows.push_back(std::move(r));
+  }
+  return s;
+}
+
+std::string InsertStatement::ToSQL(const Dialect& dialect) const {
+  std::string out = "INSERT INTO " + dialect.QuoteIdentifier(table.name);
+  if (!columns.empty()) {
+    out += " (";
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i) out += ", ";
+      out += dialect.QuoteIdentifier(columns[i]);
+    }
+    out += ")";
+  }
+  out += " VALUES ";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (r) out += ", ";
+    out += "(";
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      if (i) out += ", ";
+      out += rows[r][i]->ToSQL(dialect);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+StatementPtr UpdateStatement::Clone() const {
+  auto s = std::make_unique<UpdateStatement>();
+  s->table = table;
+  for (const auto& a : assignments) s->assignments.push_back(a.Clone());
+  s->where = where ? where->Clone() : nullptr;
+  return s;
+}
+
+std::string UpdateStatement::ToSQL(const Dialect& dialect) const {
+  std::string out = "UPDATE " + RenderTableRef(table, dialect) + " SET ";
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    if (i) out += ", ";
+    out += dialect.QuoteIdentifier(assignments[i].column) + " = " +
+           assignments[i].value->ToSQL(dialect);
+  }
+  if (where) out += " WHERE " + where->ToSQL(dialect);
+  return out;
+}
+
+StatementPtr DeleteStatement::Clone() const {
+  auto s = std::make_unique<DeleteStatement>();
+  s->table = table;
+  s->where = where ? where->Clone() : nullptr;
+  return s;
+}
+
+std::string DeleteStatement::ToSQL(const Dialect& dialect) const {
+  std::string out = "DELETE FROM " + RenderTableRef(table, dialect);
+  if (where) out += " WHERE " + where->ToSQL(dialect);
+  return out;
+}
+
+StatementPtr CreateTableStatement::Clone() const {
+  auto s = std::make_unique<CreateTableStatement>();
+  *s = *this;
+  return s;
+}
+
+std::string CreateTableStatement::ToSQL(const Dialect& dialect) const {
+  std::string out = "CREATE TABLE ";
+  if (if_not_exists) out += "IF NOT EXISTS ";
+  out += dialect.QuoteIdentifier(table) + " (";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) out += ", ";
+    const auto& c = columns[i];
+    out += dialect.QuoteIdentifier(c.name) + " ";
+    out += c.raw_type.empty() ? ColumnTypeName(c.type) : c.raw_type;
+    if (c.primary_key) out += " PRIMARY KEY";
+    if (c.not_null) out += " NOT NULL";
+  }
+  out += ")";
+  return out;
+}
+
+StatementPtr DropTableStatement::Clone() const {
+  auto s = std::make_unique<DropTableStatement>();
+  *s = *this;
+  return s;
+}
+
+std::string DropTableStatement::ToSQL(const Dialect& dialect) const {
+  return std::string("DROP TABLE ") + (if_exists ? "IF EXISTS " : "") +
+         dialect.QuoteIdentifier(table);
+}
+
+StatementPtr TruncateStatement::Clone() const {
+  auto s = std::make_unique<TruncateStatement>();
+  *s = *this;
+  return s;
+}
+
+std::string TruncateStatement::ToSQL(const Dialect& dialect) const {
+  return "TRUNCATE TABLE " + dialect.QuoteIdentifier(table);
+}
+
+StatementPtr CreateIndexStatement::Clone() const {
+  auto s = std::make_unique<CreateIndexStatement>();
+  *s = *this;
+  return s;
+}
+
+std::string CreateIndexStatement::ToSQL(const Dialect& dialect) const {
+  std::string out = "CREATE INDEX " + dialect.QuoteIdentifier(index_name) +
+                    " ON " + dialect.QuoteIdentifier(table) + " (";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) out += ", ";
+    out += dialect.QuoteIdentifier(columns[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::string TclStatement::ToSQL(const Dialect&) const {
+  switch (kind()) {
+    case StatementKind::kBegin: return "BEGIN";
+    case StatementKind::kCommit: return "COMMIT";
+    case StatementKind::kRollback: return "ROLLBACK";
+    default: return "";
+  }
+}
+
+StatementPtr SetStatement::Clone() const {
+  auto s = std::make_unique<SetStatement>();
+  *s = *this;
+  return s;
+}
+
+std::string SetStatement::ToSQL(const Dialect&) const {
+  return "SET " + name + " = " + value.ToSQLLiteral();
+}
+
+StatementPtr ShowStatement::Clone() const {
+  auto s = std::make_unique<ShowStatement>();
+  *s = *this;
+  return s;
+}
+
+std::string ShowStatement::ToSQL(const Dialect&) const { return "SHOW " + what; }
+
+StatementPtr UseStatement::Clone() const {
+  auto s = std::make_unique<UseStatement>();
+  *s = *this;
+  return s;
+}
+
+std::string UseStatement::ToSQL(const Dialect& dialect) const {
+  return "USE " + dialect.QuoteIdentifier(schema);
+}
+
+}  // namespace sphere::sql

@@ -1,0 +1,407 @@
+#ifndef SPHERE_SQL_AST_H_
+#define SPHERE_SQL_AST_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace sphere::sql {
+
+class Dialect;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kParam,
+  kUnary,
+  kBinary,
+  kBetween,
+  kIn,
+  kFuncCall,
+  kCase,
+};
+
+/// Binary operators (comparison, arithmetic, logical).
+enum class BinaryOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr,
+  kLike, kNotLike,
+  kConcat,
+};
+
+enum class UnaryOp { kNot, kNeg, kIsNull, kIsNotNull };
+
+const char* BinaryOpSymbol(BinaryOp op);
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Base class of every SQL expression node. Nodes are owned via unique_ptr
+/// and support deep Clone (the rewriter mutates cloned trees) and SQL
+/// re-serialization.
+class Expr {
+ public:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+  virtual ExprPtr Clone() const = 0;
+  /// Serializes back to SQL text in the given dialect.
+  virtual std::string ToSQL(const Dialect& dialect) const = 0;
+
+ private:
+  ExprKind kind_;
+};
+
+/// A constant literal.
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : Expr(ExprKind::kLiteral), value(std::move(v)) {}
+  Value value;
+  ExprPtr Clone() const override { return std::make_unique<LiteralExpr>(value); }
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+/// A (possibly table-qualified) column reference.
+class ColumnRefExpr : public Expr {
+ public:
+  ColumnRefExpr(std::string tbl, std::string col)
+      : Expr(ExprKind::kColumnRef), table(std::move(tbl)), column(std::move(col)) {}
+  std::string table;  ///< qualifier (may be empty)
+  std::string column;
+  ExprPtr Clone() const override {
+    return std::make_unique<ColumnRefExpr>(table, column);
+  }
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+/// A `?` placeholder; `index` is the 0-based parameter position.
+class ParamExpr : public Expr {
+ public:
+  explicit ParamExpr(int idx) : Expr(ExprKind::kParam), index(idx) {}
+  int index;
+  ExprPtr Clone() const override { return std::make_unique<ParamExpr>(index); }
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+class UnaryExpr : public Expr {
+ public:
+  UnaryExpr(UnaryOp o, ExprPtr c)
+      : Expr(ExprKind::kUnary), op(o), child(std::move(c)) {}
+  UnaryOp op;
+  ExprPtr child;
+  ExprPtr Clone() const override {
+    return std::make_unique<UnaryExpr>(op, child->Clone());
+  }
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinaryOp o, ExprPtr l, ExprPtr r)
+      : Expr(ExprKind::kBinary), op(o), left(std::move(l)), right(std::move(r)) {}
+  BinaryOp op;
+  ExprPtr left, right;
+  ExprPtr Clone() const override {
+    return std::make_unique<BinaryExpr>(op, left->Clone(), right->Clone());
+  }
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+class BetweenExpr : public Expr {
+ public:
+  BetweenExpr(ExprPtr e, ExprPtr lo, ExprPtr hi, bool neg)
+      : Expr(ExprKind::kBetween), expr(std::move(e)), low(std::move(lo)),
+        high(std::move(hi)), negated(neg) {}
+  ExprPtr expr, low, high;
+  bool negated;
+  ExprPtr Clone() const override {
+    return std::make_unique<BetweenExpr>(expr->Clone(), low->Clone(),
+                                         high->Clone(), negated);
+  }
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+class InExpr : public Expr {
+ public:
+  InExpr(ExprPtr e, std::vector<ExprPtr> l, bool neg)
+      : Expr(ExprKind::kIn), expr(std::move(e)), list(std::move(l)), negated(neg) {}
+  ExprPtr expr;
+  std::vector<ExprPtr> list;
+  bool negated;
+  ExprPtr Clone() const override;
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+/// Function call; also represents aggregates (COUNT/SUM/MIN/MAX/AVG) and
+/// COUNT(*) (star==true).
+class FuncCallExpr : public Expr {
+ public:
+  FuncCallExpr(std::string n, std::vector<ExprPtr> a, bool dist = false,
+               bool st = false)
+      : Expr(ExprKind::kFuncCall), name(std::move(n)), args(std::move(a)),
+        distinct(dist), star(st) {}
+  std::string name;
+  std::vector<ExprPtr> args;
+  bool distinct;
+  bool star;
+  /// True when this is one of the five aggregate functions.
+  bool IsAggregate() const;
+  ExprPtr Clone() const override;
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+/// CASE WHEN ... THEN ... [ELSE ...] END (searched form).
+class CaseExpr : public Expr {
+ public:
+  CaseExpr() : Expr(ExprKind::kCase) {}
+  std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+  ExprPtr else_expr;  ///< may be null
+  ExprPtr Clone() const override;
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+/// Deep-walks an expression tree, invoking `fn` on every node (pre-order).
+void WalkExpr(const Expr* e, const std::function<void(const Expr*)>& fn);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StatementKind {
+  kSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCreateTable,
+  kDropTable,
+  kTruncate,
+  kCreateIndex,
+  kBegin,
+  kCommit,
+  kRollback,
+  kSet,
+  kShow,
+  kUse,
+};
+
+class Statement {
+ public:
+  explicit Statement(StatementKind kind) : kind_(kind) {}
+  virtual ~Statement() = default;
+  StatementKind kind() const { return kind_; }
+  virtual std::unique_ptr<Statement> Clone() const = 0;
+  virtual std::string ToSQL(const Dialect& dialect) const = 0;
+
+  /// True for DML/DQL, false for DDL/TCL/DCL (which broadcast-route).
+  bool IsDML() const {
+    return kind_ == StatementKind::kSelect || kind_ == StatementKind::kInsert ||
+           kind_ == StatementKind::kUpdate || kind_ == StatementKind::kDelete;
+  }
+
+ private:
+  StatementKind kind_;
+};
+
+using StatementPtr = std::unique_ptr<Statement>;
+
+/// One physical or logical table reference in FROM.
+struct TableRef {
+  std::string name;
+  std::string alias;  ///< empty when none
+  /// The name queries use to qualify columns of this table.
+  const std::string& EffectiveName() const { return alias.empty() ? name : alias; }
+};
+
+/// One item of a SELECT list.
+struct SelectItem {
+  ExprPtr expr;        ///< null when is_star
+  std::string alias;   ///< empty when none
+  bool is_star = false;
+  std::string star_qualifier;  ///< `t.*` qualifier, empty for bare `*`
+
+  SelectItem() = default;
+  SelectItem(ExprPtr e, std::string a)
+      : expr(std::move(e)), alias(std::move(a)) {}
+  SelectItem Clone() const;
+  /// The output column label (alias, column name, or expression text).
+  std::string Label(const Dialect& dialect) const;
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool desc = false;
+  OrderByItem() = default;
+  OrderByItem(ExprPtr e, bool d) : expr(std::move(e)), desc(d) {}
+  OrderByItem Clone() const { return OrderByItem(expr->Clone(), desc); }
+};
+
+/// LIMIT/OFFSET clause. Values may be parameters; after binding they are
+/// plain numbers.
+struct LimitClause {
+  int64_t offset = 0;
+  int64_t count = -1;  ///< -1 = no count limit (OFFSET only)
+};
+
+struct JoinClause {
+  enum class Type { kInner, kLeft, kRight, kCross };
+  Type type = Type::kInner;
+  TableRef table;
+  ExprPtr on;  ///< may be null for CROSS
+  JoinClause Clone() const;
+};
+
+class SelectStatement : public Statement {
+ public:
+  SelectStatement() : Statement(StatementKind::kSelect) {}
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;        ///< comma-separated tables
+  std::vector<JoinClause> joins;     ///< explicit JOIN ... ON
+  ExprPtr where;                     ///< may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;                    ///< may be null
+  std::vector<OrderByItem> order_by;
+  std::optional<LimitClause> limit;
+  bool for_update = false;
+
+  /// All table refs (FROM plus JOINs) in order.
+  std::vector<const TableRef*> AllTables() const;
+  /// True when any select item is an aggregate function call.
+  bool HasAggregation() const;
+
+  StatementPtr Clone() const override;
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+class InsertStatement : public Statement {
+ public:
+  InsertStatement() : Statement(StatementKind::kInsert) {}
+  TableRef table;
+  std::vector<std::string> columns;         ///< may be empty (= all columns)
+  std::vector<std::vector<ExprPtr>> rows;   ///< VALUES tuples
+  StatementPtr Clone() const override;
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+struct Assignment {
+  std::string column;
+  ExprPtr value;
+  Assignment Clone() const { return {column, value->Clone()}; }
+};
+
+class UpdateStatement : public Statement {
+ public:
+  UpdateStatement() : Statement(StatementKind::kUpdate) {}
+  TableRef table;
+  std::vector<Assignment> assignments;
+  ExprPtr where;  ///< may be null
+  StatementPtr Clone() const override;
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+class DeleteStatement : public Statement {
+ public:
+  DeleteStatement() : Statement(StatementKind::kDelete) {}
+  TableRef table;
+  ExprPtr where;  ///< may be null
+  StatementPtr Clone() const override;
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+  std::string raw_type;  ///< dialect type text, e.g. "VARCHAR(120)"
+  bool primary_key = false;
+  bool not_null = false;
+};
+
+class CreateTableStatement : public Statement {
+ public:
+  CreateTableStatement() : Statement(StatementKind::kCreateTable) {}
+  std::string table;
+  std::vector<ColumnDef> columns;
+  bool if_not_exists = false;
+  StatementPtr Clone() const override;
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+class DropTableStatement : public Statement {
+ public:
+  DropTableStatement() : Statement(StatementKind::kDropTable) {}
+  std::string table;
+  bool if_exists = false;
+  StatementPtr Clone() const override;
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+class TruncateStatement : public Statement {
+ public:
+  TruncateStatement() : Statement(StatementKind::kTruncate) {}
+  std::string table;
+  StatementPtr Clone() const override;
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+class CreateIndexStatement : public Statement {
+ public:
+  CreateIndexStatement() : Statement(StatementKind::kCreateIndex) {}
+  std::string index_name;
+  std::string table;
+  std::vector<std::string> columns;
+  StatementPtr Clone() const override;
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+/// BEGIN / START TRANSACTION, COMMIT, ROLLBACK.
+class TclStatement : public Statement {
+ public:
+  explicit TclStatement(StatementKind kind) : Statement(kind) {}
+  StatementPtr Clone() const override {
+    return std::make_unique<TclStatement>(kind());
+  }
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+/// SET name = value.
+class SetStatement : public Statement {
+ public:
+  SetStatement() : Statement(StatementKind::kSet) {}
+  std::string name;
+  Value value;
+  StatementPtr Clone() const override;
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+/// SHOW <what> (passthrough/diagnostic).
+class ShowStatement : public Statement {
+ public:
+  ShowStatement() : Statement(StatementKind::kShow) {}
+  std::string what;
+  StatementPtr Clone() const override;
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+/// USE <schema>.
+class UseStatement : public Statement {
+ public:
+  UseStatement() : Statement(StatementKind::kUse) {}
+  std::string schema;
+  StatementPtr Clone() const override;
+  std::string ToSQL(const Dialect& dialect) const override;
+};
+
+}  // namespace sphere::sql
+
+#endif  // SPHERE_SQL_AST_H_

@@ -1,0 +1,57 @@
+#include "sql/dialect.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include "sql/token.h"
+
+namespace sphere::sql {
+
+std::string Dialect::QuoteIdentifier(const std::string& ident) const {
+  bool needs_quote = ident.empty() || IsReservedWord(ident);
+  if (!needs_quote) {
+    for (char c : ident) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+        needs_quote = true;
+        break;
+      }
+    }
+  }
+  if (!needs_quote) return ident;
+  char q = type_ == DialectType::kMySQL ? '`' : '"';
+  std::string out(1, q);
+  out += ident;
+  out += q;
+  return out;
+}
+
+std::string Dialect::RenderLimit(int64_t offset, int64_t count) const {
+  if (type_ == DialectType::kMySQL) {
+    if (offset > 0) return StrFormat("LIMIT %lld, %lld", static_cast<long long>(offset),
+                                     static_cast<long long>(count));
+    return StrFormat("LIMIT %lld", static_cast<long long>(count));
+  }
+  std::string out;
+  if (count >= 0) out += StrFormat("LIMIT %lld", static_cast<long long>(count));
+  if (offset > 0) {
+    if (!out.empty()) out += " ";
+    out += StrFormat("OFFSET %lld", static_cast<long long>(offset));
+  }
+  return out;
+}
+
+const Dialect& Dialect::MySQL() {
+  static const Dialect d(DialectType::kMySQL);
+  return d;
+}
+
+const Dialect& Dialect::PostgreSQL() {
+  static const Dialect d(DialectType::kPostgreSQL);
+  return d;
+}
+
+const Dialect& Dialect::Get(DialectType t) {
+  return t == DialectType::kMySQL ? MySQL() : PostgreSQL();
+}
+
+}  // namespace sphere::sql

@@ -1,0 +1,42 @@
+#ifndef SPHERE_SQL_DIALECT_H_
+#define SPHERE_SQL_DIALECT_H_
+
+#include <string>
+
+namespace sphere::sql {
+
+enum class DialectType { kMySQL, kPostgreSQL };
+
+/// SQL dialect knobs used for parsing tolerance and re-serialization. The SQL
+/// engine keeps per-database dialect dictionaries so one logical SQL can be
+/// rewritten into the syntax each underlying database expects (paper §VI-A).
+class Dialect {
+ public:
+  explicit Dialect(DialectType type) : type_(type) {}
+
+  DialectType type() const { return type_; }
+  const char* Name() const {
+    return type_ == DialectType::kMySQL ? "MySQL" : "PostgreSQL";
+  }
+
+  /// Quotes an identifier (` for MySQL, " for PostgreSQL) when needed.
+  std::string QuoteIdentifier(const std::string& ident) const;
+
+  /// Renders a LIMIT clause: MySQL `LIMIT off, cnt`, PostgreSQL
+  /// `LIMIT cnt OFFSET off`.
+  std::string RenderLimit(int64_t offset, int64_t count) const;
+
+  /// True when the dialect accepts `LIMIT a, b` shorthand while parsing.
+  bool SupportsCommaLimit() const { return type_ == DialectType::kMySQL; }
+
+  static const Dialect& MySQL();
+  static const Dialect& PostgreSQL();
+  static const Dialect& Get(DialectType t);
+
+ private:
+  DialectType type_;
+};
+
+}  // namespace sphere::sql
+
+#endif  // SPHERE_SQL_DIALECT_H_

@@ -1,0 +1,182 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace sphere::sql {
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+}  // namespace
+
+void Lexer::SkipWhitespaceAndComments(bool* error) {
+  *error = false;
+  for (;;) {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ + 1 < input_.size() && input_[pos_] == '-' &&
+        input_[pos_ + 1] == '-') {
+      while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+      continue;
+    }
+    if (pos_ + 1 < input_.size() && input_[pos_] == '/' &&
+        input_[pos_ + 1] == '*') {
+      size_t end = input_.find("*/", pos_ + 2);
+      if (end == std::string_view::npos) {
+        *error = true;
+        return;
+      }
+      pos_ = end + 2;
+      continue;
+    }
+    return;
+  }
+}
+
+Result<Token> Lexer::NextToken() {
+  bool comment_error = false;
+  SkipWhitespaceAndComments(&comment_error);
+  if (comment_error) {
+    return Status::SyntaxError("unterminated block comment");
+  }
+  Token t;
+  t.pos = pos_;
+  if (pos_ >= input_.size()) {
+    t.type = TokenType::kEof;
+    return t;
+  }
+  char c = input_[pos_];
+
+  if (IsIdentStart(c)) {
+    size_t start = pos_;
+    while (pos_ < input_.size() && IsIdentChar(input_[pos_])) ++pos_;
+    t.text = std::string(input_.substr(start, pos_ - start));
+    t.type = IsReservedWord(t.text) ? TokenType::kKeyword
+                                    : TokenType::kIdentifier;
+    return t;
+  }
+
+  // Quoted identifiers: `x` (MySQL) or "x" (PostgreSQL / SQL-92).
+  if (c == '`' || c == '"') {
+    char quote = c;
+    ++pos_;
+    std::string ident;
+    while (pos_ < input_.size() && input_[pos_] != quote) {
+      ident += input_[pos_++];
+    }
+    if (pos_ >= input_.size()) {
+      return Status::SyntaxError("unterminated quoted identifier");
+    }
+    ++pos_;
+    t.type = TokenType::kIdentifier;
+    t.text = std::move(ident);
+    return t;
+  }
+
+  if (c == '\'') {
+    ++pos_;
+    std::string s;
+    for (;;) {
+      if (pos_ >= input_.size()) {
+        return Status::SyntaxError("unterminated string literal");
+      }
+      if (input_[pos_] == '\'') {
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '\'') {
+          s += '\'';
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        break;
+      }
+      s += input_[pos_++];
+    }
+    t.type = TokenType::kStringLiteral;
+    t.text = std::move(s);
+    return t;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && pos_ + 1 < input_.size() &&
+       std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+    size_t start = pos_;
+    bool is_double = false;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '.' || input_[pos_] == 'e' || input_[pos_] == 'E' ||
+            ((input_[pos_] == '+' || input_[pos_] == '-') && pos_ > start &&
+             (input_[pos_ - 1] == 'e' || input_[pos_ - 1] == 'E')))) {
+      if (input_[pos_] == '.' || input_[pos_] == 'e' || input_[pos_] == 'E') {
+        is_double = true;
+      }
+      ++pos_;
+    }
+    std::string_view num = input_.substr(start, pos_ - start);
+    if (is_double) {
+      t.type = TokenType::kDoubleLiteral;
+      t.double_value = std::strtod(std::string(num).c_str(), nullptr);
+    } else {
+      t.type = TokenType::kIntLiteral;
+      auto [p, ec] = std::from_chars(num.data(), num.data() + num.size(),
+                                     t.int_value);
+      if (ec != std::errc()) {
+        return Status::SyntaxError("bad integer literal: " + std::string(num));
+      }
+    }
+    t.text = std::string(num);
+    return t;
+  }
+
+  if (c == '?') {
+    ++pos_;
+    t.type = TokenType::kParam;
+    t.text = "?";
+    return t;
+  }
+
+  // Multi-char operators first.
+  static const char* kTwoChar[] = {"<=", ">=", "<>", "!=", "||"};
+  if (pos_ + 1 < input_.size()) {
+    std::string two(input_.substr(pos_, 2));
+    for (const char* op : kTwoChar) {
+      if (two == op) {
+        pos_ += 2;
+        t.type = TokenType::kOperator;
+        t.text = two;
+        return t;
+      }
+    }
+  }
+  static const std::string kSingle = "+-*/%(),.;=<>";
+  if (kSingle.find(c) != std::string::npos) {
+    ++pos_;
+    t.type = TokenType::kOperator;
+    t.text = std::string(1, c);
+    return t;
+  }
+
+  return Status::SyntaxError(
+      StrFormat("unexpected character '%c' at position %zu", c, pos_));
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  for (;;) {
+    SPHERE_ASSIGN_OR_RETURN(Token t, NextToken());
+    bool eof = t.type == TokenType::kEof;
+    tokens.push_back(std::move(t));
+    if (eof) break;
+  }
+  return tokens;
+}
+
+}  // namespace sphere::sql

@@ -1,0 +1,33 @@
+#ifndef SPHERE_SQL_LEXER_H_
+#define SPHERE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace sphere::sql {
+
+/// Converts a SQL statement string into a token stream. Handles identifier
+/// quoting for both MySQL (`id`) and PostgreSQL ("id") dialects, single-quoted
+/// strings with '' escaping, line (--) and block comments, and ? parameters.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Tokenizes the whole input. Fails with SyntaxError on malformed input
+  /// (unterminated string/comment, unknown character).
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> NextToken();
+  void SkipWhitespaceAndComments(bool* error);
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sphere::sql
+
+#endif  // SPHERE_SQL_LEXER_H_

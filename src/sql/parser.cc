@@ -1,0 +1,742 @@
+#include "sql/parser.h"
+
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace sphere::sql {
+
+namespace {
+/// Maps a dialect type name (INT, BIGINT, VARCHAR(n), DECIMAL(p,s)...) to a
+/// storage column type.
+ColumnType MapTypeName(const std::string& raw) {
+  std::string t = ToUpper(raw);
+  if (t.find("INT") != std::string::npos) return ColumnType::kInt;
+  if (t.find("CHAR") != std::string::npos || t.find("TEXT") != std::string::npos)
+    return ColumnType::kString;
+  if (t.find("DOUBLE") != std::string::npos || t.find("FLOAT") != std::string::npos ||
+      t.find("DECIMAL") != std::string::npos || t.find("NUMERIC") != std::string::npos ||
+      t.find("REAL") != std::string::npos)
+    return ColumnType::kDouble;
+  if (t.find("DATE") != std::string::npos || t.find("TIME") != std::string::npos)
+    return ColumnType::kString;
+  return ColumnType::kString;
+}
+}  // namespace
+
+const Token& Parser::Peek(int ahead) const {
+  size_t i = pos_ + static_cast<size_t>(ahead);
+  if (i >= tokens_.size()) return tokens_.back();
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& t = Peek();
+  if (pos_ < tokens_.size() - 1) ++pos_;
+  return t;
+}
+
+bool Parser::MatchKeyword(const char* kw) {
+  if (Peek().IsKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::MatchOperator(const char* op) {
+  if (Peek().IsOperator(op)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ExpectKeyword(const char* kw) {
+  if (!MatchKeyword(kw)) return ErrorHere(std::string("expected ") + kw);
+  return Status::OK();
+}
+
+Status Parser::ExpectOperator(const char* op) {
+  if (!MatchOperator(op)) return ErrorHere(std::string("expected '") + op + "'");
+  return Status::OK();
+}
+
+Result<std::string> Parser::ExpectIdentifier() {
+  const Token& t = Peek();
+  if (t.type == TokenType::kIdentifier || t.type == TokenType::kKeyword) {
+    Advance();
+    return t.text;
+  }
+  return Status::SyntaxError("expected identifier near '" + t.text + "'");
+}
+
+Status Parser::ErrorHere(const std::string& what) const {
+  const Token& t = Peek();
+  return Status::SyntaxError(
+      StrFormat("%s near '%s' (offset %zu)", what.c_str(), t.text.c_str(), t.pos));
+}
+
+Result<StatementPtr> Parser::Parse(std::string_view sql) {
+  Lexer lexer(sql);
+  SPHERE_ASSIGN_OR_RETURN(tokens_, lexer.Tokenize());
+  pos_ = 0;
+  param_count_ = 0;
+  SPHERE_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement());
+  MatchOperator(";");
+  if (Peek().type != TokenType::kEof) {
+    return ErrorHere("unexpected trailing input");
+  }
+  return stmt;
+}
+
+Result<StatementPtr> Parser::ParseStatement() {
+  const Token& t = Peek();
+  if (t.IsKeyword("SELECT")) return ParseSelect();
+  if (t.IsKeyword("INSERT")) return ParseInsert();
+  if (t.IsKeyword("UPDATE")) return ParseUpdate();
+  if (t.IsKeyword("DELETE")) return ParseDelete();
+  if (t.IsKeyword("CREATE")) return ParseCreate();
+  if (t.IsKeyword("DROP")) return ParseDrop();
+  if (t.IsKeyword("TRUNCATE")) return ParseTruncate();
+  if (t.IsKeyword("BEGIN")) {
+    Advance();
+    return StatementPtr(std::make_unique<TclStatement>(StatementKind::kBegin));
+  }
+  if (t.IsKeyword("START")) {
+    Advance();
+    SPHERE_RETURN_NOT_OK(ExpectKeyword("TRANSACTION"));
+    return StatementPtr(std::make_unique<TclStatement>(StatementKind::kBegin));
+  }
+  if (t.IsKeyword("COMMIT")) {
+    Advance();
+    return StatementPtr(std::make_unique<TclStatement>(StatementKind::kCommit));
+  }
+  if (t.IsKeyword("ROLLBACK")) {
+    Advance();
+    return StatementPtr(std::make_unique<TclStatement>(StatementKind::kRollback));
+  }
+  if (t.IsKeyword("SET")) return ParseSet();
+  if (t.IsKeyword("SHOW")) return ParseShow();
+  if (t.IsKeyword("USE")) return ParseUse();
+  return ErrorHere("unsupported statement");
+}
+
+// --------------------------------------------------------------------------
+// SELECT
+// --------------------------------------------------------------------------
+
+Status Parser::ParseSelectItems(SelectStatement* stmt) {
+  do {
+    SelectItem item;
+    if (Peek().IsOperator("*")) {
+      Advance();
+      item.is_star = true;
+    } else if ((Peek().type == TokenType::kIdentifier ||
+                Peek().type == TokenType::kKeyword) &&
+               Peek(1).IsOperator(".") && Peek(2).IsOperator("*")) {
+      item.is_star = true;
+      item.star_qualifier = Advance().text;
+      Advance();  // '.'
+      Advance();  // '*'
+    } else {
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      item.expr = std::move(e).value();
+      if (MatchKeyword("AS")) {
+        auto a = ExpectIdentifier();
+        if (!a.ok()) return a.status();
+        item.alias = std::move(a).value();
+      } else if (Peek().type == TokenType::kIdentifier) {
+        item.alias = Advance().text;
+      }
+    }
+    stmt->items.push_back(std::move(item));
+  } while (MatchOperator(","));
+  return Status::OK();
+}
+
+Result<TableRef> Parser::ParseTableRef() {
+  TableRef ref;
+  SPHERE_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier());
+  if (MatchKeyword("AS")) {
+    SPHERE_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+  } else if (Peek().type == TokenType::kIdentifier) {
+    ref.alias = Advance().text;
+  }
+  return ref;
+}
+
+Status Parser::ParseFromClause(SelectStatement* stmt) {
+  do {
+    auto r = ParseTableRef();
+    if (!r.ok()) return r.status();
+    stmt->from.push_back(std::move(r).value());
+  } while (MatchOperator(","));
+
+  for (;;) {
+    JoinClause join;
+    if (MatchKeyword("JOIN") ||
+        (Peek().IsKeyword("INNER") && Peek(1).IsKeyword("JOIN") &&
+         (Advance(), Advance(), true))) {
+      join.type = JoinClause::Type::kInner;
+    } else if (Peek().IsKeyword("LEFT")) {
+      Advance();
+      MatchKeyword("OUTER");
+      SPHERE_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      join.type = JoinClause::Type::kLeft;
+    } else if (Peek().IsKeyword("RIGHT")) {
+      Advance();
+      MatchKeyword("OUTER");
+      SPHERE_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      join.type = JoinClause::Type::kRight;
+    } else if (Peek().IsKeyword("CROSS")) {
+      Advance();
+      SPHERE_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      join.type = JoinClause::Type::kCross;
+    } else {
+      break;
+    }
+    auto r = ParseTableRef();
+    if (!r.ok()) return r.status();
+    join.table = std::move(r).value();
+    if (join.type != JoinClause::Type::kCross) {
+      SPHERE_RETURN_NOT_OK(ExpectKeyword("ON"));
+      auto on = ParseExpr();
+      if (!on.ok()) return on.status();
+      join.on = std::move(on).value();
+    }
+    stmt->joins.push_back(std::move(join));
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseLimitClause(SelectStatement* stmt) {
+  if (MatchKeyword("LIMIT")) {
+    const Token& first = Peek();
+    if (first.type != TokenType::kIntLiteral) {
+      return ErrorHere("expected integer after LIMIT");
+    }
+    Advance();
+    LimitClause lim;
+    if (dialect_.SupportsCommaLimit() && MatchOperator(",")) {
+      // MySQL: LIMIT offset, count
+      const Token& second = Peek();
+      if (second.type != TokenType::kIntLiteral) {
+        return ErrorHere("expected integer after LIMIT offset,");
+      }
+      Advance();
+      lim.offset = first.int_value;
+      lim.count = second.int_value;
+    } else {
+      lim.count = first.int_value;
+      if (MatchKeyword("OFFSET")) {
+        const Token& off = Peek();
+        if (off.type != TokenType::kIntLiteral) {
+          return ErrorHere("expected integer after OFFSET");
+        }
+        Advance();
+        lim.offset = off.int_value;
+      }
+    }
+    stmt->limit = lim;
+  } else if (Peek().IsKeyword("OFFSET")) {
+    Advance();
+    const Token& off = Peek();
+    if (off.type != TokenType::kIntLiteral) {
+      return ErrorHere("expected integer after OFFSET");
+    }
+    Advance();
+    LimitClause lim;
+    lim.offset = off.int_value;
+    stmt->limit = lim;
+  }
+  return Status::OK();
+}
+
+Result<StatementPtr> Parser::ParseSelect() {
+  SPHERE_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  auto stmt = std::make_unique<SelectStatement>();
+  if (MatchKeyword("DISTINCT")) stmt->distinct = true;
+  SPHERE_RETURN_NOT_OK(ParseSelectItems(stmt.get()));
+  if (MatchKeyword("FROM")) {
+    SPHERE_RETURN_NOT_OK(ParseFromClause(stmt.get()));
+  }
+  if (MatchKeyword("WHERE")) {
+    SPHERE_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  if (Peek().IsKeyword("GROUP")) {
+    Advance();
+    SPHERE_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      SPHERE_ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+      stmt->group_by.push_back(std::move(g));
+    } while (MatchOperator(","));
+  }
+  if (MatchKeyword("HAVING")) {
+    SPHERE_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+  }
+  if (Peek().IsKeyword("ORDER")) {
+    Advance();
+    SPHERE_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      SPHERE_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      bool desc = false;
+      if (MatchKeyword("DESC")) desc = true;
+      else MatchKeyword("ASC");
+      stmt->order_by.emplace_back(std::move(e), desc);
+    } while (MatchOperator(","));
+  }
+  SPHERE_RETURN_NOT_OK(ParseLimitClause(stmt.get()));
+  if (MatchKeyword("FOR")) {
+    SPHERE_RETURN_NOT_OK(ExpectKeyword("UPDATE"));
+    stmt->for_update = true;
+  }
+  return StatementPtr(std::move(stmt));
+}
+
+// --------------------------------------------------------------------------
+// INSERT / UPDATE / DELETE
+// --------------------------------------------------------------------------
+
+Result<StatementPtr> Parser::ParseInsert() {
+  SPHERE_RETURN_NOT_OK(ExpectKeyword("INSERT"));
+  SPHERE_RETURN_NOT_OK(ExpectKeyword("INTO"));
+  auto stmt = std::make_unique<InsertStatement>();
+  SPHERE_ASSIGN_OR_RETURN(stmt->table.name, ExpectIdentifier());
+  if (MatchOperator("(")) {
+    do {
+      SPHERE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      stmt->columns.push_back(std::move(col));
+    } while (MatchOperator(","));
+    SPHERE_RETURN_NOT_OK(ExpectOperator(")"));
+  }
+  SPHERE_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+  do {
+    SPHERE_RETURN_NOT_OK(ExpectOperator("("));
+    std::vector<ExprPtr> row;
+    do {
+      SPHERE_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      row.push_back(std::move(e));
+    } while (MatchOperator(","));
+    SPHERE_RETURN_NOT_OK(ExpectOperator(")"));
+    stmt->rows.push_back(std::move(row));
+  } while (MatchOperator(","));
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseUpdate() {
+  SPHERE_RETURN_NOT_OK(ExpectKeyword("UPDATE"));
+  auto stmt = std::make_unique<UpdateStatement>();
+  SPHERE_ASSIGN_OR_RETURN(stmt->table, ParseTableRef());
+  SPHERE_RETURN_NOT_OK(ExpectKeyword("SET"));
+  do {
+    Assignment a;
+    SPHERE_ASSIGN_OR_RETURN(a.column, ExpectIdentifier());
+    // Tolerate table-qualified assignment targets.
+    if (MatchOperator(".")) {
+      SPHERE_ASSIGN_OR_RETURN(a.column, ExpectIdentifier());
+    }
+    SPHERE_RETURN_NOT_OK(ExpectOperator("="));
+    SPHERE_ASSIGN_OR_RETURN(a.value, ParseExpr());
+    stmt->assignments.push_back(std::move(a));
+  } while (MatchOperator(","));
+  if (MatchKeyword("WHERE")) {
+    SPHERE_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseDelete() {
+  SPHERE_RETURN_NOT_OK(ExpectKeyword("DELETE"));
+  SPHERE_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  auto stmt = std::make_unique<DeleteStatement>();
+  SPHERE_ASSIGN_OR_RETURN(stmt->table, ParseTableRef());
+  if (MatchKeyword("WHERE")) {
+    SPHERE_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return StatementPtr(std::move(stmt));
+}
+
+// --------------------------------------------------------------------------
+// DDL
+// --------------------------------------------------------------------------
+
+Result<ColumnDef> Parser::ParseColumnDef() {
+  ColumnDef def;
+  SPHERE_ASSIGN_OR_RETURN(def.name, ExpectIdentifier());
+  SPHERE_ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier());
+  def.raw_type = ToUpper(type_name);
+  if (MatchOperator("(")) {
+    def.raw_type += "(";
+    bool first = true;
+    while (!Peek().IsOperator(")")) {
+      if (!first) def.raw_type += ",";
+      first = false;
+      def.raw_type += Advance().text;
+      MatchOperator(",");
+    }
+    SPHERE_RETURN_NOT_OK(ExpectOperator(")"));
+    def.raw_type += ")";
+  }
+  def.type = MapTypeName(def.raw_type);
+  for (;;) {
+    if (Peek().IsKeyword("PRIMARY")) {
+      Advance();
+      SPHERE_RETURN_NOT_OK(ExpectKeyword("KEY"));
+      def.primary_key = true;
+    } else if (Peek().IsKeyword("NOT")) {
+      Advance();
+      SPHERE_RETURN_NOT_OK(ExpectKeyword("NULL"));
+      def.not_null = true;
+    } else if (Peek().IsKeyword("NULL")) {
+      Advance();
+    } else if (Peek().IsKeyword("DEFAULT")) {
+      Advance();
+      Advance();  // skip the default literal
+    } else {
+      break;
+    }
+  }
+  return def;
+}
+
+Result<StatementPtr> Parser::ParseCreate() {
+  SPHERE_RETURN_NOT_OK(ExpectKeyword("CREATE"));
+  if (MatchKeyword("INDEX")) {
+    auto stmt = std::make_unique<CreateIndexStatement>();
+    SPHERE_ASSIGN_OR_RETURN(stmt->index_name, ExpectIdentifier());
+    SPHERE_RETURN_NOT_OK(ExpectKeyword("ON"));
+    SPHERE_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    SPHERE_RETURN_NOT_OK(ExpectOperator("("));
+    do {
+      SPHERE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      stmt->columns.push_back(std::move(col));
+    } while (MatchOperator(","));
+    SPHERE_RETURN_NOT_OK(ExpectOperator(")"));
+    return StatementPtr(std::move(stmt));
+  }
+  SPHERE_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+  auto stmt = std::make_unique<CreateTableStatement>();
+  if (Peek().IsKeyword("IF")) {
+    Advance();
+    SPHERE_RETURN_NOT_OK(ExpectKeyword("NOT"));
+    SPHERE_RETURN_NOT_OK(ExpectKeyword("EXISTS"));
+    stmt->if_not_exists = true;
+  }
+  SPHERE_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+  SPHERE_RETURN_NOT_OK(ExpectOperator("("));
+  do {
+    if (Peek().IsKeyword("PRIMARY")) {
+      // Table-level PRIMARY KEY (col) constraint.
+      Advance();
+      SPHERE_RETURN_NOT_OK(ExpectKeyword("KEY"));
+      SPHERE_RETURN_NOT_OK(ExpectOperator("("));
+      SPHERE_ASSIGN_OR_RETURN(std::string pk_col, ExpectIdentifier());
+      // Composite primary keys: only the first column is indexed.
+      while (MatchOperator(",")) {
+        SPHERE_RETURN_NOT_OK(ExpectIdentifier().status());
+      }
+      SPHERE_RETURN_NOT_OK(ExpectOperator(")"));
+      for (auto& c : stmt->columns) {
+        if (EqualsIgnoreCase(c.name, pk_col)) c.primary_key = true;
+      }
+      continue;
+    }
+    SPHERE_ASSIGN_OR_RETURN(ColumnDef def, ParseColumnDef());
+    stmt->columns.push_back(std::move(def));
+  } while (MatchOperator(","));
+  SPHERE_RETURN_NOT_OK(ExpectOperator(")"));
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseDrop() {
+  SPHERE_RETURN_NOT_OK(ExpectKeyword("DROP"));
+  SPHERE_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+  auto stmt = std::make_unique<DropTableStatement>();
+  if (Peek().IsKeyword("IF")) {
+    Advance();
+    SPHERE_RETURN_NOT_OK(ExpectKeyword("EXISTS"));
+    stmt->if_exists = true;
+  }
+  SPHERE_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseTruncate() {
+  SPHERE_RETURN_NOT_OK(ExpectKeyword("TRUNCATE"));
+  MatchKeyword("TABLE");
+  auto stmt = std::make_unique<TruncateStatement>();
+  SPHERE_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+  return StatementPtr(std::move(stmt));
+}
+
+// --------------------------------------------------------------------------
+// SET / SHOW / USE
+// --------------------------------------------------------------------------
+
+Result<StatementPtr> Parser::ParseSet() {
+  SPHERE_RETURN_NOT_OK(ExpectKeyword("SET"));
+  auto stmt = std::make_unique<SetStatement>();
+  // Accept "SET VARIABLE name = value" (DistSQL RAL style) and "SET name = v".
+  SPHERE_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier());
+  if (EqualsIgnoreCase(first, "VARIABLE")) {
+    SPHERE_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier());
+  } else {
+    stmt->name = std::move(first);
+  }
+  SPHERE_RETURN_NOT_OK(ExpectOperator("="));
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kIntLiteral:
+      stmt->value = Value(t.int_value);
+      break;
+    case TokenType::kDoubleLiteral:
+      stmt->value = Value(t.double_value);
+      break;
+    case TokenType::kStringLiteral:
+    case TokenType::kIdentifier:
+    case TokenType::kKeyword:
+      stmt->value = Value(t.text);
+      break;
+    default:
+      return ErrorHere("expected value in SET");
+  }
+  Advance();
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseShow() {
+  SPHERE_RETURN_NOT_OK(ExpectKeyword("SHOW"));
+  auto stmt = std::make_unique<ShowStatement>();
+  while (Peek().type != TokenType::kEof && !Peek().IsOperator(";")) {
+    if (!stmt->what.empty()) stmt->what += " ";
+    stmt->what += Advance().text;
+  }
+  return StatementPtr(std::move(stmt));
+}
+
+Result<StatementPtr> Parser::ParseUse() {
+  SPHERE_RETURN_NOT_OK(ExpectKeyword("USE"));
+  auto stmt = std::make_unique<UseStatement>();
+  SPHERE_ASSIGN_OR_RETURN(stmt->schema, ExpectIdentifier());
+  return StatementPtr(std::move(stmt));
+}
+
+// --------------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------------
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  SPHERE_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (Peek().IsKeyword("OR")) {
+    Advance();
+    SPHERE_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  SPHERE_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (Peek().IsKeyword("AND")) {
+    Advance();
+    SPHERE_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (Peek().IsKeyword("NOT") && !Peek(1).IsKeyword("BETWEEN") &&
+      !Peek(1).IsKeyword("IN") && !Peek(1).IsKeyword("LIKE")) {
+    Advance();
+    SPHERE_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+    return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(child)));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  SPHERE_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  for (;;) {
+    const Token& t = Peek();
+    BinaryOp op;
+    if (t.IsOperator("=")) op = BinaryOp::kEq;
+    else if (t.IsOperator("<>") || t.IsOperator("!=")) op = BinaryOp::kNe;
+    else if (t.IsOperator("<")) op = BinaryOp::kLt;
+    else if (t.IsOperator("<=")) op = BinaryOp::kLe;
+    else if (t.IsOperator(">")) op = BinaryOp::kGt;
+    else if (t.IsOperator(">=")) op = BinaryOp::kGe;
+    else if (t.IsKeyword("LIKE")) op = BinaryOp::kLike;
+    else if (t.IsKeyword("NOT") && Peek(1).IsKeyword("LIKE")) {
+      Advance();
+      op = BinaryOp::kNotLike;
+    } else if (t.IsKeyword("IS")) {
+      Advance();
+      bool neg = MatchKeyword("NOT");
+      SPHERE_RETURN_NOT_OK(ExpectKeyword("NULL"));
+      return ExprPtr(std::make_unique<UnaryExpr>(
+          neg ? UnaryOp::kIsNotNull : UnaryOp::kIsNull, std::move(left)));
+    } else if (t.IsKeyword("BETWEEN") ||
+               (t.IsKeyword("NOT") && Peek(1).IsKeyword("BETWEEN"))) {
+      bool neg = t.IsKeyword("NOT");
+      if (neg) Advance();
+      Advance();  // BETWEEN
+      SPHERE_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      SPHERE_RETURN_NOT_OK(ExpectKeyword("AND"));
+      SPHERE_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      return ExprPtr(std::make_unique<BetweenExpr>(std::move(left), std::move(lo),
+                                                   std::move(hi), neg));
+    } else if (t.IsKeyword("IN") ||
+               (t.IsKeyword("NOT") && Peek(1).IsKeyword("IN"))) {
+      bool neg = t.IsKeyword("NOT");
+      if (neg) Advance();
+      Advance();  // IN
+      SPHERE_RETURN_NOT_OK(ExpectOperator("("));
+      std::vector<ExprPtr> list;
+      do {
+        SPHERE_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        list.push_back(std::move(e));
+      } while (MatchOperator(","));
+      SPHERE_RETURN_NOT_OK(ExpectOperator(")"));
+      return ExprPtr(std::make_unique<InExpr>(std::move(left), std::move(list), neg));
+    } else {
+      return left;
+    }
+    Advance();
+    SPHERE_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+    left = std::make_unique<BinaryExpr>(op, std::move(left), std::move(right));
+  }
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  SPHERE_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  for (;;) {
+    BinaryOp op;
+    if (Peek().IsOperator("+")) op = BinaryOp::kAdd;
+    else if (Peek().IsOperator("-")) op = BinaryOp::kSub;
+    else if (Peek().IsOperator("||")) op = BinaryOp::kConcat;
+    else return left;
+    Advance();
+    SPHERE_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+    left = std::make_unique<BinaryExpr>(op, std::move(left), std::move(right));
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  SPHERE_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  for (;;) {
+    BinaryOp op;
+    if (Peek().IsOperator("*")) op = BinaryOp::kMul;
+    else if (Peek().IsOperator("/")) op = BinaryOp::kDiv;
+    else if (Peek().IsOperator("%")) op = BinaryOp::kMod;
+    else return left;
+    Advance();
+    SPHERE_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+    left = std::make_unique<BinaryExpr>(op, std::move(left), std::move(right));
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (MatchOperator("-")) {
+    SPHERE_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+    return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kNeg, std::move(child)));
+  }
+  MatchOperator("+");
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kIntLiteral:
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Value(t.int_value)));
+    case TokenType::kDoubleLiteral:
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Value(t.double_value)));
+    case TokenType::kStringLiteral:
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Value(t.text)));
+    case TokenType::kParam:
+      Advance();
+      return ExprPtr(std::make_unique<ParamExpr>(param_count_++));
+    case TokenType::kOperator:
+      if (t.IsOperator("(")) {
+        Advance();
+        SPHERE_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        SPHERE_RETURN_NOT_OK(ExpectOperator(")"));
+        return inner;
+      }
+      break;
+    case TokenType::kKeyword:
+      if (t.IsKeyword("NULL")) {
+        Advance();
+        return ExprPtr(std::make_unique<LiteralExpr>(Value::Null()));
+      }
+      if (t.IsKeyword("CASE")) {
+        Advance();
+        auto c = std::make_unique<CaseExpr>();
+        while (Peek().IsKeyword("WHEN")) {
+          Advance();
+          SPHERE_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+          SPHERE_RETURN_NOT_OK(ExpectKeyword("THEN"));
+          SPHERE_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+          c->branches.emplace_back(std::move(when), std::move(then));
+        }
+        if (MatchKeyword("ELSE")) {
+          SPHERE_ASSIGN_OR_RETURN(c->else_expr, ParseExpr());
+        }
+        SPHERE_RETURN_NOT_OK(ExpectKeyword("END"));
+        return ExprPtr(std::move(c));
+      }
+      // Other reserved words cannot start an expression (quote identifiers
+      // that collide with keywords).
+      return ErrorHere("expected expression");
+    case TokenType::kIdentifier: {
+      // Function call, qualified column, or bare column.
+      std::string first = Advance().text;
+      if (Peek().IsOperator("(")) {
+        Advance();
+        auto func = std::make_unique<FuncCallExpr>(first, std::vector<ExprPtr>{});
+        if (Peek().IsOperator("*")) {
+          Advance();
+          func->star = true;
+        } else if (!Peek().IsOperator(")")) {
+          if (MatchKeyword("DISTINCT")) func->distinct = true;
+          do {
+            SPHERE_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+            func->args.push_back(std::move(a));
+          } while (MatchOperator(","));
+        }
+        SPHERE_RETURN_NOT_OK(ExpectOperator(")"));
+        return ExprPtr(std::move(func));
+      }
+      if (Peek().IsOperator(".")) {
+        Advance();
+        SPHERE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        return ExprPtr(std::make_unique<ColumnRefExpr>(first, std::move(col)));
+      }
+      return ExprPtr(std::make_unique<ColumnRefExpr>("", std::move(first)));
+    }
+    default:
+      break;
+  }
+  return ErrorHere("expected expression");
+}
+
+Result<StatementPtr> ParseSQL(std::string_view sql) {
+  Parser parser;
+  return parser.Parse(sql);
+}
+
+Result<StatementPtr> ParseSQL(std::string_view sql, const Dialect& dialect) {
+  Parser parser(dialect);
+  return parser.Parse(sql);
+}
+
+}  // namespace sphere::sql

@@ -1,0 +1,86 @@
+#ifndef SPHERE_SQL_PARSER_H_
+#define SPHERE_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/dialect.h"
+#include "sql/token.h"
+
+namespace sphere::sql {
+
+/// Recursive-descent SQL parser producing the AST of one statement.
+///
+/// Stands in for the ANTLR-generated parsers of the original system; the
+/// dialect only affects tolerance knobs (identifier quoting is handled in the
+/// lexer, `LIMIT a, b` shorthand is MySQL-only).
+class Parser {
+ public:
+  explicit Parser(const Dialect& dialect = Dialect::MySQL())
+      : dialect_(dialect) {}
+
+  /// Parses exactly one statement (a trailing ';' is allowed).
+  Result<StatementPtr> Parse(std::string_view sql);
+
+  /// Number of `?` parameters seen by the last successful Parse call.
+  int param_count() const { return param_count_; }
+
+ private:
+  // Statement parsers.
+  Result<StatementPtr> ParseStatement();
+  Result<StatementPtr> ParseSelect();
+  Result<StatementPtr> ParseInsert();
+  Result<StatementPtr> ParseUpdate();
+  Result<StatementPtr> ParseDelete();
+  Result<StatementPtr> ParseCreate();
+  Result<StatementPtr> ParseDrop();
+  Result<StatementPtr> ParseTruncate();
+  Result<StatementPtr> ParseSet();
+  Result<StatementPtr> ParseShow();
+  Result<StatementPtr> ParseUse();
+
+  // Clause helpers.
+  Result<TableRef> ParseTableRef();
+  Status ParseSelectItems(SelectStatement* stmt);
+  Status ParseFromClause(SelectStatement* stmt);
+  Status ParseLimitClause(SelectStatement* stmt);
+  Result<ColumnDef> ParseColumnDef();
+
+  // Expressions by precedence.
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  // Token stream helpers.
+  const Token& Peek(int ahead = 0) const;
+  const Token& Advance();
+  bool MatchKeyword(const char* kw);
+  bool MatchOperator(const char* op);
+  Status ExpectKeyword(const char* kw);
+  Status ExpectOperator(const char* op);
+  Result<std::string> ExpectIdentifier();
+  Status ErrorHere(const std::string& what) const;
+
+  const Dialect& dialect_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int param_count_ = 0;
+};
+
+/// Convenience: parse with the MySQL dialect.
+Result<StatementPtr> ParseSQL(std::string_view sql);
+/// Convenience: parse with an explicit dialect.
+Result<StatementPtr> ParseSQL(std::string_view sql, const Dialect& dialect);
+
+}  // namespace sphere::sql
+
+#endif  // SPHERE_SQL_PARSER_H_

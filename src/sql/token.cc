@@ -1,0 +1,34 @@
+#include "sql/token.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace sphere::sql {
+
+bool Token::IsKeyword(const char* kw) const {
+  return (type == TokenType::kKeyword || type == TokenType::kIdentifier) &&
+         EqualsIgnoreCase(text, kw);
+}
+
+bool Token::IsOperator(const char* op) const {
+  return type == TokenType::kOperator && text == op;
+}
+
+bool IsReservedWord(const std::string& word) {
+  static const std::unordered_set<std::string> kWords = {
+      "select",   "from",     "where",    "insert",  "into",    "values",
+      "update",   "set",      "delete",   "create",  "drop",    "table",
+      "truncate", "index",    "primary",  "key",     "not",     "null",
+      "and",      "or",       "in",       "between", "like",    "is",
+      "join",     "inner",    "left",     "right",   "on",      "as",
+      "order",    "group",    "by",       "having",  "limit",   "offset",
+      "asc",      "desc",     "distinct", "begin",   "start",   "transaction",
+      "commit",   "rollback", "for",      "if",      "exists",  "union",
+      "all",      "case",     "when",     "then",    "else",    "end",
+      "show",     "use",      "prepare",  "force",
+  };
+  return kWords.count(sphere::ToLower(word)) > 0;
+}
+
+}  // namespace sphere::sql

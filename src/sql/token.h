@@ -1,0 +1,38 @@
+#ifndef SPHERE_SQL_TOKEN_H_
+#define SPHERE_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sphere::sql {
+
+/// Lexical token categories.
+enum class TokenType {
+  kEof,
+  kIdentifier,   ///< bare or quoted identifier
+  kKeyword,      ///< identifier matching a reserved word (text preserved)
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kParam,        ///< '?' placeholder
+  kOperator,     ///< punctuation / operator, text holds the exact symbol
+};
+
+/// One lexical token with its source position (for error messages).
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;       ///< identifier/keyword/operator text (original case)
+  int64_t int_value = 0;  ///< kIntLiteral
+  double double_value = 0;  ///< kDoubleLiteral
+  size_t pos = 0;         ///< byte offset in the statement
+
+  bool IsKeyword(const char* kw) const;
+  bool IsOperator(const char* op) const;
+};
+
+/// True if `word` is a SQL reserved word in this engine's grammar.
+bool IsReservedWord(const std::string& word);
+
+}  // namespace sphere::sql
+
+#endif  // SPHERE_SQL_TOKEN_H_

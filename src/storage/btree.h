@@ -1,0 +1,230 @@
+#ifndef SPHERE_STORAGE_BTREE_H_
+#define SPHERE_STORAGE_BTREE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sphere::storage {
+
+/// In-memory B+Tree keyed by sphere::Value with linked leaves.
+///
+/// This is the primary-key index of every table in a storage node. Lookup and
+/// scan costs grow with tree height, which is what makes "many small sharded
+/// tables beat one big table" measurable in the benchmarks (paper Table IV
+/// and Fig. 10).
+template <typename PayloadT>
+class BPlusTree {
+ private:
+  struct Node;  // forward declaration so the public Iterator can refer to it
+
+ public:
+  static constexpr int kOrder = 64;  ///< max keys per node
+
+  BPlusTree() { root_ = NewLeaf(); }
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts or overwrites. Returns false when the key already existed.
+  bool Insert(const Value& key, PayloadT payload) {
+    Node* leaf = FindLeaf(key);
+    int idx = LowerBound(leaf->keys, key);
+    if (idx < static_cast<int>(leaf->keys.size()) && leaf->keys[idx] == key) {
+      leaf->payloads[static_cast<size_t>(idx)] = std::move(payload);
+      return false;
+    }
+    leaf->keys.insert(leaf->keys.begin() + idx, key);
+    leaf->payloads.insert(leaf->payloads.begin() + idx, std::move(payload));
+    ++size_;
+    if (static_cast<int>(leaf->keys.size()) > kOrder) SplitLeaf(leaf);
+    return true;
+  }
+
+  /// Returns the payload for `key` or nullptr.
+  PayloadT* Find(const Value& key) {
+    Node* leaf = FindLeaf(key);
+    int idx = LowerBound(leaf->keys, key);
+    if (idx < static_cast<int>(leaf->keys.size()) && leaf->keys[idx] == key) {
+      return &leaf->payloads[static_cast<size_t>(idx)];
+    }
+    return nullptr;
+  }
+  const PayloadT* Find(const Value& key) const {
+    return const_cast<BPlusTree*>(this)->Find(key);
+  }
+
+  /// Removes `key`; returns false when absent. Leaves may underflow (no
+  /// rebalancing on delete; deleted space is reclaimed on node emptiness),
+  /// which keeps deletes O(log n) and is fine for an in-memory index.
+  bool Erase(const Value& key) {
+    Node* leaf = FindLeaf(key);
+    int idx = LowerBound(leaf->keys, key);
+    if (idx >= static_cast<int>(leaf->keys.size()) || !(leaf->keys[idx] == key)) {
+      return false;
+    }
+    leaf->keys.erase(leaf->keys.begin() + idx);
+    leaf->payloads.erase(leaf->payloads.begin() + idx);
+    --size_;
+    return true;
+  }
+
+  /// Forward iterator over leaf entries.
+  class Iterator {
+   public:
+    Iterator() : node_(nullptr), idx_(0) {}
+    Iterator(const BPlusTree* tree, Node* node, int idx)
+        : tree_(tree), node_(node), idx_(idx) {
+      SkipEmpty();
+    }
+
+    bool Valid() const { return node_ != nullptr; }
+    const Value& key() const { return node_->keys[static_cast<size_t>(idx_)]; }
+    PayloadT& payload() const {
+      return node_->payloads[static_cast<size_t>(idx_)];
+    }
+    void Next() {
+      ++idx_;
+      SkipEmpty();
+    }
+
+   private:
+    void SkipEmpty() {
+      while (node_ != nullptr && idx_ >= static_cast<int>(node_->keys.size())) {
+        node_ = node_->next;
+        idx_ = 0;
+      }
+    }
+    const BPlusTree* tree_ = nullptr;
+    Node* node_;
+    int idx_;
+  };
+
+  /// Iterator at the first entry.
+  Iterator Begin() const {
+    Node* n = root_.get();
+    while (!n->is_leaf) n = n->children.front().get();
+    return Iterator(this, n, 0);
+  }
+
+  /// Iterator at the first entry with key >= `key`.
+  Iterator LowerBoundIter(const Value& key) const {
+    Node* leaf = const_cast<BPlusTree*>(this)->FindLeaf(key);
+    int idx = LowerBound(leaf->keys, key);
+    return Iterator(this, leaf, idx);
+  }
+
+  /// Height of the tree (1 = just a leaf). Exposed for tests/benchmarks.
+  int Height() const {
+    int h = 1;
+    const Node* n = root_.get();
+    while (!n->is_leaf) {
+      n = n->children.front().get();
+      ++h;
+    }
+    return h;
+  }
+
+  void Clear() {
+    root_ = NewLeaf();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    bool is_leaf = true;  // NOLINT (definition of the forward declaration)
+    std::vector<Value> keys;
+    // Leaf:
+    std::vector<PayloadT> payloads;
+    Node* next = nullptr;  ///< leaf chain
+    // Internal: children[i] holds keys < keys[i]; children.back() the rest.
+    std::vector<std::unique_ptr<Node>> children;
+    Node* parent = nullptr;
+  };
+
+  static std::unique_ptr<Node> NewLeaf() {
+    auto n = std::make_unique<Node>();
+    n->is_leaf = true;
+    return n;
+  }
+
+  static int LowerBound(const std::vector<Value>& keys, const Value& key) {
+    return static_cast<int>(
+        std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+  }
+
+  Node* FindLeaf(const Value& key) {
+    Node* n = root_.get();
+    while (!n->is_leaf) {
+      int idx = static_cast<int>(
+          std::upper_bound(n->keys.begin(), n->keys.end(), key) -
+          n->keys.begin());
+      n = n->children[static_cast<size_t>(idx)].get();
+    }
+    return n;
+  }
+
+  void SplitLeaf(Node* leaf) {
+    auto right = std::make_unique<Node>();
+    right->is_leaf = true;
+    int mid = static_cast<int>(leaf->keys.size()) / 2;
+    right->keys.assign(leaf->keys.begin() + mid, leaf->keys.end());
+    right->payloads.assign(std::make_move_iterator(leaf->payloads.begin() + mid),
+                           std::make_move_iterator(leaf->payloads.end()));
+    leaf->keys.resize(static_cast<size_t>(mid));
+    leaf->payloads.resize(static_cast<size_t>(mid));
+    right->next = leaf->next;
+    leaf->next = right.get();
+    Value sep = right->keys.front();
+    InsertInParent(leaf, sep, std::move(right));
+  }
+
+  void SplitInternal(Node* node) {
+    auto right = std::make_unique<Node>();
+    right->is_leaf = false;
+    int mid = static_cast<int>(node->keys.size()) / 2;
+    Value sep = node->keys[static_cast<size_t>(mid)];
+    right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+    for (size_t i = static_cast<size_t>(mid) + 1; i < node->children.size(); ++i) {
+      node->children[i]->parent = right.get();
+      right->children.push_back(std::move(node->children[i]));
+    }
+    node->keys.resize(static_cast<size_t>(mid));
+    node->children.resize(static_cast<size_t>(mid) + 1);
+    InsertInParent(node, sep, std::move(right));
+  }
+
+  void InsertInParent(Node* left, const Value& sep, std::unique_ptr<Node> right) {
+    Node* parent = left->parent;
+    if (parent == nullptr) {
+      auto new_root = std::make_unique<Node>();
+      new_root->is_leaf = false;
+      new_root->keys.push_back(sep);
+      right->parent = new_root.get();
+      std::unique_ptr<Node> old_root = std::move(root_);
+      old_root->parent = new_root.get();
+      new_root->children.push_back(std::move(old_root));
+      new_root->children.push_back(std::move(right));
+      root_ = std::move(new_root);
+      return;
+    }
+    int idx = LowerBound(parent->keys, sep);
+    parent->keys.insert(parent->keys.begin() + idx, sep);
+    right->parent = parent;
+    parent->children.insert(parent->children.begin() + idx + 1, std::move(right));
+    if (static_cast<int>(parent->keys.size()) > kOrder) SplitInternal(parent);
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace sphere::storage
+
+#endif  // SPHERE_STORAGE_BTREE_H_

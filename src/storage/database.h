@@ -1,0 +1,42 @@
+#ifndef SPHERE_STORAGE_DATABASE_H_
+#define SPHERE_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "storage/table.h"
+
+namespace sphere::storage {
+
+/// Catalog of one storage node: table name -> Table (case-insensitive).
+class Database {
+ public:
+  explicit Database(std::string name = "db") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Creates a table. AlreadyExists unless `if_not_exists`.
+  Status CreateTable(const std::string& table, Schema schema,
+                     bool if_not_exists = false);
+  /// Drops a table. NotFound unless `if_exists`.
+  Status DropTable(const std::string& table, bool if_exists = false);
+  /// Returns the table or nullptr.
+  Table* FindTable(const std::string& table);
+  const Table* FindTable(const std::string& table) const;
+  /// All table names, sorted.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::string name_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // lower-cased keys
+};
+
+}  // namespace sphere::storage
+
+#endif  // SPHERE_STORAGE_DATABASE_H_

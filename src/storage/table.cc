@@ -1,0 +1,148 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace sphere::storage {
+
+void SecondaryIndex::Add(const Value& key, const Value& pk) {
+  std::vector<Value>* pks = tree_.Find(key);
+  if (pks == nullptr) {
+    tree_.Insert(key, {pk});
+  } else {
+    pks->push_back(pk);
+  }
+}
+
+void SecondaryIndex::Remove(const Value& key, const Value& pk) {
+  std::vector<Value>* pks = tree_.Find(key);
+  if (pks == nullptr) return;
+  pks->erase(std::remove(pks->begin(), pks->end(), pk), pks->end());
+  if (pks->empty()) tree_.Erase(key);
+}
+
+const std::vector<Value>* SecondaryIndex::Lookup(const Value& key) const {
+  return tree_.Find(key);
+}
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)),
+      pk_index_(schema_.PrimaryKeyIndex()) {}
+
+Status Table::ValidateAndCast(const Row& row, Row* out) const {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("table %s expects %zu columns, got %zu", name_.c_str(),
+                  schema_.size(), row.size()));
+  }
+  out->clear();
+  out->reserve(row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null() && schema_.column(i).not_null) {
+      return Status::InvalidArgument("NULL in NOT NULL column " +
+                                     schema_.column(i).name);
+    }
+    out->push_back(row[i].CastTo(schema_.column(i).type));
+  }
+  return Status::OK();
+}
+
+Status Table::Insert(const Row& row, Value* out_pk) {
+  Row casted;
+  SPHERE_RETURN_NOT_OK(ValidateAndCast(row, &casted));
+  Value pk;
+  if (pk_index_ >= 0) {
+    pk = casted[static_cast<size_t>(pk_index_)];
+    if (pk.is_null()) {
+      return Status::InvalidArgument("NULL primary key in table " + name_);
+    }
+    if (rows_.Find(pk) != nullptr) {
+      return Status::Conflict(StrFormat("duplicate primary key %s in table %s",
+                                        pk.ToString().c_str(), name_.c_str()));
+    }
+  } else {
+    pk = Value(next_rowid_++);
+  }
+  for (auto& idx : indexes_) {
+    idx->Add(casted[static_cast<size_t>(idx->column_index())], pk);
+  }
+  rows_.Insert(pk, std::move(casted));
+  if (out_pk != nullptr) *out_pk = pk;
+  return Status::OK();
+}
+
+Status Table::Update(const Value& pk, const Row& new_row) {
+  Row* existing = rows_.Find(pk);
+  if (existing == nullptr) {
+    return Status::NotFound("no row with key " + pk.ToString());
+  }
+  Row casted;
+  SPHERE_RETURN_NOT_OK(ValidateAndCast(new_row, &casted));
+  if (pk_index_ >= 0 &&
+      casted[static_cast<size_t>(pk_index_)] != pk) {
+    return Status::InvalidArgument("primary key update is not supported");
+  }
+  for (auto& idx : indexes_) {
+    size_t ci = static_cast<size_t>(idx->column_index());
+    if ((*existing)[ci] != casted[ci]) {
+      idx->Remove((*existing)[ci], pk);
+      idx->Add(casted[ci], pk);
+    }
+  }
+  *existing = std::move(casted);
+  return Status::OK();
+}
+
+Status Table::Delete(const Value& pk, Row* old_row) {
+  Row* existing = rows_.Find(pk);
+  if (existing == nullptr) {
+    return Status::NotFound("no row with key " + pk.ToString());
+  }
+  if (old_row != nullptr) *old_row = *existing;
+  for (auto& idx : indexes_) {
+    idx->Remove((*existing)[static_cast<size_t>(idx->column_index())], pk);
+  }
+  rows_.Erase(pk);
+  return Status::OK();
+}
+
+void Table::Truncate() {
+  rows_.Clear();
+  std::vector<std::unique_ptr<SecondaryIndex>> rebuilt;
+  rebuilt.reserve(indexes_.size());
+  for (auto& idx : indexes_) {
+    rebuilt.push_back(
+        std::make_unique<SecondaryIndex>(idx->name(), idx->column_index()));
+  }
+  indexes_ = std::move(rebuilt);
+  next_rowid_ = 1;
+}
+
+Status Table::CreateIndex(const std::string& index_name,
+                          const std::string& column) {
+  for (const auto& idx : indexes_) {
+    if (EqualsIgnoreCase(idx->name(), index_name)) {
+      return Status::AlreadyExists("index " + index_name);
+    }
+  }
+  int ci = schema_.IndexOf(column);
+  if (ci < 0) {
+    return Status::NotFound("column " + column + " in table " + name_);
+  }
+  auto idx = std::make_unique<SecondaryIndex>(index_name, ci);
+  for (auto it = rows_.Begin(); it.Valid(); it.Next()) {
+    idx->Add(it.payload()[static_cast<size_t>(ci)], it.key());
+  }
+  indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+const SecondaryIndex* Table::FindIndexOn(int column_index) const {
+  for (const auto& idx : indexes_) {
+    if (idx->column_index() == column_index) return idx.get();
+  }
+  return nullptr;
+}
+
+}  // namespace sphere::storage

@@ -1,0 +1,100 @@
+#ifndef SPHERE_STORAGE_TABLE_H_
+#define SPHERE_STORAGE_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "storage/btree.h"
+
+namespace sphere::storage {
+
+/// A secondary index: column value -> list of primary keys.
+class SecondaryIndex {
+ public:
+  SecondaryIndex(std::string name, int column_index)
+      : name_(std::move(name)), column_index_(column_index) {}
+
+  const std::string& name() const { return name_; }
+  int column_index() const { return column_index_; }
+
+  void Add(const Value& key, const Value& pk);
+  void Remove(const Value& key, const Value& pk);
+  /// Primary keys whose indexed column equals `key` (empty when none).
+  const std::vector<Value>* Lookup(const Value& key) const;
+
+ private:
+  std::string name_;
+  int column_index_;
+  BPlusTree<std::vector<Value>> tree_;
+};
+
+/// A physical table in a storage node: schema + B+Tree-indexed rows.
+///
+/// Rows are keyed by the declared single-column primary key, or by a hidden
+/// monotonically increasing row id when the schema declares none. A
+/// shared_mutex latches individual operations (the local transaction layer
+/// provides atomicity via undo records; isolation is read-committed-ish,
+/// which matches what the middleware needs from its data sources here).
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  int pk_index() const { return pk_index_; }
+  size_t row_count() const { return rows_.size(); }
+  /// B+Tree height; exposed so benchmarks can report index depth vs size.
+  int IndexHeight() const { return rows_.Height(); }
+
+  /// Validates arity/types, assigns the row id if needed, enforces PK
+  /// uniqueness. On success returns the row's primary key through `out_pk`.
+  Status Insert(const Row& row, Value* out_pk);
+
+  /// Replaces the full row stored under `pk`. The PK column must not change.
+  Status Update(const Value& pk, const Row& new_row);
+
+  /// Deletes the row under `pk`, returning the old image through `old_row`
+  /// (used for undo records). NotFound when absent.
+  Status Delete(const Value& pk, Row* old_row);
+
+  /// Returns the row stored under `pk` or nullptr.
+  const Row* Find(const Value& pk) const { return rows_.Find(pk); }
+
+  BPlusTree<Row>::Iterator Begin() const { return rows_.Begin(); }
+  BPlusTree<Row>::Iterator LowerBound(const Value& key) const {
+    return rows_.LowerBoundIter(key);
+  }
+
+  /// Removes every row.
+  void Truncate();
+
+  /// Creates a secondary index on `column`. AlreadyExists when the name is
+  /// taken; NotFound for an unknown column.
+  Status CreateIndex(const std::string& index_name, const std::string& column);
+  /// The index covering `column_index`, or nullptr.
+  const SecondaryIndex* FindIndexOn(int column_index) const;
+
+  /// Operation latch. Readers take shared, writers unique.
+  std::shared_mutex& latch() const { return latch_; }
+
+ private:
+  Status ValidateAndCast(const Row& row, Row* out) const;
+
+  std::string name_;
+  Schema schema_;
+  int pk_index_;
+  int64_t next_rowid_ = 1;
+  BPlusTree<Row> rows_;
+  std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
+  mutable std::shared_mutex latch_;
+};
+
+}  // namespace sphere::storage
+
+#endif  // SPHERE_STORAGE_TABLE_H_

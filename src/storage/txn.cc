@@ -1,0 +1,127 @@
+#include "storage/txn.h"
+
+#include <shared_mutex>
+
+namespace sphere::storage {
+
+Transaction* TransactionManager::Begin(const std::string& xid) {
+  std::lock_guard lk(mu_);
+  int64_t id = next_id_.fetch_add(1);
+  auto txn = std::make_unique<Transaction>(id, xid);
+  Transaction* ptr = txn.get();
+  txns_[id] = std::move(txn);
+  return ptr;
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  std::lock_guard lk(mu_);
+  if (txn->state() != TxnState::kActive) {
+    return Status::TransactionError("commit on non-active transaction");
+  }
+  txn->set_state(TxnState::kCommitted);
+  txns_.erase(txn->id());
+  return Status::OK();
+}
+
+void TransactionManager::ApplyUndo(const Transaction& txn) {
+  const auto& undo = txn.undo();
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    Table* table = db_->FindTable(it->table);
+    if (table == nullptr) continue;  // table dropped after the change
+    std::unique_lock tl(table->latch());
+    switch (it->op) {
+      case UndoRecord::Op::kInsert:
+        (void)table->Delete(it->pk, nullptr);
+        break;
+      case UndoRecord::Op::kUpdate:
+        (void)table->Update(it->pk, it->old_row);
+        break;
+      case UndoRecord::Op::kDelete:
+        (void)table->Insert(it->old_row, nullptr);
+        break;
+    }
+  }
+}
+
+Status TransactionManager::RollbackLocked(Transaction* txn) {
+  ApplyUndo(*txn);
+  txn->set_state(TxnState::kAborted);
+  txns_.erase(txn->id());
+  return Status::OK();
+}
+
+Status TransactionManager::Rollback(Transaction* txn) {
+  std::lock_guard lk(mu_);
+  if (txn->state() == TxnState::kPrepared) {
+    prepared_by_xid_.erase(txn->xid());
+  }
+  return RollbackLocked(txn);
+}
+
+Status TransactionManager::Prepare(Transaction* txn) {
+  std::lock_guard lk(mu_);
+  if (txn->state() != TxnState::kActive) {
+    return Status::TransactionError("prepare on non-active transaction");
+  }
+  if (txn->xid().empty()) {
+    return Status::TransactionError("prepare requires a global xid");
+  }
+  txn->set_state(TxnState::kPrepared);
+  prepared_by_xid_[txn->xid()] = txn->id();
+  return Status::OK();
+}
+
+Status TransactionManager::CommitPrepared(const std::string& xid) {
+  std::lock_guard lk(mu_);
+  auto it = prepared_by_xid_.find(xid);
+  if (it == prepared_by_xid_.end()) {
+    return Status::NotFound("no prepared branch for xid " + xid);
+  }
+  auto txn_it = txns_.find(it->second);
+  if (txn_it != txns_.end()) {
+    txn_it->second->set_state(TxnState::kCommitted);
+    txns_.erase(txn_it);
+  }
+  prepared_by_xid_.erase(it);
+  return Status::OK();
+}
+
+Status TransactionManager::RollbackPrepared(const std::string& xid) {
+  std::lock_guard lk(mu_);
+  auto it = prepared_by_xid_.find(xid);
+  if (it == prepared_by_xid_.end()) {
+    return Status::NotFound("no prepared branch for xid " + xid);
+  }
+  auto txn_it = txns_.find(it->second);
+  if (txn_it != txns_.end()) {
+    RollbackLocked(txn_it->second.get());
+  }
+  prepared_by_xid_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> TransactionManager::InDoubtXids() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> xids;
+  xids.reserve(prepared_by_xid_.size());
+  for (const auto& [xid, id] : prepared_by_xid_) xids.push_back(xid);
+  return xids;
+}
+
+void TransactionManager::SimulateCrash() {
+  std::lock_guard lk(mu_);
+  std::vector<Transaction*> to_rollback;
+  for (auto& [id, txn] : txns_) {
+    if (txn->state() == TxnState::kActive) to_rollback.push_back(txn.get());
+  }
+  for (Transaction* txn : to_rollback) {
+    RollbackLocked(txn);
+  }
+}
+
+size_t TransactionManager::active_count() const {
+  std::lock_guard lk(mu_);
+  return txns_.size();
+}
+
+}  // namespace sphere::storage

@@ -1,0 +1,103 @@
+#ifndef SPHERE_STORAGE_TXN_H_
+#define SPHERE_STORAGE_TXN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/database.h"
+
+namespace sphere::storage {
+
+/// One logical change applied by a transaction, with enough of the before
+/// image to undo it.
+struct UndoRecord {
+  enum class Op { kInsert, kUpdate, kDelete };
+  Op op;
+  std::string table;
+  Value pk;
+  Row old_row;  ///< kUpdate/kDelete: the replaced/removed row
+};
+
+enum class TxnState { kActive, kPrepared, kCommitted, kAborted };
+
+/// A local transaction on one storage node. Operations are applied in place;
+/// atomicity comes from replaying the undo chain in reverse on rollback.
+class Transaction {
+ public:
+  Transaction(int64_t id, std::string xid)
+      : id_(id), xid_(std::move(xid)) {}
+
+  int64_t id() const { return id_; }
+  /// Global XA transaction id this branch belongs to ("" for plain local).
+  const std::string& xid() const { return xid_; }
+  TxnState state() const { return state_; }
+  void set_state(TxnState s) { state_ = s; }
+
+  void AddUndo(UndoRecord rec) { undo_.push_back(std::move(rec)); }
+  const std::vector<UndoRecord>& undo() const { return undo_; }
+  size_t undo_size() const { return undo_.size(); }
+
+ private:
+  int64_t id_;
+  std::string xid_;
+  TxnState state_ = TxnState::kActive;
+  std::vector<UndoRecord> undo_;
+};
+
+/// Per-storage-node transaction manager: the Resource Manager (RM) role of
+/// the DTP model (paper Fig. 5). Supports 1PC local commit and the XA verbs
+/// prepare / commit-prepared / rollback-prepared, plus in-doubt listing for
+/// recovery after a simulated crash.
+class TransactionManager {
+ public:
+  explicit TransactionManager(Database* db) : db_(db) {}
+
+  /// Starts a transaction; `xid` links it to a global XA transaction.
+  Transaction* Begin(const std::string& xid = "");
+
+  /// 1PC commit: discards undo and forgets the transaction.
+  Status Commit(Transaction* txn);
+
+  /// Rolls the transaction's effects back (reverse undo) and forgets it.
+  Status Rollback(Transaction* txn);
+
+  /// XA phase 1. Moves the transaction to kPrepared; its locks/undo are
+  /// retained until phase 2. Fails when the txn is not active.
+  Status Prepare(Transaction* txn);
+
+  /// XA phase 2 for a prepared branch, addressed by global xid.
+  Status CommitPrepared(const std::string& xid);
+  Status RollbackPrepared(const std::string& xid);
+
+  /// Global xids of branches that prepared but have not completed phase 2.
+  /// After SimulateCrash these are the in-doubt transactions the TM must
+  /// resolve from its log.
+  std::vector<std::string> InDoubtXids() const;
+
+  /// Simulated crash: active (un-prepared) transactions are rolled back;
+  /// prepared branches survive as in-doubt.
+  void SimulateCrash();
+
+  size_t active_count() const;
+
+ private:
+  Status RollbackLocked(Transaction* txn);
+  void ApplyUndo(const Transaction& txn);
+
+  Database* db_;
+  mutable std::mutex mu_;
+  std::atomic<int64_t> next_id_{1};
+  std::map<int64_t, std::unique_ptr<Transaction>> txns_;
+  std::map<std::string, int64_t> prepared_by_xid_;
+};
+
+}  // namespace sphere::storage
+
+#endif  // SPHERE_STORAGE_TXN_H_

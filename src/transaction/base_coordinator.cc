@@ -1,0 +1,84 @@
+#include "transaction/base_coordinator.h"
+
+#include <algorithm>
+
+namespace sphere::transaction {
+
+std::string BaseCoordinator::BeginGlobal() {
+  Rpc();
+  int64_t id = next_id_.fetch_add(1);
+  std::string xid = "base-" + std::to_string(id);
+  std::lock_guard lk(mu_);
+  txns_[xid] = GlobalTxn{};
+  return xid;
+}
+
+Status BaseCoordinator::RegisterBranch(const std::string& xid,
+                                       const std::string& data_source) {
+  Rpc();
+  std::lock_guard lk(mu_);
+  auto it = txns_.find(xid);
+  if (it == txns_.end()) return Status::NotFound("global txn " + xid);
+  auto& branches = it->second.branches;
+  if (std::find(branches.begin(), branches.end(), data_source) ==
+      branches.end()) {
+    branches.push_back(data_source);
+  }
+  return Status::OK();
+}
+
+Status BaseCoordinator::AddUndo(const std::string& xid, UndoRecord undo) {
+  Rpc();
+  std::lock_guard lk(mu_);
+  auto it = txns_.find(xid);
+  if (it == txns_.end()) return Status::NotFound("global txn " + xid);
+  it->second.undos.push_back(std::move(undo));
+  return Status::OK();
+}
+
+Status BaseCoordinator::ReportBranch(const std::string& xid,
+                                     const std::string& data_source, bool ok) {
+  (void)data_source;
+  Rpc();
+  std::lock_guard lk(mu_);
+  auto it = txns_.find(xid);
+  if (it == txns_.end()) return Status::NotFound("global txn " + xid);
+  if (!ok) it->second.failed = true;
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> BaseCoordinator::GlobalCommit(
+    const std::string& xid) {
+  Rpc();
+  std::lock_guard lk(mu_);
+  auto it = txns_.find(xid);
+  if (it == txns_.end()) return Status::NotFound("global txn " + xid);
+  std::vector<std::string> branches = it->second.branches;
+  txns_.erase(it);
+  return branches;
+}
+
+Result<std::vector<UndoRecord>> BaseCoordinator::GlobalRollback(
+    const std::string& xid) {
+  Rpc();
+  std::lock_guard lk(mu_);
+  auto it = txns_.find(xid);
+  if (it == txns_.end()) return Status::NotFound("global txn " + xid);
+  std::vector<UndoRecord> undos = std::move(it->second.undos);
+  std::reverse(undos.begin(), undos.end());
+  txns_.erase(it);
+  return undos;
+}
+
+bool BaseCoordinator::HasFailedBranch(const std::string& xid) const {
+  std::lock_guard lk(mu_);
+  auto it = txns_.find(xid);
+  return it != txns_.end() && it->second.failed;
+}
+
+size_t BaseCoordinator::active_transactions() const {
+  std::lock_guard lk(mu_);
+  return txns_.size();
+}
+
+}  // namespace sphere::transaction

@@ -1,0 +1,84 @@
+#ifndef SPHERE_TRANSACTION_BASE_COORDINATOR_H_
+#define SPHERE_TRANSACTION_BASE_COORDINATOR_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "net/latency.h"
+
+namespace sphere::transaction {
+
+/// One compensating undo record held by the TC (the Seata undo log of paper
+/// Fig. 6): enough to restore a branch's writes if the global transaction
+/// rolls back.
+struct UndoRecord {
+  enum class Kind { kInsert, kMutate };
+  Kind kind = Kind::kMutate;
+  std::string data_source;
+  std::string table;                 ///< actual (physical) table name
+  std::vector<std::string> columns;  ///< column names of `rows`
+  std::vector<Row> rows;             ///< before image (kMutate) / inserted (kInsert)
+  std::string where_sql;             ///< original predicate text (kMutate)
+  std::vector<Value> where_params;
+};
+
+/// The Transaction Coordinator (TC) of the BASE transaction (paper Fig. 5(e),
+/// Fig. 6): keeps global transaction status, branch registrations and undo
+/// logs, and drives global commit/rollback. Stands in for a Seata TC server;
+/// every call optionally pays a network round trip so BASE keeps its real
+/// coordination cost relative to LOCAL and XA.
+class BaseCoordinator {
+ public:
+  explicit BaseCoordinator(const net::LatencyModel* network = nullptr)
+      : network_(network) {}
+
+  /// Phase 1 begin: allocates a global transaction id.
+  std::string BeginGlobal();
+
+  /// Registers a branch (data source) under a global transaction.
+  Status RegisterBranch(const std::string& xid, const std::string& data_source);
+
+  /// Stores a compensating undo record for a branch write.
+  Status AddUndo(const std::string& xid, UndoRecord undo);
+
+  /// Branch status report at the end of phase 1 for one statement.
+  Status ReportBranch(const std::string& xid, const std::string& data_source,
+                      bool ok);
+
+  /// Phase 2 commit: discards undo logs. Returns the branches so the caller
+  /// can tell each data source to delete its logs.
+  Result<std::vector<std::string>> GlobalCommit(const std::string& xid);
+
+  /// Phase 2 rollback: returns the undo records, most recent first.
+  Result<std::vector<UndoRecord>> GlobalRollback(const std::string& xid);
+
+  /// True when any branch reported failure (the global txn must roll back).
+  bool HasFailedBranch(const std::string& xid) const;
+
+  size_t active_transactions() const;
+
+ private:
+  void Rpc() const {
+    if (network_ != nullptr) network_->Transfer(96);
+  }
+
+  struct GlobalTxn {
+    std::vector<std::string> branches;
+    std::vector<UndoRecord> undos;
+    bool failed = false;
+  };
+
+  const net::LatencyModel* network_;
+  mutable std::mutex mu_;
+  std::map<std::string, GlobalTxn> txns_;
+  std::atomic<int64_t> next_id_{1};
+};
+
+}  // namespace sphere::transaction
+
+#endif  // SPHERE_TRANSACTION_BASE_COORDINATOR_H_

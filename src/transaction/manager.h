@@ -1,0 +1,121 @@
+#ifndef SPHERE_TRANSACTION_MANAGER_H_
+#define SPHERE_TRANSACTION_MANAGER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/execute.h"
+#include "net/pool.h"
+#include "transaction/base_coordinator.h"
+#include "transaction/types.h"
+#include "transaction/xa_log.h"
+
+namespace sphere::transaction {
+
+/// Shared transaction infrastructure of one middleware instance: the XA
+/// decision log, the BASE coordinator and xid allocation.
+class TransactionContext {
+ public:
+  TransactionContext(core::DataSourceRegistry* registry,
+                     const net::LatencyModel* network)
+      : registry_(registry), tc_(network) {}
+
+  core::DataSourceRegistry* registry() { return registry_; }
+  XaLogStore* xa_log() { return &xa_log_; }
+  BaseCoordinator* tc() { return &tc_; }
+
+  std::string NewXid() {
+    return "xa-" + std::to_string(next_xid_.fetch_add(1));
+  }
+
+ private:
+  core::DataSourceRegistry* registry_;
+  XaLogStore xa_log_;
+  BaseCoordinator tc_;
+  std::atomic<int64_t> next_xid_{1};
+};
+
+/// One open distributed transaction of a logical session. Implements the
+/// ConnectionSource the execution engine uses for connection affinity, and
+/// (for BASE) the UnitObserver that wraps every write in Seata-AT semantics.
+///
+/// Behaviour per type (paper §IV-B):
+///  - LOCAL: plain BEGIN on each touched source; COMMIT forwards commit to
+///    every source and ignores individual failures (1PC).
+///  - XA: BEGIN(xid) on each source; COMMIT runs 2PC — prepare votes, durable
+///    decision log, commit-prepared; failed phase-2 participants stay in the
+///    log for recovery.
+///  - BASE: statements commit branch-locally right away; the TC keeps
+///    compensating undo records, applied on rollback.
+class DistributedTransaction : public core::ConnectionSource,
+                               public core::UnitObserver {
+ public:
+  DistributedTransaction(TransactionType type, TransactionContext* context);
+  ~DistributedTransaction() override;
+
+  TransactionType type() const { return type_; }
+  const std::string& xid() const { return xid_; }
+  bool active() const { return active_; }
+  /// Data sources enlisted so far.
+  std::vector<std::string> Participants() const;
+
+  // core::ConnectionSource:
+  Result<net::RemoteConnection*> TransactionConnection(
+      const std::string& data_source) override;
+
+  // core::UnitObserver (BASE only; no-ops otherwise):
+  Status BeforeUnit(net::RemoteConnection* conn,
+                    const core::SQLUnit& unit) override;
+  Status AfterUnit(net::RemoteConnection* conn, const core::SQLUnit& unit,
+                   const engine::ExecResult& result) override;
+
+  /// The observer to pass to the execution engine (nullptr unless BASE).
+  core::UnitObserver* observer() {
+    return type_ == TransactionType::kBase ? this : nullptr;
+  }
+
+  Status Commit();
+  Status Rollback();
+
+ private:
+  Status CommitLocal();
+  Status CommitXa();
+  Status CommitBase();
+  Status RollbackBase();
+  void ReleaseBranches();
+
+  TransactionType type_;
+  TransactionContext* context_;
+  std::string xid_;
+  bool active_ = true;
+  /// Enlisted branches: data source name -> pooled connection held for the
+  /// duration of the transaction.
+  std::map<std::string, net::ConnectionPool::Lease> branches_;
+};
+
+/// Post-crash resolver: replays the XA decision log against the attached
+/// data sources (paper: "recover the transaction after the server restarts
+/// or re-commit periodically according to the recorded logs").
+class XaRecoveryManager {
+ public:
+  explicit XaRecoveryManager(TransactionContext* context)
+      : context_(context) {}
+
+  /// Resolves every unresolved transaction in the log. Returns the number of
+  /// transactions resolved (committed or aborted).
+  Result<int> RecoverAll();
+
+ private:
+  TransactionContext* context_;
+};
+
+/// Builds the compensation statements (SQL text) for one undo record.
+/// Exposed for tests.
+std::vector<std::string> CompensationSQL(const UndoRecord& undo);
+
+}  // namespace sphere::transaction
+
+#endif  // SPHERE_TRANSACTION_MANAGER_H_

@@ -1,0 +1,26 @@
+#include "transaction/types.h"
+
+#include "common/strings.h"
+
+namespace sphere::transaction {
+
+const char* TransactionTypeName(TransactionType type) {
+  switch (type) {
+    case TransactionType::kLocal:
+      return "LOCAL";
+    case TransactionType::kXa:
+      return "XA";
+    case TransactionType::kBase:
+      return "BASE";
+  }
+  return "UNKNOWN";
+}
+
+Result<TransactionType> ParseTransactionType(const std::string& name) {
+  if (EqualsIgnoreCase(name, "LOCAL")) return TransactionType::kLocal;
+  if (EqualsIgnoreCase(name, "XA")) return TransactionType::kXa;
+  if (EqualsIgnoreCase(name, "BASE")) return TransactionType::kBase;
+  return Status::InvalidArgument("unknown transaction type: " + name);
+}
+
+}  // namespace sphere::transaction

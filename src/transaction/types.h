@@ -1,0 +1,23 @@
+#ifndef SPHERE_TRANSACTION_TYPES_H_
+#define SPHERE_TRANSACTION_TYPES_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace sphere::transaction {
+
+/// The three distributed transaction types of the paper (§IV-B), switchable
+/// at runtime via `SET VARIABLE transaction_type = LOCAL|XA|BASE` (RAL).
+enum class TransactionType {
+  kLocal,  ///< 1PC: forward commit/rollback to every source, ignore failures
+  kXa,     ///< 2PC with prepare voting, durable decision log and recovery
+  kBase,   ///< Seata-AT-style: branch-local commits + compensating undo
+};
+
+const char* TransactionTypeName(TransactionType type);
+Result<TransactionType> ParseTransactionType(const std::string& name);
+
+}  // namespace sphere::transaction
+
+#endif  // SPHERE_TRANSACTION_TYPES_H_

@@ -1,0 +1,44 @@
+#ifndef SPHERE_TRANSACTION_XA_LOG_H_
+#define SPHERE_TRANSACTION_XA_LOG_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sphere::transaction {
+
+/// The transaction manager's durable decision log (the "recorded logs" of
+/// paper Fig. 5(c)). Stand-in for a disk log: it survives data-source crashes
+/// in these simulations because it lives with the TM, not the RMs.
+class XaLogStore {
+ public:
+  /// 2PC decision states. kCommitting means "decision = commit, phase 2 not
+  /// yet acknowledged by every participant".
+  enum class State { kPreparing, kCommitting, kCommitted, kAborting, kAborted };
+
+  struct Entry {
+    State state;
+    std::vector<std::string> participants;  ///< data source names
+  };
+
+  void Record(const std::string& xid, State state,
+              const std::vector<std::string>& participants);
+  /// Updates state, keeping participants. No-op for unknown xid.
+  void Transition(const std::string& xid, State state);
+  /// Removes a completed transaction from the log.
+  void Forget(const std::string& xid);
+
+  bool Lookup(const std::string& xid, Entry* entry) const;
+  /// Transactions that still need resolution (kPreparing/kCommitting/kAborting).
+  std::map<std::string, Entry> Unresolved() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace sphere::transaction
+
+#endif  // SPHERE_TRANSACTION_XA_LOG_H_

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "adaptor/jdbc.h"
+#include "adaptor/proxy.h"
+#include "common/clock.h"
+
+namespace sphere::adaptor {
+namespace {
+
+TEST(ProxyCapacityTest, WorkerCapSerializesStatements) {
+  ShardingDataSource ds(core::RuntimeConfig(), net::NetworkConfig::Zero());
+  engine::StorageNode node("ds_0");
+  ASSERT_TRUE(ds.AttachNode("ds_0", &node).ok());
+  core::ShardingRuleConfig rule;
+  rule.default_data_source = "ds_0";
+  ASSERT_TRUE(ds.SetRule(std::move(rule)).ok());
+  {
+    auto conn = ds.GetConnection();
+    ASSERT_TRUE(conn->ExecuteSQL("CREATE TABLE t (id INT PRIMARY KEY)").ok());
+  }
+  node.set_statement_delay_us(3000);
+
+  ShardingProxy proxy(&ds, &ds.runtime()->network());
+  proxy.set_worker_capacity(1);
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  Stopwatch sw;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&proxy] {
+      auto conn = proxy.Connect();
+      ASSERT_TRUE(conn->Execute("SELECT * FROM t WHERE id = 1").ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  // 4 clients through 1 proxy worker, 3ms each: >= ~12ms wall clock.
+  EXPECT_GE(sw.ElapsedMicros(), 10000);
+
+  // Unlimited workers: clients overlap on the storage node.
+  proxy.set_worker_capacity(0);
+  Stopwatch sw2;
+  threads.clear();
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&proxy] {
+      auto conn = proxy.Connect();
+      ASSERT_TRUE(conn->Execute("SELECT * FROM t WHERE id = 1").ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LT(sw2.ElapsedMicros(), 10000);
+}
+
+}  // namespace
+}  // namespace sphere::adaptor

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "baselines/aurora.h"
+#include "baselines/raftdb.h"
+#include "baselines/simple_middleware.h"
+#include "common/strings.h"
+
+namespace sphere::baselines {
+namespace {
+
+std::vector<Row> Rows(Result<engine::ExecResult> r) {
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (!r.ok()) return {};
+  EXPECT_TRUE(r->is_query);
+  return engine::DrainResultSet(r->result_set.get());
+}
+
+class SimpleMiddlewareTest : public ::testing::Test {
+ protected:
+  SimpleMiddlewareTest() : network_(net::NetworkConfig::Zero()) {
+    SimpleMiddlewareOptions options;
+    options.name = "vitess-like";
+    options.plan_overhead_us = 0;
+    mw_ = std::make_unique<SimpleMiddleware>(options, &network_);
+    for (int i = 0; i < 2; ++i) {
+      nodes_.push_back(
+          std::make_unique<engine::StorageNode>("ds_" + std::to_string(i)));
+      EXPECT_TRUE(mw_->AttachNode(nodes_.back()->name(), nodes_.back().get()).ok());
+    }
+    EXPECT_TRUE(
+        mw_->AddShardedTable("t", "id", "ds_${0..1}.t_${0..3}").ok());
+    session_ = mw_->Connect();
+    auto r = session_->Execute("CREATE TABLE t (id BIGINT PRIMARY KEY, v INT)");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    for (int id = 0; id < 8; ++id) {
+      EXPECT_TRUE(session_
+                      ->Execute(StrFormat(
+                          "INSERT INTO t (id, v) VALUES (%d, %d)", id, id * 10))
+                      .ok());
+    }
+  }
+
+  net::LatencyModel network_;
+  std::unique_ptr<SimpleMiddleware> mw_;
+  std::vector<std::unique_ptr<engine::StorageNode>> nodes_;
+  std::unique_ptr<SqlSession> session_;
+};
+
+TEST_F(SimpleMiddlewareTest, DdlFansOutAndInsertsRoute) {
+  // t_0..t_3 spread over the two backends.
+  EXPECT_NE(nodes_[0]->database()->FindTable("t_0"), nullptr);
+  EXPECT_NE(nodes_[1]->database()->FindTable("t_1"), nullptr);
+  // id=5 -> t_1 (5 % 4) on ds_1.
+  EXPECT_EQ(nodes_[1]->database()->FindTable("t_1")->row_count(), 2u);  // 1, 5
+}
+
+TEST_F(SimpleMiddlewareTest, PointAndScatterReads) {
+  auto rows = Rows(session_->Execute("SELECT v FROM t WHERE id = 5"));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value(50));
+  auto all = Rows(session_->Execute("SELECT id FROM t ORDER BY id"));
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all[0][0], Value(0));
+  EXPECT_EQ(all[7][0], Value(7));
+}
+
+TEST_F(SimpleMiddlewareTest, ScatterAggregates) {
+  auto rows = Rows(session_->Execute("SELECT COUNT(*), SUM(v) FROM t"));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value(8));
+  EXPECT_EQ(rows[0][1], Value(280));
+  // AVG is beyond this middleware's planner.
+  EXPECT_FALSE(session_->Execute("SELECT AVG(v) FROM t").ok());
+}
+
+TEST_F(SimpleMiddlewareTest, TwoPhaseCommitAcrossShards) {
+  ASSERT_TRUE(session_->Execute("BEGIN").ok());
+  ASSERT_TRUE(session_->Execute("UPDATE t SET v = 1 WHERE id = 0").ok());
+  ASSERT_TRUE(session_->Execute("UPDATE t SET v = 1 WHERE id = 1").ok());
+  ASSERT_TRUE(session_->Execute("COMMIT").ok());
+  EXPECT_EQ(Rows(session_->Execute("SELECT v FROM t WHERE id = 0"))[0][0], Value(1));
+  EXPECT_EQ(Rows(session_->Execute("SELECT v FROM t WHERE id = 1"))[0][0], Value(1));
+}
+
+TEST_F(SimpleMiddlewareTest, RollbackAcrossShards) {
+  ASSERT_TRUE(session_->Execute("BEGIN").ok());
+  ASSERT_TRUE(session_->Execute("UPDATE t SET v = 99 WHERE id = 0").ok());
+  ASSERT_TRUE(session_->Execute("UPDATE t SET v = 99 WHERE id = 1").ok());
+  ASSERT_TRUE(session_->Execute("ROLLBACK").ok());
+  EXPECT_EQ(Rows(session_->Execute("SELECT v FROM t WHERE id = 0"))[0][0], Value(0));
+  EXPECT_EQ(Rows(session_->Execute("SELECT v FROM t WHERE id = 1"))[0][0], Value(10));
+}
+
+TEST_F(SimpleMiddlewareTest, SingleShardJoinWorks) {
+  ASSERT_TRUE(mw_->AddShardedTable("u", "uid", "ds_${0..1}.u_${0..3}").ok());
+  ASSERT_TRUE(
+      session_->Execute("CREATE TABLE u (uid BIGINT PRIMARY KEY, name VARCHAR(8))")
+          .ok());
+  ASSERT_TRUE(
+      session_->Execute("INSERT INTO u (uid, name) VALUES (5, 'five')").ok());
+  auto rows = Rows(session_->Execute(
+      "SELECT a.v, b.name FROM t a JOIN u b ON a.id = b.uid "
+      "WHERE a.id = 5 AND b.uid = 5"));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1], Value("five"));
+}
+
+TEST_F(SimpleMiddlewareTest, CrossShardJoinRejected) {
+  ASSERT_TRUE(mw_->AddShardedTable("u2", "uid", "ds_${0..1}.u2_${0..3}").ok());
+  ASSERT_TRUE(session_->Execute("CREATE TABLE u2 (uid BIGINT PRIMARY KEY)").ok());
+  auto r = session_->Execute("SELECT * FROM t a JOIN u2 b ON a.id = b.uid");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+class RaftDbTest : public ::testing::Test {
+ protected:
+  RaftDbTest() : network_(net::NetworkConfig::Zero()) {
+    RaftDbOptions options;
+    options.name = "tidb-like";
+    options.num_regions = 2;
+    options.replicas_per_region = 3;
+    options.sql_layer_overhead_us = 0;
+    db_ = std::make_unique<RaftDb>(options, &network_);
+    db_->AddPartitionedTable("t", "id");
+    session_ = db_->Connect();
+    EXPECT_TRUE(
+        session_->Execute("CREATE TABLE t (id BIGINT PRIMARY KEY, v INT)").ok());
+    for (int id = 0; id < 6; ++id) {
+      EXPECT_TRUE(session_
+                      ->Execute(StrFormat(
+                          "INSERT INTO t (id, v) VALUES (%d, %d)", id, id))
+                      .ok());
+    }
+  }
+
+  size_t RowsOnReplica(int region, int replica) {
+    auto* table = db_->replica_node(region, replica)->database()->FindTable("t");
+    return table == nullptr ? 0 : table->row_count();
+  }
+
+  net::LatencyModel network_;
+  std::unique_ptr<RaftDb> db_;
+  std::unique_ptr<SqlSession> session_;
+};
+
+TEST_F(RaftDbTest, WritesReplicateToAllReplicas) {
+  // Region 0 holds even ids, region 1 odd; each region has 3 identical copies.
+  for (int replica = 0; replica < 3; ++replica) {
+    EXPECT_EQ(RowsOnReplica(0, replica), 3u);
+    EXPECT_EQ(RowsOnReplica(1, replica), 3u);
+  }
+}
+
+TEST_F(RaftDbTest, PointReadFromLeader) {
+  auto rows = Rows(session_->Execute("SELECT v FROM t WHERE id = 4"));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value(4));
+}
+
+TEST_F(RaftDbTest, ScatterReadMerges) {
+  auto rows = Rows(session_->Execute("SELECT id FROM t ORDER BY id"));
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[5][0], Value(5));
+}
+
+TEST_F(RaftDbTest, TransactionCommitsThroughTwoPhaseRaft) {
+  ASSERT_TRUE(session_->Execute("BEGIN").ok());
+  ASSERT_TRUE(session_->Execute("UPDATE t SET v = 100 WHERE id = 0").ok());
+  ASSERT_TRUE(session_->Execute("UPDATE t SET v = 100 WHERE id = 1").ok());
+  ASSERT_TRUE(session_->Execute("COMMIT").ok());
+  EXPECT_EQ(Rows(session_->Execute("SELECT v FROM t WHERE id = 0"))[0][0],
+            Value(100));
+  EXPECT_EQ(Rows(session_->Execute("SELECT v FROM t WHERE id = 1"))[0][0],
+            Value(100));
+  // Every replica applied the committed writes.
+  for (int region = 0; region < 2; ++region) {
+    for (int replica = 0; replica < 3; ++replica) {
+      auto* table =
+          db_->replica_node(region, replica)->database()->FindTable("t");
+      bool found = false;
+      for (auto it = table->Begin(); it.Valid(); it.Next()) {
+        if (it.payload()[1].Compare(Value(100)) == 0) found = true;
+      }
+      EXPECT_TRUE(found) << "region " << region << " replica " << replica;
+    }
+  }
+}
+
+TEST_F(RaftDbTest, TransactionRollbackDiscardsBufferedWrites) {
+  ASSERT_TRUE(session_->Execute("BEGIN").ok());
+  ASSERT_TRUE(session_->Execute("UPDATE t SET v = 55 WHERE id = 2").ok());
+  ASSERT_TRUE(session_->Execute("ROLLBACK").ok());
+  EXPECT_EQ(Rows(session_->Execute("SELECT v FROM t WHERE id = 2"))[0][0],
+            Value(2));
+}
+
+TEST_F(RaftDbTest, WriteFailsWithoutQuorum) {
+  db_->region(0)->Disconnect(1);
+  db_->region(0)->Disconnect(2);
+  auto r = session_->Execute("UPDATE t SET v = 1 WHERE id = 0");
+  EXPECT_FALSE(r.ok());
+  // Region 1 (odd ids) is unaffected.
+  EXPECT_TRUE(session_->Execute("UPDATE t SET v = 1 WHERE id = 1").ok());
+}
+
+TEST(AuroraTest, RedoShipsOnWritesOnly) {
+  net::LatencyModel network(net::NetworkConfig::Zero());
+  engine::StorageNode compute("aurora-compute");
+  AuroraOptions options;
+  options.name = "aurora-ms";
+  AuroraLikeSystem aurora(options, &compute, &network);
+  auto session = aurora.Connect();
+  ASSERT_TRUE(session->Execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").ok());
+  int64_t after_ddl = aurora.redo_records_shipped();
+  EXPECT_GT(after_ddl, 0);  // DDL writes redo
+  ASSERT_TRUE(session->Execute("INSERT INTO t (id, v) VALUES (1, 2)").ok());
+  EXPECT_EQ(aurora.redo_records_shipped(), after_ddl + options.write_quorum);
+  ASSERT_TRUE(session->Execute("SELECT * FROM t WHERE id = 1").ok());
+  EXPECT_EQ(aurora.redo_records_shipped(), after_ddl + options.write_quorum);
+}
+
+}  // namespace
+}  // namespace sphere::baselines

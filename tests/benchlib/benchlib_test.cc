@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include "benchlib/metrics.h"
+#include "benchlib/setup.h"
+#include "benchlib/sysbench.h"
+#include "benchlib/tpcc.h"
+
+namespace sphere::benchlib {
+namespace {
+
+ClusterSpec SmallSpec() {
+  ClusterSpec spec;
+  spec.data_sources = 2;
+  spec.tables_per_source = 2;
+  spec.network = net::NetworkConfig::Zero();
+  spec.max_connections_per_query = 4;
+  return spec;
+}
+
+SysbenchConfig SmallSysbench() {
+  SysbenchConfig config;
+  config.table_size = 500;
+  config.range_size = 20;
+  return config;
+}
+
+int64_t CountOf(baselines::SqlSession* session, const std::string& sql) {
+  auto r = session->Execute(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << sql;
+  if (!r.ok()) return -1;
+  Row row;
+  EXPECT_TRUE(r->result_set->Next(&row));
+  return row[0].ToInt();
+}
+
+TEST(SysbenchTest, LoadPopulatesExactRowCount) {
+  SphereCluster cluster(SmallSpec());
+  ASSERT_TRUE(cluster.SetupSysbench(SmallSysbench()).ok());
+  auto session = cluster.jdbc()->Connect();
+  EXPECT_EQ(CountOf(session.get(), "SELECT COUNT(*) FROM sbtest"), 500);
+  // Rows spread across all four shards (MOD on dense ids: exactly even).
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    size_t on_node = 0;
+    for (const auto& name : cluster.node(i)->database()->TableNames()) {
+      on_node += cluster.node(i)->database()->FindTable(name)->row_count();
+    }
+    EXPECT_EQ(on_node, 250u);
+  }
+}
+
+class SysbenchScenarioTest
+    : public ::testing::TestWithParam<SysbenchScenario> {};
+
+TEST_P(SysbenchScenarioTest, RunsCleanlyOnBothAdaptors) {
+  SphereCluster cluster(SmallSpec());
+  ASSERT_TRUE(cluster.SetupSysbench(SmallSysbench()).ok());
+  SysbenchConfig config = SmallSysbench();
+  Rng rng(3);
+  for (baselines::SqlSystem* system : {cluster.jdbc(), cluster.proxy()}) {
+    auto session = system->Connect();
+    for (int i = 0; i < 10; ++i) {
+      Status st = SysbenchTransaction(session.get(), GetParam(), config, &rng);
+      EXPECT_TRUE(st.ok()) << system->name() << ": " << st.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, SysbenchScenarioTest,
+                         ::testing::Values(SysbenchScenario::kPointSelect,
+                                           SysbenchScenario::kReadOnly,
+                                           SysbenchScenario::kWriteOnly,
+                                           SysbenchScenario::kReadWrite),
+                         [](const auto& info) {
+                           std::string n = SysbenchScenarioName(info.param);
+                           n.erase(std::remove(n.begin(), n.end(), ' '), n.end());
+                           return n;
+                         });
+
+TEST(SysbenchTest, RunsOnBaselines) {
+  SysbenchConfig config = SmallSysbench();
+  Rng rng(5);
+
+  MiddlewareCluster vitess({"vitess-like", 0}, SmallSpec());
+  ASSERT_TRUE(vitess.SetupSysbench(config).ok());
+  auto vsession = vitess.system()->Connect();
+  for (int i = 0; i < 5; ++i) {
+    Status st = SysbenchTransaction(vsession.get(),
+                                    SysbenchScenario::kReadWrite, config, &rng);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+
+  baselines::RaftDbOptions raft_options;
+  raft_options.name = "tidb-like";
+  raft_options.sql_layer_overhead_us = 0;
+  RaftDbCluster tidb(raft_options, SmallSpec());
+  ASSERT_TRUE(tidb.SetupSysbench(config).ok());
+  auto tsession = tidb.system()->Connect();
+  for (int i = 0; i < 5; ++i) {
+    Status st = SysbenchTransaction(tsession.get(),
+                                    SysbenchScenario::kReadWrite, config, &rng);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+
+  AuroraCluster aurora("aurora-ms", SmallSpec());
+  ASSERT_TRUE(aurora.SetupSysbench(config).ok());
+  auto asession = aurora.system()->Connect();
+  for (int i = 0; i < 5; ++i) {
+    Status st = SysbenchTransaction(asession.get(),
+                                    SysbenchScenario::kReadWrite, config, &rng);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
+TpccConfig SmallTpcc() {
+  TpccConfig config;
+  config.warehouses = 2;
+  config.districts_per_warehouse = 3;
+  config.customers_per_district = 10;
+  config.items = 50;
+  config.initial_orders_per_district = 10;
+  return config;
+}
+
+TEST(TpccTest, LoadCardinalitiesMatchConfig) {
+  SphereCluster cluster(SmallSpec());
+  TpccConfig config = SmallTpcc();
+  ASSERT_TRUE(cluster.SetupTpcc(config).ok());
+  auto s = cluster.jdbc()->Connect();
+  EXPECT_EQ(CountOf(s.get(), "SELECT COUNT(*) FROM warehouse"), 2);
+  EXPECT_EQ(CountOf(s.get(), "SELECT COUNT(*) FROM district"), 6);
+  EXPECT_EQ(CountOf(s.get(), "SELECT COUNT(*) FROM customer"), 60);
+  EXPECT_EQ(CountOf(s.get(), "SELECT COUNT(*) FROM item"), 50);
+  EXPECT_EQ(CountOf(s.get(), "SELECT COUNT(*) FROM stock"), 100);
+  EXPECT_EQ(CountOf(s.get(), "SELECT COUNT(*) FROM orders"), 60);
+  // A third of the initial orders stay undelivered.
+  EXPECT_GT(CountOf(s.get(), "SELECT COUNT(*) FROM new_order"), 0);
+}
+
+TEST(TpccTest, NewOrderCreatesConsistentRows) {
+  SphereCluster cluster(SmallSpec());
+  TpccConfig config = SmallTpcc();
+  config.new_order_rollback_rate = 0.0;  // deterministic success
+  ASSERT_TRUE(cluster.SetupTpcc(config).ok());
+  auto s = cluster.jdbc()->Connect();
+  int64_t orders_before = CountOf(s.get(), "SELECT COUNT(*) FROM orders");
+  int64_t new_before = CountOf(s.get(), "SELECT COUNT(*) FROM new_order");
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    Status st = TpccTransaction(s.get(), TpccProfile::kNewOrder, config, &rng);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  EXPECT_EQ(CountOf(s.get(), "SELECT COUNT(*) FROM orders"), orders_before + 10);
+  EXPECT_EQ(CountOf(s.get(), "SELECT COUNT(*) FROM new_order"), new_before + 10);
+}
+
+TEST(TpccTest, AllProfilesRunOnJdbcAndProxy) {
+  SphereCluster cluster(SmallSpec());
+  TpccConfig config = SmallTpcc();
+  ASSERT_TRUE(cluster.SetupTpcc(config).ok());
+  Rng rng(13);
+  for (baselines::SqlSystem* system : {cluster.jdbc(), cluster.proxy()}) {
+    auto session = system->Connect();
+    for (TpccProfile profile :
+         {TpccProfile::kNewOrder, TpccProfile::kPayment,
+          TpccProfile::kOrderStatus, TpccProfile::kDelivery,
+          TpccProfile::kStockLevel}) {
+      for (int i = 0; i < 3; ++i) {
+        Status st = TpccTransaction(session.get(), profile, config, &rng);
+        EXPECT_TRUE(st.ok()) << system->name() << "/" << TpccProfileName(profile)
+                             << ": " << st.ToString();
+      }
+    }
+  }
+}
+
+TEST(TpccTest, MixedRunsOnMiddlewareAndRaftDb) {
+  TpccConfig config = SmallTpcc();
+  Rng rng(17);
+
+  MiddlewareCluster citus({"citus-like", 0}, SmallSpec());
+  ASSERT_TRUE(citus.SetupTpcc(config).ok());
+  auto csession = citus.system()->Connect();
+  int errors = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (!TpccMixedTransaction(csession.get(), config, &rng).ok()) ++errors;
+  }
+  EXPECT_EQ(errors, 0);
+
+  baselines::RaftDbOptions raft_options;
+  raft_options.name = "tidb-like";
+  raft_options.sql_layer_overhead_us = 0;
+  RaftDbCluster tidb(raft_options, SmallSpec());
+  ASSERT_TRUE(tidb.SetupTpcc(config).ok());
+  auto tsession = tidb.system()->Connect();
+  errors = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (!TpccMixedTransaction(tsession.get(), config, &rng).ok()) ++errors;
+  }
+  EXPECT_EQ(errors, 0);
+}
+
+TEST(TpccTest, ConsistencyInvariantsAfterMixedLoad) {
+  // TPC-C-style consistency checks (spec clause 3.3.2 analogs) after a burst
+  // of mixed transactions:
+  //  - every order's line count matches o_ol_cnt;
+  //  - d_next_o_id - 1 equals the highest order id of the district;
+  //  - new_order only references undelivered orders (o_carrier_id = 0).
+  SphereCluster cluster(SmallSpec());
+  TpccConfig config = SmallTpcc();
+  config.new_order_rollback_rate = 0.0;
+  ASSERT_TRUE(cluster.SetupTpcc(config).ok());
+  auto s = cluster.jdbc()->Connect();
+  Rng rng(99);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(TpccMixedTransaction(s.get(), config, &rng).ok());
+  }
+
+  // Invariant 1: order line counts.
+  auto orders = s->Execute("SELECT o_key, o_ol_cnt, o_w_id FROM orders");
+  ASSERT_TRUE(orders.ok());
+  Row order_row;
+  int checked = 0;
+  while (orders->result_set->Next(&order_row)) {
+    int64_t o_key = order_row[0].ToInt();
+    auto lines = s->Execute(
+        "SELECT COUNT(*) FROM order_line WHERE ol_w_id = ? AND "
+        "ol_key BETWEEN ? AND ?",
+        {order_row[2], Value(TpccOrderLineKey(o_key, 0)),
+         Value(TpccOrderLineKey(o_key, 19))});
+    ASSERT_TRUE(lines.ok());
+    Row count_row;
+    ASSERT_TRUE(lines->result_set->Next(&count_row));
+    ASSERT_EQ(count_row[0], order_row[1])
+        << "order " << o_key << " line count mismatch";
+    ++checked;
+  }
+  EXPECT_GT(checked, 60);
+
+  // Invariant 2: district next order id vs max order id.
+  auto districts = s->Execute("SELECT d_key, d_w_id, d_next_o_id FROM district");
+  ASSERT_TRUE(districts.ok());
+  Row d;
+  while (districts->result_set->Next(&d)) {
+    int64_t d_key = d[0].ToInt();
+    int w = static_cast<int>(d[1].ToInt());
+    int dd = static_cast<int>(d_key - static_cast<int64_t>(w) * 10) + 1;
+    auto max_o = s->Execute(
+        "SELECT MAX(o_id) FROM orders WHERE o_w_id = ? AND o_key BETWEEN ? AND ?",
+        {Value(w), Value(TpccOrderKey(w, dd, 0)),
+         Value(TpccOrderKey(w, dd, 9999999))});
+    ASSERT_TRUE(max_o.ok());
+    Row m;
+    ASSERT_TRUE(max_o->result_set->Next(&m));
+    if (!m[0].is_null()) {
+      EXPECT_EQ(m[0].ToInt(), d[2].ToInt() - 1)
+          << "district " << d_key << " next_o_id inconsistent";
+    }
+  }
+
+  // Invariant 3: new_order rows reference undelivered orders.
+  auto undelivered = s->Execute(
+      "SELECT COUNT(*) FROM new_order no JOIN orders o ON no.no_key = o.o_key "
+      "WHERE no.no_w_id = 1 AND o.o_w_id = 1 AND o.o_carrier_id > 0");
+  ASSERT_TRUE(undelivered.ok()) << undelivered.status().ToString();
+  Row u;
+  ASSERT_TRUE(undelivered->result_set->Next(&u));
+  EXPECT_EQ(u[0], Value(0));
+}
+
+TEST(TpccTest, ProfileMixMatchesSpec) {
+  Rng rng(21);
+  std::map<TpccProfile, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[TpccDrawProfile(&rng)]++;
+  EXPECT_NEAR(counts[TpccProfile::kNewOrder] / 20000.0, 0.45, 0.02);
+  EXPECT_NEAR(counts[TpccProfile::kPayment] / 20000.0, 0.43, 0.02);
+  EXPECT_NEAR(counts[TpccProfile::kOrderStatus] / 20000.0, 0.04, 0.01);
+  EXPECT_NEAR(counts[TpccProfile::kDelivery] / 20000.0, 0.04, 0.01);
+  EXPECT_NEAR(counts[TpccProfile::kStockLevel] / 20000.0, 0.04, 0.01);
+}
+
+TEST(RunnerTest, ProducesPlausibleMetrics) {
+  SphereCluster cluster(SmallSpec());
+  ASSERT_TRUE(cluster.SetupSysbench(SmallSysbench()).ok());
+  SysbenchConfig config = SmallSysbench();
+  BenchOptions options;
+  options.threads = 2;
+  options.duration_ms = 200;
+  options.warmup_ms = 50;
+  BenchResult result = RunBenchmark(
+      cluster.jdbc(), "smoke", options,
+      [&config](baselines::SqlSession* session, Rng* rng) {
+        return SysbenchTransaction(session, SysbenchScenario::kPointSelect,
+                                   config, rng);
+      });
+  EXPECT_GT(result.tps, 0);
+  EXPECT_GT(result.operations, 0);
+  EXPECT_EQ(result.errors, 0);
+  EXPECT_GT(result.p99_ms, 0);
+  EXPECT_GE(result.p99_ms, result.p90_ms);
+  EXPECT_EQ(result.system, "SSJ-MS");
+}
+
+}  // namespace
+}  // namespace sphere::benchlib

@@ -1,0 +1,118 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace sphere {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.AvgMillis(), 0.0);
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(99), 0.0);
+}
+
+TEST(HistogramTest, AverageAndCount) {
+  Histogram h;
+  h.Record(1000);
+  h.Record(3000);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_DOUBLE_EQ(h.AvgMillis(), 2.0);
+  EXPECT_EQ(h.min_micros(), 1000);
+  EXPECT_EQ(h.max_micros(), 3000);
+}
+
+TEST(HistogramTest, PercentileApproximation) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 100);  // 0.1ms .. 100ms
+  double p50 = h.PercentileMillis(50);
+  double p99 = h.PercentileMillis(99);
+  // Buckets are ~6% wide; accept 15% relative error.
+  EXPECT_NEAR(p50, 50.0, 50.0 * 0.15);
+  EXPECT_NEAR(p99, 99.0, 99.0 * 0.15);
+  EXPECT_LT(p50, p99);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(100);
+  b.Record(10000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.min_micros(), 100);
+  EXPECT_EQ(a.max_micros(), 10000);
+}
+
+TEST(HistogramTest, ConcurrentRecord) {
+  Histogram h;
+  ThreadPool pool(4);
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&h] {
+      for (int i = 0; i < 10000; ++i) h.Record(500);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(h.count(), 40000);
+}
+
+TEST(RngTest, DeterministicWithSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.Uniform(10, 20);
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 20);
+  }
+}
+
+TEST(RngTest, NURandInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.NURand(255, 1, 3000);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3000);
+  }
+}
+
+TEST(HashTest, Crc32KnownVector) {
+  // CRC32 of "123456789" is 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(HashTest, Hash64Avalanche) {
+  EXPECT_NE(Hash64(1), Hash64(2));
+  EXPECT_EQ(Hash64(123), Hash64(123));
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> n{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&n] { n.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(n.load(), 100);
+}
+
+TEST(LatchTest, WaitsForCountdown) {
+  Latch latch(2);
+  std::atomic<bool> done{false};
+  std::thread t([&] {
+    latch.Wait();
+    done = true;
+  });
+  EXPECT_FALSE(done.load());
+  latch.CountDown();
+  latch.CountDown();
+  t.join();
+  EXPECT_TRUE(done.load());
+}
+
+}  // namespace
+}  // namespace sphere

@@ -1,0 +1,88 @@
+#include "common/keygen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace sphere {
+namespace {
+
+TEST(SnowflakeTest, MonotonicAndUnique) {
+  SnowflakeKeyGenerator gen(1);
+  int64_t prev = 0;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t id = gen.NextKey().AsInt();
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+}
+
+TEST(SnowflakeTest, EmbedsWorkerId) {
+  SnowflakeKeyGenerator gen(37);
+  int64_t id = gen.NextKey().AsInt();
+  EXPECT_EQ(SnowflakeKeyGenerator::WorkerOf(id), 37);
+}
+
+TEST(SnowflakeTest, TimestampIsRecent) {
+  SnowflakeKeyGenerator gen(0);
+  int64_t id = gen.NextKey().AsInt();
+  int64_t ts = SnowflakeKeyGenerator::TimestampOf(id);
+  int64_t now = WallMillis();
+  EXPECT_LE(std::abs(ts - now), 5000);
+}
+
+TEST(SnowflakeTest, UniqueAcrossThreads) {
+  SnowflakeKeyGenerator gen(2);
+  constexpr int kThreads = 4, kPerThread = 5000;
+  std::vector<std::vector<int64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ids[static_cast<size_t>(t)].push_back(gen.NextKey().AsInt());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<int64_t> all;
+  for (const auto& v : ids) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(SnowflakeTest, DistinctWorkersDistinctIds) {
+  SnowflakeKeyGenerator a(1), b(2);
+  EXPECT_NE(a.NextKey().AsInt(), b.NextKey().AsInt());
+}
+
+TEST(UuidTest, CanonicalFormat) {
+  UuidKeyGenerator gen;
+  std::string u = gen.NextKey().AsString();
+  ASSERT_EQ(u.size(), 36u);
+  EXPECT_EQ(u[8], '-');
+  EXPECT_EQ(u[13], '-');
+  EXPECT_EQ(u[18], '-');
+  EXPECT_EQ(u[23], '-');
+  EXPECT_EQ(u[14], '4');  // version nibble
+}
+
+TEST(UuidTest, Unique) {
+  UuidKeyGenerator gen;
+  std::set<std::string> seen;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(gen.NextKey().AsString()).second);
+  }
+}
+
+TEST(KeyGenFactoryTest, CreatesByName) {
+  EXPECT_NE(CreateKeyGenerator("SNOWFLAKE"), nullptr);
+  EXPECT_NE(CreateKeyGenerator("uuid"), nullptr);
+  EXPECT_EQ(CreateKeyGenerator("nope"), nullptr);
+  EXPECT_STREQ(CreateKeyGenerator("snowflake")->Type(), "SNOWFLAKE");
+}
+
+}  // namespace
+}  // namespace sphere

@@ -1,0 +1,51 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sphere {
+namespace {
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("aBc"), "ABC");
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(StringsTest, TrimAndSplitAndJoin) {
+  EXPECT_EQ(Trim("  x \t\n"), "x");
+  EXPECT_EQ(Split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+}
+
+TEST(StringsTest, StartsAndContains) {
+  EXPECT_TRUE(StartsWithIgnoreCase("CREATE SHARDING", "create"));
+  EXPECT_TRUE(ContainsIgnoreCase("show sharding table rules", "TABLE"));
+  EXPECT_FALSE(ContainsIgnoreCase("abc", "abcd"));
+}
+
+TEST(StringsTest, LikeMatchPercent) {
+  EXPECT_TRUE(LikeMatch("hello world", "hello%"));
+  EXPECT_TRUE(LikeMatch("hello world", "%world"));
+  EXPECT_TRUE(LikeMatch("hello world", "%o w%"));
+  EXPECT_FALSE(LikeMatch("hello", "hello_"));
+}
+
+TEST(StringsTest, LikeMatchUnderscoreAndCase) {
+  EXPECT_TRUE(LikeMatch("cat", "c_t"));
+  EXPECT_TRUE(LikeMatch("CAT", "cat"));  // SQL LIKE is case-insensitive here
+  EXPECT_FALSE(LikeMatch("cart", "c_t"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 7, "ok"), "x=7 y=ok");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+}  // namespace
+}  // namespace sphere

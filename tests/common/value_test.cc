@@ -1,0 +1,86 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include "common/schema.h"
+
+namespace sphere {
+namespace {
+
+TEST(ValueTest, NullOrdering) {
+  EXPECT_LT(Value::Null(), Value(0));
+  EXPECT_LT(Value::Null(), Value("a"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(1), Value(1.0));
+  EXPECT_LT(Value(1), Value(1.5));
+  EXPECT_GT(Value(2.5), Value(2));
+}
+
+TEST(ValueTest, NumericsSortBeforeStrings) {
+  EXPECT_LT(Value(99), Value("1"));
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(7).Hash(), Value(7.0).Hash());
+  EXPECT_EQ(Value("k").Hash(), Value(std::string("k")).Hash());
+  EXPECT_NE(Value(1).Hash(), Value(2).Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, SQLLiteralQuotesAndEscapes) {
+  EXPECT_EQ(Value(3).ToSQLLiteral(), "3");
+  EXPECT_EQ(Value("a'b").ToSQLLiteral(), "'a''b'");
+  EXPECT_EQ(Value::Null().ToSQLLiteral(), "NULL");
+}
+
+TEST(ValueTest, CastTo) {
+  EXPECT_EQ(Value("42").CastTo(ColumnType::kInt), Value(42));
+  EXPECT_EQ(Value(3).CastTo(ColumnType::kDouble), Value(3.0));
+  EXPECT_EQ(Value(7).CastTo(ColumnType::kString), Value("7"));
+  EXPECT_TRUE(Value::Null().CastTo(ColumnType::kInt).is_null());
+}
+
+TEST(ValueTest, ToDoubleAndToInt) {
+  EXPECT_DOUBLE_EQ(Value("2.5").ToDouble(), 2.5);
+  EXPECT_EQ(Value(9.9).ToInt(), 9);
+  EXPECT_EQ(Value("123").ToInt(), 123);
+}
+
+TEST(RowTest, HashRowOrderSensitive) {
+  Row a = {Value(1), Value("x")};
+  Row b = {Value("x"), Value(1)};
+  EXPECT_NE(HashRow(a), HashRow(b));
+  EXPECT_EQ(HashRow(a), HashRow({Value(1), Value("x")}));
+}
+
+TEST(SchemaTest, IndexOfIsCaseInsensitive) {
+  Schema s({Column("UID", ColumnType::kInt, true), Column("name", ColumnType::kString)});
+  EXPECT_EQ(s.IndexOf("uid"), 0);
+  EXPECT_EQ(s.IndexOf("NAME"), 1);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+  EXPECT_EQ(s.PrimaryKeyIndex(), 0);
+}
+
+TEST(SchemaTest, EqualityIgnoresCaseAndFlags) {
+  Schema a({Column("id", ColumnType::kInt, true)});
+  Schema b({Column("ID", ColumnType::kInt, false)});
+  EXPECT_TRUE(a == b);
+  Schema c({Column("id", ColumnType::kString)});
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace sphere

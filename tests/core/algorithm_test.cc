@@ -1,0 +1,259 @@
+#include "core/algorithm.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sphere::core {
+namespace {
+
+std::vector<std::string> Tables(int n, const std::string& prefix = "t_") {
+  std::vector<std::string> out;
+  for (int i = 0; i < n; ++i) out.push_back(prefix + std::to_string(i));
+  return out;
+}
+
+std::unique_ptr<ShardingAlgorithm> Make(const std::string& type,
+                                        Properties props = {}) {
+  auto r = CreateShardingAlgorithm(type, props);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(AlgorithmTest, PresetListHasTenTypes) {
+  auto types = ListShardingAlgorithmTypes();
+  EXPECT_GE(types.size(), 10u);
+  for (const char* t : {"MOD", "HASH_MOD", "VOLUME_RANGE", "BOUNDARY_RANGE",
+                        "AUTO_INTERVAL", "INTERVAL", "INLINE", "COMPLEX_INLINE",
+                        "HINT_INLINE", "CLASS_BASED"}) {
+    EXPECT_NE(std::find(types.begin(), types.end(), t), types.end()) << t;
+  }
+}
+
+TEST(AlgorithmTest, ModShardsBySuffix) {
+  auto algo = Make("MOD", {{"sharding-count", "4"}});
+  auto targets = Tables(4);
+  EXPECT_EQ(*algo->DoSharding(targets, Value(6)), "t_2");
+  EXPECT_EQ(*algo->DoSharding(targets, Value(-1)), "t_3");  // wraps positive
+  EXPECT_EQ(*algo->DoSharding(targets, Value(0)), "t_0");
+}
+
+TEST(AlgorithmTest, ModRangeNarrowSpan) {
+  auto algo = Make("MOD", {{"sharding-count", "4"}});
+  auto targets = Tables(4);
+  auto out = algo->DoRangeSharding(targets, Value(5), Value(6));
+  ASSERT_EQ(out.size(), 2u);  // 5 % 4 = 1, 6 % 4 = 2
+  auto wide = algo->DoRangeSharding(targets, Value(0), Value(100));
+  EXPECT_EQ(wide.size(), 4u);
+}
+
+TEST(AlgorithmTest, HashModDeterministicAndSpread) {
+  auto algo = Make("HASH_MOD", {{"sharding-count", "8"}});
+  auto targets = Tables(8);
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto t1 = *algo->DoSharding(targets, Value(i));
+    auto t2 = *algo->DoSharding(targets, Value(i));
+    EXPECT_EQ(t1, t2);
+    seen.insert(t1);
+  }
+  EXPECT_EQ(seen.size(), 8u);  // all shards hit
+}
+
+TEST(AlgorithmTest, HashModStrings) {
+  auto algo = Make("HASH_MOD", {{"sharding-count", "4"}});
+  auto targets = Tables(4);
+  EXPECT_EQ(*algo->DoSharding(targets, Value("merchant-1")),
+            *algo->DoSharding(targets, Value("merchant-1")));
+}
+
+TEST(AlgorithmTest, VolumeRange) {
+  // Shards: (-inf,0) | [0,100) | [100,200) | [200, inf)
+  auto algo = Make("VOLUME_RANGE", {{"range-lower", "0"},
+                                    {"range-upper", "200"},
+                                    {"sharding-volume", "100"}});
+  auto targets = Tables(4);
+  EXPECT_EQ(*algo->DoSharding(targets, Value(-5)), "t_0");
+  EXPECT_EQ(*algo->DoSharding(targets, Value(50)), "t_1");
+  EXPECT_EQ(*algo->DoSharding(targets, Value(150)), "t_2");
+  EXPECT_EQ(*algo->DoSharding(targets, Value(500)), "t_3");
+  auto out = algo->DoRangeSharding(targets, Value(50), Value(150));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(AlgorithmTest, BoundaryRange) {
+  auto algo = Make("BOUNDARY_RANGE", {{"sharding-ranges", "10,20,30"}});
+  auto targets = Tables(4);
+  EXPECT_EQ(*algo->DoSharding(targets, Value(5)), "t_0");
+  EXPECT_EQ(*algo->DoSharding(targets, Value(10)), "t_1");
+  EXPECT_EQ(*algo->DoSharding(targets, Value(29)), "t_2");
+  EXPECT_EQ(*algo->DoSharding(targets, Value(30)), "t_3");
+}
+
+TEST(AlgorithmTest, BoundaryRangeRejectsUnsorted) {
+  EXPECT_FALSE(
+      CreateShardingAlgorithm("BOUNDARY_RANGE", {{"sharding-ranges", "30,10"}})
+          .ok());
+}
+
+TEST(AlgorithmTest, AutoInterval) {
+  auto algo = Make("AUTO_INTERVAL",
+                   {{"datetime-lower", "1000"}, {"sharding-seconds", "100"}});
+  auto targets = Tables(5);
+  EXPECT_EQ(*algo->DoSharding(targets, Value(1000)), "t_0");
+  EXPECT_EQ(*algo->DoSharding(targets, Value(1250)), "t_2");
+  EXPECT_EQ(*algo->DoSharding(targets, Value(500)), "t_0");
+}
+
+TEST(AlgorithmTest, IntervalByMonth) {
+  // BestPay style: monthly shards starting 2021-01.
+  auto algo = Make("INTERVAL",
+                   {{"datetime-lower", "2021-01"}, {"sharding-months", "1"}});
+  auto targets = Tables(12);
+  EXPECT_EQ(*algo->DoSharding(targets, Value(202101)), "t_0");
+  EXPECT_EQ(*algo->DoSharding(targets, Value(202104)), "t_3");
+  EXPECT_EQ(*algo->DoSharding(targets, Value("2021-12")), "t_11");
+  auto out = algo->DoRangeSharding(targets, Value(202102), Value(202104));
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(AlgorithmTest, InlineExpression) {
+  auto algo = Make("INLINE", {{"algorithm-expression", "t_user_${uid % 2}"},
+                              {"sharding-column", "uid"}});
+  std::vector<std::string> targets = {"t_user_0", "t_user_1"};
+  EXPECT_EQ(*algo->DoSharding(targets, Value(7)), "t_user_1");
+  EXPECT_EQ(*algo->DoSharding(targets, Value(8)), "t_user_0");
+}
+
+TEST(AlgorithmTest, InlineArithmetic) {
+  auto algo = Make("INLINE", {{"algorithm-expression", "t_${(uid + 1) * 2 % 4}"},
+                              {"sharding-column", "uid"}});
+  auto targets = Tables(4);
+  EXPECT_EQ(*algo->DoSharding(targets, Value(1)), "t_0");  // (1+1)*2 % 4 = 0
+  EXPECT_EQ(*algo->DoSharding(targets, Value(2)), "t_2");
+}
+
+TEST(AlgorithmTest, InlineUnknownTargetFails) {
+  auto algo = Make("INLINE", {{"algorithm-expression", "t_${uid % 8}"},
+                              {"sharding-column", "uid"}});
+  auto targets = Tables(2);
+  EXPECT_FALSE(algo->DoSharding(targets, Value(5)).ok());
+}
+
+TEST(AlgorithmTest, ComplexInlineMultiColumn) {
+  auto algo = Make("COMPLEX_INLINE",
+                   {{"algorithm-expression", "t_${(a + b) % 4}"}});
+  auto targets = Tables(4);
+  std::map<std::string, Value> values{{"a", Value(3)}, {"b", Value(2)}};
+  EXPECT_EQ(*algo->DoComplexSharding(targets, values), "t_1");
+}
+
+TEST(AlgorithmTest, HintInlineDefaultMod) {
+  auto algo = Make("HINT_INLINE");
+  auto targets = Tables(3);
+  EXPECT_EQ(*algo->DoSharding(targets, Value(4)), "t_1");
+}
+
+TEST(AlgorithmTest, ClassBasedDelegates) {
+  Properties props{{"algorithm-class-name", "MOD"}, {"sharding-count", "2"}};
+  auto algo = Make("CLASS_BASED", props);
+  auto targets = Tables(2);
+  EXPECT_EQ(*algo->DoSharding(targets, Value(3)), "t_1");
+}
+
+class EvenOddAlgorithm : public ShardingAlgorithm {
+ public:
+  const char* Type() const override { return "EVEN_ODD"; }
+  Result<std::string> DoSharding(const std::vector<std::string>& targets,
+                                 const Value& value) const override {
+    return targets[value.ToInt() % 2 == 0 ? 0 : 1];
+  }
+};
+
+TEST(AlgorithmTest, SpiRegistrationOfUserAlgorithm) {
+  static bool registered = [] {
+    return RegisterShardingAlgorithmFactory(
+               "EVEN_ODD", [] { return std::make_unique<EvenOddAlgorithm>(); })
+        .ok();
+  }();
+  EXPECT_TRUE(registered);
+  auto algo = Make("EVEN_ODD");
+  std::vector<std::string> targets = {"evens", "odds"};
+  EXPECT_EQ(*algo->DoSharding(targets, Value(2)), "evens");
+  EXPECT_EQ(*algo->DoSharding(targets, Value(3)), "odds");
+  // Double registration is rejected.
+  EXPECT_FALSE(RegisterShardingAlgorithmFactory(
+                   "even_odd", [] { return std::make_unique<EvenOddAlgorithm>(); })
+                   .ok());
+}
+
+TEST(AlgorithmTest, UnknownTypeFails) {
+  EXPECT_FALSE(CreateShardingAlgorithm("NOPE", {}).ok());
+}
+
+/// Property: every preset single-value algorithm maps each value to exactly
+/// one target from the list.
+class AlgorithmPartitionTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AlgorithmPartitionTest, EveryValueHasExactlyOneTarget) {
+  Properties props{{"sharding-count", "4"},
+                   {"range-lower", "0"},
+                   {"range-upper", "300"},
+                   {"sharding-volume", "100"},
+                   {"sharding-ranges", "100,200,300"},
+                   {"datetime-lower", "0"},
+                   {"sharding-seconds", "1000"},
+                   {"algorithm-expression", "t_${value % 4}"},
+                   {"sharding-column", "value"}};
+  auto algo = Make(GetParam(), props);
+  auto targets = Tables(4);
+  for (int64_t v = 0; v < 500; v += 7) {
+    auto t = algo->DoSharding(targets, Value(v));
+    ASSERT_TRUE(t.ok()) << GetParam() << " value " << v;
+    EXPECT_NE(std::find(targets.begin(), targets.end(), *t), targets.end());
+    // Deterministic.
+    EXPECT_EQ(*t, *algo->DoSharding(targets, Value(v)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, AlgorithmPartitionTest,
+                         ::testing::Values("MOD", "HASH_MOD", "VOLUME_RANGE",
+                                           "BOUNDARY_RANGE", "AUTO_INTERVAL",
+                                           "INLINE"));
+
+/// Property: range sharding never excludes the shard that precise sharding
+/// picks for a value inside the range.
+class AlgorithmRangeCoverTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AlgorithmRangeCoverTest, RangeCoversPreciseTargets) {
+  Properties props{{"sharding-count", "4"},
+                   {"range-lower", "0"},
+                   {"range-upper", "300"},
+                   {"sharding-volume", "100"},
+                   {"sharding-ranges", "100,200,300"},
+                   {"datetime-lower", "0"},
+                   {"sharding-seconds", "100"}};
+  auto algo = Make(GetParam(), props);
+  auto targets = Tables(6);
+  for (int64_t lo = 0; lo < 400; lo += 37) {
+    int64_t hi = lo + 55;
+    auto range_targets = algo->DoRangeSharding(targets, Value(lo), Value(hi));
+    for (int64_t v = lo; v <= hi; v += 5) {
+      auto t = algo->DoSharding(targets, Value(v));
+      ASSERT_TRUE(t.ok());
+      EXPECT_NE(std::find(range_targets.begin(), range_targets.end(), *t),
+                range_targets.end())
+          << GetParam() << ": value " << v << " in [" << lo << "," << hi
+          << "] routed to " << *t << " which the range result misses";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, AlgorithmRangeCoverTest,
+                         ::testing::Values("MOD", "VOLUME_RANGE",
+                                           "BOUNDARY_RANGE", "AUTO_INTERVAL"));
+
+}  // namespace
+}  // namespace sphere::core

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "core/metadata.h"
+#include "core/rule.h"
+
+namespace sphere::core {
+namespace {
+
+TEST(MetadataTest, ParseDataNode) {
+  auto n = ParseDataNode("ds_0.t_user_1");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->data_source, "ds_0");
+  EXPECT_EQ(n->table, "t_user_1");
+  EXPECT_EQ(n->ToString(), "ds_0.t_user_1");
+  EXPECT_FALSE(ParseDataNode("no_dot").ok());
+  EXPECT_FALSE(ParseDataNode(".empty").ok());
+}
+
+TEST(MetadataTest, ExpandBothRanges) {
+  auto nodes = ExpandDataNodes("ds_${0..1}.t_user_${0..3}");
+  ASSERT_TRUE(nodes.ok());
+  ASSERT_EQ(nodes->size(), 4u);
+  // Table k -> ds (k mod 2).
+  EXPECT_EQ((*nodes)[0].ToString(), "ds_0.t_user_0");
+  EXPECT_EQ((*nodes)[1].ToString(), "ds_1.t_user_1");
+  EXPECT_EQ((*nodes)[2].ToString(), "ds_0.t_user_2");
+  EXPECT_EQ((*nodes)[3].ToString(), "ds_1.t_user_3");
+}
+
+TEST(MetadataTest, ExpandTableRangeOnly) {
+  auto nodes = ExpandDataNodes("ds_0.t_${0..2}");
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(nodes->size(), 3u);
+  EXPECT_EQ((*nodes)[2].ToString(), "ds_0.t_2");
+}
+
+TEST(MetadataTest, ExpandCommaList) {
+  auto nodes = ExpandDataNodes("ds_0.t_a, ds_1.t_b");
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(nodes->size(), 2u);
+}
+
+TEST(MetadataTest, ExpandErrors) {
+  EXPECT_FALSE(ExpandDataNodes("ds_${0..}.t").ok());
+  EXPECT_FALSE(ExpandDataNodes("ds_${5..1}.t").ok());
+  EXPECT_FALSE(ExpandDataNodes("").ok());
+}
+
+TableRuleConfig UserRule() {
+  TableRuleConfig t;
+  t.logic_table = "t_user";
+  t.actual_data_nodes = "ds_${0..1}.t_user_${0..3}";
+  t.table_strategy.columns = {"uid"};
+  t.table_strategy.algorithm_type = "MOD";
+  t.table_strategy.props.Set("sharding-count", "4");
+  return t;
+}
+
+TEST(TableRuleTest, BuildResolvesNodes) {
+  auto rule = TableRule::Build(UserRule(), 0);
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ((*rule)->actual_nodes().size(), 4u);
+  EXPECT_EQ((*rule)->data_sources(),
+            (std::vector<std::string>{"ds_0", "ds_1"}));
+  EXPECT_EQ((*rule)->actual_tables().size(), 4u);
+  EXPECT_EQ((*rule)->TablesIn("ds_0"),
+            (std::vector<std::string>{"t_user_0", "t_user_2"}));
+  EXPECT_TRUE((*rule)->IsShardingColumn("UID"));
+  EXPECT_FALSE((*rule)->IsShardingColumn("name"));
+}
+
+TEST(TableRuleTest, AutoTableLayout) {
+  TableRuleConfig t;
+  t.logic_table = "t_order";
+  t.auto_resources = {"ds_0", "ds_1"};
+  t.auto_sharding_count = 4;
+  t.table_strategy.columns = {"uid"};
+  t.table_strategy.algorithm_type = "HASH_MOD";
+  t.table_strategy.props.Set("sharding-count", "4");
+  auto rule = TableRule::Build(t, 0);
+  ASSERT_TRUE(rule.ok());
+  ASSERT_EQ((*rule)->actual_nodes().size(), 4u);
+  // AutoTable puts t_order_k on ds_{k mod 2} (paper §V-A).
+  EXPECT_EQ((*rule)->actual_nodes()[0].ToString(), "ds_0.t_order_0");
+  EXPECT_EQ((*rule)->actual_nodes()[1].ToString(), "ds_1.t_order_1");
+  EXPECT_EQ((*rule)->actual_nodes()[3].ToString(), "ds_1.t_order_3");
+}
+
+TEST(TableRuleTest, KeyGeneratorAttached) {
+  TableRuleConfig t = UserRule();
+  t.keygen_column = "uid";
+  t.keygen_type = "SNOWFLAKE";
+  auto rule = TableRule::Build(t, 3);
+  ASSERT_TRUE(rule.ok());
+  ASSERT_NE((*rule)->key_generator(), nullptr);
+  EXPECT_STREQ((*rule)->key_generator()->Type(), "SNOWFLAKE");
+}
+
+TEST(TableRuleTest, MissingNodesRejected) {
+  TableRuleConfig t;
+  t.logic_table = "t";
+  EXPECT_FALSE(TableRule::Build(t, 0).ok());
+}
+
+TEST(ShardingRuleTest, BuildAndLookup) {
+  ShardingRuleConfig config;
+  config.tables.push_back(UserRule());
+  config.default_data_source = "ds_0";
+  config.broadcast_tables.insert("t_dict");
+  auto rule = ShardingRule::Build(std::move(config));
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_TRUE((*rule)->IsShardedTable("T_USER"));
+  EXPECT_FALSE((*rule)->IsShardedTable("t_other"));
+  EXPECT_TRUE((*rule)->IsBroadcastTable("t_dict"));
+  EXPECT_EQ((*rule)->AllDataSources(),
+            (std::vector<std::string>{"ds_0", "ds_1"}));
+}
+
+TEST(ShardingRuleTest, BindingValidation) {
+  ShardingRuleConfig config;
+  config.tables.push_back(UserRule());
+  TableRuleConfig order = UserRule();
+  order.logic_table = "t_order";
+  order.actual_data_nodes = "ds_${0..1}.t_order_${0..3}";
+  config.tables.push_back(order);
+  config.binding_groups.push_back({"t_user", "t_order"});
+  auto rule = ShardingRule::Build(std::move(config));
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE((*rule)->IsBinding("t_user", "t_order"));
+  EXPECT_TRUE((*rule)->IsBinding("T_ORDER", "T_USER"));
+  EXPECT_FALSE((*rule)->IsBinding("t_user", "t_dict"));
+}
+
+TEST(ShardingRuleTest, BindingMismatchedNodeCountRejected) {
+  ShardingRuleConfig config;
+  config.tables.push_back(UserRule());
+  TableRuleConfig order = UserRule();
+  order.logic_table = "t_order";
+  order.actual_data_nodes = "ds_${0..1}.t_order_${0..1}";  // 2 vs 4 nodes
+  config.tables.push_back(order);
+  config.binding_groups.push_back({"t_user", "t_order"});
+  EXPECT_FALSE(ShardingRule::Build(std::move(config)).ok());
+}
+
+TEST(ShardingRuleTest, BindingUnknownTableRejected) {
+  ShardingRuleConfig config;
+  config.tables.push_back(UserRule());
+  config.binding_groups.push_back({"t_user", "t_ghost"});
+  EXPECT_FALSE(ShardingRule::Build(std::move(config)).ok());
+}
+
+TEST(ShardingRuleTest, DuplicateRuleRejected) {
+  ShardingRuleConfig config;
+  config.tables.push_back(UserRule());
+  config.tables.push_back(UserRule());
+  EXPECT_FALSE(ShardingRule::Build(std::move(config)).ok());
+}
+
+}  // namespace
+}  // namespace sphere::core

@@ -1,0 +1,226 @@
+#include "core/route.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/hint.h"
+#include "sql/parser.h"
+
+namespace sphere::core {
+namespace {
+
+/// Rule fixture: t_user/t_order MOD-4 over 2 data sources (binding),
+/// t_item separately sharded (non-binding), t_dict broadcast, default ds_0.
+std::unique_ptr<ShardingRule> MakeRule(bool bind = true) {
+  ShardingRuleConfig config;
+  for (const char* table : {"t_user", "t_order", "t_item"}) {
+    TableRuleConfig t;
+    t.logic_table = table;
+    t.actual_data_nodes =
+        std::string("ds_${0..1}.") + table + "_${0..3}";
+    t.table_strategy.columns = {"uid"};
+    t.table_strategy.algorithm_type = "MOD";
+    t.table_strategy.props.Set("sharding-count", "4");
+    config.tables.push_back(std::move(t));
+  }
+  if (bind) config.binding_groups.push_back({"t_user", "t_order"});
+  config.broadcast_tables.insert("t_dict");
+  config.default_data_source = "ds_0";
+  auto rule = ShardingRule::Build(std::move(config));
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+  return std::move(rule).value();
+}
+
+RouteResult MustRoute(const ShardingRule* rule, const std::string& sql_text,
+                      std::vector<Value> params = {}) {
+  auto stmt = sql::ParseSQL(sql_text);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  RouteEngine engine(rule);
+  auto r = engine.Route(**stmt, params);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << sql_text;
+  return r.ok() ? std::move(r).value() : RouteResult{};
+}
+
+TEST(RouteTest, EqualityRoutesToSingleNode) {
+  auto rule = MakeRule();
+  auto r = MustRoute(rule.get(), "SELECT * FROM t_user WHERE uid = 6");
+  EXPECT_EQ(r.type, RouteType::kStandard);
+  ASSERT_EQ(r.units.size(), 1u);
+  EXPECT_EQ(r.units[0].data_source, "ds_0");  // 6 % 4 = 2 -> t_user_2 on ds_0
+  EXPECT_EQ(r.units[0].mappings[0].actual, "t_user_2");
+}
+
+TEST(RouteTest, InRoutesToMatchingNodes) {
+  auto rule = MakeRule();
+  auto r = MustRoute(rule.get(), "SELECT * FROM t_user WHERE uid IN (1, 2)");
+  ASSERT_EQ(r.units.size(), 2u);
+  std::set<std::string> actuals;
+  for (const auto& u : r.units) actuals.insert(u.mappings[0].actual);
+  EXPECT_EQ(actuals, (std::set<std::string>{"t_user_1", "t_user_2"}));
+}
+
+TEST(RouteTest, NoConditionRoutesEverywhere) {
+  auto rule = MakeRule();
+  auto r = MustRoute(rule.get(), "SELECT * FROM t_user");
+  EXPECT_EQ(r.units.size(), 4u);
+}
+
+TEST(RouteTest, NarrowBetweenPrunes) {
+  auto rule = MakeRule();
+  auto r = MustRoute(rule.get(), "SELECT * FROM t_user WHERE uid BETWEEN 4 AND 5");
+  EXPECT_EQ(r.units.size(), 2u);  // uids 4,5 -> shards 0,1
+}
+
+TEST(RouteTest, OrConditionsUnion) {
+  auto rule = MakeRule();
+  auto r = MustRoute(rule.get(),
+                     "SELECT * FROM t_user WHERE uid = 1 OR uid = 5");
+  EXPECT_EQ(r.units.size(), 1u);  // both map to shard 1
+  auto r2 = MustRoute(rule.get(),
+                      "SELECT * FROM t_user WHERE uid = 1 OR uid = 2");
+  EXPECT_EQ(r2.units.size(), 2u);
+}
+
+TEST(RouteTest, ParamConditionRoutes) {
+  auto rule = MakeRule();
+  auto r = MustRoute(rule.get(), "SELECT * FROM t_user WHERE uid = ?",
+                     {Value(7)});
+  ASSERT_EQ(r.units.size(), 1u);
+  EXPECT_EQ(r.units[0].mappings[0].actual, "t_user_3");
+}
+
+TEST(RouteTest, AliasQualifiedCondition) {
+  auto rule = MakeRule();
+  auto r = MustRoute(rule.get(), "SELECT * FROM t_user u WHERE u.uid = 5");
+  ASSERT_EQ(r.units.size(), 1u);
+  EXPECT_EQ(r.units[0].mappings[0].actual, "t_user_1");
+}
+
+TEST(RouteTest, BindingJoinRoutesPairwise) {
+  auto rule = MakeRule(true);
+  auto r = MustRoute(rule.get(),
+                     "SELECT * FROM t_user u JOIN t_order o ON u.uid = o.uid "
+                     "WHERE u.uid IN (1, 2)");
+  EXPECT_EQ(r.type, RouteType::kStandard);
+  ASSERT_EQ(r.units.size(), 2u);
+  for (const auto& unit : r.units) {
+    ASSERT_EQ(unit.mappings.size(), 2u);
+    // Binding: t_user_k joins t_order_k, same suffix, same data source.
+    EXPECT_EQ(unit.mappings[0].actual.back(), unit.mappings[1].actual.back());
+  }
+}
+
+TEST(RouteTest, NonBindingJoinIsCartesian) {
+  auto rule = MakeRule();
+  auto r = MustRoute(rule.get(),
+                     "SELECT * FROM t_user u JOIN t_item i ON u.uid = i.uid");
+  EXPECT_EQ(r.type, RouteType::kCartesian);
+  // Per data source: 2 user tables x 2 item tables = 4 combos; 2 ds -> 8.
+  EXPECT_EQ(r.units.size(), 8u);
+}
+
+TEST(RouteTest, CartesianPrunedByCondition) {
+  auto rule = MakeRule(false);
+  auto r = MustRoute(rule.get(),
+                     "SELECT * FROM t_user u JOIN t_order o ON u.uid = o.uid "
+                     "WHERE u.uid = 2 AND o.uid = 2");
+  EXPECT_EQ(r.type, RouteType::kCartesian);
+  ASSERT_EQ(r.units.size(), 1u);
+  EXPECT_EQ(r.units[0].data_source, "ds_0");
+}
+
+TEST(RouteTest, InsertRoutesRowsToShards) {
+  auto rule = MakeRule();
+  auto r = MustRoute(rule.get(),
+                     "INSERT INTO t_order (oid, uid) VALUES "
+                     "(1, 0), (2, 1), (3, 4), (4, 2)");
+  ASSERT_EQ(r.units.size(), 3u);  // shards 0 (uids 0,4), 1, 2
+  size_t total_rows = 0;
+  for (const auto& u : r.units) total_rows += u.insert_rows.size();
+  EXPECT_EQ(total_rows, 4u);
+}
+
+TEST(RouteTest, InsertMissingShardingColumnFails) {
+  auto rule = MakeRule();
+  auto stmt = sql::ParseSQL("INSERT INTO t_user (name) VALUES ('x')");
+  ASSERT_TRUE(stmt.ok());
+  RouteEngine engine(rule.get());
+  EXPECT_FALSE(engine.Route(**stmt, {}).ok());
+}
+
+TEST(RouteTest, UpdateDeleteRouteLikeSelect) {
+  auto rule = MakeRule();
+  auto r = MustRoute(rule.get(), "UPDATE t_user SET name = 'x' WHERE uid = 5");
+  ASSERT_EQ(r.units.size(), 1u);
+  EXPECT_EQ(r.units[0].mappings[0].actual, "t_user_1");
+  auto d = MustRoute(rule.get(), "DELETE FROM t_user WHERE uid IN (0, 1, 2, 3)");
+  EXPECT_EQ(d.units.size(), 4u);
+}
+
+TEST(RouteTest, DdlBroadcastsToAllActualNodes) {
+  auto rule = MakeRule();
+  auto r = MustRoute(rule.get(),
+                     "CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(10))");
+  EXPECT_EQ(r.type, RouteType::kBroadcast);
+  EXPECT_EQ(r.units.size(), 4u);
+  std::set<std::string> actuals;
+  for (const auto& u : r.units) actuals.insert(u.mappings[0].actual);
+  EXPECT_EQ(actuals.size(), 4u);
+}
+
+TEST(RouteTest, BroadcastTableWriteGoesEverywhere) {
+  auto rule = MakeRule();
+  auto r = MustRoute(rule.get(), "INSERT INTO t_dict (k, v) VALUES (1, 'a')");
+  EXPECT_EQ(r.type, RouteType::kBroadcast);
+  EXPECT_EQ(r.units.size(), 2u);  // one per data source
+}
+
+TEST(RouteTest, BroadcastTableReadIsUnicast) {
+  auto rule = MakeRule();
+  auto r = MustRoute(rule.get(), "SELECT * FROM t_dict");
+  EXPECT_EQ(r.type, RouteType::kUnicast);
+  EXPECT_EQ(r.units.size(), 1u);
+}
+
+TEST(RouteTest, UnknownTableUsesDefaultDataSource) {
+  auto rule = MakeRule();
+  auto r = MustRoute(rule.get(), "SELECT * FROM t_plain WHERE id = 1");
+  EXPECT_EQ(r.type, RouteType::kSingle);
+  ASSERT_EQ(r.units.size(), 1u);
+  EXPECT_EQ(r.units[0].data_source, "ds_0");
+}
+
+TEST(RouteTest, ShardedJoinedWithSingleTableFails) {
+  auto rule = MakeRule();
+  auto stmt = sql::ParseSQL("SELECT * FROM t_user u JOIN t_plain p ON u.uid = p.id");
+  ASSERT_TRUE(stmt.ok());
+  RouteEngine engine(rule.get());
+  EXPECT_FALSE(engine.Route(**stmt, {}).ok());
+}
+
+TEST(RouteTest, HintRouting) {
+  // A rule whose table strategy is HINT_INLINE: no SQL condition needed.
+  ShardingRuleConfig config;
+  TableRuleConfig t;
+  t.logic_table = "t_log";
+  t.actual_data_nodes = "ds_${0..1}.t_log_${0..3}";
+  t.table_strategy.columns = {};
+  t.table_strategy.algorithm_type = "HINT_INLINE";
+  config.tables.push_back(std::move(t));
+  auto rule = ShardingRule::Build(std::move(config));
+  ASSERT_TRUE(rule.ok());
+
+  HintManager::Scope scope;
+  HintManager::SetShardingValue(Value(2));
+  auto r = MustRoute(rule->get(), "SELECT * FROM t_log");
+  ASSERT_EQ(r.units.size(), 1u);
+  EXPECT_EQ(r.units[0].mappings[0].actual, "t_log_2");
+
+  HintManager::Clear();
+  auto all = MustRoute(rule->get(), "SELECT * FROM t_log");
+  EXPECT_EQ(all.units.size(), 4u);
+}
+
+}  // namespace
+}  // namespace sphere::core

@@ -1,0 +1,90 @@
+#ifndef SPHERE_TESTS_CORE_TEST_CLUSTER_H_
+#define SPHERE_TESTS_CORE_TEST_CLUSTER_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "engine/storage_node.h"
+
+namespace sphere::core::testing {
+
+/// A zero-latency cluster: `num_sources` storage nodes attached to a runtime
+/// as ds_0..ds_{n-1}, with no rule installed yet.
+class TestCluster {
+ public:
+  explicit TestCluster(int num_sources, RuntimeConfig config = RuntimeConfig()) {
+    runtime_ = std::make_unique<ShardingRuntime>(config,
+                                                 net::NetworkConfig::Zero());
+    for (int i = 0; i < num_sources; ++i) {
+      auto node = std::make_unique<engine::StorageNode>("ds_" + std::to_string(i));
+      EXPECT_TRUE(runtime_->AttachNode(node->name(), node.get()).ok());
+      nodes_.push_back(std::move(node));
+    }
+  }
+
+  /// Standard fixture rule: t_user and t_order MOD-sharded by uid into
+  /// `shards` tables over all data sources (binding optional), plus a
+  /// broadcast table t_dict and default ds_0 for single tables.
+  Status InstallModRule(int shards, bool bind_user_order) {
+    ShardingRuleConfig config;
+    config.default_data_source = "ds_0";
+    config.broadcast_tables.insert("t_dict");
+    for (const std::string table : {std::string("t_user"), std::string("t_order")}) {
+      TableRuleConfig t;
+      t.logic_table = table;
+      t.auto_resources = DataSourceNames();
+      t.auto_sharding_count = shards;
+      t.table_strategy.columns = {"uid"};
+      t.table_strategy.algorithm_type = "MOD";
+      t.table_strategy.props.Set("sharding-count", std::to_string(shards));
+      config.tables.push_back(std::move(t));
+    }
+    if (bind_user_order) {
+      config.binding_groups.push_back({"t_user", "t_order"});
+    }
+    return runtime_->SetRule(std::move(config));
+  }
+
+  /// Creates the sharded tables' physical schemas through the runtime (DDL
+  /// broadcast) and returns any error.
+  Status CreateUserOrderSchemas() {
+    auto r1 = runtime_->Execute(
+        "CREATE TABLE t_user (uid BIGINT PRIMARY KEY, name VARCHAR(64), "
+        "age INT, score DOUBLE)");
+    if (!r1.ok()) return r1.status();
+    auto r2 = runtime_->Execute(
+        "CREATE TABLE t_order (oid BIGINT PRIMARY KEY, uid BIGINT, "
+        "amount DOUBLE, month INT)");
+    if (!r2.ok()) return r2.status();
+    return Status::OK();
+  }
+
+  std::vector<std::string> DataSourceNames() const {
+    std::vector<std::string> names;
+    names.reserve(nodes_.size());
+    for (const auto& n : nodes_) names.push_back(n->name());
+    return names;
+  }
+
+  ShardingRuntime* runtime() { return runtime_.get(); }
+  engine::StorageNode* node(int i) { return nodes_[static_cast<size_t>(i)].get(); }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Total rows of `table` on node i (0 when the table is absent).
+  size_t RowsOn(int i, const std::string& table) {
+    auto* t = nodes_[static_cast<size_t>(i)]->database()->FindTable(table);
+    return t == nullptr ? 0 : t->row_count();
+  }
+
+ private:
+  std::unique_ptr<ShardingRuntime> runtime_;
+  std::vector<std::unique_ptr<engine::StorageNode>> nodes_;
+};
+
+}  // namespace sphere::core::testing
+
+#endif  // SPHERE_TESTS_CORE_TEST_CLUSTER_H_

@@ -1,0 +1,173 @@
+#include "distsql/distsql.h"
+
+#include <gtest/gtest.h>
+
+#include "adaptor/jdbc.h"
+
+namespace sphere::distsql {
+namespace {
+
+using adaptor::ShardingConnection;
+using adaptor::ShardingDataSource;
+
+class DistSQLTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = std::make_unique<ShardingDataSource>(core::RuntimeConfig(),
+                                               net::NetworkConfig::Zero());
+    for (int i = 0; i < 2; ++i) {
+      nodes_.push_back(
+          std::make_unique<engine::StorageNode>("ds_" + std::to_string(i)));
+      ASSERT_TRUE(ds_->AttachNode(nodes_.back()->name(), nodes_.back().get()).ok());
+    }
+    conn_ = ds_->GetConnection();
+  }
+
+  engine::ExecResult Exec(const std::string& sql_text) {
+    auto r = conn_->ExecuteSQL(sql_text);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << sql_text;
+    return r.ok() ? std::move(r).value() : engine::ExecResult{};
+  }
+
+  std::vector<Row> Rows(engine::ExecResult r) {
+    EXPECT_TRUE(r.is_query);
+    return r.result_set ? engine::DrainResultSet(r.result_set.get())
+                        : std::vector<Row>{};
+  }
+
+  std::unique_ptr<ShardingDataSource> ds_;
+  std::vector<std::unique_ptr<engine::StorageNode>> nodes_;
+  std::unique_ptr<ShardingConnection> conn_;
+};
+
+TEST_F(DistSQLTest, IsDistSQLRecognizer) {
+  EXPECT_TRUE(DistSQLEngine::IsDistSQL("CREATE SHARDING TABLE RULE t (...)"));
+  EXPECT_TRUE(DistSQLEngine::IsDistSQL("show sharding table rules"));
+  EXPECT_TRUE(DistSQLEngine::IsDistSQL("SET VARIABLE transaction_type = XA"));
+  EXPECT_TRUE(DistSQLEngine::IsDistSQL("PREVIEW SELECT 1"));
+  EXPECT_FALSE(DistSQLEngine::IsDistSQL("SELECT * FROM t"));
+  EXPECT_FALSE(DistSQLEngine::IsDistSQL("SET autocommit = 0"));
+}
+
+TEST_F(DistSQLTest, AutoTableEndToEnd) {
+  // The paper's §V-A flow: one RDL statement defines the rule; a logical
+  // CREATE TABLE then materializes the physical tables everywhere.
+  Exec("CREATE SHARDING TABLE RULE t_user_h (RESOURCES(ds_0, ds_1), "
+       "SHARDING_COLUMN=uid, TYPE=hash_mod, PROPERTIES(\"sharding-count\"=2))");
+  Exec("CREATE TABLE t_user_h (uid BIGINT PRIMARY KEY, name VARCHAR(32))");
+  // AutoTable computed t_user_h_0 -> ds_0, t_user_h_1 -> ds_1.
+  EXPECT_NE(nodes_[0]->database()->FindTable("t_user_h_0"), nullptr);
+  EXPECT_NE(nodes_[1]->database()->FindTable("t_user_h_1"), nullptr);
+  EXPECT_EQ(nodes_[0]->database()->FindTable("t_user_h_1"), nullptr);
+
+  Exec("INSERT INTO t_user_h (uid, name) VALUES (1, 'a'), (2, 'b'), (3, 'c')");
+  auto rows = Rows(Exec("SELECT COUNT(*) FROM t_user_h"));
+  EXPECT_EQ(rows[0][0], Value(3));
+}
+
+TEST_F(DistSQLTest, CreateDuplicateRuleRejected) {
+  Exec("CREATE SHARDING TABLE RULE t (RESOURCES(ds_0), SHARDING_COLUMN=id, "
+       "TYPE=mod, PROPERTIES(\"sharding-count\"=2))");
+  auto r = conn_->ExecuteSQL(
+      "CREATE SHARDING TABLE RULE t (RESOURCES(ds_0), SHARDING_COLUMN=id, "
+      "TYPE=mod, PROPERTIES(\"sharding-count\"=2))");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(DistSQLTest, AlterRuleChangesShardCount) {
+  Exec("CREATE SHARDING TABLE RULE t (RESOURCES(ds_0, ds_1), "
+       "SHARDING_COLUMN=id, TYPE=mod, PROPERTIES(\"sharding-count\"=2))");
+  Exec("ALTER SHARDING TABLE RULE t (RESOURCES(ds_0, ds_1), "
+       "SHARDING_COLUMN=id, TYPE=mod, PROPERTIES(\"sharding-count\"=4))");
+  ASSERT_NE(ds_->runtime()->rule()->FindTableRule("t"), nullptr);
+  EXPECT_EQ(ds_->runtime()->rule()->FindTableRule("t")->actual_nodes().size(), 4u);
+  auto r = conn_->ExecuteSQL(
+      "ALTER SHARDING TABLE RULE missing (RESOURCES(ds_0), SHARDING_COLUMN=id, "
+      "TYPE=mod, PROPERTIES(\"sharding-count\"=2))");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(DistSQLTest, DropRule) {
+  Exec("CREATE SHARDING TABLE RULE t (RESOURCES(ds_0), SHARDING_COLUMN=id, "
+       "TYPE=mod, PROPERTIES(\"sharding-count\"=2))");
+  Exec("DROP SHARDING TABLE RULE t");
+  EXPECT_EQ(ds_->runtime()->rule()->FindTableRule("t"), nullptr);
+  EXPECT_FALSE(conn_->ExecuteSQL("DROP SHARDING TABLE RULE t").ok());
+}
+
+TEST_F(DistSQLTest, BindingRulesThroughDistSQL) {
+  Exec("CREATE SHARDING TABLE RULE t_user (RESOURCES(ds_0, ds_1), "
+       "SHARDING_COLUMN=uid, TYPE=mod, PROPERTIES(\"sharding-count\"=4))");
+  Exec("CREATE SHARDING TABLE RULE t_order (RESOURCES(ds_0, ds_1), "
+       "SHARDING_COLUMN=uid, TYPE=mod, PROPERTIES(\"sharding-count\"=4))");
+  Exec("CREATE SHARDING BINDING TABLE RULES (t_user, t_order)");
+  EXPECT_TRUE(ds_->runtime()->rule()->IsBinding("t_user", "t_order"));
+  auto rows = Rows(Exec("SHOW BINDING TABLE RULES"));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value("t_user,t_order"));
+}
+
+TEST_F(DistSQLTest, BroadcastRule) {
+  Exec("CREATE BROADCAST TABLE RULE t_dict");
+  EXPECT_TRUE(ds_->runtime()->rule()->IsBroadcastTable("t_dict"));
+  auto rows = Rows(Exec("SHOW BROADCAST TABLE RULES"));
+  ASSERT_EQ(rows.size(), 1u);
+}
+
+TEST_F(DistSQLTest, ShowShardingTableRules) {
+  Exec("CREATE SHARDING TABLE RULE t_user (RESOURCES(ds_0, ds_1), "
+       "SHARDING_COLUMN=uid, TYPE=hash_mod, PROPERTIES(\"sharding-count\"=2), "
+       "KEY_GENERATE_STRATEGY(COLUMN=uid, TYPE=SNOWFLAKE))");
+  auto rows = Rows(Exec("SHOW SHARDING TABLE RULES"));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value("t_user"));
+  EXPECT_NE(rows[0][3].ToString().find("HASH_MOD"), std::string::npos);
+  EXPECT_NE(rows[0][4].ToString().find("SNOWFLAKE"), std::string::npos);
+  EXPECT_NE(rows[0][5].ToString().find("ds_0.t_user_0"), std::string::npos);
+}
+
+TEST_F(DistSQLTest, ShowAlgorithmsAndStorageUnits) {
+  auto algos = Rows(Exec("SHOW SHARDING ALGORITHMS"));
+  EXPECT_GE(algos.size(), 10u);
+  auto units = Rows(Exec("SHOW STORAGE UNITS"));
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_EQ(units[0][0], Value("ds_0"));
+}
+
+TEST_F(DistSQLTest, SetAndShowVariable) {
+  Exec("SET VARIABLE transaction_type = XA");
+  auto rows = Rows(Exec("SHOW VARIABLE transaction_type"));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1], Value("XA"));
+  Exec("SET VARIABLE max_connections_per_query = 7");
+  EXPECT_EQ(ds_->runtime()->max_connections_per_query(), 7);
+}
+
+TEST_F(DistSQLTest, PreviewShowsRouteAndRewrite) {
+  Exec("CREATE SHARDING TABLE RULE t_user (RESOURCES(ds_0, ds_1), "
+       "SHARDING_COLUMN=uid, TYPE=mod, PROPERTIES(\"sharding-count\"=4))");
+  auto rows = Rows(Exec("PREVIEW SELECT * FROM t_user WHERE uid IN (1, 2)"));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_NE(rows[0][1].ToString().find("t_user_"), std::string::npos);
+}
+
+TEST_F(DistSQLTest, SetDefaultStorageUnit) {
+  Exec("CREATE SHARDING TABLE RULE t (RESOURCES(ds_0), SHARDING_COLUMN=id, "
+       "TYPE=mod, PROPERTIES(\"sharding-count\"=1))");
+  Exec("SET DEFAULT STORAGE UNIT ds_1");
+  Exec("CREATE TABLE plain (id INT PRIMARY KEY)");
+  EXPECT_NE(nodes_[1]->database()->FindTable("plain"), nullptr);
+  EXPECT_EQ(nodes_[0]->database()->FindTable("plain"), nullptr);
+}
+
+TEST_F(DistSQLTest, MalformedDistSQLRejected) {
+  EXPECT_FALSE(conn_->ExecuteSQL("CREATE SHARDING TABLE RULE").ok());
+  EXPECT_FALSE(conn_->ExecuteSQL(
+                   "CREATE SHARDING TABLE RULE t (NONSENSE(1))").ok());
+  EXPECT_FALSE(conn_->ExecuteSQL(
+                   "CREATE SHARDING TABLE RULE t (SHARDING_COLUMN=id)").ok());
+}
+
+}  // namespace
+}  // namespace sphere::distsql

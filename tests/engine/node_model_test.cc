@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+#include "engine/storage_node.h"
+
+namespace sphere::engine {
+namespace {
+
+TEST(StatementCacheTest, RepeatedTextReusesParsedStatement) {
+  StorageNode node("ds_0");
+  auto s = node.OpenSession();
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO t (id, v) VALUES (1, 10)").ok());
+  // Same text with different params: both must produce correct results
+  // (the cache must not capture bound values).
+  auto r1 = s->Execute("SELECT v FROM t WHERE id = ?", {Value(1)});
+  ASSERT_TRUE(r1.ok());
+  Row row;
+  ASSERT_TRUE(r1->result_set->Next(&row));
+  EXPECT_EQ(row[0], Value(10));
+  auto r2 = s->Execute("SELECT v FROM t WHERE id = ?", {Value(999)});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->result_set->Next(&row));
+}
+
+TEST(StatementCacheTest, SyntaxErrorsAreNotCached) {
+  StorageNode node("ds_0");
+  auto s = node.OpenSession();
+  EXPECT_FALSE(s->Execute("SELEC nonsense").ok());
+  EXPECT_FALSE(s->Execute("SELEC nonsense").ok());  // still an error
+}
+
+TEST(StatementCacheTest, ManyDistinctTextsDontBreakEviction) {
+  StorageNode node("ds_0");
+  auto s = node.OpenSession();
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (id INT PRIMARY KEY)").ok());
+  // Cross the eviction threshold with distinct texts.
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(
+        s->Execute("INSERT INTO t (id) VALUES (" + std::to_string(i) + ")").ok());
+  }
+  auto r = s->Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(r.ok());
+  Row row;
+  ASSERT_TRUE(r->result_set->Next(&row));
+  EXPECT_EQ(row[0], Value(5000));
+}
+
+TEST(NodeDelayTest, DelayAppliedPerStatement) {
+  StorageNode node("ds_0");
+  node.set_statement_delay_us(2000);
+  auto s = node.OpenSession();
+  Stopwatch sw;
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (id INT PRIMARY KEY)").ok());
+  EXPECT_GE(sw.ElapsedMicros(), 1800);
+}
+
+TEST(IoSlotTest, LimitsConcurrentDelayedStatements) {
+  StorageNode node("ds_0");
+  {
+    auto s = node.OpenSession();
+    ASSERT_TRUE(s->Execute("CREATE TABLE t (id INT PRIMARY KEY)").ok());
+  }
+  node.set_statement_delay_us(3000);
+  node.set_io_concurrency(1);  // fully serialized IO
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  Stopwatch sw;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&node] {
+      auto s = node.OpenSession();
+      ASSERT_TRUE(s->Execute("SELECT * FROM t WHERE id = 1").ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  // 4 statements x 3ms through 1 slot must take >= ~12ms.
+  EXPECT_GE(sw.ElapsedMicros(), 10000);
+
+  // With unlimited slots they overlap.
+  node.set_io_concurrency(0);
+  Stopwatch sw2;
+  threads.clear();
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&node] {
+      auto s = node.OpenSession();
+      ASSERT_TRUE(s->Execute("SELECT * FROM t WHERE id = 1").ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LT(sw2.ElapsedMicros(), 10000);
+}
+
+}  // namespace
+}  // namespace sphere::engine

@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include "adaptor/jdbc.h"
+#include "common/strings.h"
+#include "core/hint.h"
+#include "features/aes.h"
+#include "features/encrypt.h"
+#include "features/guard.h"
+#include "features/readwrite.h"
+#include "features/scaling.h"
+#include "features/shadow.h"
+
+namespace sphere::features {
+namespace {
+
+using adaptor::ShardingConnection;
+using adaptor::ShardingDataSource;
+
+TEST(AesTest, RoundTripVariousLengths) {
+  Aes128 aes("secret-key");
+  for (const std::string plain :
+       {std::string(""), std::string("a"), std::string("exactly16bytes!!"),
+        std::string("a longer plaintext that spans multiple AES blocks....")}) {
+    std::string hex = aes.EncryptToHex(plain);
+    std::string out;
+    ASSERT_TRUE(aes.DecryptFromHex(hex, &out)) << plain;
+    EXPECT_EQ(out, plain);
+  }
+}
+
+TEST(AesTest, Deterministic) {
+  Aes128 aes("k");
+  EXPECT_EQ(aes.EncryptToHex("same"), aes.EncryptToHex("same"));
+  EXPECT_NE(aes.EncryptToHex("same"), aes.EncryptToHex("diff"));
+}
+
+TEST(AesTest, DifferentKeysDifferentCiphertext) {
+  Aes128 a("key-a"), b("key-b");
+  EXPECT_NE(a.EncryptToHex("text"), b.EncryptToHex("text"));
+  std::string out;
+  EXPECT_FALSE(b.DecryptFromHex(a.EncryptToHex("text"), &out) && out == "text");
+}
+
+TEST(AesTest, KnownVector) {
+  // FIPS-197 appendix C.1-style check: all-zero key, all-zero block is not
+  // available through the passphrase API, but stability matters: freeze one.
+  Aes128 aes("");
+  std::string hex = aes.EncryptToHex("");
+  // 1 block of pure PKCS#7 padding under the zero key.
+  EXPECT_EQ(hex.size(), 32u);
+  std::string out;
+  ASSERT_TRUE(aes.DecryptFromHex(hex, &out));
+  EXPECT_EQ(out, "");
+}
+
+TEST(AesTest, MalformedInputRejected) {
+  Aes128 aes("k");
+  std::string out;
+  EXPECT_FALSE(aes.DecryptFromHex("zz", &out));
+  EXPECT_FALSE(aes.DecryptFromHex("abcd", &out));        // not block-sized
+  EXPECT_FALSE(aes.DecryptFromHex("", &out));
+}
+
+// ---------------------------------------------------------------------------
+// Feature fixtures on a two-node cluster.
+// ---------------------------------------------------------------------------
+
+class FeatureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = std::make_unique<ShardingDataSource>(core::RuntimeConfig(),
+                                               net::NetworkConfig::Zero());
+    for (int i = 0; i < 4; ++i) {
+      nodes_.push_back(
+          std::make_unique<engine::StorageNode>("ds_" + std::to_string(i)));
+      ASSERT_TRUE(ds_->AttachNode(nodes_.back()->name(), nodes_.back().get()).ok());
+    }
+  }
+
+  /// t_user sharded MOD-2 over ds_0/ds_1.
+  void InstallShardRule() {
+    core::ShardingRuleConfig config;
+    config.default_data_source = "ds_0";
+    core::TableRuleConfig t;
+    t.logic_table = "t_user";
+    t.auto_resources = {"ds_0", "ds_1"};
+    t.auto_sharding_count = 2;
+    t.table_strategy.columns = {"uid"};
+    t.table_strategy.algorithm_type = "MOD";
+    t.table_strategy.props.Set("sharding-count", "2");
+    config.tables.push_back(std::move(t));
+    ASSERT_TRUE(ds_->SetRule(std::move(config)).ok());
+    conn_ = ds_->GetConnection();
+    ASSERT_TRUE(conn_->ExecuteSQL("CREATE TABLE t_user (uid BIGINT PRIMARY KEY, "
+                                  "name VARCHAR(64), shadow INT)")
+                    .ok());
+  }
+
+  size_t RowsOn(int node, const std::string& table) {
+    auto* t = nodes_[static_cast<size_t>(node)]->database()->FindTable(table);
+    return t == nullptr ? 0 : t->row_count();
+  }
+
+  std::unique_ptr<ShardingDataSource> ds_;
+  std::vector<std::unique_ptr<engine::StorageNode>> nodes_;
+  std::unique_ptr<ShardingConnection> conn_;
+};
+
+TEST_F(FeatureTest, ReadWriteSplitRoutesReadsToReplicas) {
+  // ds_0 is primary with replicas ds_2, ds_3; no sharding.
+  core::ShardingRuleConfig config;
+  config.default_data_source = "ds_0";
+  ASSERT_TRUE(ds_->SetRule(std::move(config)).ok());
+
+  ReadWriteSplitConfig rw;
+  rw.groups.push_back({"ds_0", {"ds_2", "ds_3"}, {}, "ROUND_ROBIN"});
+  auto interceptor = std::make_shared<ReadWriteSplitInterceptor>(rw);
+  ds_->runtime()->AddInterceptor(interceptor);
+
+  conn_ = ds_->GetConnection();
+  ASSERT_TRUE(conn_->ExecuteSQL("CREATE TABLE t (id INT PRIMARY KEY, v INT)").ok());
+  // DDL replicated to replicas too.
+  EXPECT_NE(nodes_[2]->database()->FindTable("t"), nullptr);
+  EXPECT_NE(nodes_[3]->database()->FindTable("t"), nullptr);
+
+  auto n = conn_->ExecuteUpdate("INSERT INTO t (id, v) VALUES (1, 10)");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);  // fan-out compensated
+  EXPECT_EQ(RowsOn(0, "t"), 1u);
+  EXPECT_EQ(RowsOn(2, "t"), 1u);
+  EXPECT_EQ(RowsOn(3, "t"), 1u);
+
+  int64_t before_0 = nodes_[0]->statements_executed();
+  for (int i = 0; i < 6; ++i) {
+    auto rs = conn_->ExecuteQuery("SELECT v FROM t WHERE id = 1");
+    ASSERT_TRUE(rs.ok());
+    ASSERT_TRUE(rs->Next());
+    EXPECT_EQ(rs->GetInt(0), 10);
+  }
+  // All six reads went to replicas, none to the primary.
+  EXPECT_EQ(nodes_[0]->statements_executed(), before_0);
+  EXPECT_EQ(interceptor->reads_routed_to_replicas(), 6);
+  EXPECT_GT(interceptor->writes_replicated(), 0);
+}
+
+TEST_F(FeatureTest, ReadWriteSplitTransactionalReadsStayOnPrimary) {
+  core::ShardingRuleConfig config;
+  config.default_data_source = "ds_0";
+  ASSERT_TRUE(ds_->SetRule(std::move(config)).ok());
+  ReadWriteSplitConfig rw;
+  rw.groups.push_back({"ds_0", {"ds_2"}, {}, "ROUND_ROBIN"});
+  auto interceptor = std::make_shared<ReadWriteSplitInterceptor>(rw);
+  ds_->runtime()->AddInterceptor(interceptor);
+  conn_ = ds_->GetConnection();
+  ASSERT_TRUE(conn_->ExecuteSQL("CREATE TABLE t (id INT PRIMARY KEY, v INT)").ok());
+  ASSERT_TRUE(conn_->ExecuteSQL("BEGIN").ok());
+  ASSERT_TRUE(conn_->ExecuteSQL("INSERT INTO t (id, v) VALUES (1, 1)").ok());
+  ASSERT_TRUE(conn_->ExecuteSQL("SELECT * FROM t WHERE id = 1").ok());
+  ASSERT_TRUE(conn_->ExecuteSQL("COMMIT").ok());
+  EXPECT_EQ(interceptor->reads_routed_to_replicas(), 0);
+}
+
+TEST_F(FeatureTest, EncryptTransparentRoundTrip) {
+  InstallShardRule();
+  auto interceptor = std::make_shared<EncryptInterceptor>(
+      std::vector<EncryptColumnConfig>{{"t_user", "name", "pii-key"}});
+  ds_->runtime()->AddInterceptor(interceptor);
+
+  ASSERT_TRUE(conn_->ExecuteSQL("INSERT INTO t_user (uid, name, shadow) VALUES "
+                                "(1, 'alice', 0), (2, 'bob', 0)")
+                  .ok());
+  // Stored ciphertext differs from the plaintext.
+  const storage::Table* t1 = nodes_[1]->database()->FindTable("t_user_1");
+  ASSERT_NE(t1, nullptr);
+  const Row* raw = t1->Find(Value(1));
+  ASSERT_NE(raw, nullptr);
+  EXPECT_NE((*raw)[1], Value("alice"));
+  std::string stored = (*raw)[1].ToString();
+  EXPECT_EQ(stored, *interceptor->Encrypt("t_user", "name", "alice"));
+
+  // Reads decrypt transparently.
+  auto rs = conn_->ExecuteQuery("SELECT name FROM t_user WHERE uid = 1");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rs->Next());
+  EXPECT_EQ(rs->GetString(0), "alice");
+
+  // Equality predicates on the encrypted column work (deterministic AES).
+  auto rs2 = conn_->ExecuteQuery("SELECT uid FROM t_user WHERE name = 'bob'");
+  ASSERT_TRUE(rs2.ok());
+  ASSERT_TRUE(rs2->Next());
+  EXPECT_EQ(rs2->GetInt(0), 2);
+}
+
+TEST_F(FeatureTest, EncryptParamsAndUpdates) {
+  InstallShardRule();
+  ds_->runtime()->AddInterceptor(std::make_shared<EncryptInterceptor>(
+      std::vector<EncryptColumnConfig>{{"t_user", "name", "pii-key"}}));
+  ASSERT_TRUE(conn_->ExecuteSQL("INSERT INTO t_user (uid, name, shadow) VALUES (?, ?, 0)",
+                                {Value(5), Value("carol")})
+                  .ok());
+  ASSERT_TRUE(conn_->ExecuteSQL("UPDATE t_user SET name = ? WHERE uid = ?",
+                                {Value("carla"), Value(5)})
+                  .ok());
+  auto rs = conn_->ExecuteQuery("SELECT name FROM t_user WHERE uid = 5");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rs->Next());
+  EXPECT_EQ(rs->GetString(0), "carla");
+}
+
+TEST_F(FeatureTest, ShadowRoutesFlaggedTraffic) {
+  InstallShardRule();
+  ShadowConfig shadow;
+  shadow.mapping = {{"ds_0", "ds_2"}, {"ds_1", "ds_3"}};
+  shadow.shadow_column = "shadow";
+  auto interceptor = std::make_shared<ShadowInterceptor>(shadow);
+  ds_->runtime()->AddInterceptor(interceptor);
+
+  // Shadow schemas must exist: create via hint so DDL reaches shadow nodes.
+  core::HintManager::SetShadow(true);
+  ASSERT_TRUE(conn_->ExecuteSQL("CREATE TABLE t_user (uid BIGINT PRIMARY KEY, "
+                                "name VARCHAR(64), shadow INT)")
+                  .ok());
+  core::HintManager::Clear();
+
+  // Production insert.
+  ASSERT_TRUE(conn_->ExecuteSQL(
+                  "INSERT INTO t_user (uid, name, shadow) VALUES (2, 'real', 0)")
+                  .ok());
+  // Test traffic flagged by column value.
+  ASSERT_TRUE(conn_->ExecuteSQL(
+                  "INSERT INTO t_user (uid, name, shadow) VALUES (4, 'test', 1)")
+                  .ok());
+  EXPECT_EQ(RowsOn(0, "t_user_0"), 1u);  // production row
+  EXPECT_EQ(RowsOn(2, "t_user_0"), 1u);  // shadow row
+  EXPECT_GE(interceptor->shadow_statements(), 1);
+
+  // Shadow reads see only shadow data.
+  auto rs = conn_->ExecuteQuery(
+      "SELECT name FROM t_user WHERE uid = 4 AND shadow = 1");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rs->Next());
+  EXPECT_EQ(rs->GetString(0), "test");
+}
+
+TEST_F(FeatureTest, ShadowHintTriggers) {
+  InstallShardRule();
+  ShadowConfig shadow;
+  shadow.mapping = {{"ds_0", "ds_2"}, {"ds_1", "ds_3"}};
+  auto interceptor = std::make_shared<ShadowInterceptor>(shadow);
+  ds_->runtime()->AddInterceptor(interceptor);
+  core::HintManager::SetShadow(true);
+  ASSERT_TRUE(conn_->ExecuteSQL("CREATE TABLE t_user (uid BIGINT PRIMARY KEY, "
+                                "name VARCHAR(64), shadow INT)")
+                  .ok());
+  ASSERT_TRUE(conn_->ExecuteSQL(
+                  "INSERT INTO t_user (uid, name, shadow) VALUES (2, 'x', 0)")
+                  .ok());
+  core::HintManager::Clear();
+  EXPECT_EQ(RowsOn(2, "t_user_0"), 1u);
+  EXPECT_EQ(RowsOn(0, "t_user_0"), 0u);
+}
+
+TEST_F(FeatureTest, CircuitBreakerLifecycle) {
+  InstallShardRule();
+  auto breaker = std::make_shared<CircuitBreaker>(/*failure_threshold=*/2,
+                                                  /*open_duration_ms=*/20);
+  ds_->runtime()->AddInterceptor(breaker);
+
+  ASSERT_TRUE(conn_->ExecuteSQL("SELECT * FROM t_user WHERE uid = 1").ok());
+  EXPECT_EQ(breaker->state(), CircuitBreaker::State::kClosed);
+
+  breaker->RecordFailure();
+  breaker->RecordFailure();
+  EXPECT_EQ(breaker->state(), CircuitBreaker::State::kOpen);
+  auto r = conn_->ExecuteSQL("SELECT * FROM t_user WHERE uid = 1");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(breaker->rejected_statements(), 1);
+
+  SleepMicros(25000);  // cool-down elapses -> half-open probe allowed
+  EXPECT_TRUE(conn_->ExecuteSQL("SELECT * FROM t_user WHERE uid = 1").ok());
+  EXPECT_EQ(breaker->state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(FeatureTest, ThrottleRejectsBeyondRate) {
+  InstallShardRule();
+  auto throttle = std::make_shared<RateThrottle>(/*rate=*/1.0, /*burst=*/3.0);
+  ds_->runtime()->AddInterceptor(throttle);
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto r = conn_->ExecuteSQL("SELECT * FROM t_user WHERE uid = 1");
+    if (r.ok()) ++ok;
+    else if (r.status().code() == StatusCode::kResourceExhausted) ++rejected;
+  }
+  EXPECT_EQ(ok, 3);  // the burst
+  EXPECT_EQ(rejected, 7);
+  EXPECT_EQ(throttle->throttled_statements(), 7);
+}
+
+TEST_F(FeatureTest, ScalingJobReshards) {
+  InstallShardRule();
+  for (int uid = 0; uid < 40; ++uid) {
+    ASSERT_TRUE(conn_->ExecuteSQL(StrFormat(
+                    "INSERT INTO t_user (uid, name, shadow) VALUES (%d, 'u%d', 0)",
+                    uid, uid))
+                    .ok());
+  }
+  // Reshard 2 -> 8 tables over all four data sources (new table names so
+  // nodes don't collide).
+  core::TableRuleConfig target;
+  target.actual_data_nodes = "ds_${0..3}.t_user_v2_${0..7}";
+  target.table_strategy.columns = {"uid"};
+  target.table_strategy.algorithm_type = "MOD";
+  target.table_strategy.props.Set("sharding-count", "8");
+
+  ScalingJob job(ds_->runtime(), "t_user", target);
+  auto report = job.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_migrated, 40u);
+  EXPECT_TRUE(report->consistency_ok);
+  EXPECT_EQ(report->source_nodes, 2u);
+  EXPECT_EQ(report->target_nodes, 8u);
+
+  // The runtime now serves from the new layout.
+  auto rs = conn_->ExecuteQuery("SELECT COUNT(*) FROM t_user");
+  ASSERT_TRUE(rs.ok());
+  rs->Next();
+  EXPECT_EQ(rs->GetInt(0), 40);
+  auto point = conn_->ExecuteQuery("SELECT name FROM t_user WHERE uid = 13");
+  ASSERT_TRUE(point.ok());
+  ASSERT_TRUE(point->Next());
+  EXPECT_EQ(point->GetString(0), "u13");
+  // New shard tables hold the data.
+  EXPECT_GT(RowsOn(2, "t_user_v2_2"), 0u);
+}
+
+TEST_F(FeatureTest, ScalingRejectsCollidingLayout) {
+  InstallShardRule();
+  core::TableRuleConfig target;
+  target.actual_data_nodes = "ds_${0..1}.t_user_${0..1}";  // same nodes
+  target.table_strategy.columns = {"uid"};
+  target.table_strategy.algorithm_type = "MOD";
+  target.table_strategy.props.Set("sharding-count", "2");
+  ScalingJob job(ds_->runtime(), "t_user", target);
+  EXPECT_FALSE(job.Run().ok());
+}
+
+}  // namespace
+}  // namespace sphere::features

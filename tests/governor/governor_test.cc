@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "governor/config_manager.h"
+#include "governor/health.h"
+#include "governor/registry.h"
+
+namespace sphere::governor {
+namespace {
+
+TEST(RegistryTest, CreateGetDelete) {
+  Registry reg;
+  ASSERT_TRUE(reg.Create("/a/b", "v1").ok());
+  EXPECT_TRUE(reg.Exists("/a"));  // parent auto-created
+  EXPECT_EQ(*reg.Get("/a/b"), "v1");
+  EXPECT_EQ(reg.Create("/a/b", "again").code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(reg.Delete("/a/b").ok());
+  EXPECT_FALSE(reg.Exists("/a/b"));
+  EXPECT_EQ(reg.Get("/a/b").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, PutUpserts) {
+  Registry reg;
+  ASSERT_TRUE(reg.Put("/x", "1").ok());
+  ASSERT_TRUE(reg.Put("/x", "2").ok());
+  EXPECT_EQ(*reg.Get("/x"), "2");
+}
+
+TEST(RegistryTest, DeleteWithChildrenRefused) {
+  Registry reg;
+  ASSERT_TRUE(reg.Create("/p/c", "v").ok());
+  EXPECT_FALSE(reg.Delete("/p").ok());
+  ASSERT_TRUE(reg.Delete("/p/c").ok());
+  EXPECT_TRUE(reg.Delete("/p").ok());
+}
+
+TEST(RegistryTest, ChildrenListedSorted) {
+  Registry reg;
+  ASSERT_TRUE(reg.Create("/r/b", "").ok());
+  ASSERT_TRUE(reg.Create("/r/a", "").ok());
+  ASSERT_TRUE(reg.Create("/r/a/nested", "").ok());
+  EXPECT_EQ(reg.GetChildren("/r"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(RegistryTest, WatchFiresOnNodeAndChildren) {
+  Registry reg;
+  std::vector<std::string> events;
+  reg.Watch("/cfg", [&](const RegistryEvent& ev) {
+    events.push_back(ev.path + ":" +
+                     std::to_string(static_cast<int>(ev.type)));
+  });
+  ASSERT_TRUE(reg.Put("/cfg", "root").ok());
+  ASSERT_TRUE(reg.Create("/cfg/rule1", "r").ok());
+  ASSERT_TRUE(reg.Put("/cfg/rule1", "r2").ok());
+  ASSERT_TRUE(reg.Delete("/cfg/rule1").ok());
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0], "/cfg:0");
+  EXPECT_EQ(events[1], "/cfg/rule1:0");
+  EXPECT_EQ(events[2], "/cfg/rule1:1");
+  EXPECT_EQ(events[3], "/cfg/rule1:2");
+}
+
+TEST(RegistryTest, UnwatchStopsEvents) {
+  Registry reg;
+  int count = 0;
+  int64_t id = reg.Watch("/w", [&](const RegistryEvent&) { ++count; });
+  ASSERT_TRUE(reg.Put("/w", "1").ok());
+  reg.Unwatch(id);
+  ASSERT_TRUE(reg.Put("/w", "2").ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST(RegistryTest, EphemeralNodesDieWithSession) {
+  Registry reg;
+  auto session = reg.Connect();
+  ASSERT_TRUE(reg.Create("/status/instances/proxy-1", "up", session).ok());
+  ASSERT_TRUE(reg.Create("/status/persistent", "keep").ok());
+  int deleted = 0;
+  reg.Watch("/status/instances", [&](const RegistryEvent& ev) {
+    if (ev.type == RegistryEvent::Type::kDeleted) ++deleted;
+  });
+  reg.Disconnect(session);
+  EXPECT_FALSE(reg.Exists("/status/instances/proxy-1"));
+  EXPECT_TRUE(reg.Exists("/status/persistent"));
+  EXPECT_EQ(deleted, 1);
+}
+
+TEST(RegistryTest, LocksAreExclusivePerSession) {
+  Registry reg;
+  auto s1 = reg.Connect();
+  auto s2 = reg.Connect();
+  EXPECT_TRUE(reg.TryLock("resize", s1));
+  EXPECT_FALSE(reg.TryLock("resize", s2));
+  reg.Unlock("resize", s2);  // non-owner unlock is a no-op
+  EXPECT_FALSE(reg.TryLock("resize", s2));
+  reg.Unlock("resize", s1);
+  EXPECT_TRUE(reg.TryLock("resize", s2));
+}
+
+TEST(RegistryTest, DisconnectReleasesLocks) {
+  Registry reg;
+  auto s1 = reg.Connect();
+  EXPECT_TRUE(reg.TryLock("l", s1));
+  reg.Disconnect(s1);
+  auto s2 = reg.Connect();
+  EXPECT_TRUE(reg.TryLock("l", s2));
+}
+
+TEST(ConfigManagerTest, RuleAndDataSourceLifecycle) {
+  Registry reg;
+  ConfigManager config(&reg);
+  ASSERT_TRUE(config.SaveDataSource("ds_0", "host=a").ok());
+  ASSERT_TRUE(config.SaveDataSource("ds_1", "host=b").ok());
+  EXPECT_EQ(config.ListDataSources(),
+            (std::vector<std::string>{"ds_0", "ds_1"}));
+  ASSERT_TRUE(config.SaveRule("t_user", "MOD(4)").ok());
+  EXPECT_EQ(*config.GetRule("t_user"), "MOD(4)");
+  EXPECT_EQ(config.ListRules(), std::vector<std::string>{"t_user"});
+  ASSERT_TRUE(config.DropRule("t_user").ok());
+  EXPECT_TRUE(config.ListRules().empty());
+  ASSERT_TRUE(config.SetProperty("max-connections-per-query", "5").ok());
+  EXPECT_EQ(config.GetProperty("max-connections-per-query"), "5");
+  EXPECT_EQ(config.GetProperty("missing", "dflt"), "dflt");
+}
+
+TEST(HealthTest, DetectsTimeoutAndRecovery) {
+  HealthDetector detector(/*check_interval_ms=*/1000, /*timeout_ms=*/0);
+  std::vector<std::string> transitions;
+  detector.SetStateChangeCallback(
+      [&](const std::string& name, HealthDetector::State state) {
+        transitions.push_back(name + (state == HealthDetector::State::kUp
+                                          ? ":up"
+                                          : ":down"));
+      });
+  detector.RegisterInstance("proxy-1");
+  EXPECT_TRUE(detector.IsHealthy("proxy-1"));
+  SleepMicros(1500);
+  detector.RunCheckOnce();  // heartbeat older than 0ms timeout -> down
+  EXPECT_FALSE(detector.IsHealthy("proxy-1"));
+  detector.Heartbeat("proxy-1");
+  EXPECT_TRUE(detector.IsHealthy("proxy-1"));
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0], "proxy-1:down");
+  EXPECT_EQ(transitions[1], "proxy-1:up");
+}
+
+TEST(HealthTest, HealthyInstancesList) {
+  HealthDetector detector(1000, 0);
+  detector.RegisterInstance("a");
+  detector.RegisterInstance("b");
+  EXPECT_EQ(detector.HealthyInstances().size(), 2u);
+  SleepMicros(1500);
+  detector.RunCheckOnce();
+  detector.Heartbeat("b");
+  EXPECT_EQ(detector.HealthyInstances(), std::vector<std::string>{"b"});
+  detector.UnregisterInstance("b");
+  EXPECT_TRUE(detector.HealthyInstances().empty());
+}
+
+TEST(HealthTest, BackgroundThreadDetects) {
+  HealthDetector detector(/*check_interval_ms=*/5, /*timeout_ms=*/10);
+  detector.RegisterInstance("node");
+  detector.Start();
+  SleepMicros(60000);  // > timeout with several check cycles
+  EXPECT_FALSE(detector.IsHealthy("node"));
+  detector.Stop();
+}
+
+}  // namespace
+}  // namespace sphere::governor

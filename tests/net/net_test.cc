@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/packet.h"
+#include "net/pool.h"
+#include "net/remote.h"
+
+namespace sphere::net {
+namespace {
+
+TEST(PacketTest, ValueRoundTrip) {
+  PacketWriter w;
+  w.WriteValue(Value::Null());
+  w.WriteValue(Value(-42));
+  w.WriteValue(Value(2.75));
+  w.WriteValue(Value("hello'world"));
+  PacketReader r(w.buffer());
+  EXPECT_TRUE(r.ReadValue()->is_null());
+  EXPECT_EQ(*r.ReadValue(), Value(-42));
+  EXPECT_EQ(*r.ReadValue(), Value(2.75));
+  EXPECT_EQ(*r.ReadValue(), Value("hello'world"));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(PacketTest, QueryRoundTrip) {
+  std::string data = EncodeQuery("SELECT * FROM t WHERE id = ?", {Value(7)});
+  auto req = DecodeRequest(data);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->type, PacketType::kQuery);
+  EXPECT_EQ(req->sql, "SELECT * FROM t WHERE id = ?");
+  ASSERT_EQ(req->params.size(), 1u);
+  EXPECT_EQ(req->params[0], Value(7));
+}
+
+TEST(PacketTest, CommandRoundTrip) {
+  auto req = DecodeRequest(EncodeCommand(PacketType::kCommitPrepared, "xid-9"));
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->type, PacketType::kCommitPrepared);
+  EXPECT_EQ(req->arg, "xid-9");
+}
+
+TEST(PacketTest, ResultSetRoundTrip) {
+  auto rs = std::make_unique<engine::VectorResultSet>(
+      std::vector<std::string>{"a", "b"},
+      std::vector<Row>{{Value(1), Value("x")}, {Value::Null(), Value(0.5)}});
+  engine::ExecResult result = engine::ExecResult::Query(std::move(rs));
+  std::string data = EncodeExecResult(&result);
+  auto decoded = DecodeResponse(data);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->is_query);
+  EXPECT_EQ(decoded->result_set->columns(),
+            (std::vector<std::string>{"a", "b"}));
+  auto rows = engine::DrainResultSet(decoded->result_set.get());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value(1));
+  EXPECT_TRUE(rows[1][0].is_null());
+}
+
+TEST(PacketTest, UpdateResultRoundTrip) {
+  engine::ExecResult result = engine::ExecResult::Update(5, 99);
+  auto decoded = DecodeResponse(EncodeExecResult(&result));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->is_query);
+  EXPECT_EQ(decoded->affected_rows, 5);
+  EXPECT_EQ(decoded->last_insert_id, 99);
+}
+
+TEST(PacketTest, ErrorRoundTrip) {
+  auto decoded = DecodeResponse(EncodeError(Status::Conflict("dup key")));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kConflict);
+  EXPECT_EQ(decoded.status().message(), "dup key");
+}
+
+TEST(PacketTest, TruncatedPacketFails) {
+  std::string data = EncodeQuery("SELECT 1", {});
+  data.resize(data.size() / 2);
+  EXPECT_FALSE(DecodeRequest(data).ok());
+}
+
+class RemoteTest : public ::testing::Test {
+ protected:
+  RemoteTest() : node_("ds_0"), network_(NetworkConfig::Zero()) {
+    auto s = node_.OpenSession();
+    EXPECT_TRUE(s->Execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").ok());
+    EXPECT_TRUE(s->Execute("INSERT INTO t (id, v) VALUES (1, 10)").ok());
+  }
+  engine::StorageNode node_;
+  LatencyModel network_;
+};
+
+TEST_F(RemoteTest, ExecuteOverProtocol) {
+  RemoteConnection conn(&node_, &network_);
+  auto r = conn.Execute("SELECT v FROM t WHERE id = ?", {Value(1)});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto rows = engine::DrainResultSet(r->result_set.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value(10));
+  EXPECT_GE(network_.messages(), 2);  // request + response counted
+}
+
+TEST_F(RemoteTest, TransactionVerbs) {
+  RemoteConnection conn(&node_, &network_);
+  ASSERT_TRUE(conn.Begin().ok());
+  EXPECT_TRUE(conn.in_transaction());
+  ASSERT_TRUE(conn.Execute("UPDATE t SET v = 20 WHERE id = 1").ok());
+  ASSERT_TRUE(conn.Rollback().ok());
+  auto r = conn.Execute("SELECT v FROM t WHERE id = 1");
+  auto rows = engine::DrainResultSet(r->result_set.get());
+  EXPECT_EQ(rows[0][0], Value(10));
+}
+
+TEST_F(RemoteTest, XaVerbsOverProtocol) {
+  RemoteConnection conn(&node_, &network_);
+  ASSERT_TRUE(conn.Begin("gx-1").ok());
+  ASSERT_TRUE(conn.Execute("UPDATE t SET v = 30 WHERE id = 1").ok());
+  ASSERT_TRUE(conn.PrepareXa().ok());
+  ASSERT_TRUE(conn.CommitPrepared("gx-1").ok());
+  auto r = conn.Execute("SELECT v FROM t WHERE id = 1");
+  auto rows = engine::DrainResultSet(r->result_set.get());
+  EXPECT_EQ(rows[0][0], Value(30));
+}
+
+TEST_F(RemoteTest, ErrorPropagates) {
+  RemoteConnection conn(&node_, &network_);
+  auto r = conn.Execute("SELECT * FROM nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RemoteTest, LatencyIsApplied) {
+  LatencyModel slow(NetworkConfig{2000, 0});  // 2ms per hop
+  RemoteConnection conn(&node_, &slow);
+  Stopwatch sw;
+  ASSERT_TRUE(conn.Execute("SELECT v FROM t WHERE id = 1").ok());
+  EXPECT_GE(sw.ElapsedMicros(), 3500);  // ~2 hops
+}
+
+TEST_F(RemoteTest, PoolAcquireRelease) {
+  ConnectionPool pool(&node_, &network_, 2);
+  EXPECT_EQ(pool.available(), 2);
+  {
+    auto lease = pool.Acquire();
+    ASSERT_TRUE(lease.valid());
+    EXPECT_EQ(pool.available(), 1);
+  }
+  EXPECT_EQ(pool.available(), 2);
+}
+
+TEST_F(RemoteTest, PoolAcquireManyAtomic) {
+  ConnectionPool pool(&node_, &network_, 4);
+  auto leases = pool.AcquireMany(3);
+  EXPECT_EQ(leases.size(), 3u);
+  EXPECT_EQ(pool.available(), 1);
+  leases.clear();
+  EXPECT_EQ(pool.available(), 4);
+  EXPECT_EQ(pool.peak_in_use(), 3);
+}
+
+TEST_F(RemoteTest, PoolAcquireManyClampsToMax) {
+  ConnectionPool pool(&node_, &network_, 2);
+  auto leases = pool.AcquireMany(10);
+  EXPECT_EQ(leases.size(), 2u);
+}
+
+TEST_F(RemoteTest, PoolBlocksUntilReleased) {
+  ConnectionPool pool(&node_, &network_, 1);
+  auto lease = pool.Acquire();
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    auto l2 = pool.Acquire();
+    acquired = true;
+  });
+  SleepMicros(20000);
+  EXPECT_FALSE(acquired.load());
+  lease.Release();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST_F(RemoteTest, ConcurrentAcquireManyNoDeadlock) {
+  // The paper's deadlock scenario: two queries each needing 2 connections
+  // from a pool of 2. Atomic batch acquisition must serialize them.
+  ConnectionPool pool(&node_, &network_, 2);
+  std::atomic<int> completed{0};
+  auto worker = [&] {
+    for (int i = 0; i < 50; ++i) {
+      auto leases = pool.AcquireMany(2);
+      EXPECT_EQ(leases.size(), 2u);
+      leases.clear();
+    }
+    completed.fetch_add(1);
+  };
+  std::thread t1(worker), t2(worker);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(completed.load(), 2);
+}
+
+}  // namespace
+}  // namespace sphere::net

@@ -1,0 +1,135 @@
+#include "raft/raft.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace sphere::raft {
+namespace {
+
+class RaftTest : public ::testing::Test {
+ protected:
+  RaftTest()
+      : network_(net::NetworkConfig::Zero()),
+        group_(3, &network_, [this](int id, const std::string& cmd) {
+          applied_[id].push_back(cmd);
+        }) {}
+
+  net::LatencyModel network_;
+  std::map<int, std::vector<std::string>> applied_;
+  RaftGroup group_;
+};
+
+TEST_F(RaftTest, ProposeCommitsAndAppliesEverywhere) {
+  auto idx = group_.Propose("cmd-1");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(applied_[i].size(), 1u) << "replica " << i;
+    EXPECT_EQ(applied_[i][0], "cmd-1");
+  }
+}
+
+TEST_F(RaftTest, LogsStayOrderedAndIdentical) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(group_.Propose("cmd-" + std::to_string(i)).ok());
+  }
+  auto log0 = group_.CommittedLog(0);
+  for (int r = 1; r < 3; ++r) {
+    auto log = group_.CommittedLog(r);
+    ASSERT_EQ(log.size(), log0.size());
+    for (size_t i = 0; i < log.size(); ++i) {
+      EXPECT_EQ(log[i].command, log0[i].command);
+      EXPECT_EQ(log[i].term, log0[i].term);
+    }
+  }
+}
+
+TEST_F(RaftTest, CommitsWithMinorityDown) {
+  group_.Disconnect(2);
+  ASSERT_TRUE(group_.Propose("still-works").ok());
+  EXPECT_EQ(applied_[0].size(), 1u);
+  EXPECT_EQ(applied_[1].size(), 1u);
+  EXPECT_EQ(applied_[2].size(), 0u);  // down replica missed it
+}
+
+TEST_F(RaftTest, RefusesWithoutMajority) {
+  group_.Disconnect(1);
+  group_.Disconnect(2);
+  auto r = group_.Propose("no-quorum");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(RaftTest, ReconnectedReplicaCatchesUp) {
+  group_.Disconnect(2);
+  ASSERT_TRUE(group_.Propose("a").ok());
+  ASSERT_TRUE(group_.Propose("b").ok());
+  group_.Reconnect(2);
+  // The next replication round retransmits the missing suffix.
+  ASSERT_TRUE(group_.Propose("c").ok());
+  EXPECT_EQ(applied_[2].size(), 3u);
+  EXPECT_EQ(applied_[2][0], "a");
+  EXPECT_EQ(applied_[2][2], "c");
+}
+
+TEST_F(RaftTest, ElectionBumpsTermAndMovesLeader) {
+  int64_t term_before = group_.term();
+  EXPECT_TRUE(group_.TriggerElection(1));
+  EXPECT_EQ(group_.leader(), 1);
+  EXPECT_GT(group_.term(), term_before);
+  ASSERT_TRUE(group_.Propose("after-election").ok());
+  EXPECT_EQ(applied_[0].back(), "after-election");
+}
+
+TEST_F(RaftTest, StaleLogCandidateLosesElection) {
+  // Replica 2 misses entries, then asks for votes: the up-to-date rule must
+  // deny it a majority.
+  group_.Disconnect(2);
+  ASSERT_TRUE(group_.Propose("x").ok());
+  ASSERT_TRUE(group_.Propose("y").ok());
+  group_.Reconnect(2);
+  EXPECT_FALSE(group_.TriggerElection(2));
+  EXPECT_NE(group_.leader(), 2);
+  // After catching up it can win.
+  group_.CatchUp(2);
+  EXPECT_TRUE(group_.TriggerElection(2));
+  EXPECT_EQ(group_.leader(), 2);
+}
+
+TEST_F(RaftTest, DisconnectedCandidateCannotWin) {
+  group_.Disconnect(1);
+  EXPECT_FALSE(group_.TriggerElection(1));
+}
+
+TEST_F(RaftTest, LeaderDownBlocksWrites) {
+  group_.Disconnect(group_.leader());
+  EXPECT_FALSE(group_.Propose("lost").ok());
+  // A healthy replica takes over.
+  EXPECT_TRUE(group_.TriggerElection(1));
+  EXPECT_TRUE(group_.Propose("recovered").ok());
+}
+
+TEST_F(RaftTest, ReplicationPaysNetworkCost) {
+  net::LatencyModel network(net::NetworkConfig{0, 0});
+  RaftGroup group(3, &network, [](int, const std::string&) {});
+  int64_t before = network.messages();
+  ASSERT_TRUE(group.Propose("cost").ok());
+  // At least request+ack per follower.
+  EXPECT_GE(network.messages() - before, 4);
+}
+
+TEST_F(RaftTest, FiveReplicaMajority) {
+  net::LatencyModel network(net::NetworkConfig::Zero());
+  std::map<int, int> counts;
+  RaftGroup group(5, &network,
+                  [&](int id, const std::string&) { counts[id]++; });
+  group.Disconnect(3);
+  group.Disconnect(4);
+  EXPECT_TRUE(group.Propose("3-of-5").ok());  // 3/5 is a majority
+  group.Disconnect(2);
+  EXPECT_FALSE(group.Propose("2-of-5").ok());
+}
+
+}  // namespace
+}  // namespace sphere::raft

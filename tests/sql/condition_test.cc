@@ -1,0 +1,140 @@
+#include "sql/condition.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace sphere::sql {
+namespace {
+
+const Expr* WhereOf(const StatementPtr& stmt) {
+  return static_cast<const SelectStatement*>(stmt.get())->where.get();
+}
+
+StatementPtr MustParse(std::string_view s) {
+  auto r = ParseSQL(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(ConditionTest, EqualityExtracted) {
+  auto stmt = MustParse("SELECT * FROM t WHERE uid = 7");
+  auto groups = ExtractConditionGroups(WhereOf(stmt), {});
+  ASSERT_EQ(groups.size(), 1u);
+  ASSERT_EQ(groups[0].size(), 1u);
+  EXPECT_EQ(groups[0][0].column, "uid");
+  EXPECT_EQ(groups[0][0].kind, ColumnCondition::Kind::kEqual);
+  EXPECT_EQ(groups[0][0].values[0], Value(7));
+}
+
+TEST(ConditionTest, ReversedOperandsNormalized) {
+  auto stmt = MustParse("SELECT * FROM t WHERE 7 < uid");
+  auto groups = ExtractConditionGroups(WhereOf(stmt), {});
+  ASSERT_EQ(groups[0].size(), 1u);
+  const auto& c = groups[0][0];
+  EXPECT_EQ(c.kind, ColumnCondition::Kind::kRange);
+  ASSERT_TRUE(c.low.has_value());
+  EXPECT_EQ(*c.low, Value(7));
+  EXPECT_FALSE(c.low_inclusive);
+}
+
+TEST(ConditionTest, InListExtracted) {
+  auto stmt = MustParse("SELECT * FROM t WHERE uid IN (1, 2, 3)");
+  auto groups = ExtractConditionGroups(WhereOf(stmt), {});
+  ASSERT_EQ(groups[0].size(), 1u);
+  EXPECT_EQ(groups[0][0].kind, ColumnCondition::Kind::kIn);
+  EXPECT_EQ(groups[0][0].values.size(), 3u);
+}
+
+TEST(ConditionTest, BetweenExtracted) {
+  auto stmt = MustParse("SELECT * FROM t WHERE uid BETWEEN 5 AND 9");
+  auto groups = ExtractConditionGroups(WhereOf(stmt), {});
+  const auto& c = groups[0][0];
+  EXPECT_EQ(c.kind, ColumnCondition::Kind::kRange);
+  EXPECT_EQ(*c.low, Value(5));
+  EXPECT_EQ(*c.high, Value(9));
+  EXPECT_TRUE(c.low_inclusive);
+  EXPECT_TRUE(c.high_inclusive);
+}
+
+TEST(ConditionTest, AndCombinesIntoOneGroup) {
+  auto stmt = MustParse("SELECT * FROM t WHERE uid = 1 AND k = 2");
+  auto groups = ExtractConditionGroups(WhereOf(stmt), {});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 2u);
+}
+
+TEST(ConditionTest, OrSplitsIntoGroups) {
+  auto stmt = MustParse("SELECT * FROM t WHERE uid = 1 OR uid = 2");
+  auto groups = ExtractConditionGroups(WhereOf(stmt), {});
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0][0].values[0], Value(1));
+  EXPECT_EQ(groups[1][0].values[0], Value(2));
+}
+
+TEST(ConditionTest, OrOfAndsCrossProduct) {
+  auto stmt = MustParse(
+      "SELECT * FROM t WHERE (uid = 1 OR uid = 2) AND (k = 3 OR k = 4)");
+  auto groups = ExtractConditionGroups(WhereOf(stmt), {});
+  EXPECT_EQ(groups.size(), 4u);
+}
+
+TEST(ConditionTest, ParamsResolved) {
+  auto stmt = MustParse("SELECT * FROM t WHERE uid = ?");
+  auto groups = ExtractConditionGroups(WhereOf(stmt), {Value(99)});
+  ASSERT_EQ(groups[0].size(), 1u);
+  EXPECT_EQ(groups[0][0].values[0], Value(99));
+}
+
+TEST(ConditionTest, MissingParamYieldsNoCondition) {
+  auto stmt = MustParse("SELECT * FROM t WHERE uid = ?");
+  auto groups = ExtractConditionGroups(WhereOf(stmt), {});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_TRUE(groups[0].empty());
+}
+
+TEST(ConditionTest, QualifierRetained) {
+  auto stmt = MustParse("SELECT * FROM t_user u WHERE u.uid = 3");
+  auto groups = ExtractConditionGroups(WhereOf(stmt), {});
+  EXPECT_EQ(groups[0][0].table, "u");
+}
+
+TEST(ConditionTest, NonConstComparisonIgnored) {
+  auto stmt = MustParse("SELECT * FROM a, b WHERE a.x = b.y");
+  auto groups = ExtractConditionGroups(WhereOf(stmt), {});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_TRUE(groups[0].empty());
+}
+
+TEST(ConditionTest, NegatedFormsIgnored) {
+  auto stmt = MustParse(
+      "SELECT * FROM t WHERE uid NOT IN (1, 2) AND k NOT BETWEEN 3 AND 4");
+  auto groups = ExtractConditionGroups(WhereOf(stmt), {});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_TRUE(groups[0].empty());
+}
+
+TEST(ConditionTest, NullWhereGivesNoGroups) {
+  EXPECT_TRUE(ExtractConditionGroups(nullptr, {}).empty());
+}
+
+TEST(ConditionTest, InsertValuesExtracted) {
+  auto stmt = MustParse("INSERT INTO t (a, b) VALUES (1, 'x'), (?, 'y')");
+  const auto& ins = static_cast<const InsertStatement&>(*stmt);
+  auto vals = ExtractInsertValues(ins, "a", {Value(5)});
+  ASSERT_TRUE(vals.has_value());
+  ASSERT_EQ(vals->size(), 2u);
+  EXPECT_EQ((*vals)[0], Value(1));
+  EXPECT_EQ((*vals)[1], Value(5));
+  EXPECT_FALSE(ExtractInsertValues(ins, "missing", {}).has_value());
+}
+
+TEST(ConditionTest, NegativeLiteral) {
+  auto stmt = MustParse("SELECT * FROM t WHERE uid = -4");
+  auto groups = ExtractConditionGroups(WhereOf(stmt), {});
+  ASSERT_EQ(groups[0].size(), 1u);
+  EXPECT_EQ(groups[0][0].values[0], Value(-4));
+}
+
+}  // namespace
+}  // namespace sphere::sql

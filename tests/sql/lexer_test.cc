@@ -1,0 +1,96 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace sphere::sql {
+namespace {
+
+std::vector<Token> Lex(std::string_view s) {
+  Lexer lexer(s);
+  auto r = lexer.Tokenize();
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(LexerTest, BasicSelect) {
+  auto toks = Lex("SELECT * FROM t_user WHERE uid = 42");
+  ASSERT_GE(toks.size(), 8u);
+  EXPECT_TRUE(toks[0].IsKeyword("select"));
+  EXPECT_TRUE(toks[1].IsOperator("*"));
+  EXPECT_TRUE(toks[2].IsKeyword("FROM"));
+  EXPECT_EQ(toks[3].type, TokenType::kIdentifier);
+  EXPECT_EQ(toks[3].text, "t_user");
+  EXPECT_EQ(toks[7].type, TokenType::kIntLiteral);
+  EXPECT_EQ(toks[7].int_value, 42);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  auto toks = Lex("'it''s'");
+  EXPECT_EQ(toks[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(toks[0].text, "it's");
+}
+
+TEST(LexerTest, QuotedIdentifiersBothDialects) {
+  auto mysql = Lex("`order`");
+  EXPECT_EQ(mysql[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(mysql[0].text, "order");
+  auto pg = Lex("\"order\"");
+  EXPECT_EQ(pg[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(pg[0].text, "order");
+}
+
+TEST(LexerTest, NumericLiterals) {
+  auto toks = Lex("1 2.5 1e3 .5");
+  EXPECT_EQ(toks[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(toks[1].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(toks[1].double_value, 2.5);
+  EXPECT_EQ(toks[2].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(toks[2].double_value, 1000.0);
+  EXPECT_EQ(toks[3].type, TokenType::kDoubleLiteral);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto toks = Lex("a <= b >= c <> d != e");
+  EXPECT_TRUE(toks[1].IsOperator("<="));
+  EXPECT_TRUE(toks[3].IsOperator(">="));
+  EXPECT_TRUE(toks[5].IsOperator("<>"));
+  EXPECT_TRUE(toks[7].IsOperator("!="));
+}
+
+TEST(LexerTest, Params) {
+  auto toks = Lex("uid = ? AND name = ?");
+  EXPECT_EQ(toks[2].type, TokenType::kParam);
+  EXPECT_EQ(toks[6].type, TokenType::kParam);
+}
+
+TEST(LexerTest, Comments) {
+  auto toks = Lex("SELECT 1 -- trailing\n/* block */ + 2");
+  EXPECT_TRUE(toks[0].IsKeyword("SELECT"));
+  EXPECT_EQ(toks[1].int_value, 1);
+  EXPECT_TRUE(toks[2].IsOperator("+"));
+  EXPECT_EQ(toks[3].int_value, 2);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  Lexer lexer("'oops");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, UnterminatedCommentFails) {
+  Lexer lexer("SELECT /* never closed");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  Lexer lexer("SELECT @");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, EofTokenAlwaysLast) {
+  auto toks = Lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].type, TokenType::kEof);
+}
+
+}  // namespace
+}  // namespace sphere::sql

@@ -1,0 +1,222 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/dialect.h"
+
+namespace sphere::sql {
+namespace {
+
+StatementPtr MustParse(std::string_view s,
+                       const Dialect& d = Dialect::MySQL()) {
+  auto r = ParseSQL(s, d);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << s;
+  return r.ok() ? std::move(r).value() : nullptr;
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = MustParse("SELECT id, name FROM t_user");
+  ASSERT_EQ(stmt->kind(), StatementKind::kSelect);
+  const auto& sel = static_cast<const SelectStatement&>(*stmt);
+  EXPECT_EQ(sel.items.size(), 2u);
+  ASSERT_EQ(sel.from.size(), 1u);
+  EXPECT_EQ(sel.from[0].name, "t_user");
+}
+
+TEST(ParserTest, SelectStarWithWhere) {
+  auto stmt = MustParse("SELECT * FROM t_user WHERE uid = 5 AND name = 'bob'");
+  const auto& sel = static_cast<const SelectStatement&>(*stmt);
+  EXPECT_TRUE(sel.items[0].is_star);
+  ASSERT_NE(sel.where, nullptr);
+  EXPECT_EQ(sel.where->kind(), ExprKind::kBinary);
+}
+
+TEST(ParserTest, WhereInAndBetween) {
+  auto stmt = MustParse(
+      "SELECT * FROM t WHERE uid IN (1, 2, 3) AND score BETWEEN 10 AND 20");
+  const auto& sel = static_cast<const SelectStatement&>(*stmt);
+  ASSERT_NE(sel.where, nullptr);
+}
+
+TEST(ParserTest, JoinWithOn) {
+  auto stmt = MustParse(
+      "SELECT * FROM t_user u JOIN t_order o ON u.uid = o.uid WHERE u.uid IN (1, 2)");
+  const auto& sel = static_cast<const SelectStatement&>(*stmt);
+  ASSERT_EQ(sel.joins.size(), 1u);
+  EXPECT_EQ(sel.joins[0].table.name, "t_order");
+  EXPECT_EQ(sel.joins[0].table.alias, "o");
+  ASSERT_NE(sel.joins[0].on, nullptr);
+  EXPECT_EQ(sel.AllTables().size(), 2u);
+}
+
+TEST(ParserTest, LeftJoin) {
+  auto stmt = MustParse("SELECT * FROM a LEFT JOIN b ON a.x = b.x");
+  const auto& sel = static_cast<const SelectStatement&>(*stmt);
+  ASSERT_EQ(sel.joins.size(), 1u);
+  EXPECT_EQ(sel.joins[0].type, JoinClause::Type::kLeft);
+}
+
+TEST(ParserTest, GroupByHavingOrderBy) {
+  auto stmt = MustParse(
+      "SELECT name, SUM(score) total FROM t_score GROUP BY name "
+      "HAVING SUM(score) > 10 ORDER BY name DESC");
+  const auto& sel = static_cast<const SelectStatement&>(*stmt);
+  EXPECT_EQ(sel.group_by.size(), 1u);
+  ASSERT_NE(sel.having, nullptr);
+  ASSERT_EQ(sel.order_by.size(), 1u);
+  EXPECT_TRUE(sel.order_by[0].desc);
+  EXPECT_TRUE(sel.HasAggregation());
+  EXPECT_EQ(sel.items[1].alias, "total");
+}
+
+TEST(ParserTest, MySQLCommaLimit) {
+  auto stmt = MustParse("SELECT * FROM t LIMIT 10, 5");
+  const auto& sel = static_cast<const SelectStatement&>(*stmt);
+  ASSERT_TRUE(sel.limit.has_value());
+  EXPECT_EQ(sel.limit->offset, 10);
+  EXPECT_EQ(sel.limit->count, 5);
+}
+
+TEST(ParserTest, PostgresLimitOffset) {
+  auto stmt = MustParse("SELECT * FROM t LIMIT 5 OFFSET 10", Dialect::PostgreSQL());
+  const auto& sel = static_cast<const SelectStatement&>(*stmt);
+  ASSERT_TRUE(sel.limit.has_value());
+  EXPECT_EQ(sel.limit->offset, 10);
+  EXPECT_EQ(sel.limit->count, 5);
+}
+
+TEST(ParserTest, CommaLimitRejectedInPostgres) {
+  auto r = ParseSQL("SELECT * FROM t LIMIT 10, 5", Dialect::PostgreSQL());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, SelectForUpdate) {
+  auto stmt = MustParse("SELECT * FROM t WHERE id = 1 FOR UPDATE");
+  EXPECT_TRUE(static_cast<const SelectStatement&>(*stmt).for_update);
+}
+
+TEST(ParserTest, DistinctAndCountStar) {
+  auto stmt = MustParse("SELECT DISTINCT a, COUNT(*) FROM t");
+  const auto& sel = static_cast<const SelectStatement&>(*stmt);
+  EXPECT_TRUE(sel.distinct);
+  const auto* f = static_cast<const FuncCallExpr*>(sel.items[1].expr.get());
+  EXPECT_TRUE(f->star);
+  EXPECT_TRUE(f->IsAggregate());
+}
+
+TEST(ParserTest, CountDistinctColumn) {
+  auto stmt = MustParse("SELECT COUNT(DISTINCT s_i_id) FROM stock");
+  const auto& sel = static_cast<const SelectStatement&>(*stmt);
+  const auto* f = static_cast<const FuncCallExpr*>(sel.items[0].expr.get());
+  EXPECT_TRUE(f->distinct);
+  EXPECT_EQ(f->args.size(), 1u);
+}
+
+TEST(ParserTest, MultiRowInsert) {
+  auto stmt = MustParse(
+      "INSERT INTO t_order (oid, uid) VALUES (1, 10), (2, 20), (3, 30)");
+  ASSERT_EQ(stmt->kind(), StatementKind::kInsert);
+  const auto& ins = static_cast<const InsertStatement&>(*stmt);
+  EXPECT_EQ(ins.table.name, "t_order");
+  EXPECT_EQ(ins.columns.size(), 2u);
+  EXPECT_EQ(ins.rows.size(), 3u);
+}
+
+TEST(ParserTest, InsertWithParams) {
+  Parser p;
+  auto r = p.Parse("INSERT INTO t (a, b) VALUES (?, ?)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(p.param_count(), 2);
+}
+
+TEST(ParserTest, Update) {
+  auto stmt = MustParse("UPDATE t_user SET name = 'x', score = score + 1 WHERE uid = 3");
+  ASSERT_EQ(stmt->kind(), StatementKind::kUpdate);
+  const auto& up = static_cast<const UpdateStatement&>(*stmt);
+  EXPECT_EQ(up.assignments.size(), 2u);
+  ASSERT_NE(up.where, nullptr);
+}
+
+TEST(ParserTest, Delete) {
+  auto stmt = MustParse("DELETE FROM t_user WHERE uid = 9");
+  ASSERT_EQ(stmt->kind(), StatementKind::kDelete);
+}
+
+TEST(ParserTest, CreateTableWithTypesAndPk) {
+  auto stmt = MustParse(
+      "CREATE TABLE t (id BIGINT PRIMARY KEY, k INT NOT NULL, c VARCHAR(120), "
+      "pad CHAR(60), score DECIMAL(10, 2))");
+  ASSERT_EQ(stmt->kind(), StatementKind::kCreateTable);
+  const auto& ct = static_cast<const CreateTableStatement&>(*stmt);
+  ASSERT_EQ(ct.columns.size(), 5u);
+  EXPECT_TRUE(ct.columns[0].primary_key);
+  EXPECT_EQ(ct.columns[0].type, ColumnType::kInt);
+  EXPECT_TRUE(ct.columns[1].not_null);
+  EXPECT_EQ(ct.columns[2].type, ColumnType::kString);
+  EXPECT_EQ(ct.columns[4].type, ColumnType::kDouble);
+}
+
+TEST(ParserTest, CreateTableTableLevelPk) {
+  auto stmt = MustParse("CREATE TABLE t (id INT, v INT, PRIMARY KEY (id))");
+  const auto& ct = static_cast<const CreateTableStatement&>(*stmt);
+  EXPECT_TRUE(ct.columns[0].primary_key);
+}
+
+TEST(ParserTest, TransactionControl) {
+  EXPECT_EQ(MustParse("BEGIN")->kind(), StatementKind::kBegin);
+  EXPECT_EQ(MustParse("START TRANSACTION")->kind(), StatementKind::kBegin);
+  EXPECT_EQ(MustParse("COMMIT")->kind(), StatementKind::kCommit);
+  EXPECT_EQ(MustParse("ROLLBACK")->kind(), StatementKind::kRollback);
+}
+
+TEST(ParserTest, SetVariable) {
+  auto stmt = MustParse("SET VARIABLE transaction_type = XA");
+  const auto& set = static_cast<const SetStatement&>(*stmt);
+  EXPECT_EQ(set.name, "transaction_type");
+  EXPECT_EQ(set.value, Value("XA"));
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseSQL("SELECT FROM").ok());
+  EXPECT_FALSE(ParseSQL("INSERT INTO t VALUES").ok());
+  EXPECT_FALSE(ParseSQL("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSQL("SELECT * FROM t trailing garbage ( )").ok());
+  EXPECT_FALSE(ParseSQL("").ok());
+}
+
+TEST(ParserTest, RoundTripThroughToSQL) {
+  const char* queries[] = {
+      "SELECT a, b FROM t WHERE a = 1 AND b IN (2, 3) ORDER BY a DESC LIMIT 5",
+      "SELECT name, SUM(score) AS s FROM t GROUP BY name HAVING SUM(score) > 2",
+      "INSERT INTO t (a, b) VALUES (1, 'x')",
+      "UPDATE t SET a = 2 WHERE b = 'y'",
+      "DELETE FROM t WHERE a BETWEEN 1 AND 9",
+  };
+  for (const char* q : queries) {
+    auto stmt = MustParse(q);
+    std::string sql1 = stmt->ToSQL(Dialect::MySQL());
+    auto stmt2 = MustParse(sql1);
+    std::string sql2 = stmt2->ToSQL(Dialect::MySQL());
+    EXPECT_EQ(sql1, sql2) << "not a fixed point: " << q;
+  }
+}
+
+TEST(ParserTest, CloneIsDeep) {
+  auto stmt = MustParse("SELECT a FROM t WHERE a < 10 ORDER BY a");
+  auto clone = stmt->Clone();
+  EXPECT_EQ(stmt->ToSQL(Dialect::MySQL()), clone->ToSQL(Dialect::MySQL()));
+  auto* sel = static_cast<SelectStatement*>(clone.get());
+  sel->from[0].name = "t_changed";
+  EXPECT_NE(stmt->ToSQL(Dialect::MySQL()), clone->ToSQL(Dialect::MySQL()));
+}
+
+TEST(ParserTest, DialectQuoting) {
+  auto stmt = MustParse("SELECT `order` FROM `select`");
+  std::string my = stmt->ToSQL(Dialect::MySQL());
+  std::string pg = stmt->ToSQL(Dialect::PostgreSQL());
+  EXPECT_NE(my.find('`'), std::string::npos);
+  EXPECT_NE(pg.find('"'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sphere::sql

@@ -1,0 +1,128 @@
+#include "storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sphere::storage {
+namespace {
+
+TEST(BPlusTreeTest, InsertAndFind) {
+  BPlusTree<int> tree;
+  EXPECT_TRUE(tree.Insert(Value(1), 10));
+  EXPECT_TRUE(tree.Insert(Value(2), 20));
+  ASSERT_NE(tree.Find(Value(1)), nullptr);
+  EXPECT_EQ(*tree.Find(Value(1)), 10);
+  EXPECT_EQ(tree.Find(Value(3)), nullptr);
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(BPlusTreeTest, InsertDuplicateOverwrites) {
+  BPlusTree<int> tree;
+  EXPECT_TRUE(tree.Insert(Value(1), 10));
+  EXPECT_FALSE(tree.Insert(Value(1), 99));
+  EXPECT_EQ(*tree.Find(Value(1)), 99);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTreeTest, EraseRemoves) {
+  BPlusTree<int> tree;
+  tree.Insert(Value(1), 10);
+  EXPECT_TRUE(tree.Erase(Value(1)));
+  EXPECT_FALSE(tree.Erase(Value(1)));
+  EXPECT_EQ(tree.Find(Value(1)), nullptr);
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(BPlusTreeTest, OrderedIterationAfterManySplits) {
+  BPlusTree<int> tree;
+  Rng rng(11);
+  std::vector<int64_t> keys;
+  for (int i = 0; i < 20000; ++i) keys.push_back(i);
+  // Shuffle.
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(i) - 1))]);
+  }
+  for (int64_t k : keys) tree.Insert(Value(k), static_cast<int>(k));
+  EXPECT_EQ(tree.size(), 20000u);
+  EXPECT_GT(tree.Height(), 1);
+  int64_t expected = 0;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key(), Value(expected));
+    ++expected;
+  }
+  EXPECT_EQ(expected, 20000);
+}
+
+TEST(BPlusTreeTest, LowerBoundRangeScan) {
+  BPlusTree<int> tree;
+  for (int i = 0; i < 100; i += 2) tree.Insert(Value(i), i);
+  auto it = tree.LowerBoundIter(Value(31));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), Value(32));
+  int count = 0;
+  for (; it.Valid() && it.key() <= Value(40); it.Next()) ++count;
+  EXPECT_EQ(count, 5);  // 32 34 36 38 40
+}
+
+TEST(BPlusTreeTest, LowerBoundPastEnd) {
+  BPlusTree<int> tree;
+  tree.Insert(Value(1), 1);
+  EXPECT_FALSE(tree.LowerBoundIter(Value(100)).Valid());
+}
+
+TEST(BPlusTreeTest, MixedInsertEraseStress) {
+  BPlusTree<int> tree;
+  Rng rng(5);
+  std::vector<bool> present(5000, false);
+  for (int round = 0; round < 50000; ++round) {
+    int64_t k = rng.Uniform(0, 4999);
+    if (rng.Next() % 2 == 0) {
+      tree.Insert(Value(k), static_cast<int>(k));
+      present[static_cast<size_t>(k)] = true;
+    } else {
+      tree.Erase(Value(k));
+      present[static_cast<size_t>(k)] = false;
+    }
+  }
+  size_t expected = static_cast<size_t>(
+      std::count(present.begin(), present.end(), true));
+  EXPECT_EQ(tree.size(), expected);
+  for (int64_t k = 0; k < 5000; ++k) {
+    EXPECT_EQ(tree.Find(Value(k)) != nullptr, present[static_cast<size_t>(k)]);
+  }
+}
+
+TEST(BPlusTreeTest, HeightGrowsWithSize) {
+  BPlusTree<int> small, large;
+  for (int i = 0; i < 10; ++i) small.Insert(Value(i), i);
+  for (int i = 0; i < 100000; ++i) large.Insert(Value(i), i);
+  EXPECT_LT(small.Height(), large.Height());
+}
+
+TEST(BPlusTreeTest, StringKeys) {
+  BPlusTree<int> tree;
+  tree.Insert(Value("banana"), 1);
+  tree.Insert(Value("apple"), 2);
+  tree.Insert(Value("cherry"), 3);
+  auto it = tree.Begin();
+  EXPECT_EQ(it.key(), Value("apple"));
+  it.Next();
+  EXPECT_EQ(it.key(), Value("banana"));
+}
+
+TEST(BPlusTreeTest, ClearResets) {
+  BPlusTree<int> tree;
+  for (int i = 0; i < 1000; ++i) tree.Insert(Value(i), i);
+  tree.Clear();
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Begin().Valid());
+  tree.Insert(Value(5), 5);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sphere::storage

@@ -1,0 +1,153 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace sphere::storage {
+namespace {
+
+Schema UserSchema() {
+  return Schema({Column("uid", ColumnType::kInt, /*pk=*/true),
+                 Column("name", ColumnType::kString),
+                 Column("score", ColumnType::kDouble)});
+}
+
+TEST(TableTest, InsertFindDelete) {
+  Table t("t_user", UserSchema());
+  Value pk;
+  ASSERT_TRUE(t.Insert({Value(1), Value("ann"), Value(9.5)}, &pk).ok());
+  EXPECT_EQ(pk, Value(1));
+  const Row* row = t.Find(Value(1));
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[1], Value("ann"));
+  Row old;
+  ASSERT_TRUE(t.Delete(Value(1), &old).ok());
+  EXPECT_EQ(old[1], Value("ann"));
+  EXPECT_EQ(t.Find(Value(1)), nullptr);
+}
+
+TEST(TableTest, DuplicatePkRejected) {
+  Table t("t_user", UserSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("a"), Value(1.0)}, nullptr).ok());
+  Status st = t.Insert({Value(1), Value("b"), Value(2.0)}, nullptr);
+  EXPECT_EQ(st.code(), StatusCode::kConflict);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t("t_user", UserSchema());
+  EXPECT_EQ(t.Insert({Value(1)}, nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, TypeCoercionOnInsert) {
+  Table t("t_user", UserSchema());
+  ASSERT_TRUE(t.Insert({Value("5"), Value(123), Value(1)}, nullptr).ok());
+  const Row* row = t.Find(Value(5));
+  ASSERT_NE(row, nullptr);
+  EXPECT_TRUE((*row)[0].is_int());
+  EXPECT_TRUE((*row)[1].is_string());
+  EXPECT_TRUE((*row)[2].is_double());
+}
+
+TEST(TableTest, NotNullEnforced) {
+  Schema s({Column("id", ColumnType::kInt, true),
+            Column("v", ColumnType::kString, false, /*not_null=*/true)});
+  Table t("t", s);
+  EXPECT_FALSE(t.Insert({Value(1), Value::Null()}, nullptr).ok());
+}
+
+TEST(TableTest, NullPkRejected) {
+  Table t("t_user", UserSchema());
+  EXPECT_FALSE(t.Insert({Value::Null(), Value("x"), Value(0.0)}, nullptr).ok());
+}
+
+TEST(TableTest, UpdateReplacesRow) {
+  Table t("t_user", UserSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("a"), Value(1.0)}, nullptr).ok());
+  ASSERT_TRUE(t.Update(Value(1), {Value(1), Value("b"), Value(2.0)}).ok());
+  EXPECT_EQ((*t.Find(Value(1)))[1], Value("b"));
+  EXPECT_EQ(t.Update(Value(9), {Value(9), Value("x"), Value(0.0)}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TableTest, PkChangeRejected) {
+  Table t("t_user", UserSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("a"), Value(1.0)}, nullptr).ok());
+  EXPECT_FALSE(t.Update(Value(1), {Value(2), Value("a"), Value(1.0)}).ok());
+}
+
+TEST(TableTest, HiddenRowIdWithoutPk) {
+  Schema s({Column("a", ColumnType::kInt), Column("b", ColumnType::kInt)});
+  Table t("t", s);
+  Value pk1, pk2;
+  ASSERT_TRUE(t.Insert({Value(7), Value(8)}, &pk1).ok());
+  ASSERT_TRUE(t.Insert({Value(7), Value(8)}, &pk2).ok());  // duplicates fine
+  EXPECT_NE(pk1, pk2);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, SecondaryIndexMaintained) {
+  Table t("t_user", UserSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("ann"), Value(1.0)}, nullptr).ok());
+  ASSERT_TRUE(t.Insert({Value(2), Value("bob"), Value(2.0)}, nullptr).ok());
+  ASSERT_TRUE(t.CreateIndex("idx_name", "name").ok());
+  const SecondaryIndex* idx = t.FindIndexOn(1);
+  ASSERT_NE(idx, nullptr);
+  ASSERT_NE(idx->Lookup(Value("ann")), nullptr);
+  EXPECT_EQ(idx->Lookup(Value("ann"))->size(), 1u);
+
+  // Insert after index creation.
+  ASSERT_TRUE(t.Insert({Value(3), Value("ann"), Value(3.0)}, nullptr).ok());
+  EXPECT_EQ(idx->Lookup(Value("ann"))->size(), 2u);
+
+  // Update moves index entry.
+  ASSERT_TRUE(t.Update(Value(3), {Value(3), Value("carol"), Value(3.0)}).ok());
+  EXPECT_EQ(idx->Lookup(Value("ann"))->size(), 1u);
+  ASSERT_NE(idx->Lookup(Value("carol")), nullptr);
+
+  // Delete removes entry.
+  ASSERT_TRUE(t.Delete(Value(3), nullptr).ok());
+  EXPECT_EQ(idx->Lookup(Value("carol")), nullptr);
+}
+
+TEST(TableTest, DuplicateIndexNameRejected) {
+  Table t("t_user", UserSchema());
+  ASSERT_TRUE(t.CreateIndex("i", "name").ok());
+  EXPECT_EQ(t.CreateIndex("i", "score").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(t.CreateIndex("j", "nope").code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, TruncateClearsRowsAndIndexes) {
+  Table t("t_user", UserSchema());
+  ASSERT_TRUE(t.CreateIndex("i", "name").ok());
+  ASSERT_TRUE(t.Insert({Value(1), Value("a"), Value(1.0)}, nullptr).ok());
+  t.Truncate();
+  EXPECT_EQ(t.row_count(), 0u);
+  EXPECT_EQ(t.FindIndexOn(1)->Lookup(Value("a")), nullptr);
+}
+
+TEST(DatabaseTest, CreateFindDrop) {
+  Database db("ds0");
+  ASSERT_TRUE(db.CreateTable("t_user", UserSchema()).ok());
+  EXPECT_NE(db.FindTable("T_USER"), nullptr);  // case-insensitive
+  EXPECT_EQ(db.CreateTable("t_user", UserSchema()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(db.CreateTable("t_user", UserSchema(), /*if_not_exists=*/true).ok());
+  EXPECT_TRUE(db.DropTable("t_user").ok());
+  EXPECT_EQ(db.DropTable("t_user").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(db.DropTable("t_user", /*if_exists=*/true).ok());
+}
+
+TEST(DatabaseTest, TableNamesSorted) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("zeta", UserSchema()).ok());
+  ASSERT_TRUE(db.CreateTable("alpha", UserSchema()).ok());
+  auto names = db.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+}  // namespace
+}  // namespace sphere::storage

@@ -1,0 +1,131 @@
+#include "storage/txn.h"
+
+#include <gtest/gtest.h>
+
+namespace sphere::storage {
+namespace {
+
+class TxnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema s({Column("id", ColumnType::kInt, true),
+              Column("v", ColumnType::kString)});
+    ASSERT_TRUE(db_.CreateTable("t", s).ok());
+    table_ = db_.FindTable("t");
+    ASSERT_TRUE(table_->Insert({Value(1), Value("one")}, nullptr).ok());
+    ASSERT_TRUE(table_->Insert({Value(2), Value("two")}, nullptr).ok());
+  }
+
+  Database db_{"ds0"};
+  Table* table_ = nullptr;
+  TransactionManager tm_{&db_};
+};
+
+TEST_F(TxnTest, CommitKeepsChanges) {
+  Transaction* txn = tm_.Begin();
+  ASSERT_TRUE(table_->Insert({Value(3), Value("three")}, nullptr).ok());
+  txn->AddUndo({UndoRecord::Op::kInsert, "t", Value(3), {}});
+  ASSERT_TRUE(tm_.Commit(txn).ok());
+  EXPECT_NE(table_->Find(Value(3)), nullptr);
+  EXPECT_EQ(tm_.active_count(), 0u);
+}
+
+TEST_F(TxnTest, RollbackUndoesInsert) {
+  Transaction* txn = tm_.Begin();
+  ASSERT_TRUE(table_->Insert({Value(3), Value("three")}, nullptr).ok());
+  txn->AddUndo({UndoRecord::Op::kInsert, "t", Value(3), {}});
+  ASSERT_TRUE(tm_.Rollback(txn).ok());
+  EXPECT_EQ(table_->Find(Value(3)), nullptr);
+}
+
+TEST_F(TxnTest, RollbackUndoesUpdate) {
+  Transaction* txn = tm_.Begin();
+  Row old = *table_->Find(Value(1));
+  ASSERT_TRUE(table_->Update(Value(1), {Value(1), Value("changed")}).ok());
+  txn->AddUndo({UndoRecord::Op::kUpdate, "t", Value(1), old});
+  ASSERT_TRUE(tm_.Rollback(txn).ok());
+  EXPECT_EQ((*table_->Find(Value(1)))[1], Value("one"));
+}
+
+TEST_F(TxnTest, RollbackUndoesDelete) {
+  Transaction* txn = tm_.Begin();
+  Row old;
+  ASSERT_TRUE(table_->Delete(Value(2), &old).ok());
+  txn->AddUndo({UndoRecord::Op::kDelete, "t", Value(2), old});
+  ASSERT_TRUE(tm_.Rollback(txn).ok());
+  ASSERT_NE(table_->Find(Value(2)), nullptr);
+  EXPECT_EQ((*table_->Find(Value(2)))[1], Value("two"));
+}
+
+TEST_F(TxnTest, RollbackAppliesUndoInReverse) {
+  Transaction* txn = tm_.Begin();
+  // Insert then update the same row; undo must unwind update first.
+  ASSERT_TRUE(table_->Insert({Value(3), Value("a")}, nullptr).ok());
+  txn->AddUndo({UndoRecord::Op::kInsert, "t", Value(3), {}});
+  Row mid = *table_->Find(Value(3));
+  ASSERT_TRUE(table_->Update(Value(3), {Value(3), Value("b")}).ok());
+  txn->AddUndo({UndoRecord::Op::kUpdate, "t", Value(3), mid});
+  ASSERT_TRUE(tm_.Rollback(txn).ok());
+  EXPECT_EQ(table_->Find(Value(3)), nullptr);
+}
+
+TEST_F(TxnTest, PrepareRequiresXid) {
+  Transaction* txn = tm_.Begin();
+  EXPECT_FALSE(tm_.Prepare(txn).ok());
+  ASSERT_TRUE(tm_.Rollback(txn).ok());
+}
+
+TEST_F(TxnTest, XaPrepareThenCommit) {
+  Transaction* txn = tm_.Begin("xa-1");
+  ASSERT_TRUE(table_->Insert({Value(3), Value("x")}, nullptr).ok());
+  txn->AddUndo({UndoRecord::Op::kInsert, "t", Value(3), {}});
+  ASSERT_TRUE(tm_.Prepare(txn).ok());
+  EXPECT_EQ(tm_.InDoubtXids(), std::vector<std::string>{"xa-1"});
+  ASSERT_TRUE(tm_.CommitPrepared("xa-1").ok());
+  EXPECT_TRUE(tm_.InDoubtXids().empty());
+  EXPECT_NE(table_->Find(Value(3)), nullptr);
+}
+
+TEST_F(TxnTest, XaPrepareThenRollback) {
+  Transaction* txn = tm_.Begin("xa-2");
+  ASSERT_TRUE(table_->Insert({Value(3), Value("x")}, nullptr).ok());
+  txn->AddUndo({UndoRecord::Op::kInsert, "t", Value(3), {}});
+  ASSERT_TRUE(tm_.Prepare(txn).ok());
+  ASSERT_TRUE(tm_.RollbackPrepared("xa-2").ok());
+  EXPECT_EQ(table_->Find(Value(3)), nullptr);
+}
+
+TEST_F(TxnTest, Phase2OnUnknownXidFails) {
+  EXPECT_EQ(tm_.CommitPrepared("nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ(tm_.RollbackPrepared("nope").code(), StatusCode::kNotFound);
+}
+
+TEST_F(TxnTest, CrashRollsBackActiveKeepsPrepared) {
+  Transaction* active = tm_.Begin();
+  ASSERT_TRUE(table_->Insert({Value(10), Value("active")}, nullptr).ok());
+  active->AddUndo({UndoRecord::Op::kInsert, "t", Value(10), {}});
+
+  Transaction* prepared = tm_.Begin("xa-3");
+  ASSERT_TRUE(table_->Insert({Value(11), Value("prepared")}, nullptr).ok());
+  prepared->AddUndo({UndoRecord::Op::kInsert, "t", Value(11), {}});
+  ASSERT_TRUE(tm_.Prepare(prepared).ok());
+
+  tm_.SimulateCrash();
+
+  EXPECT_EQ(table_->Find(Value(10)), nullptr);        // active rolled back
+  EXPECT_NE(table_->Find(Value(11)), nullptr);        // prepared survives
+  EXPECT_EQ(tm_.InDoubtXids(), std::vector<std::string>{"xa-3"});
+  // Recovery decides commit.
+  ASSERT_TRUE(tm_.CommitPrepared("xa-3").ok());
+  EXPECT_NE(table_->Find(Value(11)), nullptr);
+}
+
+TEST_F(TxnTest, CommitOnPreparedRejected) {
+  Transaction* txn = tm_.Begin("xa-4");
+  ASSERT_TRUE(tm_.Prepare(txn).ok());
+  EXPECT_EQ(tm_.Commit(txn).code(), StatusCode::kTransactionError);
+  ASSERT_TRUE(tm_.RollbackPrepared("xa-4").ok());
+}
+
+}  // namespace
+}  // namespace sphere::storage
