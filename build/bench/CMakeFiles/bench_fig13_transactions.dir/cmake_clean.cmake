@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_transactions.dir/bench_fig13_transactions.cc.o"
+  "CMakeFiles/bench_fig13_transactions.dir/bench_fig13_transactions.cc.o.d"
+  "bench_fig13_transactions"
+  "bench_fig13_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_binding.dir/bench_fig14_binding.cc.o"
+  "CMakeFiles/bench_fig14_binding.dir/bench_fig14_binding.cc.o.d"
+  "bench_fig14_binding"
+  "bench_fig14_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

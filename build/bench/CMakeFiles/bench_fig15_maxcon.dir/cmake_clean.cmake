@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_maxcon.dir/bench_fig15_maxcon.cc.o"
+  "CMakeFiles/bench_fig15_maxcon.dir/bench_fig15_maxcon.cc.o.d"
+  "bench_fig15_maxcon"
+  "bench_fig15_maxcon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_maxcon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/sphere_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sphere_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptor/CMakeFiles/sphere_adaptor.dir/DependInfo.cmake"
+  "/root/repo/build/src/distsql/CMakeFiles/sphere_distsql.dir/DependInfo.cmake"
+  "/root/repo/build/src/transaction/CMakeFiles/sphere_transaction.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sphere_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/governor/CMakeFiles/sphere_governor.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/sphere_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sphere_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sphere_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sphere_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sphere_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sphere_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distsql_tour.dir/distsql_tour.cpp.o"
+  "CMakeFiles/distsql_tour.dir/distsql_tour.cpp.o.d"
+  "distsql_tour"
+  "distsql_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distsql_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

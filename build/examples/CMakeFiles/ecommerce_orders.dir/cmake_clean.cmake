@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_orders.dir/ecommerce_orders.cpp.o"
+  "CMakeFiles/ecommerce_orders.dir/ecommerce_orders.cpp.o.d"
+  "ecommerce_orders"
+  "ecommerce_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

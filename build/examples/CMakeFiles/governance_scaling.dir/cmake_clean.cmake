@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governance_scaling.dir/governance_scaling.cpp.o"
+  "CMakeFiles/governance_scaling.dir/governance_scaling.cpp.o.d"
+  "governance_scaling"
+  "governance_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governance_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

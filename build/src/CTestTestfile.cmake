@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sql")
+subdirs("storage")
+subdirs("engine")
+subdirs("net")
+subdirs("governor")
+subdirs("core")
+subdirs("transaction")
+subdirs("distsql")
+subdirs("adaptor")
+subdirs("features")
+subdirs("raft")
+subdirs("baselines")
+subdirs("benchlib")

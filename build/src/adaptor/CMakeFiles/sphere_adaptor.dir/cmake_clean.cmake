@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_adaptor.dir/jdbc.cc.o"
+  "CMakeFiles/sphere_adaptor.dir/jdbc.cc.o.d"
+  "CMakeFiles/sphere_adaptor.dir/proxy.cc.o"
+  "CMakeFiles/sphere_adaptor.dir/proxy.cc.o.d"
+  "libsphere_adaptor.a"
+  "libsphere_adaptor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_adaptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

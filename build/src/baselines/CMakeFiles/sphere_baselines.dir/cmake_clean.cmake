@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_baselines.dir/aurora.cc.o"
+  "CMakeFiles/sphere_baselines.dir/aurora.cc.o.d"
+  "CMakeFiles/sphere_baselines.dir/naive_merge.cc.o"
+  "CMakeFiles/sphere_baselines.dir/naive_merge.cc.o.d"
+  "CMakeFiles/sphere_baselines.dir/raftdb.cc.o"
+  "CMakeFiles/sphere_baselines.dir/raftdb.cc.o.d"
+  "CMakeFiles/sphere_baselines.dir/simple_middleware.cc.o"
+  "CMakeFiles/sphere_baselines.dir/simple_middleware.cc.o.d"
+  "CMakeFiles/sphere_baselines.dir/system.cc.o"
+  "CMakeFiles/sphere_baselines.dir/system.cc.o.d"
+  "libsphere_baselines.a"
+  "libsphere_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

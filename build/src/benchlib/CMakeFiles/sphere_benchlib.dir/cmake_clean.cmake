@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_benchlib.dir/metrics.cc.o"
+  "CMakeFiles/sphere_benchlib.dir/metrics.cc.o.d"
+  "CMakeFiles/sphere_benchlib.dir/setup.cc.o"
+  "CMakeFiles/sphere_benchlib.dir/setup.cc.o.d"
+  "CMakeFiles/sphere_benchlib.dir/sysbench.cc.o"
+  "CMakeFiles/sphere_benchlib.dir/sysbench.cc.o.d"
+  "CMakeFiles/sphere_benchlib.dir/tpcc.cc.o"
+  "CMakeFiles/sphere_benchlib.dir/tpcc.cc.o.d"
+  "libsphere_benchlib.a"
+  "libsphere_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/hash.cc" "src/common/CMakeFiles/sphere_common.dir/hash.cc.o" "gcc" "src/common/CMakeFiles/sphere_common.dir/hash.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/common/CMakeFiles/sphere_common.dir/histogram.cc.o" "gcc" "src/common/CMakeFiles/sphere_common.dir/histogram.cc.o.d"
+  "/root/repo/src/common/keygen.cc" "src/common/CMakeFiles/sphere_common.dir/keygen.cc.o" "gcc" "src/common/CMakeFiles/sphere_common.dir/keygen.cc.o.d"
+  "/root/repo/src/common/properties.cc" "src/common/CMakeFiles/sphere_common.dir/properties.cc.o" "gcc" "src/common/CMakeFiles/sphere_common.dir/properties.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/common/CMakeFiles/sphere_common.dir/schema.cc.o" "gcc" "src/common/CMakeFiles/sphere_common.dir/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/sphere_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/sphere_common.dir/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/common/CMakeFiles/sphere_common.dir/strings.cc.o" "gcc" "src/common/CMakeFiles/sphere_common.dir/strings.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/sphere_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/sphere_common.dir/thread_pool.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/common/CMakeFiles/sphere_common.dir/value.cc.o" "gcc" "src/common/CMakeFiles/sphere_common.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

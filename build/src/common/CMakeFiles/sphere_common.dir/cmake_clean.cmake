@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_common.dir/hash.cc.o"
+  "CMakeFiles/sphere_common.dir/hash.cc.o.d"
+  "CMakeFiles/sphere_common.dir/histogram.cc.o"
+  "CMakeFiles/sphere_common.dir/histogram.cc.o.d"
+  "CMakeFiles/sphere_common.dir/keygen.cc.o"
+  "CMakeFiles/sphere_common.dir/keygen.cc.o.d"
+  "CMakeFiles/sphere_common.dir/properties.cc.o"
+  "CMakeFiles/sphere_common.dir/properties.cc.o.d"
+  "CMakeFiles/sphere_common.dir/schema.cc.o"
+  "CMakeFiles/sphere_common.dir/schema.cc.o.d"
+  "CMakeFiles/sphere_common.dir/status.cc.o"
+  "CMakeFiles/sphere_common.dir/status.cc.o.d"
+  "CMakeFiles/sphere_common.dir/strings.cc.o"
+  "CMakeFiles/sphere_common.dir/strings.cc.o.d"
+  "CMakeFiles/sphere_common.dir/thread_pool.cc.o"
+  "CMakeFiles/sphere_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/sphere_common.dir/value.cc.o"
+  "CMakeFiles/sphere_common.dir/value.cc.o.d"
+  "libsphere_common.a"
+  "libsphere_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

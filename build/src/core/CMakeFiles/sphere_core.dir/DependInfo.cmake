@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithm.cc" "src/core/CMakeFiles/sphere_core.dir/algorithm.cc.o" "gcc" "src/core/CMakeFiles/sphere_core.dir/algorithm.cc.o.d"
+  "/root/repo/src/core/execute.cc" "src/core/CMakeFiles/sphere_core.dir/execute.cc.o" "gcc" "src/core/CMakeFiles/sphere_core.dir/execute.cc.o.d"
+  "/root/repo/src/core/hint.cc" "src/core/CMakeFiles/sphere_core.dir/hint.cc.o" "gcc" "src/core/CMakeFiles/sphere_core.dir/hint.cc.o.d"
+  "/root/repo/src/core/merge.cc" "src/core/CMakeFiles/sphere_core.dir/merge.cc.o" "gcc" "src/core/CMakeFiles/sphere_core.dir/merge.cc.o.d"
+  "/root/repo/src/core/metadata.cc" "src/core/CMakeFiles/sphere_core.dir/metadata.cc.o" "gcc" "src/core/CMakeFiles/sphere_core.dir/metadata.cc.o.d"
+  "/root/repo/src/core/rewrite.cc" "src/core/CMakeFiles/sphere_core.dir/rewrite.cc.o" "gcc" "src/core/CMakeFiles/sphere_core.dir/rewrite.cc.o.d"
+  "/root/repo/src/core/route.cc" "src/core/CMakeFiles/sphere_core.dir/route.cc.o" "gcc" "src/core/CMakeFiles/sphere_core.dir/route.cc.o.d"
+  "/root/repo/src/core/rule.cc" "src/core/CMakeFiles/sphere_core.dir/rule.cc.o" "gcc" "src/core/CMakeFiles/sphere_core.dir/rule.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/sphere_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/sphere_core.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sphere_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sphere_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sphere_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sphere_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sphere_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_core.dir/algorithm.cc.o"
+  "CMakeFiles/sphere_core.dir/algorithm.cc.o.d"
+  "CMakeFiles/sphere_core.dir/execute.cc.o"
+  "CMakeFiles/sphere_core.dir/execute.cc.o.d"
+  "CMakeFiles/sphere_core.dir/hint.cc.o"
+  "CMakeFiles/sphere_core.dir/hint.cc.o.d"
+  "CMakeFiles/sphere_core.dir/merge.cc.o"
+  "CMakeFiles/sphere_core.dir/merge.cc.o.d"
+  "CMakeFiles/sphere_core.dir/metadata.cc.o"
+  "CMakeFiles/sphere_core.dir/metadata.cc.o.d"
+  "CMakeFiles/sphere_core.dir/rewrite.cc.o"
+  "CMakeFiles/sphere_core.dir/rewrite.cc.o.d"
+  "CMakeFiles/sphere_core.dir/route.cc.o"
+  "CMakeFiles/sphere_core.dir/route.cc.o.d"
+  "CMakeFiles/sphere_core.dir/rule.cc.o"
+  "CMakeFiles/sphere_core.dir/rule.cc.o.d"
+  "CMakeFiles/sphere_core.dir/runtime.cc.o"
+  "CMakeFiles/sphere_core.dir/runtime.cc.o.d"
+  "libsphere_core.a"
+  "libsphere_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

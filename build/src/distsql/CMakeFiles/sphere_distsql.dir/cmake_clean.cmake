@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_distsql.dir/distsql.cc.o"
+  "CMakeFiles/sphere_distsql.dir/distsql.cc.o.d"
+  "libsphere_distsql.a"
+  "libsphere_distsql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_distsql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_engine.dir/evaluator.cc.o"
+  "CMakeFiles/sphere_engine.dir/evaluator.cc.o.d"
+  "CMakeFiles/sphere_engine.dir/executor.cc.o"
+  "CMakeFiles/sphere_engine.dir/executor.cc.o.d"
+  "CMakeFiles/sphere_engine.dir/result_set.cc.o"
+  "CMakeFiles/sphere_engine.dir/result_set.cc.o.d"
+  "CMakeFiles/sphere_engine.dir/storage_node.cc.o"
+  "CMakeFiles/sphere_engine.dir/storage_node.cc.o.d"
+  "libsphere_engine.a"
+  "libsphere_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsphere_engine.a"
+)

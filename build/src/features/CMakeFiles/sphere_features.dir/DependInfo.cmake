@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/aes.cc" "src/features/CMakeFiles/sphere_features.dir/aes.cc.o" "gcc" "src/features/CMakeFiles/sphere_features.dir/aes.cc.o.d"
+  "/root/repo/src/features/encrypt.cc" "src/features/CMakeFiles/sphere_features.dir/encrypt.cc.o" "gcc" "src/features/CMakeFiles/sphere_features.dir/encrypt.cc.o.d"
+  "/root/repo/src/features/guard.cc" "src/features/CMakeFiles/sphere_features.dir/guard.cc.o" "gcc" "src/features/CMakeFiles/sphere_features.dir/guard.cc.o.d"
+  "/root/repo/src/features/readwrite.cc" "src/features/CMakeFiles/sphere_features.dir/readwrite.cc.o" "gcc" "src/features/CMakeFiles/sphere_features.dir/readwrite.cc.o.d"
+  "/root/repo/src/features/scaling.cc" "src/features/CMakeFiles/sphere_features.dir/scaling.cc.o" "gcc" "src/features/CMakeFiles/sphere_features.dir/scaling.cc.o.d"
+  "/root/repo/src/features/shadow.cc" "src/features/CMakeFiles/sphere_features.dir/shadow.cc.o" "gcc" "src/features/CMakeFiles/sphere_features.dir/shadow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sphere_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sphere_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sphere_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sphere_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sphere_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sphere_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

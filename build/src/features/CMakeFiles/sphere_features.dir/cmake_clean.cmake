@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_features.dir/aes.cc.o"
+  "CMakeFiles/sphere_features.dir/aes.cc.o.d"
+  "CMakeFiles/sphere_features.dir/encrypt.cc.o"
+  "CMakeFiles/sphere_features.dir/encrypt.cc.o.d"
+  "CMakeFiles/sphere_features.dir/guard.cc.o"
+  "CMakeFiles/sphere_features.dir/guard.cc.o.d"
+  "CMakeFiles/sphere_features.dir/readwrite.cc.o"
+  "CMakeFiles/sphere_features.dir/readwrite.cc.o.d"
+  "CMakeFiles/sphere_features.dir/scaling.cc.o"
+  "CMakeFiles/sphere_features.dir/scaling.cc.o.d"
+  "CMakeFiles/sphere_features.dir/shadow.cc.o"
+  "CMakeFiles/sphere_features.dir/shadow.cc.o.d"
+  "libsphere_features.a"
+  "libsphere_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

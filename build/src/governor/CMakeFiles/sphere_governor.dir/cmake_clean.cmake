@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_governor.dir/health.cc.o"
+  "CMakeFiles/sphere_governor.dir/health.cc.o.d"
+  "CMakeFiles/sphere_governor.dir/registry.cc.o"
+  "CMakeFiles/sphere_governor.dir/registry.cc.o.d"
+  "libsphere_governor.a"
+  "libsphere_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_net.dir/packet.cc.o"
+  "CMakeFiles/sphere_net.dir/packet.cc.o.d"
+  "CMakeFiles/sphere_net.dir/pool.cc.o"
+  "CMakeFiles/sphere_net.dir/pool.cc.o.d"
+  "CMakeFiles/sphere_net.dir/remote.cc.o"
+  "CMakeFiles/sphere_net.dir/remote.cc.o.d"
+  "libsphere_net.a"
+  "libsphere_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

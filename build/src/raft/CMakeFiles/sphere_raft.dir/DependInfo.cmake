@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raft/raft.cc" "src/raft/CMakeFiles/sphere_raft.dir/raft.cc.o" "gcc" "src/raft/CMakeFiles/sphere_raft.dir/raft.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sphere_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sphere_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sphere_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sphere_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sphere_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

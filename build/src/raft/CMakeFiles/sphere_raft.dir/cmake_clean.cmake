@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_raft.dir/raft.cc.o"
+  "CMakeFiles/sphere_raft.dir/raft.cc.o.d"
+  "libsphere_raft.a"
+  "libsphere_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

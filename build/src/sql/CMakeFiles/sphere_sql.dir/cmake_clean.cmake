@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_sql.dir/ast.cc.o"
+  "CMakeFiles/sphere_sql.dir/ast.cc.o.d"
+  "CMakeFiles/sphere_sql.dir/condition.cc.o"
+  "CMakeFiles/sphere_sql.dir/condition.cc.o.d"
+  "CMakeFiles/sphere_sql.dir/dialect.cc.o"
+  "CMakeFiles/sphere_sql.dir/dialect.cc.o.d"
+  "CMakeFiles/sphere_sql.dir/lexer.cc.o"
+  "CMakeFiles/sphere_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/sphere_sql.dir/parser.cc.o"
+  "CMakeFiles/sphere_sql.dir/parser.cc.o.d"
+  "CMakeFiles/sphere_sql.dir/token.cc.o"
+  "CMakeFiles/sphere_sql.dir/token.cc.o.d"
+  "libsphere_sql.a"
+  "libsphere_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_storage.dir/database.cc.o"
+  "CMakeFiles/sphere_storage.dir/database.cc.o.d"
+  "CMakeFiles/sphere_storage.dir/table.cc.o"
+  "CMakeFiles/sphere_storage.dir/table.cc.o.d"
+  "CMakeFiles/sphere_storage.dir/txn.cc.o"
+  "CMakeFiles/sphere_storage.dir/txn.cc.o.d"
+  "libsphere_storage.a"
+  "libsphere_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

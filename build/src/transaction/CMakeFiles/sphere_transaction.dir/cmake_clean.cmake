@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_transaction.dir/base_coordinator.cc.o"
+  "CMakeFiles/sphere_transaction.dir/base_coordinator.cc.o.d"
+  "CMakeFiles/sphere_transaction.dir/manager.cc.o"
+  "CMakeFiles/sphere_transaction.dir/manager.cc.o.d"
+  "CMakeFiles/sphere_transaction.dir/types.cc.o"
+  "CMakeFiles/sphere_transaction.dir/types.cc.o.d"
+  "CMakeFiles/sphere_transaction.dir/xa_log.cc.o"
+  "CMakeFiles/sphere_transaction.dir/xa_log.cc.o.d"
+  "libsphere_transaction.a"
+  "libsphere_transaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_transaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

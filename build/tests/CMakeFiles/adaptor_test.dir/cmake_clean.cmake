@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptor_test.dir/adaptor/adaptor_test.cc.o"
+  "CMakeFiles/adaptor_test.dir/adaptor/adaptor_test.cc.o.d"
+  "CMakeFiles/adaptor_test.dir/adaptor/proxy_capacity_test.cc.o"
+  "CMakeFiles/adaptor_test.dir/adaptor/proxy_capacity_test.cc.o.d"
+  "adaptor_test"
+  "adaptor_test.pdb"
+  "adaptor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

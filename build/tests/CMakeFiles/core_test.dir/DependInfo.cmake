@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/algorithm_test.cc" "tests/CMakeFiles/core_test.dir/core/algorithm_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/algorithm_test.cc.o.d"
+  "/root/repo/tests/core/metadata_rule_test.cc" "tests/CMakeFiles/core_test.dir/core/metadata_rule_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/metadata_rule_test.cc.o.d"
+  "/root/repo/tests/core/rewrite_test.cc" "tests/CMakeFiles/core_test.dir/core/rewrite_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rewrite_test.cc.o.d"
+  "/root/repo/tests/core/route_test.cc" "tests/CMakeFiles/core_test.dir/core/route_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/route_test.cc.o.d"
+  "/root/repo/tests/core/runtime_test.cc" "tests/CMakeFiles/core_test.dir/core/runtime_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/runtime_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sphere_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sphere_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sphere_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sphere_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sphere_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sphere_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

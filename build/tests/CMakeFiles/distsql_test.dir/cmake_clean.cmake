@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distsql_test.dir/distsql/distsql_test.cc.o"
+  "CMakeFiles/distsql_test.dir/distsql/distsql_test.cc.o.d"
+  "distsql_test"
+  "distsql_test.pdb"
+  "distsql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distsql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
