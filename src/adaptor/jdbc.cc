@@ -196,7 +196,7 @@ Result<engine::ExecResult> ShardingConnection::ExecuteSQL(
                               transaction::ParseTransactionType(name));
       return SetTransactionType(type);
     };
-    std::lock_guard lk(*data_source_->distsql_mutex());
+    MutexLock lk(*data_source_->distsql_mutex());
     return data_source_->distsql()->Execute(sql_text, hooks);
   }
   sql::Parser parser(data_source_->runtime()->dialect());

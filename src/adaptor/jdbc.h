@@ -2,10 +2,10 @@
 #define SPHERE_ADAPTOR_JDBC_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/runtime.h"
 #include "distsql/distsql.h"
 #include "governor/config_manager.h"
@@ -50,13 +50,15 @@ class ShardingDataSource {
   core::ShardingRuntime* runtime() { return &runtime_; }
   transaction::TransactionContext* transaction_context() { return &txn_context_; }
   distsql::DistSQLEngine* distsql() { return &distsql_; }
-  std::mutex* distsql_mutex() { return &distsql_mu_; }
+  Mutex* distsql_mutex() SPHERE_RETURN_CAPABILITY(distsql_mu_) {
+    return &distsql_mu_;
+  }
 
  private:
   core::ShardingRuntime runtime_;
   transaction::TransactionContext txn_context_;
   distsql::DistSQLEngine distsql_;
-  std::mutex distsql_mu_;
+  Mutex distsql_mu_;
   governor::ConfigManager* governor_ = nullptr;
   governor::Registry::SessionId governor_session_ = 0;
 };

@@ -4,26 +4,28 @@ namespace sphere::adaptor {
 
 void ShardingProxy::set_worker_capacity(int workers) {
   {
-    std::lock_guard lk(worker_mu_);
+    MutexLock lk(worker_mu_);
     worker_capacity_ = workers;
   }
-  worker_cv_.notify_all();
+  worker_cv_.NotifyAll();
 }
 
 void ShardingProxy::AcquireWorker() {
-  std::unique_lock lk(worker_mu_);
+  MutexLock lk(worker_mu_);
   if (worker_capacity_ <= 0) return;
-  worker_cv_.wait(lk, [&] { return workers_busy_ < worker_capacity_; });
+  worker_cv_.Wait(worker_mu_, [&]() SPHERE_REQUIRES(worker_mu_) {
+    return workers_busy_ < worker_capacity_;
+  });
   ++workers_busy_;
 }
 
 void ShardingProxy::ReleaseWorker() {
   {
-    std::lock_guard lk(worker_mu_);
+    MutexLock lk(worker_mu_);
     if (worker_capacity_ <= 0) return;
     --workers_busy_;
   }
-  worker_cv_.notify_one();
+  worker_cv_.NotifyOne();
 }
 
 Result<engine::ExecResult> ShardingProxy::Connection::Execute(

@@ -2,11 +2,10 @@
 #define SPHERE_ADAPTOR_PROXY_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 
 #include "adaptor/jdbc.h"
+#include "common/mutex.h"
 #include "net/packet.h"
 
 namespace sphere::adaptor {
@@ -52,23 +51,23 @@ class ShardingProxy {
 
   /// Caps concurrently executing statements (the proxy process's worker
   /// capacity — the single-proxy bottleneck of paper Fig. 12; 0 = unlimited).
-  void set_worker_capacity(int workers);
+  void set_worker_capacity(int workers) SPHERE_EXCLUDES(worker_mu_);
 
   int64_t statements_served() const { return statements_served_.load(); }
 
  private:
   friend class Connection;
 
-  void AcquireWorker();
-  void ReleaseWorker();
+  void AcquireWorker() SPHERE_EXCLUDES(worker_mu_);
+  void ReleaseWorker() SPHERE_EXCLUDES(worker_mu_);
 
   ShardingDataSource* backend_;
   const net::LatencyModel* client_network_;
   std::atomic<int64_t> statements_served_{0};
-  std::mutex worker_mu_;
-  std::condition_variable worker_cv_;
-  int worker_capacity_ = 0;  ///< 0 = unlimited
-  int workers_busy_ = 0;
+  Mutex worker_mu_;
+  CondVar worker_cv_;
+  int worker_capacity_ SPHERE_GUARDED_BY(worker_mu_) = 0;  ///< 0 = unlimited
+  int workers_busy_ SPHERE_GUARDED_BY(worker_mu_) = 0;
 };
 
 }  // namespace sphere::adaptor

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace sphere {
 
@@ -23,7 +24,7 @@ int Histogram::BucketFor(int64_t micros) {
 }
 
 void Histogram::Record(int64_t micros) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   buckets_[BucketFor(micros)]++;
   count_++;
   sum_ += static_cast<double>(micros);
@@ -31,8 +32,16 @@ void Histogram::Record(int64_t micros) {
   max_ = std::max(max_, micros);
 }
 
-void Histogram::Merge(const Histogram& other) {
-  std::scoped_lock g(mu_, other.mu_);
+// Locks both histograms in address order (deadlock-free for concurrent
+// A.Merge(B) / B.Merge(A)); the conditional two-mutex acquisition is beyond
+// what the static analysis can model.
+void Histogram::Merge(const Histogram& other) SPHERE_NO_THREAD_SAFETY_ANALYSIS {
+  if (&other == this) return;
+  Mutex* first = &mu_;
+  Mutex* second = &other.mu_;
+  if (second < first) std::swap(first, second);
+  MutexLock g1(*first);
+  MutexLock g2(*second);
   for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
   count_ += other.count_;
   sum_ += other.sum_;
@@ -41,7 +50,7 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 double Histogram::PercentileMillis(double p) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   if (count_ == 0) return 0.0;
   int64_t threshold = static_cast<int64_t>(std::ceil(count_ * p / 100.0));
   int64_t seen = 0;
@@ -55,7 +64,7 @@ double Histogram::PercentileMillis(double p) const {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = 0;

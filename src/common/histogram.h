@@ -2,35 +2,51 @@
 #define SPHERE_COMMON_HISTOGRAM_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace sphere {
 
 /// Latency histogram with logarithmic-ish buckets (~2% resolution), tracking
-/// count/sum/min/max and percentile estimates. Thread-safe via an internal
-/// mutex on Record; Merge/percentile readers should run after recording ends.
+/// count/sum/min/max and percentile estimates. Fully thread-safe: recorders
+/// and readers may run concurrently.
 class Histogram {
  public:
   Histogram();
 
   /// Records one latency observation (microseconds).
-  void Record(int64_t micros);
+  void Record(int64_t micros) SPHERE_EXCLUDES(mu_);
 
   /// Merges another histogram into this one.
-  void Merge(const Histogram& other);
+  void Merge(const Histogram& other) SPHERE_EXCLUDES(mu_);
 
-  int64_t count() const { return count_; }
-  double sum_micros() const { return sum_; }
-  int64_t min_micros() const { return count_ ? min_ : 0; }
-  int64_t max_micros() const { return max_; }
+  int64_t count() const SPHERE_EXCLUDES(mu_) {
+    MutexLock g(mu_);
+    return count_;
+  }
+  double sum_micros() const SPHERE_EXCLUDES(mu_) {
+    MutexLock g(mu_);
+    return sum_;
+  }
+  int64_t min_micros() const SPHERE_EXCLUDES(mu_) {
+    MutexLock g(mu_);
+    return count_ ? min_ : 0;
+  }
+  int64_t max_micros() const SPHERE_EXCLUDES(mu_) {
+    MutexLock g(mu_);
+    return max_;
+  }
 
   /// Mean latency in milliseconds.
-  double AvgMillis() const { return count_ ? sum_ / count_ / 1000.0 : 0.0; }
+  double AvgMillis() const SPHERE_EXCLUDES(mu_) {
+    MutexLock g(mu_);
+    return count_ ? sum_ / static_cast<double>(count_) / 1000.0 : 0.0;
+  }
   /// Estimated percentile (p in [0,100]) in milliseconds.
-  double PercentileMillis(double p) const;
+  double PercentileMillis(double p) const SPHERE_EXCLUDES(mu_);
 
-  void Reset();
+  void Reset() SPHERE_EXCLUDES(mu_);
 
  private:
   static constexpr int kNumBuckets = 512;
@@ -38,11 +54,12 @@ class Histogram {
   static int64_t BucketLimit(int i);
   static int BucketFor(int64_t micros);
 
-  mutable std::mutex mu_;
-  std::vector<int64_t> buckets_;
-  int64_t count_;
-  double sum_;
-  int64_t min_, max_;
+  mutable Mutex mu_;
+  std::vector<int64_t> buckets_ SPHERE_GUARDED_BY(mu_);
+  int64_t count_ SPHERE_GUARDED_BY(mu_);
+  double sum_ SPHERE_GUARDED_BY(mu_);
+  int64_t min_ SPHERE_GUARDED_BY(mu_);
+  int64_t max_ SPHERE_GUARDED_BY(mu_);
 };
 
 }  // namespace sphere

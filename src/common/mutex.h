@@ -1,0 +1,128 @@
+#ifndef SPHERE_COMMON_MUTEX_H_
+#define SPHERE_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace sphere {
+
+/// Annotated exclusive mutex wrapping std::mutex. Always lock through
+/// `MutexLock` (or `CondVar::Wait`); the raw Lock/Unlock pair exists for the
+/// RAII types and for the rare hand-over-hand pattern, and carries the
+/// attributes clang's `-Wthread-safety` needs to verify `SPHERE_GUARDED_BY`
+/// members.
+class SPHERE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SPHERE_ACQUIRE() { mu_.lock(); }
+  void Unlock() SPHERE_RELEASE() { mu_.unlock(); }
+  bool TryLock() SPHERE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// BasicLockable spelling so `CondVar` (condition_variable_any) can park on
+  /// this mutex directly.
+  void lock() SPHERE_ACQUIRE() { mu_.lock(); }
+  void unlock() SPHERE_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII critical section over `Mutex`.
+class SPHERE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SPHERE_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SPHERE_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+/// Annotated reader-writer mutex wrapping std::shared_mutex. Lock through
+/// `WriterLock` / `ReaderLock`.
+class SPHERE_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() SPHERE_ACQUIRE() { mu_.lock(); }
+  void Unlock() SPHERE_RELEASE() { mu_.unlock(); }
+  void LockShared() SPHERE_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() SPHERE_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive section over `SharedMutex`.
+class SPHERE_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) SPHERE_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterLock() SPHERE_RELEASE() { mu_.Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared section over `SharedMutex`.
+class SPHERE_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) SPHERE_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() SPHERE_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with `sphere::Mutex`. Callers hold the mutex
+/// (via MutexLock) across Wait, which releases and re-acquires it atomically.
+class CondVar {
+ public:
+  /// Blocks until notified (spurious wakeups possible — re-check state).
+  void Wait(Mutex& mu) SPHERE_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Blocks until `pred()` holds. The mutex guarding the predicate's state
+  /// must be held on entry and is held again on return.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) SPHERE_REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  /// Timed wait; returns false when the deadline passed with `pred` false.
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout,
+               Pred pred) SPHERE_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout, std::move(pred));
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace sphere
+
+#endif  // SPHERE_COMMON_MUTEX_H_

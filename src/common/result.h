@@ -11,8 +11,9 @@ namespace sphere {
 
 /// A Status or a value of type T. The project-wide return type for fallible
 /// functions that produce a value (Arrow's Result / absl::StatusOr idiom).
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value (success).
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT

@@ -32,7 +32,9 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// The data plane of this project does not throw exceptions; every fallible
 /// operation returns a Status (or Result<T>). Follows the RocksDB/Arrow idiom.
-class Status {
+/// [[nodiscard]]: silently dropping a Status swallows an error — callers must
+/// propagate, branch on it, or visibly discard with a `(void)` cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -1,0 +1,78 @@
+#ifndef SPHERE_COMMON_THREAD_ANNOTATIONS_H_
+#define SPHERE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Portable Clang thread-safety-analysis annotations (the Abseil/LevelDB
+/// idiom). Under clang, `-Wthread-safety` turns these into compile-time lock
+/// checking: the compiler proves that every access to a `SPHERE_GUARDED_BY`
+/// member happens with its mutex held. Under GCC (which has no analysis) all
+/// macros expand to nothing, so annotated code stays portable.
+///
+/// Use together with `sphere::Mutex` / `sphere::MutexLock` from
+/// "common/mutex.h" — the analysis only understands lock objects whose
+/// acquire/release functions carry these attributes, so raw `std::mutex`
+/// members are banned in src/ (enforced by tools/lint.py).
+
+#if defined(__clang__)
+#define SPHERE_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define SPHERE_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define SPHERE_CAPABILITY(x) SPHERE_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Declares an RAII type whose lifetime equals a critical section.
+#define SPHERE_SCOPED_CAPABILITY \
+  SPHERE_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// Declares that a member is protected by the given mutex.
+#define SPHERE_GUARDED_BY(x) SPHERE_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// Declares that the data pointed to by a pointer member is protected.
+#define SPHERE_PT_GUARDED_BY(x) \
+  SPHERE_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// The function must be called with the given mutexes held (exclusively).
+#define SPHERE_REQUIRES(...) \
+  SPHERE_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// The function must be called with the given mutexes held (at least shared).
+#define SPHERE_REQUIRES_SHARED(...) \
+  SPHERE_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the given mutexes and does not release them.
+#define SPHERE_ACQUIRE(...) \
+  SPHERE_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+#define SPHERE_ACQUIRE_SHARED(...) \
+  SPHERE_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the given mutexes (held on entry).
+#define SPHERE_RELEASE(...) \
+  SPHERE_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define SPHERE_RELEASE_SHARED(...) \
+  SPHERE_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called with the given mutexes held (deadlock
+/// guard for functions that acquire them internally).
+#define SPHERE_EXCLUDES(...) \
+  SPHERE_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Alias kept for call sites that prefer the Abseil spelling.
+#define SPHERE_LOCKS_EXCLUDED(...) SPHERE_EXCLUDES(__VA_ARGS__)
+
+/// Try-lock: acquires the mutex only when returning `success`.
+#define SPHERE_TRY_ACQUIRE(...) \
+  SPHERE_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// The function returns a reference to the given mutex.
+#define SPHERE_RETURN_CAPABILITY(x) \
+  SPHERE_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Use only with a
+/// comment explaining why (e.g. address-ordered double locking).
+#define SPHERE_NO_THREAD_SAFETY_ANALYSIS \
+  SPHERE_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // SPHERE_COMMON_THREAD_ANNOTATIONS_H_

@@ -12,32 +12,36 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     stop_ = true;
   }
-  task_cv_.notify_all();
+  task_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     tasks_.push_back(std::move(task));
   }
-  task_cv_.notify_one();
+  task_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [&] { return tasks_.empty() && active_ == 0; });
+  MutexLock lk(mu_);
+  done_cv_.Wait(mu_, [&]() SPHERE_REQUIRES(mu_) {
+    return tasks_.empty() && active_ == 0;
+  });
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      task_cv_.wait(lk, [&] { return stop_ || !tasks_.empty(); });
+      MutexLock lk(mu_);
+      task_cv_.Wait(mu_, [&]() SPHERE_REQUIRES(mu_) {
+        return stop_ || !tasks_.empty();
+      });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -45,9 +49,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       --active_;
-      if (tasks_.empty() && active_ == 0) done_cv_.notify_all();
+      if (tasks_.empty() && active_ == 0) done_cv_.NotifyAll();
     }
   }
 }

@@ -1,12 +1,12 @@
 #ifndef SPHERE_COMMON_THREAD_POOL_H_
 #define SPHERE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace sphere {
 
@@ -21,23 +21,23 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Tasks must not throw.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) SPHERE_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished executing.
-  void Wait();
+  void Wait() SPHERE_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SPHERE_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_cv_;
-  std::condition_variable done_cv_;
-  std::deque<std::function<void()>> tasks_;
+  Mutex mu_;
+  CondVar task_cv_;
+  CondVar done_cv_;
+  std::deque<std::function<void()>> tasks_ SPHERE_GUARDED_BY(mu_);
   std::vector<std::thread> threads_;
-  size_t active_ = 0;
-  bool stop_ = false;
+  size_t active_ SPHERE_GUARDED_BY(mu_) = 0;
+  bool stop_ SPHERE_GUARDED_BY(mu_) = false;
 };
 
 /// Counts down to zero; used to join a known number of parallel SQL units.
@@ -45,20 +45,20 @@ class Latch {
  public:
   explicit Latch(int count) : count_(count) {}
 
-  void CountDown() {
-    std::lock_guard<std::mutex> g(mu_);
-    if (--count_ <= 0) cv_.notify_all();
+  void CountDown() SPHERE_EXCLUDES(mu_) {
+    MutexLock g(mu_);
+    if (--count_ <= 0) cv_.NotifyAll();
   }
 
-  void Wait() {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [&] { return count_ <= 0; });
+  void Wait() SPHERE_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    cv_.Wait(mu_, [&]() SPHERE_REQUIRES(mu_) { return count_ <= 0; });
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int count_;
+  Mutex mu_;
+  CondVar cv_;
+  int count_ SPHERE_GUARDED_BY(mu_);
 };
 
 }  // namespace sphere

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
 #include "common/hash.h"
+#include "common/mutex.h"
 #include "common/strings.h"
 #include "sql/lexer.h"
 
@@ -478,8 +478,9 @@ class HintInlineAlgorithm : public ShardingAlgorithm {
 // ---------------------------------------------------------------------------
 
 struct AlgorithmRegistry {
-  std::mutex mu;
-  std::map<std::string, ShardingAlgorithmFactory> factories;
+  Mutex mu;
+  std::map<std::string, ShardingAlgorithmFactory> factories
+      SPHERE_GUARDED_BY(mu);
 };
 
 AlgorithmRegistry& GetRegistry() {
@@ -549,7 +550,7 @@ class ClassBasedAlgorithm : public ShardingAlgorithm {
 Status RegisterShardingAlgorithmFactory(const std::string& type,
                                         ShardingAlgorithmFactory factory) {
   auto& reg = GetRegistry();
-  std::lock_guard lk(reg.mu);
+  MutexLock lk(reg.mu);
   std::string key = ToUpper(type);
   if (key == "CLASS_BASED" || reg.factories.count(key)) {
     return Status::AlreadyExists("algorithm type " + key);
@@ -566,7 +567,7 @@ Result<std::unique_ptr<ShardingAlgorithm>> CreateShardingAlgorithm(
     algo = std::make_unique<ClassBasedAlgorithm>();
   } else {
     auto& reg = GetRegistry();
-    std::lock_guard lk(reg.mu);
+    MutexLock lk(reg.mu);
     auto it = reg.factories.find(key);
     if (it == reg.factories.end()) {
       return Status::NotFound("sharding algorithm type " + key);
@@ -579,7 +580,7 @@ Result<std::unique_ptr<ShardingAlgorithm>> CreateShardingAlgorithm(
 
 std::vector<std::string> ListShardingAlgorithmTypes() {
   auto& reg = GetRegistry();
-  std::lock_guard lk(reg.mu);
+  MutexLock lk(reg.mu);
   std::vector<std::string> out;
   out.reserve(reg.factories.size() + 1);
   for (const auto& [name, f] : reg.factories) out.push_back(name);

@@ -50,9 +50,11 @@ void RunSerial(net::RemoteConnection* conn, const std::vector<SQLUnit>& units,
       }
     }
     (*results)[idx] = conn->Execute(units[idx].sql, units[idx].params);
-    if (observer != nullptr && (*results)[idx].ok()) {
-      Status st = observer->AfterUnit(conn, units[idx], (*results)[idx].value());
-      if (!st.ok()) (*results)[idx] = st;
+    if (observer != nullptr) {
+      // Unconditional: the observer must also see failed units (to roll back
+      // and report the branch); its status only overrides a success.
+      Status st = observer->AfterUnit(conn, units[idx], (*results)[idx]);
+      if (!st.ok() && (*results)[idx].ok()) (*results)[idx] = st;
     }
   }
 }

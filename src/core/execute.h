@@ -45,12 +45,17 @@ class ConnectionSource {
 /// Observes each SQL unit on its actual connection, before and after it
 /// runs. The BASE transaction manager uses this to register branches, take
 /// AT-mode before-images and commit branch-locally around every write.
+///
+/// AfterUnit runs for every unit whose BeforeUnit succeeded, including units
+/// whose execution FAILED — the observer must see failures so it can roll
+/// back branch-local state and report the branch outcome (a failed branch
+/// that goes unreported would let the global transaction commit anyway).
 class UnitObserver {
  public:
   virtual ~UnitObserver() = default;
   virtual Status BeforeUnit(net::RemoteConnection* conn, const SQLUnit& unit) = 0;
   virtual Status AfterUnit(net::RemoteConnection* conn, const SQLUnit& unit,
-                           const engine::ExecResult& result) = 0;
+                           const Result<engine::ExecResult>& result) = 0;
 };
 
 /// Outcome of executing the SQL units of one logical statement.

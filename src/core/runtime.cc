@@ -98,7 +98,7 @@ Result<engine::ExecResult> ShardingRuntime::ExecuteStatement(
   SPHERE_ASSIGN_OR_RETURN(
       ExecutionOutcome outcome,
       executor_.Execute(rewritten.units, txn_source, observer));
-  last_mode_ = outcome.mode;
+  last_mode_.store(outcome.mode, std::memory_order_relaxed);
 
   SPHERE_ASSIGN_OR_RETURN(
       engine::ExecResult merged,

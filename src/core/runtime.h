@@ -1,6 +1,7 @@
 #ifndef SPHERE_CORE_RUNTIME_H_
 #define SPHERE_CORE_RUNTIME_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -104,7 +105,9 @@ class ShardingRuntime {
   const RuntimeConfig& config() const { return config_; }
 
   /// Last chosen connection mode (observability for Fig. 15 analysis).
-  ConnectionMode last_connection_mode() const { return last_mode_; }
+  ConnectionMode last_connection_mode() const {
+    return last_mode_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Fills generated keys into INSERTs on tables with a key generator.
@@ -119,7 +122,7 @@ class ShardingRuntime {
   ExecutionEngine executor_;
   MergeEngine merger_;
   std::vector<std::shared_ptr<StatementInterceptor>> interceptors_;
-  ConnectionMode last_mode_ = ConnectionMode::kMemoryStrictly;
+  std::atomic<ConnectionMode> last_mode_{ConnectionMode::kMemoryStrictly};
 };
 
 }  // namespace sphere::core

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <map>
 #include <set>
-#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/strings.h"
@@ -197,7 +196,7 @@ Result<Executor::SourceRows> Executor::ScanTable(
     }
   }
 
-  std::shared_lock lk(table->latch());
+  ReaderLock lk(table->latch());
   if (pk_cond != nullptr) {
     switch (pk_cond->kind) {
       case ColumnCondition::Kind::kEqual:
@@ -650,7 +649,7 @@ Result<ExecResult> Executor::ExecuteInsert(const sql::InsertStatement& stmt,
 
   int64_t inserted = 0;
   Value last_pk;
-  std::unique_lock lk(table->latch());
+  WriterLock lk(table->latch());
   for (const auto& value_row : stmt.rows) {
     if (value_row.size() != positions.size()) {
       return Status::InvalidArgument("VALUES arity mismatch");
@@ -691,7 +690,7 @@ Result<ExecResult> Executor::ExecuteUpdate(const sql::UpdateStatement& stmt,
   }
 
   int64_t updated = 0;
-  std::unique_lock lk(table->latch());
+  WriterLock lk(table->latch());
   for (const Row& row : src.rows) {
     if (stmt.where != nullptr) {
       SPHERE_ASSIGN_OR_RETURN(Value ok,
@@ -730,7 +729,7 @@ Result<ExecResult> Executor::ExecuteDelete(const sql::DeleteStatement& stmt,
   if (pk < 0) return Status::Unsupported("DELETE on table without primary key");
 
   int64_t deleted = 0;
-  std::unique_lock lk(table->latch());
+  WriterLock lk(table->latch());
   for (const Row& row : src.rows) {
     if (stmt.where != nullptr) {
       SPHERE_ASSIGN_OR_RETURN(Value ok,
@@ -774,7 +773,7 @@ Result<ExecResult> Executor::ExecuteDDL(const sql::Statement& stmt) {
       const auto& s = static_cast<const sql::TruncateStatement&>(stmt);
       storage::Table* table = db_->FindTable(s.table);
       if (table == nullptr) return Status::NotFound("table " + s.table);
-      std::unique_lock lk(table->latch());
+      WriterLock lk(table->latch());
       table->Truncate();
       return ExecResult::Update(0);
     }
@@ -785,7 +784,7 @@ Result<ExecResult> Executor::ExecuteDDL(const sql::Statement& stmt) {
       if (s.columns.size() != 1) {
         return Status::Unsupported("multi-column indexes");
       }
-      std::unique_lock lk(table->latch());
+      WriterLock lk(table->latch());
       SPHERE_RETURN_NOT_OK(table->CreateIndex(s.index_name, s.columns[0]));
       return ExecResult::Update(0);
     }

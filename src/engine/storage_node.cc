@@ -19,14 +19,14 @@ StorageNode::Session::~Session() {
 Result<std::shared_ptr<const sql::Statement>> StorageNode::ParseCached(
     std::string_view sql_text) {
   {
-    std::lock_guard lk(stmt_cache_mu_);
+    MutexLock lk(stmt_cache_mu_);
     auto it = stmt_cache_.find(std::string(sql_text));
     if (it != stmt_cache_.end()) return it->second;
   }
   sql::Parser parser(dialect_);
   SPHERE_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.Parse(sql_text));
   std::shared_ptr<const sql::Statement> shared(std::move(stmt));
-  std::lock_guard lk(stmt_cache_mu_);
+  MutexLock lk(stmt_cache_mu_);
   if (stmt_cache_.size() >= 4096) stmt_cache_.clear();  // crude eviction
   stmt_cache_.emplace(std::string(sql_text), shared);
   return shared;
@@ -47,20 +47,25 @@ Result<ExecResult> StorageNode::Session::ExecuteStatement(
     // Occupy an IO slot for the duration of the simulated storage access.
     bool limited;
     {
-      std::unique_lock lk(node_->io_mu_);
+      MutexLock lk(node_->io_mu_);
       limited = node_->io_slots_ > 0;
       if (limited) {
-        node_->io_cv_.wait(lk, [&] { return node_->io_in_use_ < node_->io_slots_; });
+        node_->io_cv_.Wait(node_->io_mu_, [&]() SPHERE_REQUIRES(node_->io_mu_) {
+          // Re-read io_slots_: set_io_concurrency(0) (unlimited) while we
+          // wait must release us instead of leaving the predicate false.
+          return node_->io_slots_ <= 0 ||
+                 node_->io_in_use_ < node_->io_slots_;
+        });
         ++node_->io_in_use_;
       }
     }
     SleepMicros(delay);
     if (limited) {
       {
-        std::lock_guard lk(node_->io_mu_);
+        MutexLock lk(node_->io_mu_);
         --node_->io_in_use_;
       }
-      node_->io_cv_.notify_one();
+      node_->io_cv_.NotifyOne();
     }
   }
   switch (stmt.kind()) {
@@ -127,10 +132,10 @@ Status StorageNode::Session::Prepare() {
 
 void StorageNode::set_io_concurrency(int slots) {
   {
-    std::lock_guard lk(io_mu_);
+    MutexLock lk(io_mu_);
     io_slots_ = slots;
   }
-  io_cv_.notify_all();
+  io_cv_.NotifyAll();
 }
 
 Status StorageNode::CommitPrepared(const std::string& xid) {

@@ -2,13 +2,12 @@
 #define SPHERE_ENGINE_STORAGE_NODE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "engine/executor.h"
 #include "engine/result_set.h"
@@ -108,23 +107,23 @@ class StorageNode {
   /// a prepared-statement cache; the middleware sends the same parameterized
   /// texts over and over, so scatter queries don't pay a parse per unit.
   Result<std::shared_ptr<const sql::Statement>> ParseCached(
-      std::string_view sql_text);
+      std::string_view sql_text) SPHERE_EXCLUDES(stmt_cache_mu_);
 
   std::string name_;
   const sql::Dialect& dialect_;
   storage::Database db_;
   storage::TransactionManager txn_manager_;
-  std::mutex stmt_cache_mu_;
+  Mutex stmt_cache_mu_;
   std::unordered_map<std::string, std::shared_ptr<const sql::Statement>>
-      stmt_cache_;
+      stmt_cache_ SPHERE_GUARDED_BY(stmt_cache_mu_);
   std::atomic<bool> fail_next_prepare_{false};
   std::atomic<bool> fail_next_commit_{false};
   std::atomic<int64_t> statements_executed_{0};
   std::atomic<int64_t> statement_delay_us_{0};
-  std::mutex io_mu_;
-  std::condition_variable io_cv_;
-  int io_slots_ = 0;     ///< 0 = unlimited
-  int io_in_use_ = 0;
+  Mutex io_mu_;
+  CondVar io_cv_;
+  int io_slots_ SPHERE_GUARDED_BY(io_mu_) = 0;  ///< 0 = unlimited
+  int io_in_use_ SPHERE_GUARDED_BY(io_mu_) = 0;
 };
 
 }  // namespace sphere::engine

@@ -8,7 +8,7 @@ Status CircuitBreaker::AfterRewrite(const sql::Statement& stmt,
   (void)stmt;
   (void)units;
   (void)in_transaction;
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   switch (state_) {
     case State::kClosed:
       return Status::OK();
@@ -36,7 +36,7 @@ Status CircuitBreaker::AfterRewrite(const sql::Statement& stmt,
 Result<engine::ExecResult> CircuitBreaker::DecorateResult(
     const sql::Statement& stmt, engine::ExecResult result) {
   (void)stmt;
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   // A decorated result means the statement succeeded.
   consecutive_failures_ = 0;
   if (state_ == State::kHalfOpen) {
@@ -47,7 +47,7 @@ Result<engine::ExecResult> CircuitBreaker::DecorateResult(
 }
 
 void CircuitBreaker::RecordFailure() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (state_ == State::kHalfOpen) {
     state_ = State::kOpen;
     opened_at_us_ = NowMicros();
@@ -61,25 +61,25 @@ void CircuitBreaker::RecordFailure() {
 }
 
 void CircuitBreaker::Trip() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   state_ = State::kOpen;
   opened_at_us_ = NowMicros();
 }
 
 void CircuitBreaker::Reset() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   state_ = State::kClosed;
   consecutive_failures_ = 0;
   probe_in_flight_ = false;
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return state_;
 }
 
 bool RateThrottle::TryAcquire() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   int64_t now = NowMicros();
   tokens_ += rate_ * static_cast<double>(now - last_refill_us_) / 1e6;
   if (tokens_ > burst_) tokens_ = burst_;

@@ -2,9 +2,9 @@
 #define SPHERE_FEATURES_GUARD_H_
 
 #include <atomic>
-#include <mutex>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "core/runtime.h"
 
 namespace sphere::features {
@@ -28,22 +28,22 @@ class CircuitBreaker : public core::StatementInterceptor {
                                             engine::ExecResult result) override;
 
   /// Records an execution failure (callers report errors the pipeline saw).
-  void RecordFailure();
+  void RecordFailure() SPHERE_EXCLUDES(mu_);
   /// Manual controls (RAL-style administration).
-  void Trip();
-  void Reset();
+  void Trip() SPHERE_EXCLUDES(mu_);
+  void Reset() SPHERE_EXCLUDES(mu_);
 
-  State state() const;
+  State state() const SPHERE_EXCLUDES(mu_);
   int64_t rejected_statements() const { return rejected_.load(); }
 
  private:
   const int failure_threshold_;
   const int64_t open_duration_us_;
-  mutable std::mutex mu_;
-  State state_ = State::kClosed;
-  int consecutive_failures_ = 0;
-  int64_t opened_at_us_ = 0;
-  bool probe_in_flight_ = false;
+  mutable Mutex mu_;
+  State state_ SPHERE_GUARDED_BY(mu_) = State::kClosed;
+  int consecutive_failures_ SPHERE_GUARDED_BY(mu_) = 0;
+  int64_t opened_at_us_ SPHERE_GUARDED_BY(mu_) = 0;
+  bool probe_in_flight_ SPHERE_GUARDED_BY(mu_) = false;
   std::atomic<int64_t> rejected_{0};
 };
 
@@ -63,13 +63,13 @@ class RateThrottle : public core::StatementInterceptor {
   int64_t throttled_statements() const { return throttled_.load(); }
 
  private:
-  bool TryAcquire();
+  bool TryAcquire() SPHERE_EXCLUDES(mu_);
 
   const double rate_;
   const double burst_;
-  std::mutex mu_;
-  double tokens_;
-  int64_t last_refill_us_;
+  Mutex mu_;
+  double tokens_ SPHERE_GUARDED_BY(mu_);
+  int64_t last_refill_us_ SPHERE_GUARDED_BY(mu_);
   std::atomic<int64_t> throttled_{0};
 };
 

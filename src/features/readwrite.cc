@@ -21,7 +21,7 @@ std::string ReadWriteSplitInterceptor::PickReplica(
     const ReadWriteSplitConfig::Group& group) {
   if (group.read_data_sources.empty()) return group.write_data_source;
   if (EqualsIgnoreCase(group.load_balancer, "RANDOM")) {
-    std::lock_guard lk(rng_mu_);
+    MutexLock lk(rng_mu_);
     return group.read_data_sources[static_cast<size_t>(
         rng_.Uniform(0, static_cast<int64_t>(group.read_data_sources.size()) - 1))];
   }
@@ -31,7 +31,7 @@ std::string ReadWriteSplitInterceptor::PickReplica(
     for (int w : group.weights) total += w;
     int64_t pick;
     {
-      std::lock_guard lk(rng_mu_);
+      MutexLock lk(rng_mu_);
       pick = rng_.Uniform(1, total);
     }
     for (size_t i = 0; i < group.weights.size(); ++i) {

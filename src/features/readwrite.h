@@ -4,10 +4,10 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "core/runtime.h"
 
@@ -52,8 +52,8 @@ class ReadWriteSplitInterceptor : public core::StatementInterceptor {
 
   ReadWriteSplitConfig config_;
   std::atomic<uint64_t> round_robin_{0};
-  Rng rng_;
-  std::mutex rng_mu_;
+  Mutex rng_mu_;
+  Rng rng_ SPHERE_GUARDED_BY(rng_mu_);
   std::atomic<int64_t> replica_reads_{0};
   std::atomic<int64_t> replicated_writes_{0};
 };

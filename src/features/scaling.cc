@@ -1,8 +1,6 @@
 #include "features/scaling.h"
 
-#include <mutex>
 #include <set>
-#include <shared_mutex>
 
 #include "common/hash.h"
 #include "common/strings.h"
@@ -88,7 +86,7 @@ Result<ScalingReport> ScalingJob::Run() {
     storage::Table* src_table =
         src_ds->node()->database()->FindTable(src_node.table);
     if (src_table == nullptr) continue;
-    std::shared_lock src_lock(src_table->latch());
+    ReaderLock src_lock(src_table->latch());
     for (auto it = src_table->Begin(); it.Valid(); it.Next()) {
       const Row& row = it.payload();
       report.source_checksum = ChecksumAdd(report.source_checksum, row);
@@ -114,7 +112,7 @@ Result<ScalingReport> ScalingJob::Run() {
           runtime_->data_sources()->Find(target_node->data_source);
       storage::Table* dst_table =
           dst_ds->node()->database()->FindTable(target_node->table);
-      std::unique_lock dst_lock(dst_table->latch());
+      WriterLock dst_lock(dst_table->latch());
       Status st = dst_table->Insert(row, nullptr);
       if (!st.ok()) {
         drop_targets();
@@ -129,7 +127,7 @@ Result<ScalingReport> ScalingJob::Run() {
   for (const auto& node : target_rule->actual_nodes()) {
     net::DataSource* ds = runtime_->data_sources()->Find(node.data_source);
     storage::Table* t = ds->node()->database()->FindTable(node.table);
-    std::shared_lock lk(t->latch());
+    ReaderLock lk(t->latch());
     target_rows += t->row_count();
     for (auto it = t->Begin(); it.Valid(); it.Next()) {
       report.target_checksum = ChecksumAdd(report.target_checksum, it.payload());

@@ -10,19 +10,19 @@ HealthDetector::HealthDetector(int64_t check_interval_ms, int64_t timeout_ms)
 HealthDetector::~HealthDetector() { Stop(); }
 
 void HealthDetector::RegisterInstance(const std::string& name) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   instances_[name] = Instance{NowMicros(), State::kUp};
 }
 
 void HealthDetector::UnregisterInstance(const std::string& name) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   instances_.erase(name);
 }
 
 void HealthDetector::Heartbeat(const std::string& name) {
   StateChangeCallback cb;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     auto it = instances_.find(name);
     if (it == instances_.end()) return;
     it->second.last_heartbeat_us = NowMicros();
@@ -35,13 +35,13 @@ void HealthDetector::Heartbeat(const std::string& name) {
 }
 
 bool HealthDetector::IsHealthy(const std::string& name) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = instances_.find(name);
   return it != instances_.end() && it->second.state == State::kUp;
 }
 
 std::vector<std::string> HealthDetector::HealthyInstances() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::vector<std::string> out;
   for (const auto& [name, inst] : instances_) {
     if (inst.state == State::kUp) out.push_back(name);
@@ -50,7 +50,7 @@ std::vector<std::string> HealthDetector::HealthyInstances() const {
 }
 
 void HealthDetector::SetStateChangeCallback(StateChangeCallback cb) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   callback_ = std::move(cb);
 }
 
@@ -58,7 +58,7 @@ void HealthDetector::RunCheckOnce() {
   std::vector<std::string> went_down;
   StateChangeCallback cb;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     int64_t now = NowMicros();
     for (auto& [name, inst] : instances_) {
       if (inst.state == State::kUp &&
@@ -75,29 +75,29 @@ void HealthDetector::RunCheckOnce() {
 }
 
 void HealthDetector::Start() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (running_) return;
   running_ = true;
   thread_ = std::thread([this] {
-    std::unique_lock lk(mu_);
-    while (running_) {
-      cv_.wait_for(lk, std::chrono::milliseconds(check_interval_ms_),
-                   [this] { return !running_; });
-      if (!running_) break;
-      lk.unlock();
+    for (;;) {
+      {
+        MutexLock lk(mu_);
+        cv_.WaitFor(mu_, std::chrono::milliseconds(check_interval_ms_),
+                    [this]() SPHERE_REQUIRES(mu_) { return !running_; });
+        if (!running_) return;
+      }
       RunCheckOnce();
-      lk.lock();
     }
   });
 }
 
 void HealthDetector::Stop() {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     if (!running_) return;
     running_ = false;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 

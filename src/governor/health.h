@@ -1,15 +1,13 @@
 #ifndef SPHERE_GOVERNOR_HEALTH_H_
 #define SPHERE_GOVERNOR_HEALTH_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "governor/registry.h"
 
 namespace sphere::governor {
@@ -31,22 +29,22 @@ class HealthDetector {
   ~HealthDetector();
 
   /// Registers an instance (initially UP with a fresh heartbeat).
-  void RegisterInstance(const std::string& name);
-  void UnregisterInstance(const std::string& name);
+  void RegisterInstance(const std::string& name) SPHERE_EXCLUDES(mu_);
+  void UnregisterInstance(const std::string& name) SPHERE_EXCLUDES(mu_);
 
   /// Records a heartbeat; revives a DOWN instance.
-  void Heartbeat(const std::string& name);
+  void Heartbeat(const std::string& name) SPHERE_EXCLUDES(mu_);
 
-  bool IsHealthy(const std::string& name) const;
-  std::vector<std::string> HealthyInstances() const;
+  bool IsHealthy(const std::string& name) const SPHERE_EXCLUDES(mu_);
+  std::vector<std::string> HealthyInstances() const SPHERE_EXCLUDES(mu_);
 
-  void SetStateChangeCallback(StateChangeCallback cb);
+  void SetStateChangeCallback(StateChangeCallback cb) SPHERE_EXCLUDES(mu_);
 
   /// Starts/stops the background detector thread. RunCheckOnce is exposed so
   /// tests can drive detection deterministically without sleeping.
-  void Start();
-  void Stop();
-  void RunCheckOnce();
+  void Start() SPHERE_EXCLUDES(mu_);
+  void Stop() SPHERE_EXCLUDES(mu_);
+  void RunCheckOnce() SPHERE_EXCLUDES(mu_);
 
  private:
   struct Instance {
@@ -56,12 +54,12 @@ class HealthDetector {
 
   const int64_t check_interval_ms_;
   const int64_t timeout_ms_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::string, Instance> instances_;
-  StateChangeCallback callback_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<std::string, Instance> instances_ SPHERE_GUARDED_BY(mu_);
+  StateChangeCallback callback_ SPHERE_GUARDED_BY(mu_);
   std::thread thread_;
-  bool running_ = false;
+  bool running_ SPHERE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sphere::governor

@@ -11,14 +11,14 @@ std::string Registry::ParentOf(const std::string& path) {
 }
 
 Registry::SessionId Registry::Connect() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return next_session_++;
 }
 
 void Registry::Disconnect(SessionId session) {
   std::vector<std::pair<Watcher, RegistryEvent>> to_fire;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     std::vector<std::string> doomed;
     for (const auto& [path, node] : nodes_) {
       if (node.ephemeral_owner == session) doomed.push_back(path);
@@ -52,7 +52,7 @@ Status Registry::Create(const std::string& path, const std::string& data,
                         SessionId ephemeral_owner) {
   std::vector<std::pair<Watcher, RegistryEvent>> to_fire;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     if (nodes_.count(path)) return Status::AlreadyExists(path);
     // Create missing ancestors as persistent empty nodes.
     std::string parent = ParentOf(path);
@@ -70,7 +70,7 @@ Status Registry::Create(const std::string& path, const std::string& data,
 Status Registry::Put(const std::string& path, const std::string& data) {
   std::vector<std::pair<Watcher, RegistryEvent>> to_fire;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     auto it = nodes_.find(path);
     if (it == nodes_.end()) {
       std::string parent = ParentOf(path);
@@ -90,21 +90,21 @@ Status Registry::Put(const std::string& path, const std::string& data) {
 }
 
 Result<std::string> Registry::Get(const std::string& path) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = nodes_.find(path);
   if (it == nodes_.end()) return Status::NotFound(path);
   return it->second.data;
 }
 
 bool Registry::Exists(const std::string& path) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return nodes_.count(path) > 0;
 }
 
 Status Registry::Delete(const std::string& path) {
   std::vector<std::pair<Watcher, RegistryEvent>> to_fire;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     auto it = nodes_.find(path);
     if (it == nodes_.end()) return Status::NotFound(path);
     // Refuse to delete nodes with children (ZooKeeper semantics).
@@ -122,7 +122,7 @@ Status Registry::Delete(const std::string& path) {
 }
 
 std::vector<std::string> Registry::GetChildren(const std::string& path) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::vector<std::string> out;
   std::string prefix = path == "/" ? "/" : path + "/";
   for (auto it = nodes_.lower_bound(prefix); it != nodes_.end(); ++it) {
@@ -135,25 +135,25 @@ std::vector<std::string> Registry::GetChildren(const std::string& path) const {
 }
 
 int64_t Registry::Watch(const std::string& path, Watcher watcher) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   int64_t id = next_watch_++;
   watches_[id] = WatchEntry{path, std::move(watcher)};
   return id;
 }
 
 void Registry::Unwatch(int64_t watch_id) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   watches_.erase(watch_id);
 }
 
 bool Registry::TryLock(const std::string& name, SessionId session) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto [it, inserted] = locks_.try_emplace(name, session);
   return inserted;
 }
 
 void Registry::Unlock(const std::string& name, SessionId session) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = locks_.find(name);
   if (it != locks_.end() && it->second == session) locks_.erase(it);
 }

@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -36,31 +36,35 @@ class Registry {
   Registry() = default;
 
   /// Opens a session (owner handle for ephemeral nodes and locks).
-  SessionId Connect();
+  SessionId Connect() SPHERE_EXCLUDES(mu_);
   /// Closes a session: its ephemeral nodes are deleted (watch events fire)
   /// and its locks released.
-  void Disconnect(SessionId session);
+  void Disconnect(SessionId session) SPHERE_EXCLUDES(mu_);
 
   /// Creates a node; parents are created implicitly (persistent, empty).
   /// AlreadyExists when the path is taken.
   Status Create(const std::string& path, const std::string& data,
-                SessionId ephemeral_owner = 0);
+                SessionId ephemeral_owner = 0) SPHERE_EXCLUDES(mu_);
   /// Sets the node's data, creating it (persistent) when absent.
-  Status Put(const std::string& path, const std::string& data);
-  Result<std::string> Get(const std::string& path) const;
-  bool Exists(const std::string& path) const;
-  Status Delete(const std::string& path);
+  Status Put(const std::string& path, const std::string& data)
+      SPHERE_EXCLUDES(mu_);
+  Result<std::string> Get(const std::string& path) const SPHERE_EXCLUDES(mu_);
+  bool Exists(const std::string& path) const SPHERE_EXCLUDES(mu_);
+  Status Delete(const std::string& path) SPHERE_EXCLUDES(mu_);
   /// Direct children names (not full paths), sorted.
-  std::vector<std::string> GetChildren(const std::string& path) const;
+  std::vector<std::string> GetChildren(const std::string& path) const
+      SPHERE_EXCLUDES(mu_);
 
   /// Registers a watcher on `path`: fires on changes to the node itself and
   /// to its direct children. Returns a watch id for Unwatch.
-  int64_t Watch(const std::string& path, Watcher watcher);
-  void Unwatch(int64_t watch_id);
+  int64_t Watch(const std::string& path, Watcher watcher) SPHERE_EXCLUDES(mu_);
+  void Unwatch(int64_t watch_id) SPHERE_EXCLUDES(mu_);
 
   /// Non-blocking named lock; reentrancy is not supported.
-  bool TryLock(const std::string& name, SessionId session);
-  void Unlock(const std::string& name, SessionId session);
+  bool TryLock(const std::string& name, SessionId session)
+      SPHERE_EXCLUDES(mu_);
+  void Unlock(const std::string& name, SessionId session)
+      SPHERE_EXCLUDES(mu_);
 
  private:
   struct Node {
@@ -73,16 +77,19 @@ class Registry {
   };
 
   static std::string ParentOf(const std::string& path);
+  /// Collects the watchers to fire; callers invoke them after unlocking so a
+  /// watcher can safely re-enter the registry.
   void FireLocked(RegistryEvent::Type type, const std::string& path,
                   const std::string& data,
-                  std::vector<std::pair<Watcher, RegistryEvent>>* out);
+                  std::vector<std::pair<Watcher, RegistryEvent>>* out)
+      SPHERE_REQUIRES(mu_);
 
-  mutable std::recursive_mutex mu_;
-  std::map<std::string, Node> nodes_;
-  std::map<int64_t, WatchEntry> watches_;
-  std::map<std::string, SessionId> locks_;
-  SessionId next_session_ = 1;
-  int64_t next_watch_ = 1;
+  mutable Mutex mu_;
+  std::map<std::string, Node> nodes_ SPHERE_GUARDED_BY(mu_);
+  std::map<int64_t, WatchEntry> watches_ SPHERE_GUARDED_BY(mu_);
+  std::map<std::string, SessionId> locks_ SPHERE_GUARDED_BY(mu_);
+  SessionId next_session_ SPHERE_GUARDED_BY(mu_) = 1;
+  int64_t next_watch_ SPHERE_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace sphere::governor

@@ -19,7 +19,7 @@ void ConnectionPool::Lease::Release() {
 }
 
 ConnectionPool::Lease ConnectionPool::Acquire() {
-  std::unique_lock lk(mu_);
+  MutexLock lk(mu_);
   for (;;) {
     if (!free_.empty()) {
       RemoteConnection* conn = free_.back();
@@ -35,16 +35,16 @@ ConnectionPool::Lease ConnectionPool::Acquire() {
       peak_in_use_ = std::max(peak_in_use_, in_use_);
       return Lease(this, all_.back().get());
     }
-    cv_.wait(lk);
+    cv_.Wait(mu_);
   }
 }
 
 std::vector<ConnectionPool::Lease> ConnectionPool::AcquireMany(int n) {
   n = std::clamp(n, 1, max_size_);
-  std::unique_lock lk(mu_);
+  MutexLock lk(mu_);
   // Wait until the whole batch is available, then take it atomically: this is
   // the data-source lock of the paper's preparation phase.
-  cv_.wait(lk, [&] {
+  cv_.Wait(mu_, [&]() SPHERE_REQUIRES(mu_) {
     return static_cast<int>(free_.size()) + (max_size_ - created_) >= n;
   });
   std::vector<Lease> leases;
@@ -67,22 +67,22 @@ std::vector<ConnectionPool::Lease> ConnectionPool::AcquireMany(int n) {
 }
 
 int ConnectionPool::available() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return static_cast<int>(free_.size()) + (max_size_ - created_);
 }
 
 int ConnectionPool::peak_in_use() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return peak_in_use_;
 }
 
 void ConnectionPool::ReleaseConn(RemoteConnection* conn) {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     free_.push_back(conn);
     --in_use_;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 }  // namespace sphere::net

@@ -1,12 +1,11 @@
 #ifndef SPHERE_NET_POOL_H_
 #define SPHERE_NET_POOL_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "net/remote.h"
 
 namespace sphere::net {
@@ -53,30 +52,30 @@ class ConnectionPool {
   };
 
   /// Blocks until one connection is free.
-  Lease Acquire();
+  Lease Acquire() SPHERE_EXCLUDES(mu_);
 
   /// Blocks until `n` connections are free, then takes them all atomically.
   /// n is clamped to the pool size.
-  std::vector<Lease> AcquireMany(int n);
+  std::vector<Lease> AcquireMany(int n) SPHERE_EXCLUDES(mu_);
 
   int max_size() const { return max_size_; }
-  int available() const;
+  int available() const SPHERE_EXCLUDES(mu_);
   /// Peak number of simultaneously leased connections (observability).
-  int peak_in_use() const;
+  int peak_in_use() const SPHERE_EXCLUDES(mu_);
 
  private:
-  void ReleaseConn(RemoteConnection* conn);
+  void ReleaseConn(RemoteConnection* conn) SPHERE_EXCLUDES(mu_);
 
   engine::StorageNode* node_;
   const LatencyModel* network_;
   const int max_size_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::unique_ptr<RemoteConnection>> all_;
-  std::vector<RemoteConnection*> free_;
-  int created_ = 0;
-  int in_use_ = 0;
-  int peak_in_use_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::vector<std::unique_ptr<RemoteConnection>> all_ SPHERE_GUARDED_BY(mu_);
+  std::vector<RemoteConnection*> free_ SPHERE_GUARDED_BY(mu_);
+  int created_ SPHERE_GUARDED_BY(mu_) = 0;
+  int in_use_ SPHERE_GUARDED_BY(mu_) = 0;
+  int peak_in_use_ SPHERE_GUARDED_BY(mu_) = 0;
 };
 
 /// A named, network-attached data source: the unit the sharding middleware

@@ -17,34 +17,34 @@ RaftGroup::RaftGroup(int num_replicas, const net::LatencyModel* network,
 }
 
 int RaftGroup::leader() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return leader_;
 }
 
 int64_t RaftGroup::term() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return replicas_[static_cast<size_t>(leader_)].current_term;
 }
 
 std::vector<LogEntry> RaftGroup::CommittedLog(int id) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   const Replica& r = replicas_[static_cast<size_t>(id)];
   return std::vector<LogEntry>(
       r.log.begin(), r.log.begin() + static_cast<long>(r.commit_index));
 }
 
 void RaftGroup::Disconnect(int id) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   replicas_[static_cast<size_t>(id)].connected = false;
 }
 
 void RaftGroup::Reconnect(int id) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   replicas_[static_cast<size_t>(id)].connected = true;
 }
 
 bool RaftGroup::IsConnected(int id) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return replicas_[static_cast<size_t>(id)].connected;
 }
 
@@ -115,7 +115,7 @@ void RaftGroup::ApplyCommitted(Replica* replica) {
 }
 
 Result<int64_t> RaftGroup::Propose(const std::string& command) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   Replica& leader = replicas_[static_cast<size_t>(leader_)];
   if (!leader.connected) {
     return Status::Unavailable("raft leader is down");
@@ -172,7 +172,7 @@ Result<int64_t> RaftGroup::Propose(const std::string& command) {
 }
 
 bool RaftGroup::TriggerElection(int candidate) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   Replica& cand = replicas_[static_cast<size_t>(candidate)];
   if (!cand.connected) return false;
   cand.current_term += 1;
@@ -195,7 +195,7 @@ bool RaftGroup::TriggerElection(int candidate) {
 }
 
 void RaftGroup::CatchUp(int id) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   Replica& leader = replicas_[static_cast<size_t>(leader_)];
   Replica& follower = replicas_[static_cast<size_t>(id)];
   if (!follower.connected || id == leader_) return;

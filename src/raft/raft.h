@@ -3,10 +3,10 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "net/latency.h"
 
@@ -40,9 +40,12 @@ class RaftGroup {
   /// Fails when no leader is reachable or the majority is down.
   Result<int64_t> Propose(const std::string& command);
 
-  int leader() const;
-  int64_t term() const;
-  size_t num_replicas() const { return replicas_.size(); }
+  int leader() const SPHERE_EXCLUDES(mu_);
+  int64_t term() const SPHERE_EXCLUDES(mu_);
+  size_t num_replicas() const SPHERE_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    return replicas_.size();
+  }
 
   /// Committed length of replica `id`'s log (test/verify hook).
   std::vector<LogEntry> CommittedLog(int id) const;
@@ -73,20 +76,21 @@ class RaftGroup {
   /// AppendEntries RPC body (leader -> follower). Returns success.
   bool AppendEntries(Replica* follower, int64_t term, int64_t prev_index,
                      int64_t prev_term, const std::vector<LogEntry>& entries,
-                     int64_t leader_commit);
+                     int64_t leader_commit) SPHERE_REQUIRES(mu_);
   /// RequestVote RPC body.
   bool RequestVote(Replica* voter, int64_t term, int candidate_id,
-                   int64_t last_log_index, int64_t last_log_term);
-  void ApplyCommitted(Replica* replica);
+                   int64_t last_log_index, int64_t last_log_term)
+      SPHERE_REQUIRES(mu_);
+  void ApplyCommitted(Replica* replica) SPHERE_REQUIRES(mu_);
   void Rpc(size_t bytes) const {
     if (network_ != nullptr) network_->Transfer(bytes);
   }
 
   const net::LatencyModel* network_;
   ApplyFn apply_;
-  mutable std::mutex mu_;
-  std::vector<Replica> replicas_;
-  int leader_ = 0;
+  mutable Mutex mu_;
+  std::vector<Replica> replicas_ SPHERE_GUARDED_BY(mu_);
+  int leader_ SPHERE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sphere::raft

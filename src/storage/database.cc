@@ -1,7 +1,5 @@
 #include "storage/database.h"
 
-#include <mutex>
-#include <shared_mutex>
 
 #include "common/strings.h"
 
@@ -9,7 +7,7 @@ namespace sphere::storage {
 
 Status Database::CreateTable(const std::string& table, Schema schema,
                              bool if_not_exists) {
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
   std::string key = ToLower(table);
   if (tables_.count(key)) {
     if (if_not_exists) return Status::OK();
@@ -20,7 +18,7 @@ Status Database::CreateTable(const std::string& table, Schema schema,
 }
 
 Status Database::DropTable(const std::string& table, bool if_exists) {
-  std::unique_lock lk(mu_);
+  WriterLock lk(mu_);
   std::string key = ToLower(table);
   auto it = tables_.find(key);
   if (it == tables_.end()) {
@@ -32,19 +30,19 @@ Status Database::DropTable(const std::string& table, bool if_exists) {
 }
 
 Table* Database::FindTable(const std::string& table) {
-  std::shared_lock lk(mu_);
+  ReaderLock lk(mu_);
   auto it = tables_.find(ToLower(table));
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 const Table* Database::FindTable(const std::string& table) const {
-  std::shared_lock lk(mu_);
+  ReaderLock lk(mu_);
   auto it = tables_.find(ToLower(table));
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> Database::TableNames() const {
-  std::shared_lock lk(mu_);
+  ReaderLock lk(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [k, t] : tables_) names.push_back(t->name());

@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/schema.h"
 #include "storage/table.h"
@@ -22,19 +22,21 @@ class Database {
 
   /// Creates a table. AlreadyExists unless `if_not_exists`.
   Status CreateTable(const std::string& table, Schema schema,
-                     bool if_not_exists = false);
+                     bool if_not_exists = false) SPHERE_EXCLUDES(mu_);
   /// Drops a table. NotFound unless `if_exists`.
-  Status DropTable(const std::string& table, bool if_exists = false);
+  Status DropTable(const std::string& table, bool if_exists = false)
+      SPHERE_EXCLUDES(mu_);
   /// Returns the table or nullptr.
-  Table* FindTable(const std::string& table);
-  const Table* FindTable(const std::string& table) const;
+  Table* FindTable(const std::string& table) SPHERE_EXCLUDES(mu_);
+  const Table* FindTable(const std::string& table) const SPHERE_EXCLUDES(mu_);
   /// All table names, sorted.
-  std::vector<std::string> TableNames() const;
+  std::vector<std::string> TableNames() const SPHERE_EXCLUDES(mu_);
 
  private:
   std::string name_;
-  mutable std::shared_mutex mu_;
-  std::map<std::string, std::unique_ptr<Table>> tables_;  // lower-cased keys
+  mutable SharedMutex mu_;
+  std::map<std::string, std::unique_ptr<Table>> tables_
+      SPHERE_GUARDED_BY(mu_);  // lower-cased keys
 };
 
 }  // namespace sphere::storage

@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/schema.h"
 #include "common/status.h"
@@ -80,8 +80,13 @@ class Table {
   /// The index covering `column_index`, or nullptr.
   const SecondaryIndex* FindIndexOn(int column_index) const;
 
-  /// Operation latch. Readers take shared, writers unique.
-  std::shared_mutex& latch() const { return latch_; }
+  /// Operation latch. Readers take it shared (ReaderLock), writers unique
+  /// (WriterLock). The discipline is caller-side: the executor/transaction
+  /// layer brackets multi-step operations, so row accessors deliberately
+  /// carry no REQUIRES annotations of their own.
+  SharedMutex& latch() const SPHERE_RETURN_CAPABILITY(latch_) {
+    return latch_;
+  }
 
  private:
   Status ValidateAndCast(const Row& row, Row* out) const;
@@ -92,7 +97,7 @@ class Table {
   int64_t next_rowid_ = 1;
   BPlusTree<Row> rows_;
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
-  mutable std::shared_mutex latch_;
+  mutable SharedMutex latch_;
 };
 
 }  // namespace sphere::storage

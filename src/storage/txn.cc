@@ -1,11 +1,9 @@
 #include "storage/txn.h"
 
-#include <shared_mutex>
-
 namespace sphere::storage {
 
 Transaction* TransactionManager::Begin(const std::string& xid) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   int64_t id = next_id_.fetch_add(1);
   auto txn = std::make_unique<Transaction>(id, xid);
   Transaction* ptr = txn.get();
@@ -14,7 +12,7 @@ Transaction* TransactionManager::Begin(const std::string& xid) {
 }
 
 Status TransactionManager::Commit(Transaction* txn) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (txn->state() != TxnState::kActive) {
     return Status::TransactionError("commit on non-active transaction");
   }
@@ -28,7 +26,7 @@ void TransactionManager::ApplyUndo(const Transaction& txn) {
   for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
     Table* table = db_->FindTable(it->table);
     if (table == nullptr) continue;  // table dropped after the change
-    std::unique_lock tl(table->latch());
+    WriterLock tl(table->latch());
     switch (it->op) {
       case UndoRecord::Op::kInsert:
         (void)table->Delete(it->pk, nullptr);
@@ -51,7 +49,7 @@ Status TransactionManager::RollbackLocked(Transaction* txn) {
 }
 
 Status TransactionManager::Rollback(Transaction* txn) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (txn->state() == TxnState::kPrepared) {
     prepared_by_xid_.erase(txn->xid());
   }
@@ -59,7 +57,7 @@ Status TransactionManager::Rollback(Transaction* txn) {
 }
 
 Status TransactionManager::Prepare(Transaction* txn) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (txn->state() != TxnState::kActive) {
     return Status::TransactionError("prepare on non-active transaction");
   }
@@ -72,7 +70,7 @@ Status TransactionManager::Prepare(Transaction* txn) {
 }
 
 Status TransactionManager::CommitPrepared(const std::string& xid) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = prepared_by_xid_.find(xid);
   if (it == prepared_by_xid_.end()) {
     return Status::NotFound("no prepared branch for xid " + xid);
@@ -87,21 +85,22 @@ Status TransactionManager::CommitPrepared(const std::string& xid) {
 }
 
 Status TransactionManager::RollbackPrepared(const std::string& xid) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = prepared_by_xid_.find(xid);
   if (it == prepared_by_xid_.end()) {
     return Status::NotFound("no prepared branch for xid " + xid);
   }
   auto txn_it = txns_.find(it->second);
+  Status st = Status::OK();
   if (txn_it != txns_.end()) {
-    RollbackLocked(txn_it->second.get());
+    st = RollbackLocked(txn_it->second.get());
   }
   prepared_by_xid_.erase(it);
-  return Status::OK();
+  return st;
 }
 
 std::vector<std::string> TransactionManager::InDoubtXids() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::vector<std::string> xids;
   xids.reserve(prepared_by_xid_.size());
   for (const auto& [xid, id] : prepared_by_xid_) xids.push_back(xid);
@@ -109,18 +108,20 @@ std::vector<std::string> TransactionManager::InDoubtXids() const {
 }
 
 void TransactionManager::SimulateCrash() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::vector<Transaction*> to_rollback;
   for (auto& [id, txn] : txns_) {
     if (txn->state() == TxnState::kActive) to_rollback.push_back(txn.get());
   }
   for (Transaction* txn : to_rollback) {
-    RollbackLocked(txn);
+    // Crash simulation: in-flight transactions just vanish, so there is no
+    // caller to hand a rollback status to.
+    (void)RollbackLocked(txn);
   }
 }
 
 size_t TransactionManager::active_count() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return txns_.size();
 }
 

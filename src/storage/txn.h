@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "storage/database.h"
@@ -88,14 +88,14 @@ class TransactionManager {
   size_t active_count() const;
 
  private:
-  Status RollbackLocked(Transaction* txn);
+  Status RollbackLocked(Transaction* txn) SPHERE_REQUIRES(mu_);
   void ApplyUndo(const Transaction& txn);
 
   Database* db_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::atomic<int64_t> next_id_{1};
-  std::map<int64_t, std::unique_ptr<Transaction>> txns_;
-  std::map<std::string, int64_t> prepared_by_xid_;
+  std::map<int64_t, std::unique_ptr<Transaction>> txns_ SPHERE_GUARDED_BY(mu_);
+  std::map<std::string, int64_t> prepared_by_xid_ SPHERE_GUARDED_BY(mu_);
 };
 
 }  // namespace sphere::storage

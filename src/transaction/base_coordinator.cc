@@ -8,7 +8,7 @@ std::string BaseCoordinator::BeginGlobal() {
   Rpc();
   int64_t id = next_id_.fetch_add(1);
   std::string xid = "base-" + std::to_string(id);
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   txns_[xid] = GlobalTxn{};
   return xid;
 }
@@ -16,7 +16,7 @@ std::string BaseCoordinator::BeginGlobal() {
 Status BaseCoordinator::RegisterBranch(const std::string& xid,
                                        const std::string& data_source) {
   Rpc();
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = txns_.find(xid);
   if (it == txns_.end()) return Status::NotFound("global txn " + xid);
   auto& branches = it->second.branches;
@@ -29,7 +29,7 @@ Status BaseCoordinator::RegisterBranch(const std::string& xid,
 
 Status BaseCoordinator::AddUndo(const std::string& xid, UndoRecord undo) {
   Rpc();
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = txns_.find(xid);
   if (it == txns_.end()) return Status::NotFound("global txn " + xid);
   it->second.undos.push_back(std::move(undo));
@@ -40,7 +40,7 @@ Status BaseCoordinator::ReportBranch(const std::string& xid,
                                      const std::string& data_source, bool ok) {
   (void)data_source;
   Rpc();
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = txns_.find(xid);
   if (it == txns_.end()) return Status::NotFound("global txn " + xid);
   if (!ok) it->second.failed = true;
@@ -50,7 +50,7 @@ Status BaseCoordinator::ReportBranch(const std::string& xid,
 Result<std::vector<std::string>> BaseCoordinator::GlobalCommit(
     const std::string& xid) {
   Rpc();
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = txns_.find(xid);
   if (it == txns_.end()) return Status::NotFound("global txn " + xid);
   std::vector<std::string> branches = it->second.branches;
@@ -61,7 +61,7 @@ Result<std::vector<std::string>> BaseCoordinator::GlobalCommit(
 Result<std::vector<UndoRecord>> BaseCoordinator::GlobalRollback(
     const std::string& xid) {
   Rpc();
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = txns_.find(xid);
   if (it == txns_.end()) return Status::NotFound("global txn " + xid);
   std::vector<UndoRecord> undos = std::move(it->second.undos);
@@ -71,13 +71,13 @@ Result<std::vector<UndoRecord>> BaseCoordinator::GlobalRollback(
 }
 
 bool BaseCoordinator::HasFailedBranch(const std::string& xid) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = txns_.find(xid);
   return it != txns_.end() && it->second.failed;
 }
 
 size_t BaseCoordinator::active_transactions() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return txns_.size();
 }
 

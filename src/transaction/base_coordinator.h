@@ -3,10 +3,10 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/value.h"
 #include "net/latency.h"
@@ -74,8 +74,8 @@ class BaseCoordinator {
   };
 
   const net::LatencyModel* network_;
-  mutable std::mutex mu_;
-  std::map<std::string, GlobalTxn> txns_;
+  mutable Mutex mu_;
+  std::map<std::string, GlobalTxn> txns_ SPHERE_GUARDED_BY(mu_);
   std::atomic<int64_t> next_id_{1};
 };
 

@@ -182,9 +182,20 @@ Status DistributedTransaction::BeforeUnit(net::RemoteConnection* conn,
 
 Status DistributedTransaction::AfterUnit(net::RemoteConnection* conn,
                                          const core::SQLUnit& unit,
-                                         const engine::ExecResult& result) {
-  (void)result;
+                                         const Result<engine::ExecResult>& result) {
   if (type_ != TransactionType::kBase) return Status::OK();
+  if (!result.ok()) {
+    // The unit failed: roll back its statement-local transaction and report
+    // the branch as failed so CommitBase turns into a global rollback.
+    if (conn->in_transaction()) {
+      (void)conn->Rollback();
+    }
+    // The unit's original error must be what propagates; ReportBranch can
+    // only fail if the global txn is already gone from the coordinator, in
+    // which case there is nothing left to mark failed.
+    (void)context_->tc()->ReportBranch(xid_, unit.data_source, false);
+    return result.status();
+  }
   if (!conn->in_transaction()) return Status::OK();  // read-only unit
   Status st = conn->Commit();
   SPHERE_RETURN_NOT_OK(
@@ -234,11 +245,14 @@ Status DistributedTransaction::CommitXa() {
           (void)other_lease->Rollback();
         }
       }
+      // Build the error before ReleaseBranches(): `ds` references the map
+      // key, which dies when the branch map is cleared.
+      Status err = Status::TransactionError("XA prepare failed on " + ds +
+                                            ": " + st.message());
       log->Transition(xid_, XaLogStore::State::kAborted);
       log->Forget(xid_);
       ReleaseBranches();
-      return Status::TransactionError("XA prepare failed on " + ds + ": " +
-                                      st.message());
+      return err;
     }
     prepared.push_back(ds);
   }

@@ -70,7 +70,7 @@ class DistributedTransaction : public core::ConnectionSource,
   Status BeforeUnit(net::RemoteConnection* conn,
                     const core::SQLUnit& unit) override;
   Status AfterUnit(net::RemoteConnection* conn, const core::SQLUnit& unit,
-                   const engine::ExecResult& result) override;
+                   const Result<engine::ExecResult>& result) override;
 
   /// The observer to pass to the execution engine (nullptr unless BASE).
   core::UnitObserver* observer() {

@@ -4,23 +4,23 @@ namespace sphere::transaction {
 
 void XaLogStore::Record(const std::string& xid, State state,
                         const std::vector<std::string>& participants) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   entries_[xid] = Entry{state, participants};
 }
 
 void XaLogStore::Transition(const std::string& xid, State state) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = entries_.find(xid);
   if (it != entries_.end()) it->second.state = state;
 }
 
 void XaLogStore::Forget(const std::string& xid) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   entries_.erase(xid);
 }
 
 bool XaLogStore::Lookup(const std::string& xid, Entry* entry) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = entries_.find(xid);
   if (it == entries_.end()) return false;
   if (entry != nullptr) *entry = it->second;
@@ -28,7 +28,7 @@ bool XaLogStore::Lookup(const std::string& xid, Entry* entry) const {
 }
 
 std::map<std::string, XaLogStore::Entry> XaLogStore::Unresolved() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::map<std::string, Entry> out;
   for (const auto& [xid, entry] : entries_) {
     if (entry.state == State::kPreparing || entry.state == State::kCommitting ||
@@ -40,7 +40,7 @@ std::map<std::string, XaLogStore::Entry> XaLogStore::Unresolved() const {
 }
 
 size_t XaLogStore::size() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return entries_.size();
 }
 

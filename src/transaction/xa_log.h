@@ -2,9 +2,10 @@
 #define SPHERE_TRANSACTION_XA_LOG_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace sphere::transaction {
 
@@ -23,20 +24,21 @@ class XaLogStore {
   };
 
   void Record(const std::string& xid, State state,
-              const std::vector<std::string>& participants);
+              const std::vector<std::string>& participants)
+      SPHERE_EXCLUDES(mu_);
   /// Updates state, keeping participants. No-op for unknown xid.
-  void Transition(const std::string& xid, State state);
+  void Transition(const std::string& xid, State state) SPHERE_EXCLUDES(mu_);
   /// Removes a completed transaction from the log.
-  void Forget(const std::string& xid);
+  void Forget(const std::string& xid) SPHERE_EXCLUDES(mu_);
 
-  bool Lookup(const std::string& xid, Entry* entry) const;
+  bool Lookup(const std::string& xid, Entry* entry) const SPHERE_EXCLUDES(mu_);
   /// Transactions that still need resolution (kPreparing/kCommitting/kAborting).
-  std::map<std::string, Entry> Unresolved() const;
-  size_t size() const;
+  std::map<std::string, Entry> Unresolved() const SPHERE_EXCLUDES(mu_);
+  size_t size() const SPHERE_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ SPHERE_GUARDED_BY(mu_);
 };
 
 }  // namespace sphere::transaction

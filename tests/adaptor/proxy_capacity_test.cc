@@ -20,7 +20,9 @@ TEST(ProxyCapacityTest, WorkerCapSerializesStatements) {
     auto conn = ds.GetConnection();
     ASSERT_TRUE(conn->ExecuteSQL("CREATE TABLE t (id INT PRIMARY KEY)").ok());
   }
-  node.set_statement_delay_us(3000);
+  // Large enough that the serialized/parallel gap dwarfs thread-startup
+  // overhead under sanitizers on a loaded single-core box.
+  node.set_statement_delay_us(10000);
 
   ShardingProxy proxy(&ds, &ds.runtime()->network());
   proxy.set_worker_capacity(1);
@@ -35,8 +37,8 @@ TEST(ProxyCapacityTest, WorkerCapSerializesStatements) {
     });
   }
   for (auto& t : threads) t.join();
-  // 4 clients through 1 proxy worker, 3ms each: >= ~12ms wall clock.
-  EXPECT_GE(sw.ElapsedMicros(), 10000);
+  // 4 clients through 1 proxy worker, 10ms each: >= ~40ms wall clock.
+  EXPECT_GE(sw.ElapsedMicros(), 35000);
 
   // Unlimited workers: clients overlap on the storage node.
   proxy.set_worker_capacity(0);
@@ -49,7 +51,9 @@ TEST(ProxyCapacityTest, WorkerCapSerializesStatements) {
     });
   }
   for (auto& t : threads) t.join();
-  EXPECT_LT(sw2.ElapsedMicros(), 10000);
+  // Overlapped: ~10ms of storage delay plus overhead, far below the
+  // serialized 40ms floor.
+  EXPECT_LT(sw2.ElapsedMicros(), 35000);
 }
 
 }  // namespace

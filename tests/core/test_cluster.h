@@ -33,7 +33,8 @@ class TestCluster {
     ShardingRuleConfig config;
     config.default_data_source = "ds_0";
     config.broadcast_tables.insert("t_dict");
-    for (const std::string table : {std::string("t_user"), std::string("t_order")}) {
+    for (const std::string& table :
+         {std::string("t_user"), std::string("t_order")}) {
       TableRuleConfig t;
       t.logic_table = table;
       t.auto_resources = DataSourceNames();

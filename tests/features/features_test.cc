@@ -18,7 +18,7 @@ using adaptor::ShardingDataSource;
 
 TEST(AesTest, RoundTripVariousLengths) {
   Aes128 aes("secret-key");
-  for (const std::string plain :
+  for (const std::string& plain :
        {std::string(""), std::string("a"), std::string("exactly16bytes!!"),
         std::string("a longer plaintext that spans multiple AES blocks....")}) {
     std::string hex = aes.EncryptToHex(plain);

@@ -260,6 +260,44 @@ TEST_F(TransactionTest, BaseBranchLocalCommitVisibleEarly) {
   EXPECT_EQ(ds_->transaction_context()->tc()->active_transactions(), 0u);
 }
 
+TEST_F(TransactionTest, BaseFailedUnitForcesGlobalRollback) {
+  // Regression: a unit that FAILS mid-transaction must reach the observer so
+  // the branch is reported failed — previously failed units were skipped and
+  // Commit() reported success while a participant had silently failed.
+  SetType(TransactionType::kBase);
+  ASSERT_TRUE(conn_->Begin().ok());
+  ASSERT_TRUE(conn_->ExecuteSQL(
+                  "UPDATE t_acct SET balance = 42 WHERE id = 1").ok());
+  // Duplicate primary key: this unit fails on its shard. The balance value
+  // differs from the existing row's so the insert-compensation DELETE (which
+  // matches all inserted columns) cannot touch the pre-existing row.
+  EXPECT_FALSE(conn_->ExecuteSQL("INSERT INTO t_acct (id, balance, owner) "
+                                 "VALUES (2, 55.0, 'dup')")
+                   .ok());
+  Status commit = conn_->Commit();
+  EXPECT_FALSE(commit.ok());
+  EXPECT_EQ(commit.code(), StatusCode::kTransactionError);
+  // The successful first write was compensated; nothing leaked.
+  EXPECT_DOUBLE_EQ(BalanceOf(1), 100.0);
+  EXPECT_DOUBLE_EQ(BalanceOf(2), 100.0);
+  EXPECT_EQ(CountRows(), 8);
+  EXPECT_EQ(ds_->transaction_context()->tc()->active_transactions(), 0u);
+}
+
+TEST_F(TransactionTest, BaseBranchCommitFailureSurfacesOnCommit) {
+  // A branch-local commit failure (injected at the storage node) must mark
+  // the branch failed and turn the global commit into a rollback.
+  SetType(TransactionType::kBase);
+  ASSERT_TRUE(conn_->Begin().ok());
+  for (auto& node : nodes_) node->InjectCommitFailure();
+  EXPECT_FALSE(conn_->ExecuteSQL(
+                   "UPDATE t_acct SET balance = 7 WHERE id = 1").ok());
+  Status commit = conn_->Commit();
+  EXPECT_FALSE(commit.ok());
+  EXPECT_EQ(commit.code(), StatusCode::kTransactionError);
+  EXPECT_DOUBLE_EQ(BalanceOf(1), 100.0);
+}
+
 TEST_F(TransactionTest, ParseTransactionTypeNames) {
   EXPECT_EQ(*ParseTransactionType("local"), TransactionType::kLocal);
   EXPECT_EQ(*ParseTransactionType("XA"), TransactionType::kXa);

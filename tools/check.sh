@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Single entry point for the correctness tooling gate.
+#
+# Runs, in order:
+#   1. tools/lint.py                          (project lint)
+#   2. plain build + ctest                    (tier-1)
+#   3. clang -Wthread-safety -Werror build    (skipped if clang++ missing)
+#   4. clang-tidy over src/                   (skipped if clang-tidy missing)
+#   5. ctest under ASan, UBSan, TSan          (SPHERE_SANITIZE matrix)
+#
+# Usage: tools/check.sh [--fast]
+#   --fast   lint + plain build/test only (skip sanitizer matrix)
+#
+# Each stage builds into its own tree under build-check/ so repeated runs are
+# incremental. Exits non-zero on the first failing stage.
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAST=0
+[ "${1:-}" = "--fast" ] && FAST=1
+
+failures=0
+skipped=()
+
+note()  { printf '\n==== %s ====\n' "$*"; }
+fail()  { printf 'FAILED: %s\n' "$*" >&2; failures=$((failures + 1)); }
+
+run_ctest_tree() {
+  # $1 = build dir, $2.. = extra cmake args
+  local dir="$1"; shift
+  cmake -S "$ROOT" -B "$dir" "$@" > "$dir-configure.log" 2>&1 \
+    || { fail "configure $dir (see $dir-configure.log)"; return 1; }
+  cmake --build "$dir" -j "$JOBS" > "$dir-build.log" 2>&1 \
+    || { fail "build $dir (see $dir-build.log)"; return 1; }
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS") > "$dir-ctest.log" 2>&1 \
+    || { fail "ctest $dir (see $dir-ctest.log)"; return 1; }
+  echo "OK: $dir"
+}
+
+mkdir -p "$ROOT/build-check"
+
+note "1/5 project lint"
+python3 "$ROOT/tools/lint.py" || fail "tools/lint.py"
+
+note "2/5 tier-1 build + tests"
+run_ctest_tree "$ROOT/build-check/plain"
+
+if command -v clang++ >/dev/null 2>&1; then
+  note "3/5 clang -Wthread-safety -Werror"
+  run_ctest_tree "$ROOT/build-check/thread-safety" \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety"
+else
+  note "3/5 clang -Wthread-safety (skipped: clang++ not installed)"
+  skipped+=("thread-safety")
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  note "4/5 clang-tidy"
+  find "$ROOT/src" -name '*.cc' -print0 \
+    | xargs -0 -P "$JOBS" -n 1 clang-tidy -p "$ROOT/build-check/plain" \
+    || fail "clang-tidy"
+else
+  note "4/5 clang-tidy (skipped: clang-tidy not installed)"
+  skipped+=("clang-tidy")
+fi
+
+if [ "$FAST" -eq 1 ]; then
+  note "5/5 sanitizer matrix (skipped: --fast)"
+  skipped+=("sanitizers")
+else
+  for san in address undefined thread; do
+    note "5/5 sanitizer: $san"
+    run_ctest_tree "$ROOT/build-check/$san" -DSPHERE_SANITIZE="$san"
+  done
+fi
+
+note "summary"
+[ "${#skipped[@]}" -gt 0 ] && echo "skipped: ${skipped[*]}"
+if [ "$failures" -gt 0 ]; then
+  echo "check.sh: $failures stage(s) FAILED"
+  exit 1
+fi
+echo "check.sh: all stages passed"

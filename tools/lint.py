@@ -1,0 +1,299 @@
+#!/usr/bin/env python3
+"""Project lint for the sphere codebase.
+
+Checks enforced (beyond what the compiler sees):
+
+  1. discarded-status:   a bare statement calling a function that returns
+                         Status or Result<T> discards the error. Callers must
+                         propagate, branch, or visibly discard via `(void)...`.
+                         (Backstop for [[nodiscard]] so the rule also holds in
+                         TUs compiled without warnings, e.g. generated code.)
+  2. raw-mutex:          `std::mutex` / `std::shared_mutex` /
+                         `std::condition_variable` members outside
+                         src/common/mutex.h. Use sphere::Mutex / SharedMutex /
+                         CondVar so clang thread-safety analysis sees them.
+  3. include-guard:      header guards must be SPHERE_<PATH>_H_ derived from
+                         the repo-relative path (e.g. src/core/route.h ->
+                         SPHERE_CORE_ROUTE_H_; tests keep their tree prefix).
+  4. relative-include:   no `#include "../foo.h"`; internal headers are
+                         included by their path relative to src/ (or tests/).
+
+Usage:  tools/lint.py [--root DIR] [files...]
+Exits non-zero if any violation is found; prints file:line: rule: message.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+LINT_DIRS = ("src", "tests", "bench", "examples")
+CXX_EXT = (".h", ".cc")
+
+# Files allowed to hold raw synchronisation primitives: the annotated wrapper
+# itself and the annotation macros (which mention the types in comments only,
+# but keep it exempt for robustness).
+RAW_MUTEX_EXEMPT = {
+    os.path.join("src", "common", "mutex.h"),
+    os.path.join("src", "common", "thread_annotations.h"),
+}
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(_any)?)\b")
+
+RELATIVE_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"\.\.?/')
+
+GUARD_IFNDEF_RE = re.compile(r"^#ifndef\s+([A-Za-z0-9_]+)\s*$")
+
+# Calls whose discarded result is an error. The name-set is built by scanning
+# declarations, but seeded with the core vocabulary so the check works even on
+# a partial file list.
+SEED_STATUS_FNS = {
+    "Commit", "Rollback", "Prepare", "CommitPrepared", "RollbackPrepared",
+    "RollbackLocked", "CreateTable", "DropTable", "Insert", "Update", "Delete",
+    "Execute", "ExecuteUnit", "Apply", "Start", "Stop", "Register",
+}
+
+DECL_RE = re.compile(
+    r"^\s*(?:virtual\s+|static\s+|inline\s+|constexpr\s+)*"
+    r"(?:::)?(?:\w+::)*(?:Status|Result<[^;=]*>)\s+"
+    r"(?:\w+::)*(\w+)\s*\(")
+
+# Declarations with any other return type; a name that appears with both a
+# Status/Result return and a non-Status return is ambiguous and is not
+# flagged (the compiler's [[nodiscard]] still covers the Status overloads).
+OTHER_DECL_RE = re.compile(
+    r"^\s*(?:virtual\s+|static\s+|inline\s+|constexpr\s+|explicit\s+)*"
+    r"(void|bool|auto|int|int64_t|uint64_t|size_t|double|float|char|"
+    r"std::\w+|[A-Z]\w*)(?:<[^;={}]*>)?[&*]?\s+"
+    r"(?:\w+::)*(\w+)\s*\(")
+
+# A bare call statement: `Name(...)` / `expr->Name(...)` / `expr.Name(...)`
+# forming the whole statement. Applied to reconstructed (joined) statements,
+# so wrapped call arguments cannot masquerade as statements.
+BARE_CALL_RE = re.compile(
+    r"^(?:[A-Za-z_]\w*(?:\.|->|::))*([A-Za-z_]\w*)\s*\(.*\)$", re.S)
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "return", "assert", "sizeof", "catch",
+    "co_return", "co_await", "delete", "new", "throw", "static_assert",
+}
+
+
+def repo_files(root, explicit):
+    if explicit:
+        for f in explicit:
+            yield os.path.relpath(os.path.abspath(f), root)
+        return
+    for d in LINT_DIRS:
+        top = os.path.join(root, d)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, _, names in os.walk(top):
+            for n in sorted(names):
+                if n.endswith(CXX_EXT):
+                    yield os.path.relpath(os.path.join(dirpath, n), root)
+
+
+def strip_comments_keep_lines(text):
+    """Blanks out /*...*/ and //... comments and string/char literals,
+    preserving line structure so reported line numbers stay valid."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # in string or char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == state:
+                state = None
+            out.append(c if c in (state, "\n", '"', "'") else " ")
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(rel):
+    base = rel
+    if base.startswith("src" + os.sep):
+        base = base[len("src" + os.sep):]
+    stem = base[:-2] if base.endswith(".h") else base
+    token = re.sub(r"[^A-Za-z0-9]", "_", stem).upper()
+    return "SPHERE_%s_H_" % token
+
+
+def build_status_name_set(root, rels):
+    names = set(SEED_STATUS_FNS)
+    ambiguous = set()
+    for rel in rels:
+        try:
+            with open(os.path.join(root, rel), encoding="utf-8") as f:
+                for line in f:
+                    m = DECL_RE.match(line)
+                    if m:
+                        names.add(m.group(1))
+                        continue
+                    m = OTHER_DECL_RE.match(line)
+                    if m and m.group(1) not in ("Status", "Result"):
+                        ambiguous.add(m.group(2))
+        except OSError:
+            pass
+    names -= ambiguous
+    # Names too generic to flag reliably.
+    for generic in ("OK", "value", "status"):
+        names.discard(generic)
+    return names
+
+
+def iter_statements(text):
+    """Yields (line_number, statement_text) for each `;`-terminated statement
+    at paren/bracket depth zero, joining wrapped lines. Braces outside parens
+    are statement boundaries (blocks, function bodies) and reset the buffer;
+    braces inside parens (initializer-list arguments) are kept."""
+    buf = []
+    depth = 0  # () and [] nesting only
+    line = 1
+    start = 1
+    for c in text:
+        if c == "\n":
+            line += 1
+        if c in "([":
+            depth += 1
+            buf.append(c)
+        elif c in ")]":
+            depth = max(0, depth - 1)
+            buf.append(c)
+        elif c in "{}" and depth == 0:
+            buf = []
+            start = line
+        elif c == ";" and depth == 0:
+            stmt = "".join(buf).strip()
+            if stmt:
+                yield start, " ".join(stmt.split())
+            buf = []
+            start = line
+        else:
+            if not buf:
+                if c.isspace():
+                    continue
+                start = line
+            buf.append(c)
+
+
+def check_file(root, rel, status_fns, errors):
+    path = os.path.join(root, rel)
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+    except OSError as e:
+        errors.append((rel, 0, "io", str(e)))
+        return
+    text = strip_comments_keep_lines(raw)
+    lines = text.split("\n")
+    raw_lines = raw.split("\n")
+
+    in_common_mutex = rel in RAW_MUTEX_EXEMPT
+    for i, line in enumerate(lines, 1):
+        if not in_common_mutex and RAW_MUTEX_RE.search(line):
+            errors.append((rel, i, "raw-mutex",
+                           "raw std:: synchronisation primitive; use "
+                           "sphere::Mutex/SharedMutex/CondVar from "
+                           "common/mutex.h"))
+        if RELATIVE_INCLUDE_RE.match(raw_lines[i - 1]):
+            errors.append((rel, i, "relative-include",
+                           "relative #include; use the src/-relative path"))
+    for start_line, stmt in iter_statements(text):
+        m = BARE_CALL_RE.match(stmt)
+        if not m:
+            continue
+        name = m.group(1)
+        if name in status_fns and name not in KEYWORDS:
+            errors.append(
+                (rel, start_line, "discarded-status",
+                 "result of %s() (Status/Result) is discarded; "
+                 "handle it or cast to (void)" % name))
+
+    if rel.endswith(".h"):
+        want = expected_guard(rel)
+        got = None
+        for line in lines:
+            m = GUARD_IFNDEF_RE.match(line)
+            if m:
+                got = m.group(1)
+                break
+        if got is None:
+            errors.append((rel, 1, "include-guard",
+                           "missing include guard (expected %s)" % want))
+        elif got != want:
+            errors.append((rel, 1, "include-guard",
+                           "guard is %s, expected %s" % (got, want)))
+        else:
+            body = "\n".join(raw_lines)
+            if ("#define %s" % want) not in body:
+                errors.append((rel, 1, "include-guard",
+                               "guard %s never #define'd" % want))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script)")
+    ap.add_argument("files", nargs="*", help="specific files to lint")
+    args = ap.parse_args()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    rels = list(repo_files(root, args.files))
+    headers = [r for r in rels if r.endswith(".h")]
+    sources = [r for r in rels if r.endswith(".cc")]
+    status_fns = build_status_name_set(root, headers + sources)
+
+    errors = []
+    for rel in rels:
+        check_file(root, rel, status_fns, errors)
+
+    for rel, line, rule, msg in sorted(errors):
+        print("%s:%d: %s: %s" % (rel, line, rule, msg))
+    if errors:
+        print("lint: %d violation(s)" % len(errors), file=sys.stderr)
+        return 1
+    print("lint: OK (%d files)" % len(rels))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
