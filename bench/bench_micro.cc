@@ -1,13 +1,24 @@
 // Micro-benchmarks of the SQL engine stages (google-benchmark): parser,
-// router, rewriter, merger, B+Tree and the deadlock-free connection
-// acquisition. These back the DESIGN.md ablation notes with per-stage costs.
+// router, rewriter, merger, B+Tree, the deadlock-free connection acquisition,
+// the statement cache hit/miss paths and the executor's scheduler dispatch.
+// These back the DESIGN.md ablation notes with per-stage costs.
+//
+// Emits machine-readable results to BENCH_micro.json (ops/sec per benchmark)
+// unless the caller passes its own --benchmark_out.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.h"
 #include "core/merge.h"
 #include "core/rewrite.h"
 #include "core/route.h"
 #include "core/rule.h"
+#include "core/runtime.h"
+#include "engine/storage_node.h"
 #include "net/pool.h"
 #include "sql/parser.h"
 #include "storage/btree.h"
@@ -146,7 +157,124 @@ void BM_PoolAcquireManyVsSingle(benchmark::State& state) {
 }
 BENCHMARK(BM_PoolAcquireManyVsSingle)->Arg(0)->Arg(1);
 
+// ---------- Hot-path pipeline: statement cache + executor scheduler ----------
+
+/// Four zero-latency storage nodes attached to a runtime, sbtest MOD-sharded
+/// by id into 4 tables, one row per shard.
+struct MiniCluster {
+  explicit MiniCluster(size_t cache_capacity) {
+    core::RuntimeConfig config;
+    config.statement_cache_capacity = cache_capacity;
+    runtime = std::make_unique<core::ShardingRuntime>(
+        config, net::NetworkConfig::Zero());
+    for (int i = 0; i < 4; ++i) {
+      nodes.push_back(std::make_unique<engine::StorageNode>(
+          "ds_" + std::to_string(i)));
+      auto st = runtime->AttachNode(nodes.back()->name(), nodes.back().get());
+      if (!st.ok()) std::abort();
+    }
+    core::ShardingRuleConfig rule;
+    core::TableRuleConfig t;
+    t.logic_table = "sbtest";
+    t.auto_resources = {"ds_0", "ds_1", "ds_2", "ds_3"};
+    t.auto_sharding_count = 4;
+    t.table_strategy.columns = {"id"};
+    t.table_strategy.algorithm_type = "MOD";
+    t.table_strategy.props.Set("sharding-count", "4");
+    rule.tables.push_back(std::move(t));
+    if (!runtime->SetRule(std::move(rule)).ok()) std::abort();
+    if (!runtime->Execute("CREATE TABLE sbtest (id BIGINT PRIMARY KEY, "
+                          "k BIGINT, c VARCHAR(120))").ok()) {
+      std::abort();
+    }
+    for (int id = 40; id < 44; ++id) {
+      if (!runtime->Execute("INSERT INTO sbtest (id, k, c) VALUES (" +
+                            std::to_string(id) + ", 1, 'row')").ok()) {
+        std::abort();
+      }
+    }
+  }
+
+  std::unique_ptr<core::ShardingRuntime> runtime;
+  std::vector<std::unique_ptr<engine::StorageNode>> nodes;
+};
+
+/// Full pipeline per iteration with the cache disabled: lex + parse + route +
+/// rewrite + execute + merge. The baseline for BM_StatementCacheHit.
+void BM_StatementCacheMiss(benchmark::State& state) {
+  MiniCluster cluster(/*cache_capacity=*/0);
+  for (auto _ : state) {
+    auto r = cluster.runtime->Execute(kPointSQL);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("cache off: parse+route+rewrite every call");
+}
+BENCHMARK(BM_StatementCacheMiss);
+
+/// Steady-state cache hit: the AST and the routed plan are reused, the
+/// iteration pays only cache lookup + execute + merge.
+void BM_StatementCacheHit(benchmark::State& state) {
+  MiniCluster cluster(/*cache_capacity=*/2048);
+  auto warm = cluster.runtime->Execute(kPointSQL);  // admit + publish the plan
+  if (!warm.ok()) std::abort();
+  for (auto _ : state) {
+    auto r = cluster.runtime->Execute(kPointSQL);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+  CacheStats s = cluster.runtime->statement_cache_stats();
+  state.SetLabel("hits=" + std::to_string(s.hits) +
+                 " misses=" + std::to_string(s.misses));
+}
+BENCHMARK(BM_StatementCacheHit);
+
+/// Scatter SELECT across all 4 data sources: executor dispatch on the shared
+/// scheduler pool (Arg(1), the default) vs the legacy spawn-per-statement
+/// baseline (Arg(0)).
+void BM_ExecutorDispatch(benchmark::State& state) {
+  MiniCluster cluster(/*cache_capacity=*/2048);
+  bool pooled = state.range(0) != 0;
+  cluster.runtime->set_executor_pool(pooled ? SharedThreadPool() : nullptr);
+  const char* scatter = "SELECT COUNT(*) FROM sbtest";
+  auto warm = cluster.runtime->Execute(scatter);
+  if (!warm.ok()) std::abort();
+  for (auto _ : state) {
+    auto r = cluster.runtime->Execute(scatter);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(pooled ? "shared scheduler pool (no thread creation)"
+                        : "baseline: spawn+join threads per statement");
+}
+BENCHMARK(BM_ExecutorDispatch)->Arg(0)->Arg(1);
+
 }  // namespace
 }  // namespace sphere
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with a default JSON reporter: results land in
+// BENCH_micro.json (ops/sec via items_per_second) for machines to diff,
+// unless the invoker passes an explicit --benchmark_out.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -143,8 +143,9 @@ Status ShardingConnection::SetTransactionType(
   return Status::OK();
 }
 
-Result<engine::ExecResult> ShardingConnection::ExecuteParsed(
-    const sql::Statement& stmt, std::vector<Value> params) {
+Result<engine::ExecResult> ShardingConnection::ExecutePlanned(
+    const core::StatementPlan& plan, std::vector<Value> params) {
+  const sql::Statement& stmt = plan.stmt();
   switch (stmt.kind()) {
     case sql::StatementKind::kBegin:
       SPHERE_RETURN_NOT_OK(Begin());
@@ -180,8 +181,8 @@ Result<engine::ExecResult> ShardingConnection::ExecuteParsed(
   }
   core::ConnectionSource* source = txn_ != nullptr ? txn_.get() : nullptr;
   core::UnitObserver* observer = txn_ != nullptr ? txn_->observer() : nullptr;
-  return data_source_->runtime()->ExecuteStatement(stmt, std::move(params),
-                                                   source, observer);
+  return data_source_->runtime()->ExecutePlan(plan, std::move(params), source,
+                                              observer);
 }
 
 Result<engine::ExecResult> ShardingConnection::ExecuteSQL(
@@ -199,9 +200,9 @@ Result<engine::ExecResult> ShardingConnection::ExecuteSQL(
     MutexLock lk(*data_source_->distsql_mutex());
     return data_source_->distsql()->Execute(sql_text, hooks);
   }
-  sql::Parser parser(data_source_->runtime()->dialect());
-  SPHERE_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.Parse(sql_text));
-  return ExecuteParsed(*stmt, std::move(params));
+  SPHERE_ASSIGN_OR_RETURN(std::shared_ptr<const core::StatementPlan> plan,
+                          data_source_->runtime()->GetOrParse(sql_text));
+  return ExecutePlanned(*plan, std::move(params));
 }
 
 Result<ShardingResultSet> ShardingConnection::ExecuteQuery(
@@ -230,10 +231,9 @@ std::unique_ptr<ShardingStatement> ShardingConnection::CreateStatement() {
 
 Result<std::unique_ptr<ShardingPreparedStatement>>
 ShardingConnection::PrepareStatement(std::string_view sql_text) {
-  sql::Parser parser(data_source_->runtime()->dialect());
-  SPHERE_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.Parse(sql_text));
-  return std::make_unique<ShardingPreparedStatement>(this, std::move(stmt),
-                                                     parser.param_count());
+  SPHERE_ASSIGN_OR_RETURN(std::shared_ptr<const core::StatementPlan> plan,
+                          data_source_->runtime()->GetOrParse(sql_text));
+  return std::make_unique<ShardingPreparedStatement>(this, std::move(plan));
 }
 
 Result<ShardingResultSet> ShardingPreparedStatement::ExecuteQuery() {
@@ -253,7 +253,7 @@ Result<int64_t> ShardingPreparedStatement::ExecuteUpdate() {
 }
 
 Result<engine::ExecResult> ShardingPreparedStatement::Execute() {
-  return conn_->ExecuteParsed(*stmt_, params_);
+  return conn_->ExecutePlanned(*plan_, params_);
 }
 
 }  // namespace sphere::adaptor

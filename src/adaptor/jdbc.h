@@ -140,8 +140,8 @@ class ShardingConnection {
  private:
   friend class ShardingPreparedStatement;
 
-  Result<engine::ExecResult> ExecuteParsed(const sql::Statement& stmt,
-                                           std::vector<Value> params);
+  Result<engine::ExecResult> ExecutePlanned(const core::StatementPlan& plan,
+                                            std::vector<Value> params);
   Status EnsureTransaction();
 
   ShardingDataSource* data_source_;
@@ -169,14 +169,15 @@ class ShardingStatement {
   ShardingConnection* conn_;
 };
 
-/// Prepared statement: parsed once, parameters bound per execution
-/// (1-indexed setters, JDBC style).
+/// Prepared statement: parsed once (through the runtime's statement cache, so
+/// preparing the same text twice shares one AST), parameters bound per
+/// execution (1-indexed setters, JDBC style).
 class ShardingPreparedStatement {
  public:
-  ShardingPreparedStatement(ShardingConnection* conn, sql::StatementPtr stmt,
-                            int param_count)
-      : conn_(conn), stmt_(std::move(stmt)),
-        params_(static_cast<size_t>(param_count), Value::Null()) {}
+  ShardingPreparedStatement(ShardingConnection* conn,
+                            std::shared_ptr<const core::StatementPlan> plan)
+      : conn_(conn), plan_(std::move(plan)),
+        params_(static_cast<size_t>(plan_->param_count()), Value::Null()) {}
 
   void SetValue(int index, Value v) {
     if (index >= 1 && static_cast<size_t>(index) <= params_.size()) {
@@ -194,7 +195,7 @@ class ShardingPreparedStatement {
 
  private:
   ShardingConnection* conn_;
-  sql::StatementPtr stmt_;
+  std::shared_ptr<const core::StatementPlan> plan_;
   std::vector<Value> params_;
 };
 

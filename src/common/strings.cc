@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 
 namespace sphere {
@@ -16,6 +17,17 @@ std::string ToUpper(std::string_view s) {
   std::string out(s);
   for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
   return out;
+}
+
+size_t HashIgnoreCase(std::string_view s) {
+  // FNV-1a over the lowered bytes; must agree with EqualsIgnoreCase so equal
+  // keys hash equally.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(std::tolower(static_cast<unsigned char>(c)));
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<size_t>(h);
 }
 
 bool EqualsIgnoreCase(std::string_view a, std::string_view b) {

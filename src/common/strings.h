@@ -1,6 +1,8 @@
 #ifndef SPHERE_COMMON_STRINGS_H_
 #define SPHERE_COMMON_STRINGS_H_
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,6 +29,35 @@ bool ContainsIgnoreCase(std::string_view s, std::string_view needle);
 bool LikeMatch(std::string_view text, std::string_view pattern);
 /// printf-style formatting into std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Hash of the ASCII-lowered bytes of `s`, without allocating the lowered
+/// copy. Pairs with EqualsIgnoreCase for case-insensitive hash containers.
+size_t HashIgnoreCase(std::string_view s);
+
+/// Transparent hasher for case-insensitive string keys: lets unordered
+/// containers look up `std::string` keys by `std::string_view` (or plain
+/// `const char*`) with no temporary string on the hot path.
+struct CaseInsensitiveHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const { return HashIgnoreCase(s); }
+};
+
+/// Transparent equality companion to CaseInsensitiveHash.
+struct CaseInsensitiveEqual {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return EqualsIgnoreCase(a, b);
+  }
+};
+
+/// Transparent exact-case hasher, for string-keyed containers probed with
+/// string_views (e.g. the statement cache keyed by SQL text).
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 }  // namespace sphere
 

@@ -34,6 +34,15 @@ void ThreadPool::Wait() {
   });
 }
 
+ThreadPool* SharedThreadPool() {
+  static ThreadPool* pool = [] {
+    size_t n = std::thread::hardware_concurrency();
+    if (n < 4) n = 4;
+    return new ThreadPool(n);
+  }();
+  return pool;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

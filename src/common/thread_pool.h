@@ -40,6 +40,17 @@ class ThreadPool {
   bool stop_ SPHERE_GUARDED_BY(mu_) = false;
 };
 
+/// The process-wide executor pool shared by every ExecutionEngine (and any
+/// other steady-state parallel work). Sized from hardware concurrency with a
+/// floor of 4 — the workers mostly wait on simulated network / storage I/O,
+/// so a few threads beyond the core count keep small scatter queries parallel
+/// even on tiny machines. Created on first use and intentionally leaked:
+/// worker threads must never race static destruction at process exit.
+///
+/// Callers that need a differently sized pool (tests, benchmarks) construct
+/// their own ThreadPool and inject it instead of using this one.
+ThreadPool* SharedThreadPool();
+
 /// Counts down to zero; used to join a known number of parallel SQL units.
 class Latch {
  public:

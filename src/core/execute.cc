@@ -8,16 +8,16 @@
 namespace sphere::core {
 
 Status DataSourceRegistry::Register(std::unique_ptr<net::DataSource> ds) {
-  std::string key = ToLower(ds->name());
-  if (sources_.count(key)) {
+  if (sources_.find(std::string_view(ds->name())) != sources_.end()) {
     return Status::AlreadyExists("data source " + ds->name());
   }
-  sources_[key] = std::move(ds);
+  std::string key = ds->name();
+  sources_.emplace(std::move(key), std::move(ds));
   return Status::OK();
 }
 
-net::DataSource* DataSourceRegistry::Find(const std::string& name) {
-  auto it = sources_.find(ToLower(name));
+net::DataSource* DataSourceRegistry::Find(std::string_view name) {
+  auto it = sources_.find(name);
   return it == sources_.end() ? nullptr : it->second.get();
 }
 
@@ -25,6 +25,7 @@ std::vector<std::string> DataSourceRegistry::Names() const {
   std::vector<std::string> out;
   out.reserve(sources_.size());
   for (const auto& [key, ds] : sources_) out.push_back(ds->name());
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -67,24 +68,24 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
   if (units.empty()) return Status::Internal("no SQL units to execute");
 
   // ----- Preparation phase: group by data source. -----
+  // Hash-grouped on the unit's data source name (case-insensitive, no
+  // lowered-copy allocation): the string_view keys point into the units,
+  // which outlive the map.
   std::vector<Group> groups;
+  std::unordered_map<std::string_view, size_t, CaseInsensitiveHash,
+                     CaseInsensitiveEqual>
+      group_of;
   for (size_t i = 0; i < units.size(); ++i) {
-    Group* group = nullptr;
-    for (auto& g : groups) {
-      if (EqualsIgnoreCase(g.ds->name(), units[i].data_source)) {
-        group = &g;
-        break;
-      }
-    }
-    if (group == nullptr) {
+    auto [it, inserted] =
+        group_of.try_emplace(units[i].data_source, groups.size());
+    if (inserted) {
       net::DataSource* ds = registry_->Find(units[i].data_source);
       if (ds == nullptr) {
         return Status::NotFound("data source " + units[i].data_source);
       }
       groups.push_back(Group{ds, nullptr, {}});
-      group = &groups.back();
     }
-    group->unit_indices.push_back(i);
+    groups[it->second].unit_indices.push_back(i);
   }
 
   // Transaction affinity: each touched data source pins to its txn connection.
@@ -150,8 +151,25 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
 
   if (tasks.size() == 1) {
     RunSerial(tasks[0].conn, units, tasks[0].indices, observer, &results);
+  } else if (pool_ != nullptr) {
+    // The data sources execute their SQLs in parallel (paper Fig. 8), on the
+    // persistent scheduler: every slice but the first goes to the pool, the
+    // caller drains its own slice inline (so progress is guaranteed even on a
+    // saturated pool — pool tasks are leaves and never block on the pool),
+    // then joins on the latch. No thread is created on this path.
+    Latch latch(static_cast<int>(tasks.size()) - 1);
+    for (size_t i = 1; i < tasks.size(); ++i) {
+      Task* task = &tasks[i];
+      pool_->Submit([&, task] {
+        RunSerial(task->conn, units, task->indices, observer, &results);
+        latch.CountDown();
+      });
+    }
+    RunSerial(tasks[0].conn, units, tasks[0].indices, observer, &results);
+    latch.Wait();
   } else {
-    // The data sources execute their SQLs in parallel (paper Fig. 8).
+    // Benchmark baseline (set_thread_pool(nullptr)): the pre-scheduler
+    // spawn-per-statement dispatch.
     std::vector<std::thread> threads;
     threads.reserve(tasks.size() - 1);
     for (size_t i = 1; i < tasks.size(); ++i) {

@@ -1,12 +1,15 @@
 #ifndef SPHERE_CORE_EXECUTE_H_
 #define SPHERE_CORE_EXECUTE_H_
 
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
 #include "core/rewrite.h"
 #include "net/pool.h"
 
@@ -18,15 +21,21 @@ enum class ConnectionMode {
   kConnectionStrictly,  ///< limited connections, serial batches, memory merge
 };
 
-/// Registry of attached data sources.
+/// Registry of attached data sources. Lookup is case-insensitive (SQL
+/// identifier semantics) and allocation-free: the map hashes the query string
+/// in place instead of materializing a lowered copy per Find — Find sits on
+/// the per-unit hot path of every executed statement.
 class DataSourceRegistry {
  public:
   Status Register(std::unique_ptr<net::DataSource> ds);
-  net::DataSource* Find(const std::string& name);
+  net::DataSource* Find(std::string_view name);
+  /// Registered names (sorted, original casing).
   std::vector<std::string> Names() const;
 
  private:
-  std::map<std::string, std::unique_ptr<net::DataSource>> sources_;
+  std::unordered_map<std::string, std::unique_ptr<net::DataSource>,
+                     CaseInsensitiveHash, CaseInsensitiveEqual>
+      sources_;
 };
 
 /// Provides transaction-affine connections: when a logical session has an
@@ -73,13 +82,26 @@ struct ExecutionOutcome {
 /// paper describes; single-connection groups skip the batch lock.
 /// Execution phase: groups and the connections inside a group run in
 /// parallel, each connection draining its assigned SQL list serially.
+///
+/// Parallel slices are dispatched to a persistent scheduler (the process-wide
+/// SharedThreadPool by default): the caller submits every slice but its own,
+/// executes its own slice inline, and joins on a latch — so the steady-state
+/// path constructs zero threads per statement. The pool is injectable for
+/// tests and sizing experiments; setting it to nullptr falls back to
+/// spawn-per-statement, kept only as the benchmark baseline.
 class ExecutionEngine {
  public:
-  ExecutionEngine(DataSourceRegistry* registry, int max_connections_per_query)
-      : registry_(registry), max_con_(max_connections_per_query) {}
+  ExecutionEngine(DataSourceRegistry* registry, int max_connections_per_query,
+                  ThreadPool* pool = SharedThreadPool())
+      : registry_(registry), max_con_(max_connections_per_query), pool_(pool) {}
 
   void set_max_connections_per_query(int n) { max_con_ = n < 1 ? 1 : n; }
   int max_connections_per_query() const { return max_con_; }
+
+  /// Replaces the scheduler pool. nullptr selects the legacy thread-spawn
+  /// dispatch (benchmark baseline only — it creates threads per statement).
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
 
   /// Executes every unit; `txn_source` may be nullptr (auto-commit) and
   /// `observer` may be nullptr (no per-unit hooks).
@@ -90,6 +112,7 @@ class ExecutionEngine {
  private:
   DataSourceRegistry* registry_;
   int max_con_;
+  ThreadPool* pool_;
 };
 
 }  // namespace sphere::core

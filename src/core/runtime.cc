@@ -1,12 +1,14 @@
 #include "core/runtime.h"
 
 #include "common/strings.h"
+#include "core/hint.h"
 
 namespace sphere::core {
 
 ShardingRuntime::ShardingRuntime(RuntimeConfig config, net::NetworkConfig network)
     : config_(config), network_(network), dialect_(sql::Dialect::Get(config.dialect)),
-      executor_(&registry_, config.max_connections_per_query) {
+      executor_(&registry_, config.max_connections_per_query),
+      stmt_cache_(config.statement_cache_capacity) {
   // An empty rule still routes unsharded tables to the default data source
   // once SetRule is called; start with a null rule (Execute requires one).
 }
@@ -18,6 +20,10 @@ Status ShardingRuntime::AttachNode(const std::string& name,
 }
 
 Status ShardingRuntime::SetRule(ShardingRuleConfig config) {
+  // Every rule change invalidates the plan cache: cached routed plans were
+  // computed against the outgoing rule. (Invalidate also bumps the epoch, so
+  // plans still being routed under the old rule can never be republished.)
+  stmt_cache_.Invalidate();
   SPHERE_ASSIGN_OR_RETURN(rule_, ShardingRule::Build(std::move(config)));
   // Validate that every referenced data source is attached.
   for (const auto& ds : rule_->AllDataSources()) {
@@ -116,9 +122,62 @@ Result<engine::ExecResult> ShardingRuntime::ExecuteStatement(
 
 Result<engine::ExecResult> ShardingRuntime::Execute(std::string_view sql_text,
                                                     std::vector<Value> params) {
-  sql::Parser parser(dialect_);
-  SPHERE_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.Parse(sql_text));
-  return ExecuteStatement(*stmt, std::move(params), nullptr);
+  SPHERE_ASSIGN_OR_RETURN(std::shared_ptr<const StatementPlan> plan,
+                          GetOrParse(sql_text));
+  return ExecutePlan(*plan, std::move(params), nullptr);
+}
+
+Result<std::shared_ptr<const StatementPlan>> ShardingRuntime::GetOrParse(
+    std::string_view sql_text) {
+  std::shared_ptr<const StatementPlan> plan =
+      stmt_cache_.Get(config_.dialect, sql_text);
+  if (plan != nullptr) return plan;
+  SPHERE_ASSIGN_OR_RETURN(sql::SharedStatement parsed,
+                          sql::ParseShared(sql_text, dialect_));
+  plan = std::make_shared<StatementPlan>(std::move(parsed), config_.dialect);
+  stmt_cache_.Put(config_.dialect, sql_text, plan);
+  return plan;
+}
+
+Result<engine::ExecResult> ShardingRuntime::ExecutePlan(
+    const StatementPlan& plan, std::vector<Value> params,
+    ConnectionSource* txn_source, UnitObserver* observer) {
+  // The routed/rewritten form is reusable only when nothing outside the AST
+  // and the rule can change it: no parameters (the physical SQL embeds
+  // parameter-derived routing), no feature interceptors (they may replace the
+  // statement or redirect units per call), no thread-local sharding hint, and
+  // a SELECT (INSERTs go through key generation, DML through AT-mode
+  // observers that want the regular pipeline's statement identity).
+  bool reusable = plan.param_count() == 0 &&
+                  plan.stmt().kind() == sql::StatementKind::kSelect &&
+                  interceptors_.empty() && rule_ != nullptr &&
+                  !HintManager::GetShardingValue().has_value();
+  if (!reusable) {
+    return ExecuteStatement(plan.stmt(), std::move(params), txn_source,
+                            observer);
+  }
+
+  // Read the epoch before routing: if SetRule lands in between, the plan we
+  // publish carries the stale epoch and is never reused.
+  uint64_t epoch = stmt_cache_.epoch();
+  std::shared_ptr<const RoutedPlan> routed = plan.routed(epoch);
+  if (routed == nullptr) {
+    auto fresh = std::make_shared<RoutedPlan>();
+    fresh->rule_epoch = epoch;
+    RouteEngine router(rule_.get());
+    SPHERE_ASSIGN_OR_RETURN(fresh->route, router.Route(plan.stmt(), params));
+    RewriteEngine rewriter(dialect_);
+    SPHERE_ASSIGN_OR_RETURN(fresh->rewritten,
+                            rewriter.Rewrite(plan.stmt(), fresh->route, params));
+    routed = fresh;
+    plan.StoreRouted(std::move(fresh));
+  }
+
+  SPHERE_ASSIGN_OR_RETURN(
+      ExecutionOutcome outcome,
+      executor_.Execute(routed->rewritten.units, txn_source, observer));
+  last_mode_.store(outcome.mode, std::memory_order_relaxed);
+  return merger_.Merge(std::move(outcome.results), routed->rewritten.merge);
 }
 
 Result<RouteResult> ShardingRuntime::PreviewRoute(

@@ -11,6 +11,7 @@
 #include "core/rewrite.h"
 #include "core/route.h"
 #include "core/rule.h"
+#include "core/statement_cache.h"
 #include "net/latency.h"
 #include "sql/parser.h"
 
@@ -55,6 +56,8 @@ struct RuntimeConfig {
   int max_connections_per_query = 1;  ///< MaxCon (paper §VI-D / Fig. 15)
   int pool_size_per_source = 128;
   sql::DialectType dialect = sql::DialectType::kMySQL;
+  /// SQL parse/plan cache entries kept per runtime (0 disables caching).
+  size_t statement_cache_capacity = 2048;
 };
 
 /// The assembled SQL engine: parser -> router -> rewriter -> executor ->
@@ -91,9 +94,25 @@ class ShardingRuntime {
                                               ConnectionSource* txn_source,
                                               UnitObserver* observer = nullptr);
 
-  /// Parse + execute (auto-commit convenience).
+  /// Parse + execute (auto-commit convenience). Repeated statements hit the
+  /// parse/plan cache and skip the parser entirely.
   Result<engine::ExecResult> Execute(std::string_view sql_text,
                                      std::vector<Value> params = {});
+
+  /// Cache-aware parse: returns the cached plan for `sql_text` or parses and
+  /// admits it. The plan's AST is immutable and shared; adaptors hold it
+  /// across executions (prepared statements) and feed it to ExecutePlan.
+  Result<std::shared_ptr<const StatementPlan>> GetOrParse(
+      std::string_view sql_text);
+
+  /// Runs the pipeline for a cached plan. Zero-parameter SELECTs outside of
+  /// feature interceptors reuse the plan's routed/rewritten form (computed at
+  /// most once per rule epoch) and jump straight to the executor; everything
+  /// else takes the regular ExecuteStatement pipeline on the shared AST.
+  Result<engine::ExecResult> ExecutePlan(const StatementPlan& plan,
+                                         std::vector<Value> params,
+                                         ConnectionSource* txn_source,
+                                         UnitObserver* observer = nullptr);
 
   /// The route a statement would take (DistSQL PREVIEW / tests).
   Result<RouteResult> PreviewRoute(const sql::Statement& stmt,
@@ -103,6 +122,14 @@ class ShardingRuntime {
   const net::LatencyModel& network() const { return network_; }
   const sql::Dialect& dialect() const { return dialect_; }
   const RuntimeConfig& config() const { return config_; }
+
+  /// Parse/plan cache observability: hits, misses, evictions, residency.
+  CacheStats statement_cache_stats() const { return stmt_cache_.stats(); }
+  const StatementCache& statement_cache() const { return stmt_cache_; }
+
+  /// Overrides the executor's scheduler pool (tests / benchmarks). nullptr
+  /// selects the legacy spawn-per-statement dispatch.
+  void set_executor_pool(ThreadPool* pool) { executor_.set_thread_pool(pool); }
 
   /// Last chosen connection mode (observability for Fig. 15 analysis).
   ConnectionMode last_connection_mode() const {
@@ -120,6 +147,7 @@ class ShardingRuntime {
   DataSourceRegistry registry_;
   std::unique_ptr<ShardingRule> rule_;
   ExecutionEngine executor_;
+  StatementCache stmt_cache_;
   MergeEngine merger_;
   std::vector<std::shared_ptr<StatementInterceptor>> interceptors_;
   std::atomic<ConnectionMode> last_mode_{ConnectionMode::kMemoryStrictly};

@@ -1,0 +1,47 @@
+#include "core/statement_cache.h"
+
+namespace sphere::core {
+
+std::shared_ptr<const RoutedPlan> StatementPlan::routed(
+    uint64_t current_epoch) const {
+  MutexLock lk(mu_);
+  if (routed_ == nullptr || routed_->rule_epoch != current_epoch) {
+    return nullptr;
+  }
+  return routed_;
+}
+
+void StatementPlan::StoreRouted(std::shared_ptr<const RoutedPlan> plan) const {
+  MutexLock lk(mu_);
+  routed_ = std::move(plan);
+}
+
+std::shared_ptr<const StatementPlan> StatementCache::Get(
+    sql::DialectType dialect, std::string_view sql) {
+  std::optional<std::shared_ptr<const StatementPlan>> hit = cache_.Get(sql);
+  if (!hit.has_value()) return nullptr;
+  if ((*hit)->dialect() != dialect) {
+    // Same text parsed under another dialect: not usable. Drop the entry so
+    // the caller's re-parse replaces it. (Counted as a hit then a miss on the
+    // replacing Put's next lookup; cross-dialect text collisions are a
+    // non-event in practice since a runtime owns one dialect.)
+    cache_.Erase(sql);
+    return nullptr;
+  }
+  return *hit;
+}
+
+void StatementCache::Put(sql::DialectType dialect, std::string_view sql,
+                         std::shared_ptr<const StatementPlan> plan) {
+  if (plan == nullptr || plan->dialect() != dialect) return;
+  cache_.Put(sql, std::move(plan));
+}
+
+void StatementCache::Invalidate() {
+  // Bump first: an executor that routed under the old rule and publishes its
+  // RoutedPlan after this line stores a stale epoch, which routed() rejects.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  cache_.Clear();
+}
+
+}  // namespace sphere::core

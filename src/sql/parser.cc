@@ -739,4 +739,14 @@ Result<StatementPtr> ParseSQL(std::string_view sql, const Dialect& dialect) {
   return parser.Parse(sql);
 }
 
+Result<SharedStatement> ParseShared(std::string_view sql,
+                                    const Dialect& dialect) {
+  Parser parser(dialect);
+  SPHERE_ASSIGN_OR_RETURN(StatementPtr stmt, parser.Parse(sql));
+  SharedStatement shared;
+  shared.stmt = std::shared_ptr<const Statement>(std::move(stmt));
+  shared.param_count = parser.param_count();
+  return shared;
+}
+
 }  // namespace sphere::sql

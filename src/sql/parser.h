@@ -81,6 +81,20 @@ Result<StatementPtr> ParseSQL(std::string_view sql);
 /// Convenience: parse with an explicit dialect.
 Result<StatementPtr> ParseSQL(std::string_view sql, const Dialect& dialect);
 
+/// A parse product shareable across sessions and threads: the AST is
+/// immutable after parsing (every pipeline stage that mutates works on a
+/// Clone), so one `shared_ptr<const Statement>` can serve concurrent
+/// executions. The parameter count travels with the AST because binding
+/// needs it long after the Parser is gone — this is what the statement
+/// cache stores.
+struct SharedStatement {
+  std::shared_ptr<const Statement> stmt;
+  int param_count = 0;
+};
+
+/// Parses one statement into a shareable immutable AST.
+Result<SharedStatement> ParseShared(std::string_view sql, const Dialect& dialect);
+
 }  // namespace sphere::sql
 
 #endif  // SPHERE_SQL_PARSER_H_

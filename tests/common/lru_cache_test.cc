@@ -1,0 +1,134 @@
+#include "common/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace sphere {
+namespace {
+
+// Single shard makes the eviction order deterministic.
+using StringCache =
+    ShardedLRUCache<std::string, int, TransparentStringHash>;
+
+TEST(LRUCacheTest, GetMissThenHit) {
+  StringCache cache(4, 1);
+  EXPECT_FALSE(cache.Get(std::string_view("a")).has_value());
+  cache.Put(std::string_view("a"), 1);
+  auto hit = cache.Get(std::string_view("a"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 1);
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+}
+
+TEST(LRUCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  StringCache cache(3, 1);
+  cache.Put(std::string_view("a"), 1);
+  cache.Put(std::string_view("b"), 2);
+  cache.Put(std::string_view("c"), 3);
+  // Touch "a": it becomes most recent, so "b" is now the LRU victim.
+  EXPECT_TRUE(cache.Get(std::string_view("a")).has_value());
+  cache.Put(std::string_view("d"), 4);
+  EXPECT_FALSE(cache.Get(std::string_view("b")).has_value());
+  EXPECT_TRUE(cache.Get(std::string_view("a")).has_value());
+  EXPECT_TRUE(cache.Get(std::string_view("c")).has_value());
+  EXPECT_TRUE(cache.Get(std::string_view("d")).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LRUCacheTest, PutOverwritesAndRefreshesRecency) {
+  StringCache cache(2, 1);
+  cache.Put(std::string_view("a"), 1);
+  cache.Put(std::string_view("b"), 2);
+  cache.Put(std::string_view("a"), 10);  // overwrite: "b" becomes the victim
+  cache.Put(std::string_view("c"), 3);
+  EXPECT_FALSE(cache.Get(std::string_view("b")).has_value());
+  auto a = cache.Get(std::string_view("a"));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 10);
+}
+
+TEST(LRUCacheTest, EraseAndClear) {
+  StringCache cache(4, 1);
+  cache.Put(std::string_view("a"), 1);
+  cache.Put(std::string_view("b"), 2);
+  EXPECT_TRUE(cache.Erase(std::string_view("a")));
+  EXPECT_FALSE(cache.Erase(std::string_view("a")));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  // Erase/Clear are not capacity evictions.
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(LRUCacheTest, ZeroCapacityDisablesCaching) {
+  StringCache cache(0, 8);
+  cache.Put(std::string_view("a"), 1);
+  EXPECT_FALSE(cache.Get(std::string_view("a")).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  // Observability still works when disabled: lookups count as misses.
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(LRUCacheTest, ShardCountClampedToCapacity) {
+  StringCache cache(3, 64);
+  EXPECT_EQ(cache.num_shards(), 3u);
+  // Capacity is a bound even when shards round their slice up.
+  for (int i = 0; i < 100; ++i) {
+    cache.Put(std::string_view(std::to_string(i)), i);
+  }
+  EXPECT_LE(cache.size(), 3u);
+}
+
+TEST(LRUCacheTest, TransparentLookupAcrossKeyTypes) {
+  StringCache cache(4, 1);
+  std::string key = "SELECT 1";
+  cache.Put(key, 7);
+  // string_view probe against the std::string key, no conversion at the call.
+  std::string_view view = key;
+  auto hit = cache.Get(view);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 7);
+}
+
+TEST(LRUCacheTest, ConcurrentMixedOperations) {
+  StringCache cache(64, 8);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 128; ++i) keys.push_back("key_" + std::to_string(i));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, &keys, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string& k = keys[static_cast<size_t>((i * 7 + t) % 128)];
+        if (i % 3 == 0) {
+          cache.Put(std::string_view(k), i);
+        } else if (i % 17 == 0) {
+          cache.Erase(std::string_view(k));
+        } else {
+          auto v = cache.Get(std::string_view(k));
+          if (v.has_value()) {
+            EXPECT_GE(*v, 0);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(cache.size(), 64u);
+  CacheStats s = cache.stats();
+  // Per thread: 167 Puts (i%3==0), 20 Erases (i%17==0 and i%3!=0), 313 Gets.
+  EXPECT_EQ(s.hits + s.misses, 4u * 313u);
+}
+
+}  // namespace
+}  // namespace sphere
