@@ -7,6 +7,7 @@
 
 #include "common/mutex.h"
 #include "core/runtime.h"
+#include "engine/pipeline.h"
 #include "distsql/distsql.h"
 #include "governor/config_manager.h"
 #include "transaction/manager.h"
@@ -68,8 +69,22 @@ class ShardingResultSet {
  public:
   explicit ShardingResultSet(engine::ResultSetPtr rs) : rs_(std::move(rs)) {}
 
-  /// Advances to the next row; false at end.
-  bool Next() { return rs_ != nullptr && rs_->Next(&current_); }
+  /// Advances to the next row; false at end. Rows are pulled from the merge
+  /// pipeline a batch at a time (engine::PipelineConfig::batch_size()), so
+  /// per-row cost is one buffer index, not a virtual call down the decorator
+  /// stack.
+  bool Next() {
+    if (pos_ >= buffer_.size()) {
+      if (rs_ == nullptr) return false;
+      buffer_.clear();
+      pos_ = 0;
+      if (rs_->NextBatch(&buffer_, engine::PipelineConfig::batch_size()) == 0) {
+        return false;
+      }
+    }
+    current_ = std::move(buffer_[pos_++]);
+    return true;
+  }
 
   const std::vector<std::string>& columns() const { return rs_->columns(); }
   /// Column index by (case-insensitive) label, or -1.
@@ -92,6 +107,8 @@ class ShardingResultSet {
 
  private:
   engine::ResultSetPtr rs_;
+  std::vector<Row> buffer_;
+  size_t pos_ = 0;
   Row current_;
 };
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <map>
-#include <queue>
-#include <set>
+#include <unordered_map>
 
+#include "common/hash.h"
 #include "common/strings.h"
+#include "engine/pipeline.h"
+#include "engine/row_dedup.h"
 
 namespace sphere::core {
 
@@ -13,23 +15,34 @@ namespace {
 
 using engine::ResultSet;
 using engine::ResultSetPtr;
+using engine::RowIndexSet;
 using engine::VectorResultSet;
 
-/// Resolves by-name merge keys against the physical columns.
+/// Resolves by-name merge keys against the physical columns: one
+/// case-insensitive name→index map, probed per key (the first matching
+/// column wins, as SQL label resolution requires).
 Result<std::vector<MergeKey>> ResolveKeys(
     const std::vector<MergeKey>& keys, const std::vector<std::string>& columns) {
   std::vector<MergeKey> out = keys;
+  bool any_by_name = false;
+  for (const auto& key : out) {
+    if (key.index < 0) any_by_name = true;
+  }
+  if (!any_by_name) return out;
+
+  std::unordered_map<std::string_view, int, CaseInsensitiveHash,
+                     CaseInsensitiveEqual>
+      by_name(columns.size() * 2);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    by_name.emplace(columns[i], static_cast<int>(i));  // keeps first occurrence
+  }
   for (auto& key : out) {
     if (key.index >= 0) continue;
-    for (size_t i = 0; i < columns.size(); ++i) {
-      if (EqualsIgnoreCase(columns[i], key.name)) {
-        key.index = static_cast<int>(i);
-        break;
-      }
-    }
-    if (key.index < 0) {
+    auto it = by_name.find(std::string_view(key.name));
+    if (it == by_name.end()) {
       return Status::InvalidArgument("merge key column not found: " + key.name);
     }
+    key.index = it->second;
   }
   return out;
 }
@@ -121,6 +134,7 @@ class GroupAccumulator {
     AddDerived(row);
   }
 
+  /// Moves the finished row out; Start() re-initializes for the next group.
   Row Finish() {
     for (auto& unit : units_) {
       row_[unit.desc->index] = unit.Finish();
@@ -147,7 +161,7 @@ class GroupAccumulator {
                                            : Value::Null();
       }
     }
-    return row_;
+    return std::move(row_);
   }
 
  private:
@@ -201,14 +215,58 @@ class IterationMergedResult : public ResultSet {
     return false;
   }
 
+  size_t NextBatch(std::vector<Row>* out, size_t max) override {
+    size_t total = 0;
+    while (total < max && cursor_ < sources_.size()) {
+      size_t n = sources_[cursor_]->NextBatch(out, max - total);
+      if (n == 0) {
+        ++cursor_;
+        continue;
+      }
+      total += n;
+    }
+    return total;
+  }
+
  private:
   std::vector<ResultSetPtr> sources_;
   std::vector<std::string> columns_;
   size_t cursor_ = 0;
 };
 
+/// Pull-side batching over one shard cursor: refills an internal buffer via
+/// NextBatch so the k-way merge pays one virtual call per batch instead of
+/// one per row, and hands out mutable pointers the merge can move from.
+class BufferedCursor {
+ public:
+  explicit BufferedCursor(ResultSet* source) : source_(source) {}
+
+  /// Next row, owned by the buffer until the following Next() call — the
+  /// caller may move from it. nullptr at end of stream.
+  Row* Next() {
+    if (pos_ >= buffer_.size()) {
+      buffer_.clear();
+      pos_ = 0;
+      if (source_->NextBatch(&buffer_, engine::PipelineConfig::batch_size()) ==
+          0) {
+        return nullptr;
+      }
+    }
+    return &buffer_[pos_++];
+  }
+
+ private:
+  ResultSet* source_;
+  std::vector<Row> buffer_;
+  size_t pos_ = 0;
+};
+
 /// K-way merge by sort keys over per-shard cursors that are already sorted
-/// (paper's order-by stream merger with a priority queue).
+/// (paper's order-by stream merger). A hand-rolled binary heap replaces
+/// std::priority_queue so each pop moves the winning row out instead of
+/// copying it twice (top() is const), and so the winner's replacement row is
+/// sifted in place rather than popped and re-pushed. Ties break on the source
+/// index, making the merge order deterministic across runs.
 class OrderByStreamMergedResult : public ResultSet {
  public:
   OrderByStreamMergedResult(std::vector<ResultSetPtr> sources,
@@ -216,26 +274,33 @@ class OrderByStreamMergedResult : public ResultSet {
                             std::vector<MergeKey> keys)
       : sources_(std::move(sources)), columns_(std::move(columns)),
         keys_(std::move(keys)) {
-    for (size_t i = 0; i < sources_.size(); ++i) {
-      Row row;
-      if (sources_[i]->Next(&row)) {
-        heap_.push(Entry{std::move(row), i});
-      }
+    cursors_.reserve(sources_.size());
+    for (auto& s : sources_) cursors_.emplace_back(s.get());
+    heap_.reserve(cursors_.size());
+    for (size_t i = 0; i < cursors_.size(); ++i) {
+      Row* row = cursors_[i].Next();
+      if (row != nullptr) heap_.push_back(Entry{std::move(*row), i});
     }
+    for (size_t i = heap_.size() / 2; i-- > 0;) SiftDown(i);
   }
 
   const std::vector<std::string>& columns() const override { return columns_; }
 
   bool Next(Row* row) override {
     if (heap_.empty()) return false;
-    Entry top = heap_.top();
-    heap_.pop();
-    *row = top.row;
-    Row next;
-    if (sources_[top.source]->Next(&next)) {
-      heap_.push(Entry{std::move(next), top.source});
-    }
+    *row = std::move(heap_[0].row);
+    Refill();
     return true;
+  }
+
+  size_t NextBatch(std::vector<Row>* out, size_t max) override {
+    size_t n = 0;
+    while (n < max && !heap_.empty()) {
+      out->push_back(std::move(heap_[0].row));
+      Refill();
+      ++n;
+    }
+    return n;
   }
 
  private:
@@ -243,18 +308,51 @@ class OrderByStreamMergedResult : public ResultSet {
     Row row;
     size_t source;
   };
-  struct EntryGreater {
-    const std::vector<MergeKey>* keys;
-    bool operator()(const Entry& a, const Entry& b) const {
-      return CompareByKeys(a.row, b.row, *keys) > 0;
+
+  /// Strict weak order: a streams out before b.
+  bool Before(const Entry& a, const Entry& b) const {
+    int c = CompareByKeys(a.row, b.row, keys_);
+    if (c != 0) return c < 0;
+    return a.source < b.source;
+  }
+
+  void SiftDown(size_t i) {
+    for (;;) {
+      size_t l = 2 * i + 1;
+      size_t r = l + 1;
+      size_t m = i;
+      if (l < heap_.size() && Before(heap_[l], heap_[m])) m = l;
+      if (r < heap_.size() && Before(heap_[r], heap_[m])) m = r;
+      if (m == i) return;
+      std::swap(heap_[i], heap_[m]);
+      i = m;
     }
-  };
+  }
+
+  /// Replaces the (moved-from) root with the winning source's next row, or
+  /// with the last heap entry when that source ran dry, then restores the
+  /// heap property.
+  void Refill() {
+    size_t src = heap_[0].source;
+    Row* next = cursors_[src].Next();
+    if (next != nullptr) {
+      heap_[0].row = std::move(*next);
+    } else {
+      if (heap_.size() == 1) {
+        heap_.clear();
+        return;
+      }
+      heap_[0] = std::move(heap_.back());
+      heap_.pop_back();
+    }
+    SiftDown(0);
+  }
 
   std::vector<ResultSetPtr> sources_;
   std::vector<std::string> columns_;
   std::vector<MergeKey> keys_;
-  std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_{
-      EntryGreater{&keys_}};
+  std::vector<BufferedCursor> cursors_;
+  std::vector<Entry> heap_;
 };
 
 /// Group-by stream merger: consumes a group-key-sorted stream and folds the
@@ -273,8 +371,8 @@ class GroupByStreamMergedResult : public ResultSet {
 
   bool Next(Row* row) override {
     if (!has_pending_) return false;
-    acc_.Start(pending_);
-    Row current = pending_;
+    Row current = std::move(pending_);
+    acc_.Start(current);
     for (;;) {
       has_pending_ = sorted_->Next(&pending_);
       if (!has_pending_ || !SameGroup(current, pending_, group_keys_)) break;
@@ -309,18 +407,41 @@ class LimitDecoratorResult : public ResultSet {
   }
 
   bool Next(Row* row) override {
-    while (skipped_ < limit_.offset) {
-      Row tmp;
-      if (!inner_->Next(&tmp)) return false;
-      ++skipped_;
-    }
+    if (!SkipOffset()) return false;
     if (limit_.count >= 0 && returned_ >= limit_.count) return false;
     if (!inner_->Next(row)) return false;
     ++returned_;
     return true;
   }
 
+  size_t NextBatch(std::vector<Row>* out, size_t max) override {
+    if (!SkipOffset()) return 0;
+    if (limit_.count >= 0) {
+      max = std::min(max, static_cast<size_t>(limit_.count - returned_));
+    }
+    if (max == 0) return 0;
+    size_t n = inner_->NextBatch(out, max);
+    returned_ += static_cast<int64_t>(n);
+    return n;
+  }
+
  private:
+  /// Discards the first `offset` merged rows in batches; false when the
+  /// stream ends inside the offset window.
+  bool SkipOffset() {
+    std::vector<Row> scratch;
+    while (skipped_ < limit_.offset) {
+      scratch.clear();
+      size_t want =
+          std::min(static_cast<size_t>(limit_.offset - skipped_),
+                   engine::PipelineConfig::batch_size());
+      size_t n = inner_->NextBatch(&scratch, want);
+      if (n == 0) return false;
+      skipped_ += static_cast<int64_t>(n);
+    }
+    return true;
+  }
+
   ResultSetPtr inner_;
   sql::LimitClause limit_;
   int64_t skipped_ = 0;
@@ -345,42 +466,74 @@ class ProjectionDecoratorResult : public ResultSet {
     return true;
   }
 
+  size_t NextBatch(std::vector<Row>* out, size_t max) override {
+    size_t start = out->size();
+    size_t n = inner_->NextBatch(out, max);
+    for (size_t i = start; i < out->size(); ++i) {
+      if ((*out)[i].size() > visible_) (*out)[i].resize(visible_);
+    }
+    return n;
+  }
+
  private:
   ResultSetPtr inner_;
   size_t visible_;
   std::vector<std::string> columns_;
 };
 
-/// DISTINCT decorator (memory-backed set of seen rows).
+/// DISTINCT decorator. Seen rows are retained in arrival order and indexed by
+/// a HashRow-keyed set (O(1) expected probes instead of an ordered set's
+/// O(log n) Value::Compare chains); duplicates are dropped without copying,
+/// and each emitted row costs exactly one copy — the set must keep the
+/// original for future equality checks.
 class DistinctDecoratorResult : public ResultSet {
  public:
   explicit DistinctDecoratorResult(ResultSetPtr inner)
-      : inner_(std::move(inner)) {}
+      : inner_(std::move(inner)), seen_(&rows_) {}
 
   const std::vector<std::string>& columns() const override {
     return inner_->columns();
   }
 
   bool Next(Row* row) override {
-    while (inner_->Next(row)) {
-      if (seen_.insert(*row).second) return true;
+    Row tmp;
+    while (inner_->Next(&tmp)) {
+      if (Admit(std::move(tmp))) {
+        *row = rows_.back();
+        return true;
+      }
     }
     return false;
   }
 
- private:
-  struct RowLess {
-    bool operator()(const Row& a, const Row& b) const {
-      size_t n = std::min(a.size(), b.size());
-      for (size_t i = 0; i < n; ++i) {
-        int c = a[i].Compare(b[i]);
-        if (c != 0) return c < 0;
+  size_t NextBatch(std::vector<Row>* out, size_t max) override {
+    size_t emitted = 0;
+    std::vector<Row> scratch;
+    while (emitted < max) {
+      scratch.clear();
+      if (inner_->NextBatch(&scratch, max - emitted) == 0) break;
+      for (Row& row : scratch) {
+        if (Admit(std::move(row))) {
+          out->push_back(rows_.back());
+          ++emitted;
+        }
       }
-      return a.size() < b.size();
     }
-  };
+    return emitted;
+  }
+
+ private:
+  /// True when `row` is new; it then stays at rows_.back().
+  bool Admit(Row row) {
+    rows_.push_back(std::move(row));
+    if (seen_.Admit(rows_.size() - 1)) return true;
+    rows_.pop_back();
+    return false;
+  }
+
   ResultSetPtr inner_;
-  std::set<Row, RowLess> seen_;
+  std::vector<Row> rows_;  ///< distinct rows seen so far, arrival order
+  RowIndexSet seen_;
 };
 
 }  // namespace
@@ -460,29 +613,54 @@ Result<engine::ExecResult> MergeEngine::Merge(
       std::vector<Row> rows = engine::DrainResultSet(stream);
       merged = std::make_unique<VectorResultSet>(labels, std::move(rows));
     } else {
-      // Memory path: hash aggregation over all rows.
-      struct RowLess {
+      // Memory path: hash aggregation over all rows. The map keys on each
+      // group's first full row but hashes/compares only the group-key
+      // columns, so incoming rows probe directly with no key extraction.
+      struct GroupHash {
         const std::vector<MergeKey>* keys;
-        bool operator()(const Row& a, const Row& b) const {
-          return CompareByKeys(a, b, *keys) < 0;
+        size_t operator()(const Row& r) const {
+          uint64_t h = 0xcbf29ce484222325ULL;
+          for (const auto& k : *keys) {
+            h = HashCombine(h, r[static_cast<size_t>(k.index)].Hash());
+          }
+          return static_cast<size_t>(h);
         }
       };
-      std::map<Row, GroupAccumulator, RowLess> groups{RowLess{&group_keys}};
-      Row row;
+      struct GroupEq {
+        const std::vector<MergeKey>* keys;
+        bool operator()(const Row& a, const Row& b) const {
+          return SameGroup(a, b, *keys);
+        }
+      };
+      std::unordered_map<Row, GroupAccumulator, GroupHash, GroupEq> groups(
+          16, GroupHash{&group_keys}, GroupEq{&group_keys});
+      std::vector<Row> batch;
       for (auto& src : sources) {
-        while (src->Next(&row)) {
-          auto it = groups.find(row);
-          if (it == groups.end()) {
-            auto [ins, ok] = groups.emplace(row, GroupAccumulator(ctx));
-            ins->second.Start(row);
-          } else {
-            it->second.Add(row);
+        for (;;) {
+          batch.clear();
+          if (src->NextBatch(&batch, engine::PipelineConfig::batch_size()) == 0) {
+            break;
+          }
+          for (Row& row : batch) {
+            auto it = groups.find(row);
+            if (it == groups.end()) {
+              auto [ins, ok] = groups.emplace(std::move(row), GroupAccumulator(ctx));
+              ins->second.Start(ins->first);
+            } else {
+              it->second.Add(row);
+            }
           }
         }
       }
       std::vector<Row> rows;
       rows.reserve(groups.size());
       for (auto& [key, acc] : groups) rows.push_back(acc.Finish());
+      // Hash order is arbitrary; restore the group-key order the ordered map
+      // used to produce (and that ties in a later ORDER BY re-sort rely on).
+      std::stable_sort(rows.begin(), rows.end(),
+                       [&](const Row& a, const Row& b) {
+                         return CompareByKeys(a, b, group_keys) < 0;
+                       });
       merged = std::make_unique<VectorResultSet>(labels, std::move(rows));
     }
     // Re-sort by the user's ORDER BY when it differs from the group order.

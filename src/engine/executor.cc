@@ -1,11 +1,15 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 #include <unordered_map>
 
 #include "common/strings.h"
+#include "engine/pipeline.h"
+#include "engine/row_dedup.h"
+#include "engine/topk.h"
 #include "sql/condition.h"
 #include "sql/dialect.h"
 
@@ -15,7 +19,7 @@ namespace {
 
 using sql::ColumnCondition;
 
-/// Lexicographic row order for DISTINCT/GROUP keys.
+/// Lexicographic row order for GROUP keys.
 struct RowLess {
   bool operator()(const Row& a, const Row& b) const {
     size_t n = std::min(a.size(), b.size());
@@ -24,6 +28,63 @@ struct RowLess {
       if (c != 0) return c < 0;
     }
     return a.size() < b.size();
+  }
+};
+
+/// Output column labels of a SELECT, resolving `*` against the source.
+std::vector<std::string> BuildLabels(const sql::SelectStatement& stmt,
+                                     const BoundColumns& cols) {
+  const sql::Dialect& dialect = sql::Dialect::MySQL();
+  std::vector<std::string> labels;
+  for (const auto& item : stmt.items) {
+    if (item.is_star) {
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (!item.star_qualifier.empty() &&
+            !EqualsIgnoreCase(cols.at(i).first, item.star_qualifier)) {
+          continue;
+        }
+        labels.push_back(cols.at(i).second);
+      }
+    } else {
+      labels.push_back(item.Label(dialect));
+    }
+  }
+  return labels;
+}
+
+/// Projects one source row through the select list.
+Result<Row> ProjectRow(const sql::SelectStatement& stmt,
+                       const BoundColumns& cols, const Row& row,
+                       const std::vector<Value>& params) {
+  Row out;
+  out.reserve(stmt.items.size());
+  for (const auto& item : stmt.items) {
+    if (item.is_star) {
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (!item.star_qualifier.empty() &&
+            !EqualsIgnoreCase(cols.at(i).first, item.star_qualifier)) {
+          continue;
+        }
+        out.push_back(row[i]);
+      }
+    } else {
+      SPHERE_ASSIGN_OR_RETURN(Value v, EvalExpr(item.expr.get(), cols, row, params));
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+/// Strict weak order over (order-keys, payload) pairs per the ORDER BY spec.
+struct KeyedRowLess {
+  const std::vector<sql::OrderByItem>* order_by;
+  bool operator()(const std::pair<Row, Row>& a,
+                  const std::pair<Row, Row>& b) const {
+    for (size_t i = 0; i < order_by->size(); ++i) {
+      int c = a.first[i].Compare(b.first[i]);
+      if (c != 0) return (*order_by)[i].desc ? c > 0 : c < 0;
+    }
+    return false;
   }
 };
 
@@ -164,22 +225,17 @@ Result<Value> EvalOverGroup(const sql::Expr* e, const AggPlan& plan,
 // Scan
 // ---------------------------------------------------------------------------
 
-Result<Executor::SourceRows> Executor::ScanTable(
-    const sql::TableRef& ref, const sql::Expr* where,
-    const std::vector<Value>& params) {
+Result<ScanPlan> Executor::PlanScan(const sql::TableRef& ref,
+                                    const sql::Expr* where,
+                                    const std::vector<Value>& params) {
   storage::Table* table = db_->FindTable(ref.name);
   if (table == nullptr) {
     return Status::NotFound("table " + ref.name);
   }
-  SourceRows out;
-  const std::string& qual = ref.EffectiveName();
-  for (const auto& col : table->schema().columns()) {
-    out.columns.Add(qual, col.name);
-  }
+  ScanPlan plan;
+  plan.table = table;
 
   // Try to find an index-friendly condition (single AND-group only).
-  const ColumnCondition* pk_cond = nullptr;
-  const ColumnCondition* idx_cond = nullptr;
   std::vector<sql::ConditionGroup> groups =
       sql::ExtractConditionGroups(where, params);
   int pk = table->pk_index();
@@ -187,65 +243,189 @@ Result<Executor::SourceRows> Executor::ScanTable(
     for (const auto& cond : groups[0]) {
       if (!ConditionApplies(cond, ref, table->schema())) continue;
       int ci = table->schema().IndexOf(cond.column);
-      if (ci == pk && pk_cond == nullptr) {
-        pk_cond = &cond;
+      if (ci == pk && !plan.pk_cond.has_value()) {
+        plan.pk_cond = cond;
       } else if (cond.kind == ColumnCondition::Kind::kEqual &&
-                 table->FindIndexOn(ci) != nullptr && idx_cond == nullptr) {
-        idx_cond = &cond;
+                 table->FindIndexOn(ci) != nullptr &&
+                 !plan.idx_cond.has_value()) {
+        plan.idx_cond = cond;
+      }
+    }
+  }
+  return plan;
+}
+
+Result<Executor::SourceRows> Executor::ScanTable(
+    const sql::TableRef& ref, const sql::Expr* where,
+    const std::vector<Value>& params) {
+  SPHERE_ASSIGN_OR_RETURN(ScanPlan plan, PlanScan(ref, where, params));
+  SourceRows out;
+  const std::string& qual = ref.EffectiveName();
+  for (const auto& col : plan.table->schema().columns()) {
+    out.columns.Add(qual, col.name);
+  }
+
+  // Rows must outlive the latch, so the multi-table/aggregated path still
+  // materializes the scan here; the copy is the price of releasing the latch
+  // before join/merge work (single-table SELECTs bypass this entirely via
+  // Executor::TryStreamSelect).
+  ReaderLock lk(plan.table->latch());
+  if (!plan.pk_cond.has_value() && !plan.idx_cond.has_value()) {
+    out.rows.reserve(plan.table->row_count());
+  }
+  TableScanCursor cursor(plan);
+  for (const Row* row = cursor.Next(); row != nullptr; row = cursor.Next()) {
+    out.rows.push_back(*row);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming fast path
+// ---------------------------------------------------------------------------
+
+Result<std::optional<ExecResult>> Executor::TryStreamSelect(
+    const sql::SelectStatement& stmt, const std::vector<Value>& params) {
+  std::optional<ExecResult> fallback;  // nullopt → materializing path
+  if (stmt.from.size() != 1 || !stmt.joins.empty()) return fallback;
+  if (stmt.HasAggregation() || !stmt.group_by.empty()) return fallback;
+
+  SPHERE_ASSIGN_OR_RETURN(ScanPlan plan,
+                          PlanScan(stmt.from[0], stmt.where.get(), params));
+  storage::Table* table = plan.table;
+
+  // Bind source columns (single table ⇒ source index == schema index).
+  BoundColumns columns;
+  const std::string& qual = stmt.from[0].EffectiveName();
+  for (const auto& col : table->schema().columns()) {
+    columns.Add(qual, col.name);
+  }
+
+  // Every ORDER BY column must resolve against the source; otherwise the
+  // materializing path owns the statement, including its error reporting.
+  for (const auto& ob : stmt.order_by) {
+    if (ob.expr->kind() == sql::ExprKind::kColumnRef) {
+      const auto* c = static_cast<const sql::ColumnRefExpr*>(ob.expr.get());
+      if (columns.Resolve(c->table, c->column) < 0) return fallback;
+    }
+  }
+
+  // Classify the ORDER BY. An ascending first key on the primary key of a
+  // pk-ordered scan makes the sort a no-op: the key is unique, so later
+  // ORDER BY columns can never break a tie.
+  enum class OrderMode { kNone, kIndexOrdered, kTopK };
+  OrderMode order = OrderMode::kNone;
+  if (!stmt.order_by.empty()) {
+    order = OrderMode::kTopK;
+    const auto& first = stmt.order_by[0];
+    if (!first.desc && first.expr->kind() == sql::ExprKind::kColumnRef &&
+        table->pk_index() >= 0 && plan.pk_ordered()) {
+      const auto* c = static_cast<const sql::ColumnRefExpr*>(first.expr.get());
+      if (columns.Resolve(c->table, c->column) == table->pk_index()) {
+        order = OrderMode::kIndexOrdered;
       }
     }
   }
 
-  ReaderLock lk(table->latch());
-  if (pk_cond != nullptr) {
-    switch (pk_cond->kind) {
-      case ColumnCondition::Kind::kEqual:
-      case ColumnCondition::Kind::kIn: {
-        for (const Value& v : pk_cond->values) {
-          const Row* row = table->Find(v.CastTo(table->schema().column(
-              static_cast<size_t>(pk)).type));
-          if (row != nullptr) out.rows.push_back(*row);
+  bool has_count = stmt.limit.has_value() && stmt.limit->count >= 0;
+  size_t offset =
+      stmt.limit.has_value()
+          ? static_cast<size_t>(std::max<int64_t>(0, stmt.limit->offset))
+          : 0;
+  size_t budget = has_count
+                      ? offset + static_cast<size_t>(stmt.limit->count)
+                      : std::numeric_limits<size_t>::max();
+
+  if (order == OrderMode::kTopK && (!has_count || stmt.distinct)) {
+    // Without a LIMIT count there is nothing to bound; with DISTINCT the
+    // baseline dedups *after* sorting, so truncating to k rows first would
+    // let duplicates consume the budget. Both use the materializing path.
+    return fallback;
+  }
+
+  std::vector<std::string> labels = BuildLabels(stmt, columns);
+  std::vector<Row> output;
+  {
+    ReaderLock lk(table->latch());
+    TableScanCursor cursor(plan);
+    if (order == OrderMode::kTopK) {
+      // Bounded top-k: keep the first `offset+count` rows of the stable sort
+      // order, O(n log k) instead of O(n log n) and O(k) extra memory.
+      TopKHeap<std::pair<Row, Row>, KeyedRowLess> heap(
+          budget, KeyedRowLess{&stmt.order_by});
+      for (const Row* row = cursor.Next(); row != nullptr;
+           row = cursor.Next()) {
+        if (stmt.where != nullptr) {
+          SPHERE_ASSIGN_OR_RETURN(
+              Value ok, EvalExpr(stmt.where.get(), columns, *row, params));
+          if (!IsTruthy(ok)) continue;
         }
-        return out;
-      }
-      case ColumnCondition::Kind::kRange: {
-        auto it = pk_cond->low.has_value() ? table->LowerBound(*pk_cond->low)
-                                           : table->Begin();
-        for (; it.Valid(); it.Next()) {
-          if (pk_cond->low.has_value() && !pk_cond->low_inclusive &&
-              it.key().Compare(*pk_cond->low) == 0) {
-            continue;
-          }
-          if (pk_cond->high.has_value()) {
-            int c = it.key().Compare(*pk_cond->high);
-            if (c > 0 || (c == 0 && !pk_cond->high_inclusive)) break;
-          }
-          out.rows.push_back(it.payload());
+        Row keys;
+        keys.reserve(stmt.order_by.size());
+        for (const auto& ob : stmt.order_by) {
+          SPHERE_ASSIGN_OR_RETURN(
+              Value v, EvalExpr(ob.expr.get(), columns, *row, params));
+          keys.push_back(std::move(v));
         }
-        return out;
+        SPHERE_ASSIGN_OR_RETURN(Row projected,
+                                ProjectRow(stmt, columns, *row, params));
+        heap.Push({std::move(keys), std::move(projected)});
       }
+      std::vector<std::pair<Row, Row>> sorted = heap.TakeSorted();
+      output.reserve(sorted.size());
+      for (auto& [keys, row] : sorted) output.push_back(std::move(row));
+    } else if (stmt.distinct) {
+      // Dedup in scan order; stop once `offset+count` distinct rows exist.
+      RowIndexSet seen(&output);
+      for (const Row* row = cursor.Next();
+           row != nullptr && output.size() < budget; row = cursor.Next()) {
+        if (stmt.where != nullptr) {
+          SPHERE_ASSIGN_OR_RETURN(
+              Value ok, EvalExpr(stmt.where.get(), columns, *row, params));
+          if (!IsTruthy(ok)) continue;
+        }
+        SPHERE_ASSIGN_OR_RETURN(Row projected,
+                                ProjectRow(stmt, columns, *row, params));
+        output.push_back(std::move(projected));
+        if (!seen.Admit(output.size() - 1)) output.pop_back();
+      }
+    } else {
+      // Plain stream: skip the first `offset` matches without projecting
+      // them, stop as soon as `count` rows are emitted.
+      size_t count_limit = has_count
+                               ? static_cast<size_t>(stmt.limit->count)
+                               : std::numeric_limits<size_t>::max();
+      size_t skipped = 0;
+      for (const Row* row = cursor.Next();
+           row != nullptr && output.size() < count_limit;
+           row = cursor.Next()) {
+        if (stmt.where != nullptr) {
+          SPHERE_ASSIGN_OR_RETURN(
+              Value ok, EvalExpr(stmt.where.get(), columns, *row, params));
+          if (!IsTruthy(ok)) continue;
+        }
+        if (skipped < offset) {
+          ++skipped;
+          continue;
+        }
+        SPHERE_ASSIGN_OR_RETURN(Row projected,
+                                ProjectRow(stmt, columns, *row, params));
+        output.push_back(std::move(projected));
+      }
+      offset = 0;  // already applied during the scan
     }
   }
-  if (idx_cond != nullptr) {
-    int ci = table->schema().IndexOf(idx_cond->column);
-    const storage::SecondaryIndex* index = table->FindIndexOn(ci);
-    for (const Value& v : idx_cond->values) {
-      const std::vector<Value>* pks =
-          index->Lookup(v.CastTo(table->schema().column(static_cast<size_t>(ci)).type));
-      if (pks == nullptr) continue;
-      for (const Value& k : *pks) {
-        const Row* row = table->Find(k);
-        if (row != nullptr) out.rows.push_back(*row);
-      }
+
+  // TopK/DISTINCT paths produced rows [0, offset+count); drop the offset.
+  if (offset > 0) {
+    if (offset >= output.size()) {
+      output.clear();
+    } else {
+      output.erase(output.begin(), output.begin() + static_cast<long>(offset));
     }
-    return out;
   }
-  // Full scan.
-  out.rows.reserve(table->row_count());
-  for (auto it = table->Begin(); it.Valid(); it.Next()) {
-    out.rows.push_back(it.payload());
-  }
-  return out;
+  return std::optional<ExecResult>(ExecResult::Query(
+      std::make_unique<VectorResultSet>(std::move(labels), std::move(output))));
 }
 
 // ---------------------------------------------------------------------------
@@ -388,24 +568,14 @@ Result<Executor::SourceRows> Executor::BuildSource(
 
 Result<ExecResult> Executor::ExecuteSelect(const sql::SelectStatement& stmt,
                                            const std::vector<Value>& params) {
-  SPHERE_ASSIGN_OR_RETURN(SourceRows src, BuildSource(stmt, params));
-  const sql::Dialect& dialect = sql::Dialect::MySQL();
-
-  // Output labels.
-  std::vector<std::string> labels;
-  for (const auto& item : stmt.items) {
-    if (item.is_star) {
-      for (size_t i = 0; i < src.columns.size(); ++i) {
-        if (!item.star_qualifier.empty() &&
-            !EqualsIgnoreCase(src.columns.at(i).first, item.star_qualifier)) {
-          continue;
-        }
-        labels.push_back(src.columns.at(i).second);
-      }
-    } else {
-      labels.push_back(item.Label(dialect));
-    }
+  if (PipelineConfig::streaming_enabled()) {
+    SPHERE_ASSIGN_OR_RETURN(std::optional<ExecResult> streamed,
+                            TryStreamSelect(stmt, params));
+    if (streamed.has_value()) return std::move(*streamed);
   }
+
+  SPHERE_ASSIGN_OR_RETURN(SourceRows src, BuildSource(stmt, params));
+  std::vector<std::string> labels = BuildLabels(stmt, src.columns);
 
   bool aggregated = stmt.HasAggregation() || !stmt.group_by.empty();
   std::vector<Row> output;
@@ -502,50 +672,30 @@ Result<ExecResult> Executor::ExecuteSelect(const sql::SelectStatement& stmt,
         }
         keyed.emplace_back(std::move(keys), std::move(row));
       }
-      std::stable_sort(keyed.begin(), keyed.end(),
-                       [&stmt](const auto& a, const auto& b) {
-                         for (size_t i = 0; i < stmt.order_by.size(); ++i) {
-                           int c = a.first[i].Compare(b.first[i]);
-                           if (c != 0) return stmt.order_by[i].desc ? c > 0 : c < 0;
-                         }
-                         return false;
-                       });
+      // Rows beyond the pushed-down `offset+count` window can never appear in
+      // the output (DISTINCT dedups only after this sort, so it blocks the
+      // truncation), so a bounded top-k replaces the full stable sort.
+      size_t keep = keyed.size();
+      if (stmt.limit.has_value() && stmt.limit->count >= 0 && !stmt.distinct) {
+        size_t off = static_cast<size_t>(std::max<int64_t>(0, stmt.limit->offset));
+        keep = std::min(keep, off + static_cast<size_t>(stmt.limit->count));
+      }
+      TopKStable(&keyed, keep, KeyedRowLess{&stmt.order_by});
       src.rows.clear();
       for (auto& [k, row] : keyed) src.rows.push_back(std::move(row));
     }
 
     output.reserve(src.rows.size());
     for (const Row& row : src.rows) {
-      Row out_row;
-      out_row.reserve(labels.size());
-      for (const auto& item : stmt.items) {
-        if (item.is_star) {
-          for (size_t i = 0; i < src.columns.size(); ++i) {
-            if (!item.star_qualifier.empty() &&
-                !EqualsIgnoreCase(src.columns.at(i).first, item.star_qualifier)) {
-              continue;
-            }
-            out_row.push_back(row[i]);
-          }
-        } else {
-          SPHERE_ASSIGN_OR_RETURN(
-              Value v, EvalExpr(item.expr.get(), src.columns, row, params));
-          out_row.push_back(std::move(v));
-        }
-      }
+      SPHERE_ASSIGN_OR_RETURN(Row out_row,
+                              ProjectRow(stmt, src.columns, row, params));
       output.push_back(std::move(out_row));
     }
   }
 
   // DISTINCT.
   if (stmt.distinct) {
-    std::set<Row, RowLess> seen;
-    std::vector<Row> deduped;
-    deduped.reserve(output.size());
-    for (Row& row : output) {
-      if (seen.insert(row).second) deduped.push_back(std::move(row));
-    }
-    output = std::move(deduped);
+    DedupRowsInPlace(&output);
   }
 
   // Post-projection ORDER BY (aggregated queries, or aliases of computed
@@ -593,15 +743,21 @@ Result<ExecResult> Executor::ExecuteSelect(const sql::SelectStatement& stmt,
       }
       key_idx.push_back(idx);
     }
-    std::stable_sort(output.begin(), output.end(),
-                     [&](const Row& a, const Row& b) {
-                       for (size_t i = 0; i < key_idx.size(); ++i) {
-                         int c = a[static_cast<size_t>(key_idx[i])].Compare(
-                             b[static_cast<size_t>(key_idx[i])]);
-                         if (c != 0) return stmt.order_by[i].desc ? c > 0 : c < 0;
-                       }
-                       return false;
-                     });
+    // DISTINCT already ran, so rows past `offset+count` cannot surface —
+    // bound the sort to the limit window.
+    size_t keep = output.size();
+    if (stmt.limit.has_value() && stmt.limit->count >= 0) {
+      size_t off = static_cast<size_t>(std::max<int64_t>(0, stmt.limit->offset));
+      keep = std::min(keep, off + static_cast<size_t>(stmt.limit->count));
+    }
+    TopKStable(&output, keep, [&](const Row& a, const Row& b) {
+      for (size_t i = 0; i < key_idx.size(); ++i) {
+        int c = a[static_cast<size_t>(key_idx[i])].Compare(
+            b[static_cast<size_t>(key_idx[i])]);
+        if (c != 0) return stmt.order_by[i].desc ? c > 0 : c < 0;
+      }
+      return false;
+    });
   }
 
   // LIMIT / OFFSET.

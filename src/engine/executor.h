@@ -1,11 +1,13 @@
 #ifndef SPHERE_ENGINE_EXECUTOR_H_
 #define SPHERE_ENGINE_EXECUTOR_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
 #include "engine/evaluator.h"
 #include "engine/result_set.h"
+#include "engine/scan_cursor.h"
 #include "sql/ast.h"
 #include "storage/database.h"
 #include "storage/txn.h"
@@ -50,6 +52,18 @@ class Executor {
                                    const std::vector<Value>& params,
                                    storage::Transaction* txn);
   Result<ExecResult> ExecuteDDL(const sql::Statement& stmt);
+
+  /// Picks the access path (PK point/range, secondary index, or full scan)
+  /// for one table reference under `where`.
+  Result<ScanPlan> PlanScan(const sql::TableRef& ref, const sql::Expr* where,
+                            const std::vector<Value>& params);
+
+  /// Streaming fast path for single-table, non-aggregated SELECTs: drives a
+  /// lazy scan cursor through filter → projection with LIMIT-aware early
+  /// termination, index-order sort elision and bounded top-k (DESIGN.md §9).
+  /// Returns nullopt when the statement needs the materializing path.
+  Result<std::optional<ExecResult>> TryStreamSelect(
+      const sql::SelectStatement& stmt, const std::vector<Value>& params);
 
   /// Scans one table (index-assisted when `where` permits) into memory.
   Result<SourceRows> ScanTable(const sql::TableRef& ref, const sql::Expr* where,

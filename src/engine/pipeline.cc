@@ -1,0 +1,8 @@
+#include "engine/pipeline.h"
+
+namespace sphere::engine {
+
+std::atomic<size_t> PipelineConfig::batch_size_{PipelineConfig::kDefaultBatchSize};
+std::atomic<bool> PipelineConfig::streaming_{true};
+
+}  // namespace sphere::engine

@@ -1,0 +1,62 @@
+#ifndef SPHERE_ENGINE_PIPELINE_H_
+#define SPHERE_ENGINE_PIPELINE_H_
+
+#include <atomic>
+#include <cstddef>
+
+namespace sphere::engine {
+
+/// Process-wide knobs of the streaming scan-to-merge pipeline (DESIGN.md §9).
+///
+/// `batch size` bounds how many rows move per NextBatch call between pipeline
+/// stages: large enough to amortize a virtual call over many rows, small
+/// enough that LIMIT-terminated queries never pull much more than they emit.
+///
+/// `streaming` gates the storage executor's single-table fast paths (lazy
+/// scan cursor, LIMIT early termination, index-order sort elision, bounded
+/// top-k). Turning it off restores the fully materializing baseline — the
+/// differential tests and benchmarks compare the two, so the baseline must
+/// stay behaviorally identical.
+class PipelineConfig {
+ public:
+  static constexpr size_t kDefaultBatchSize = 256;
+
+  static size_t batch_size() {
+    return batch_size_.load(std::memory_order_relaxed);
+  }
+  static void set_batch_size(size_t n) {
+    batch_size_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+
+  static bool streaming_enabled() {
+    return streaming_.load(std::memory_order_relaxed);
+  }
+  static void set_streaming_enabled(bool on) {
+    streaming_.store(on, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::atomic<size_t> batch_size_;
+  static std::atomic<bool> streaming_;
+};
+
+/// RAII toggle for tests/benchmarks that compare the streaming pipeline with
+/// the materializing baseline; restores the previous setting on scope exit.
+class ScopedStreamingMode {
+ public:
+  explicit ScopedStreamingMode(bool on)
+      : previous_(PipelineConfig::streaming_enabled()) {
+    PipelineConfig::set_streaming_enabled(on);
+  }
+  ~ScopedStreamingMode() { PipelineConfig::set_streaming_enabled(previous_); }
+
+  ScopedStreamingMode(const ScopedStreamingMode&) = delete;
+  ScopedStreamingMode& operator=(const ScopedStreamingMode&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace sphere::engine
+
+#endif  // SPHERE_ENGINE_PIPELINE_H_

@@ -1,11 +1,24 @@
 #include "engine/result_set.h"
 
+#include "engine/pipeline.h"
+
 namespace sphere::engine {
+
+size_t ResultSet::NextBatch(std::vector<Row>* out, size_t max) {
+  size_t n = 0;
+  Row row;
+  while (n < max && Next(&row)) {
+    out->push_back(std::move(row));
+    ++n;
+  }
+  return n;
+}
 
 std::vector<Row> DrainResultSet(ResultSet* rs) {
   std::vector<Row> rows;
-  Row row;
-  while (rs->Next(&row)) rows.push_back(row);
+  const size_t batch = PipelineConfig::batch_size();
+  while (rs->NextBatch(&rows, batch) > 0) {
+  }
   return rows;
 }
 

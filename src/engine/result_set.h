@@ -1,6 +1,8 @@
 #ifndef SPHERE_ENGINE_RESULT_SET_H_
 #define SPHERE_ENGINE_RESULT_SET_H_
 
+#include <algorithm>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +16,10 @@ namespace sphere::engine {
 /// middleware's mergers speak this interface, so a merged multi-source result
 /// looks exactly like a single-node one (the property the paper's stream
 /// merger relies on).
+///
+/// Consumers that can take rows in bulk should prefer NextBatch: it amortizes
+/// the virtual dispatch over many rows and lets producers *move* rows out
+/// instead of copying them one by one.
 class ResultSet {
  public:
   virtual ~ResultSet() = default;
@@ -24,11 +30,19 @@ class ResultSet {
   /// Advances to the next row; returns false at end. `row` is only valid
   /// until the next call.
   virtual bool Next(Row* row) = 0;
+
+  /// Appends up to `max` rows to `*out` and returns how many were appended;
+  /// 0 means end of stream. The base implementation adapts row-at-a-time
+  /// Next(); batch-native producers override it to move whole row runs.
+  /// Mixing Next and NextBatch on one cursor is allowed — both consume the
+  /// same underlying stream.
+  virtual size_t NextBatch(std::vector<Row>* out, size_t max);
 };
 
 using ResultSetPtr = std::unique_ptr<ResultSet>;
 
-/// Fully materialized result set.
+/// Fully materialized result set. NextBatch moves rows out in runs, so a
+/// drain of a VectorResultSet never copies row payloads.
 class VectorResultSet : public ResultSet {
  public:
   VectorResultSet(std::vector<std::string> columns, std::vector<Row> rows)
@@ -42,6 +56,14 @@ class VectorResultSet : public ResultSet {
     return true;
   }
 
+  size_t NextBatch(std::vector<Row>* out, size_t max) override {
+    size_t n = std::min(max, rows_.size() - pos_);
+    out->insert(out->end(), std::make_move_iterator(rows_.begin() + static_cast<long>(pos_)),
+                std::make_move_iterator(rows_.begin() + static_cast<long>(pos_ + n)));
+    pos_ += n;
+    return n;
+  }
+
   size_t row_count() const { return rows_.size(); }
   const std::vector<Row>& rows() const { return rows_; }
 
@@ -51,7 +73,7 @@ class VectorResultSet : public ResultSet {
   size_t pos_ = 0;
 };
 
-/// Drains a result set into a materialized copy (test/bench helper).
+/// Drains a result set into a materialized copy via the batch path.
 std::vector<Row> DrainResultSet(ResultSet* rs);
 
 /// Outcome of executing one statement: a cursor for queries, an affected-row

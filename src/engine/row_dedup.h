@@ -1,0 +1,65 @@
+#ifndef SPHERE_ENGINE_ROW_DEDUP_H_
+#define SPHERE_ENGINE_ROW_DEDUP_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sphere::engine {
+
+inline bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+/// DISTINCT bookkeeping without owning row copies: the set stores indices
+/// into an external row vector and hashes/compares the rows in place
+/// (HashRow-keyed, O(1) expected per probe instead of an O(log n)
+/// Value::Compare chain). Usage: push the candidate row onto the vector, then
+/// Admit() the new index; on a duplicate the caller pops the row back off.
+class RowIndexSet {
+ public:
+  explicit RowIndexSet(const std::vector<Row>* rows)
+      : seen_(16, IndexHash{rows}, IndexEq{rows}) {}
+
+  /// True when rows[index] was not seen before (and records it).
+  bool Admit(size_t index) { return seen_.insert(index).second; }
+
+ private:
+  struct IndexHash {
+    const std::vector<Row>* rows;
+    size_t operator()(size_t i) const {
+      return static_cast<size_t>(HashRow((*rows)[i]));
+    }
+  };
+  struct IndexEq {
+    const std::vector<Row>* rows;
+    bool operator()(size_t a, size_t b) const {
+      return RowsEqual((*rows)[a], (*rows)[b]);
+    }
+  };
+  std::unordered_set<size_t, IndexHash, IndexEq> seen_;
+};
+
+/// Removes duplicate rows (first occurrence wins) by moving survivors — no
+/// row is ever copied.
+inline void DedupRowsInPlace(std::vector<Row>* rows) {
+  std::vector<Row> deduped;
+  deduped.reserve(rows->size());
+  RowIndexSet seen(&deduped);
+  for (Row& row : *rows) {
+    deduped.push_back(std::move(row));
+    if (!seen.Admit(deduped.size() - 1)) deduped.pop_back();
+  }
+  *rows = std::move(deduped);
+}
+
+}  // namespace sphere::engine
+
+#endif  // SPHERE_ENGINE_ROW_DEDUP_H_

@@ -1,0 +1,145 @@
+#ifndef SPHERE_ENGINE_SCAN_CURSOR_H_
+#define SPHERE_ENGINE_SCAN_CURSOR_H_
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sql/condition.h"
+#include "storage/table.h"
+
+namespace sphere::engine {
+
+/// The access path the executor picked for one table scan: at most one
+/// primary-key condition (point set or range) or one secondary-index
+/// equality. Neither present means a full scan in primary-key order. The
+/// conditions are owned by value so a plan outlives the WHERE analysis that
+/// produced it.
+struct ScanPlan {
+  storage::Table* table = nullptr;
+  std::optional<sql::ColumnCondition> pk_cond;   ///< wins over idx_cond
+  std::optional<sql::ColumnCondition> idx_cond;  ///< equality on an index
+
+  /// True when the cursor yields rows in ascending primary-key order (full
+  /// scans and PK range scans follow the B+Tree leaf chain; point-set and
+  /// secondary-index lookups follow the literal/posting order instead).
+  bool pk_ordered() const {
+    if (pk_cond.has_value()) {
+      return pk_cond->kind == sql::ColumnCondition::Kind::kRange;
+    }
+    return !idx_cond.has_value();
+  }
+};
+
+/// Lazy cursor over one table's rows in access-path order. Yields borrowed
+/// `const Row*` pointers straight out of the B+Tree leaves — no copy, no
+/// intermediate materialization; the consumer filters and projects each row
+/// exactly once into its output batch.
+///
+/// Lifetime contract: the caller holds the table's reader latch for the whole
+/// life of the cursor (the executor constructs and drains it inside one
+/// ReaderLock section), so borrowed rows stay stable and the leaf chain
+/// cannot split underneath the iterator. The plan must outlive the cursor.
+class TableScanCursor {
+ public:
+  explicit TableScanCursor(const ScanPlan& plan) : plan_(&plan) {
+    const storage::Table* table = plan_->table;
+    if (plan_->pk_cond.has_value() &&
+        plan_->pk_cond->kind == sql::ColumnCondition::Kind::kRange) {
+      it_ = plan_->pk_cond->low.has_value()
+                ? table->LowerBound(*plan_->pk_cond->low)
+                : table->Begin();
+      mode_ = Mode::kPkRange;
+    } else if (plan_->pk_cond.has_value()) {
+      mode_ = Mode::kPkPoints;
+    } else if (plan_->idx_cond.has_value()) {
+      mode_ = Mode::kIndexLookup;
+    } else {
+      it_ = table->Begin();
+      mode_ = Mode::kFullScan;
+    }
+  }
+
+  /// Advances to the next stored row; nullptr at end. The pointer is valid
+  /// while the table latch is held and no write intervenes.
+  const Row* Next() {
+    switch (mode_) {
+      case Mode::kFullScan: {
+        if (!it_.Valid()) return nullptr;
+        const Row* row = &it_.payload();
+        it_.Next();
+        return row;
+      }
+      case Mode::kPkRange:
+        return NextInRange();
+      case Mode::kPkPoints:
+        return NextPoint();
+      case Mode::kIndexLookup:
+        return NextIndexed();
+    }
+    return nullptr;
+  }
+
+ private:
+  enum class Mode { kFullScan, kPkRange, kPkPoints, kIndexLookup };
+
+  const Row* NextInRange() {
+    const sql::ColumnCondition& cond = *plan_->pk_cond;
+    for (; it_.Valid(); it_.Next()) {
+      if (cond.low.has_value() && !cond.low_inclusive &&
+          it_.key().Compare(*cond.low) == 0) {
+        continue;
+      }
+      if (cond.high.has_value()) {
+        int c = it_.key().Compare(*cond.high);
+        if (c > 0 || (c == 0 && !cond.high_inclusive)) return nullptr;
+      }
+      const Row* row = &it_.payload();
+      it_.Next();
+      return row;
+    }
+    return nullptr;
+  }
+
+  const Row* NextPoint() {
+    const sql::ColumnCondition& cond = *plan_->pk_cond;
+    const storage::Table* table = plan_->table;
+    ColumnType pk_type =
+        table->schema().column(static_cast<size_t>(table->pk_index())).type;
+    while (value_pos_ < cond.values.size()) {
+      const Row* row = table->Find(cond.values[value_pos_++].CastTo(pk_type));
+      if (row != nullptr) return row;
+    }
+    return nullptr;
+  }
+
+  const Row* NextIndexed() {
+    const sql::ColumnCondition& cond = *plan_->idx_cond;
+    const storage::Table* table = plan_->table;
+    for (;;) {
+      if (posting_ != nullptr && posting_pos_ < posting_->size()) {
+        const Row* row = table->Find((*posting_)[posting_pos_++]);
+        if (row != nullptr) return row;
+        continue;
+      }
+      if (value_pos_ >= cond.values.size()) return nullptr;
+      int ci = table->schema().IndexOf(cond.column);
+      const storage::SecondaryIndex* index = table->FindIndexOn(ci);
+      posting_ = index->Lookup(cond.values[value_pos_++].CastTo(
+          table->schema().column(static_cast<size_t>(ci)).type));
+      posting_pos_ = 0;
+    }
+  }
+
+  const ScanPlan* plan_;
+  Mode mode_ = Mode::kFullScan;
+  storage::BPlusTree<Row>::Iterator it_;
+  size_t value_pos_ = 0;  ///< kPkPoints / kIndexLookup value cursor
+  const std::vector<Value>* posting_ = nullptr;  ///< current posting list
+  size_t posting_pos_ = 0;
+};
+
+}  // namespace sphere::engine
+
+#endif  // SPHERE_ENGINE_SCAN_CURSOR_H_

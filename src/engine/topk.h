@@ -1,0 +1,86 @@
+#ifndef SPHERE_ENGINE_TOPK_H_
+#define SPHERE_ENGINE_TOPK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace sphere::engine {
+
+/// Streaming bounded top-k accumulator with stable-sort semantics: feeding n
+/// items keeps the first k of their stable sort order under `Less`, in
+/// O(n log k) time and O(k) space. Each item is decorated with its arrival
+/// index and ties break on that index, so TakeSorted() returns exactly what
+/// `std::stable_sort` + `resize(k)` would — the property the differential
+/// tests rely on.
+template <typename T, typename Less>
+class TopKHeap {
+ public:
+  TopKHeap(size_t k, Less less) : k_(k), less_(std::move(less)) {
+    heap_.reserve(k_ + 1);
+  }
+
+  void Push(T item) {
+    Decorated cand{seq_++, std::move(item)};
+    if (heap_.size() < k_) {
+      heap_.push_back(std::move(cand));
+      std::push_heap(heap_.begin(), heap_.end(), Before{&less_});
+      return;
+    }
+    if (k_ == 0 || !Before{&less_}(cand, heap_.front())) return;
+    std::pop_heap(heap_.begin(), heap_.end(), Before{&less_});
+    heap_.back() = std::move(cand);
+    std::push_heap(heap_.begin(), heap_.end(), Before{&less_});
+  }
+
+  /// Destructively extracts the kept items in stable sort order.
+  std::vector<T> TakeSorted() {
+    std::sort_heap(heap_.begin(), heap_.end(), Before{&less_});
+    std::vector<T> out;
+    out.reserve(heap_.size());
+    for (Decorated& d : heap_) out.push_back(std::move(d.item));
+    heap_.clear();
+    return out;
+  }
+
+ private:
+  struct Decorated {
+    size_t seq;
+    T item;
+  };
+  /// Strict weak order "a comes before b", ties resolved by arrival. Used as
+  /// the heap comparator, which makes the heap a max-heap whose front is the
+  /// last kept item — the eviction candidate.
+  struct Before {
+    const Less* less;
+    bool operator()(const Decorated& a, const Decorated& b) const {
+      if ((*less)(a.item, b.item)) return true;
+      if ((*less)(b.item, a.item)) return false;
+      return a.seq < b.seq;
+    }
+  };
+
+  size_t k_;
+  Less less_;
+  size_t seq_ = 0;
+  std::vector<Decorated> heap_;
+};
+
+/// Replaces *items with the first `k` elements of its stable sort order under
+/// `less`, still sorted — equivalent to `stable_sort` + truncate-to-k, but
+/// O(n log k) when k is small (the pushed-down `LIMIT offset+count` case).
+template <typename T, typename Less>
+void TopKStable(std::vector<T>* items, size_t k, Less less) {
+  if (k >= items->size()) {
+    std::stable_sort(items->begin(), items->end(), less);
+    return;
+  }
+  TopKHeap<T, Less> heap(k, less);
+  for (T& item : *items) heap.Push(std::move(item));
+  *items = heap.TakeSorted();
+}
+
+}  // namespace sphere::engine
+
+#endif  // SPHERE_ENGINE_TOPK_H_

@@ -172,8 +172,9 @@ std::string EncodeExecResult(engine::ExecResult* result) {
   const auto& cols = result->result_set->columns();
   w.WriteU16(static_cast<uint16_t>(cols.size()));
   for (const auto& c : cols) w.WriteString(c);
-  // Row count is written at the end of the stream via a sentinel-free layout:
-  // we materialize here, which mirrors a proxy buffering a result.
+  // The row count precedes the rows in the wire layout, so the proxy must
+  // buffer the whole result before encoding. DrainResultSet pulls it through
+  // the merge pipeline in moves of PipelineConfig::batch_size() rows.
   std::vector<Row> rows = engine::DrainResultSet(result->result_set.get());
   w.WriteU32(static_cast<uint32_t>(rows.size()));
   for (const Row& row : rows) {

@@ -4,9 +4,10 @@
 # Runs, in order:
 #   1. tools/lint.py                          (project lint)
 #   2. plain build + ctest                    (tier-1)
-#   3. clang -Wthread-safety -Werror build    (skipped if clang++ missing)
-#   4. clang-tidy over src/                   (skipped if clang-tidy missing)
-#   5. ctest under ASan, UBSan, TSan          (SPHERE_SANITIZE matrix)
+#   3. bench_micro smoke                      (one short pass, JSON discarded)
+#   4. clang -Wthread-safety -Werror build    (skipped if clang++ missing)
+#   5. clang-tidy over src/                   (skipped if clang-tidy missing)
+#   6. ctest under ASan, UBSan, TSan          (SPHERE_SANITIZE matrix)
 #
 # Usage: tools/check.sh [--fast]
 #   --fast   lint + plain build/test only (skip sanitizer matrix)
@@ -41,44 +42,62 @@ run_ctest_tree() {
 
 mkdir -p "$ROOT/build-check"
 
-note "1/5 project lint"
+note "1/6 project lint"
 python3 "$ROOT/tools/lint.py" || fail "tools/lint.py"
 
-note "2/5 tier-1 build + tests"
+note "2/6 tier-1 build + tests"
 run_ctest_tree "$ROOT/build-check/plain"
 
+note "3/6 bench_micro smoke"
+# One abbreviated pass over every benchmark so a bench that crashes or aborts
+# (e.g. a pipeline regression tripping its result check) fails the gate. The
+# JSON goes into build-check/ so the committed BENCH_micro.json is untouched.
+if [ -x "$ROOT/build-check/plain/bench/bench_micro" ]; then
+  "$ROOT/build-check/plain/bench/bench_micro" \
+    --benchmark_min_time=0.01 \
+    --benchmark_out="$ROOT/build-check/BENCH_micro.smoke.json" \
+    > "$ROOT/build-check/bench-smoke.log" 2>&1 \
+    || fail "bench_micro smoke (see build-check/bench-smoke.log)"
+else
+  note "3/6 bench_micro smoke (skipped: binary not built)"
+  skipped+=("bench-smoke")
+fi
+
 if command -v clang++ >/dev/null 2>&1; then
-  note "3/5 clang -Wthread-safety -Werror"
+  note "4/6 clang -Wthread-safety -Werror"
   run_ctest_tree "$ROOT/build-check/thread-safety" \
     -DCMAKE_CXX_COMPILER=clang++ \
     -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety"
 else
-  note "3/5 clang -Wthread-safety (skipped: clang++ not installed)"
+  note "4/6 clang -Wthread-safety (skipped: clang++ not installed)"
   skipped+=("thread-safety")
 fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
-  note "4/5 clang-tidy"
+  note "5/6 clang-tidy"
   find "$ROOT/src" -name '*.cc' -print0 \
     | xargs -0 -P "$JOBS" -n 1 clang-tidy -p "$ROOT/build-check/plain" \
     || fail "clang-tidy"
   # Header-only templates get no TU of their own; tidy them standalone so the
   # template bodies are analyzed even where no src/*.cc instantiates a path.
-  for hdr in src/common/lru_cache.h; do
+  for hdr in src/common/lru_cache.h \
+             src/engine/scan_cursor.h \
+             src/engine/topk.h \
+             src/engine/row_dedup.h; do
     clang-tidy "$ROOT/$hdr" -- -std=c++20 -I"$ROOT/src" -I"$ROOT" \
       || fail "clang-tidy $hdr"
   done
 else
-  note "4/5 clang-tidy (skipped: clang-tidy not installed)"
+  note "5/6 clang-tidy (skipped: clang-tidy not installed)"
   skipped+=("clang-tidy")
 fi
 
 if [ "$FAST" -eq 1 ]; then
-  note "5/5 sanitizer matrix (skipped: --fast)"
+  note "6/6 sanitizer matrix (skipped: --fast)"
   skipped+=("sanitizers")
 else
   for san in address undefined thread; do
-    note "5/5 sanitizer: $san"
+    note "6/6 sanitizer: $san"
     run_ctest_tree "$ROOT/build-check/$san" -DSPHERE_SANITIZE="$san"
   done
 fi
