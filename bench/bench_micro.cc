@@ -408,6 +408,105 @@ void BM_PaginatedSelect(benchmark::State& state) {
 }
 BENCHMARK(BM_PaginatedSelect)->Arg(0)->Arg(1);
 
+// ---------- Write-path fast lane (DESIGN.md §10) ----------
+
+/// Parameterized single-row INSERT through the full sharding pipeline.
+/// Arg(0): legacy remote-text lane — the split inlines literals, so every
+/// iteration renders a unique physical text and the node pays a fresh parse.
+/// Arg(1): structured pass-through — the rewritten AST and the per-unit
+/// parameter slice ship in-process; no text is rendered, the node never
+/// parses. Inserted rows are swept out of band every 1024 iterations.
+void BM_DmlPassThroughVsReparse(benchmark::State& state) {
+  MiniCluster cluster(/*cache_capacity=*/2048);
+  bool structured = state.range(0) != 0;
+  engine::ScopedDmlPassThrough passthrough(structured);
+  engine::ScopedDmlParamBinding binding(structured);
+  int64_t id = 1000;
+  for (auto _ : state) {
+    auto r = cluster.runtime->Execute(
+        "INSERT INTO sbtest (id, k, c) VALUES (?, ?, 'p')",
+        {Value(id), Value(id)});
+    if (!r.ok()) std::abort();
+    if ((++id & 1023) == 0) {
+      state.PauseTiming();
+      if (!cluster.runtime->Execute("DELETE FROM sbtest WHERE id >= 1000").ok()) {
+        std::abort();
+      }
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  int64_t misses = 0;
+  for (const auto& n : cluster.nodes) misses += n->parse_cache_misses();
+  state.SetLabel(structured
+                     ? "structured: AST pass-through, node parses=" +
+                           std::to_string(misses)
+                     : "legacy: inline + ToSQL + node parses=" +
+                           std::to_string(misses));
+}
+BENCHMARK(BM_DmlPassThroughVsReparse)->Arg(0)->Arg(1);
+
+/// Point UPDATE over 100k rows, WHERE on column k. Arg(1): k carries a
+/// secondary index, so the point-DML path resolves the row set in O(log n)
+/// under one writer section. Arg(0): no index — the same statement degrades
+/// to a full table scan, the cost every point UPDATE paid before indexes
+/// (and what WHERE on any unindexed column still pays).
+void BM_PointUpdateIndexVsScan(benchmark::State& state) {
+  BigNode big(100000);
+  bool indexed = state.range(0) != 0;
+  if (indexed &&
+      !big.session->Execute("CREATE INDEX idx_k ON big (k)", {}).ok()) {
+    std::abort();
+  }
+  uint32_t i = 0;
+  for (auto _ : state) {
+    uint32_t id = (++i * 7919u) % 100000u;
+    auto k = static_cast<int64_t>((id * 2654435761u) % 1000000u);
+    auto r = big.session->Execute("UPDATE big SET c = 'z' WHERE k = ?",
+                                  {Value(k)});
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(indexed ? "index lookup, O(log n) row resolution"
+                         : "baseline: full scan of 100k rows per UPDATE");
+}
+BENCHMARK(BM_PointUpdateIndexVsScan)->Arg(0)->Arg(1);
+
+/// Prepared INSERT (+ cleanup DELETE) on the text lanes. Arg(1): cached-text
+/// — parameter binding keeps `?` in the emitted text, so every node sees the
+/// same string and hits its statement cache after the first parse. Arg(0):
+/// legacy inlining — each iteration's values make a unique text, a guaranteed
+/// parse-cache miss per statement.
+void BM_PreparedInsertCacheHit(benchmark::State& state) {
+  MiniCluster cluster(/*cache_capacity=*/2048);
+  bool cached_text = state.range(0) != 0;
+  engine::ScopedDmlPassThrough no_passthrough(false);
+  engine::ScopedDmlParamBinding binding(cached_text);
+  int64_t id = 1000;
+  for (auto _ : state) {
+    auto ins = cluster.runtime->Execute(
+        "INSERT INTO sbtest (id, k, c) VALUES (?, ?, 'p')",
+        {Value(id), Value(id)});
+    if (!ins.ok()) std::abort();
+    auto del = cluster.runtime->Execute("DELETE FROM sbtest WHERE id = ?",
+                                        {Value(id)});
+    if (!del.ok()) std::abort();
+    ++id;
+  }
+  state.SetItemsProcessed(state.iterations());
+  int64_t hits = 0, misses = 0;
+  for (const auto& n : cluster.nodes) {
+    hits += n->parse_cache_hits();
+    misses += n->parse_cache_misses();
+  }
+  state.SetLabel((cached_text ? std::string("cached text: ")
+                              : std::string("inlined text: ")) +
+                 "node cache hits=" + std::to_string(hits) +
+                 " misses=" + std::to_string(misses));
+}
+BENCHMARK(BM_PreparedInsertCacheHit)->Arg(0)->Arg(1);
+
 }  // namespace
 }  // namespace sphere
 

@@ -256,4 +256,20 @@ Result<engine::ExecResult> ShardingPreparedStatement::Execute() {
   return conn_->ExecutePlanned(*plan_, params_);
 }
 
+Result<std::vector<int64_t>> ShardingPreparedStatement::ExecuteBatch() {
+  std::vector<std::vector<Value>> entries;
+  entries.swap(batch_);  // clear even on failure, JDBC style
+  std::vector<int64_t> counts;
+  counts.reserve(entries.size());
+  for (auto& entry : entries) {
+    SPHERE_ASSIGN_OR_RETURN(engine::ExecResult r,
+                            conn_->ExecutePlanned(*plan_, std::move(entry)));
+    if (r.is_query) {
+      return Status::InvalidArgument("batched statement produced a result set");
+    }
+    counts.push_back(r.affected_rows);
+  }
+  return counts;
+}
+
 }  // namespace sphere::adaptor

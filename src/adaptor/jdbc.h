@@ -210,10 +210,21 @@ class ShardingPreparedStatement {
   Result<int64_t> ExecuteUpdate();
   Result<engine::ExecResult> Execute();
 
+  /// JDBC-style batching: snapshots the currently bound parameters as one
+  /// batch entry. Re-bind and call again for the next entry.
+  void AddBatch() { batch_.push_back(params_); }
+  size_t batch_size() const { return batch_.size(); }
+  /// Replays every entry through the write-path fast lane (DESIGN.md §10) —
+  /// one shared AST, per-entry parameter vectors, zero re-parses — and
+  /// returns per-entry affected-row counts. Clears the batch, even on error
+  /// (JDBC clearBatch-on-failure semantics).
+  Result<std::vector<int64_t>> ExecuteBatch();
+
  private:
   ShardingConnection* conn_;
   std::shared_ptr<const core::StatementPlan> plan_;
   std::vector<Value> params_;
+  std::vector<std::vector<Value>> batch_;
 };
 
 }  // namespace sphere::adaptor

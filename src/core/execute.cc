@@ -50,7 +50,14 @@ void RunSerial(net::RemoteConnection* conn, const std::vector<SQLUnit>& units,
         continue;
       }
     }
-    (*results)[idx] = conn->Execute(units[idx].sql, units[idx].params);
+    // Structured pass-through units (empty text + attached AST) skip the
+    // protocol encode and the node-side parse; everything else ships text.
+    const SQLUnit& unit = units[idx];
+    if (unit.stmt != nullptr && unit.sql.empty()) {
+      (*results)[idx] = conn->ExecuteStructured(*unit.stmt, unit.params);
+    } else {
+      (*results)[idx] = conn->Execute(unit.sql, unit.params);
+    }
     if (observer != nullptr) {
       // Unconditional: the observer must also see failed units (to roll back
       // and report the branch); its status only overrides a success.

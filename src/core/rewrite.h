@@ -1,6 +1,7 @@
 #ifndef SPHERE_CORE_REWRITE_H_
 #define SPHERE_CORE_REWRITE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -50,10 +51,27 @@ struct MergeContext {
 };
 
 /// One executable SQL destined for one data source.
+///
+/// Units come in two forms (DESIGN.md §10). Text form: `sql` holds the
+/// rewritten statement and `stmt` may additionally carry the rewritten AST
+/// (observers use it to skip a re-parse). Structured form (DML pass-through):
+/// `sql` is empty and `stmt` is the unit's whole identity — the execution
+/// engine hands it to the node session directly, and anything that needs a
+/// display text renders it on demand via RenderSQL.
 struct SQLUnit {
   std::string data_source;
   std::string sql;
   std::vector<Value> params;
+  /// The per-unit rewritten AST (actual table names applied, placeholders
+  /// renumbered to `params`). Shared: interceptors copy units freely.
+  std::shared_ptr<const sql::Statement> stmt;
+
+  /// The unit's SQL text, built from `stmt` when the structured lane skipped
+  /// string-building. For display (PREVIEW, logs) — not the execution path.
+  std::string RenderSQL(const sql::Dialect& dialect) const {
+    if (!sql.empty() || stmt == nullptr) return sql;
+    return stmt->ToSQL(dialect);
+  }
 };
 
 struct RewriteResult {

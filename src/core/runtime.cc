@@ -2,6 +2,7 @@
 
 #include "common/strings.h"
 #include "core/hint.h"
+#include "engine/pipeline.h"
 
 namespace sphere::core {
 
@@ -36,7 +37,8 @@ Status ShardingRuntime::SetRule(ShardingRuleConfig config) {
 }
 
 Result<sql::StatementPtr> ShardingRuntime::ApplyKeyGeneration(
-    const sql::Statement& stmt, int64_t* generated) const {
+    const sql::Statement& stmt, std::vector<Value>* params,
+    int64_t* generated) const {
   *generated = 0;
   if (stmt.kind() != sql::StatementKind::kInsert || rule_ == nullptr) {
     return sql::StatementPtr(nullptr);
@@ -52,14 +54,24 @@ Result<sql::StatementPtr> ShardingRuntime::ApplyKeyGeneration(
       return sql::StatementPtr(nullptr);  // caller supplied the key
     }
   }
-  // Append the generated-key column with fresh keys on every row.
+  // Append the generated-key column with fresh keys on every row. Behind
+  // parameter binding the keys ride as bound parameters, so the statement
+  // text stays stable across executions (a prepared keygen INSERT keeps
+  // hitting the node statement cache); inlined literals are the baseline.
+  bool bind = engine::PipelineConfig::dml_param_binding_enabled();
   auto clone = stmt.Clone();
   auto* mutable_ins = static_cast<sql::InsertStatement*>(clone.get());
   mutable_ins->columns.push_back(table_rule->keygen_column());
   for (auto& row : mutable_ins->rows) {
     Value key = table_rule->key_generator()->NextKey();
     if (key.is_int()) *generated = key.AsInt();
-    row.push_back(std::make_unique<sql::LiteralExpr>(std::move(key)));
+    if (bind) {
+      row.push_back(std::make_unique<sql::ParamExpr>(
+          static_cast<int>(params->size())));
+      params->push_back(std::move(key));
+    } else {
+      row.push_back(std::make_unique<sql::LiteralExpr>(std::move(key)));
+    }
   }
   return clone;
 }
@@ -74,7 +86,8 @@ Result<engine::ExecResult> ShardingRuntime::ExecuteStatement(
   const sql::Statement* effective = &stmt;
   sql::StatementPtr keygen_stmt;
   int64_t generated_key = 0;
-  SPHERE_ASSIGN_OR_RETURN(keygen_stmt, ApplyKeyGeneration(stmt, &generated_key));
+  SPHERE_ASSIGN_OR_RETURN(keygen_stmt,
+                          ApplyKeyGeneration(stmt, &params, &generated_key));
   if (keygen_stmt != nullptr) effective = keygen_stmt.get();
 
   // Feature hooks: statement-level rewrites (encrypt etc.).

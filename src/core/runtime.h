@@ -137,8 +137,12 @@ class ShardingRuntime {
   }
 
  private:
-  /// Fills generated keys into INSERTs on tables with a key generator.
+  /// Fills generated keys into INSERTs on tables with a key generator. With
+  /// parameter binding enabled the keys are appended to `params` behind new
+  /// placeholders (the statement text stays stable across executions);
+  /// otherwise they are inlined as literals.
   Result<sql::StatementPtr> ApplyKeyGeneration(const sql::Statement& stmt,
+                                               std::vector<Value>* params,
                                                int64_t* generated) const;
 
   RuntimeConfig config_;

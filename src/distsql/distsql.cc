@@ -346,7 +346,9 @@ Result<engine::ExecResult> DistSQLEngine::Preview(std::string_view sql_text) {
                           rewriter.Rewrite(*stmt, route, {}));
   std::vector<Row> rows;
   for (const auto& unit : rewritten.units) {
-    rows.push_back(Row{Value(unit.data_source), Value(unit.sql)});
+    // Structured units skip text building; render it for display.
+    rows.push_back(Row{Value(unit.data_source),
+                       Value(unit.RenderSQL(runtime_->dialect()))});
   }
   return MakeTable({"data_source", "actual_sql"}, std::move(rows));
 }

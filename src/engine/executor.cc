@@ -803,9 +803,12 @@ Result<ExecResult> Executor::ExecuteInsert(const sql::InsertStatement& stmt,
     }
   }
 
-  int64_t inserted = 0;
-  Value last_pk;
-  WriterLock lk(table->latch());
+  // Evaluate every VALUES row before taking the writer latch: the
+  // expressions reference no table state, so concurrent readers keep running
+  // while the rows are built, and arity/evaluation errors surface before any
+  // mutation happens.
+  std::vector<Row> rows;
+  rows.reserve(stmt.rows.size());
   for (const auto& value_row : stmt.rows) {
     if (value_row.size() != positions.size()) {
       return Status::InvalidArgument("VALUES arity mismatch");
@@ -816,11 +819,35 @@ Result<ExecResult> Executor::ExecuteInsert(const sql::InsertStatement& stmt,
                               EvalExpr(value_row[i].get(), no_cols, empty, params));
       row[static_cast<size_t>(positions[i])] = std::move(v);
     }
+    rows.push_back(std::move(row));
+  }
+
+  int64_t inserted = 0;
+  Value last_pk;
+  std::vector<Value> applied;  ///< inserted PKs, for statement-level rollback
+  applied.reserve(rows.size());
+  WriterLock lk(table->latch());
+  for (const Row& row : rows) {
     Value pk;
-    SPHERE_RETURN_NOT_OK(table->Insert(row, &pk));
-    last_pk = pk;
+    Status st = table->Insert(row, &pk);
+    if (!st.ok()) {
+      // Statement atomicity: a mid-loop failure (PK conflict, validation)
+      // must not leave the earlier rows of a multi-row INSERT behind — in
+      // auto-commit there is no transaction to roll them back.
+      for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+        Row discarded;
+        (void)table->Delete(*it, &discarded);
+      }
+      return st;
+    }
+    applied.push_back(std::move(pk));
+    last_pk = applied.back();
     ++inserted;
-    if (txn != nullptr) {
+  }
+  if (txn != nullptr) {
+    // Undo records only once the whole statement succeeded: the statement-
+    // level rollback above must not leave stale insert-undos behind.
+    for (const Value& pk : applied) {
       txn->AddUndo({storage::UndoRecord::Op::kInsert, table->name(), pk, {}});
     }
   }
@@ -832,9 +859,6 @@ Result<ExecResult> Executor::ExecuteUpdate(const sql::UpdateStatement& stmt,
                                            storage::Transaction* txn) {
   storage::Table* table = db_->FindTable(stmt.table.name);
   if (table == nullptr) return Status::NotFound("table " + stmt.table.name);
-  SPHERE_ASSIGN_OR_RETURN(SourceRows src,
-                          ScanTable(stmt.table, stmt.where.get(), params));
-
   int pk = table->pk_index();
   if (pk < 0) return Status::Unsupported("UPDATE on table without primary key");
 
@@ -844,6 +868,59 @@ Result<ExecResult> Executor::ExecuteUpdate(const sql::UpdateStatement& stmt,
     if (ci < 0) return Status::NotFound("column " + a.column);
     target_cols.push_back(ci);
   }
+
+  // Index-backed point path (DESIGN.md §10): when the WHERE pins the primary
+  // key or a secondary-indexed column, find, filter and mutate under one
+  // writer section — O(matches · log n) instead of a full reader-lock
+  // snapshot followed by a per-row re-lookup.
+  if (PipelineConfig::point_dml_enabled()) {
+    SPHERE_ASSIGN_OR_RETURN(ScanPlan plan,
+                            PlanScan(stmt.table, stmt.where.get(), params));
+    if (plan.pk_cond.has_value() || plan.idx_cond.has_value()) {
+      BoundColumns columns;
+      const std::string& qual = stmt.table.EffectiveName();
+      for (const auto& col : table->schema().columns()) {
+        columns.Add(qual, col.name);
+      }
+      std::vector<std::pair<Value, Row>> pending;  // pk -> new image
+      std::vector<Row> old_images;
+      WriterLock lk(table->latch());
+      {
+        TableScanCursor cursor(plan);
+        for (const Row* row = cursor.Next(); row != nullptr;
+             row = cursor.Next()) {
+          if (stmt.where != nullptr) {
+            SPHERE_ASSIGN_OR_RETURN(
+                Value ok, EvalExpr(stmt.where.get(), columns, *row, params));
+            if (!IsTruthy(ok)) continue;
+          }
+          Row new_row = *row;
+          for (size_t i = 0; i < stmt.assignments.size(); ++i) {
+            SPHERE_ASSIGN_OR_RETURN(
+                Value v, EvalExpr(stmt.assignments[i].value.get(), columns,
+                                  *row, params));
+            new_row[static_cast<size_t>(target_cols[i])] = std::move(v);
+          }
+          pending.emplace_back((*row)[static_cast<size_t>(pk)],
+                               std::move(new_row));
+          if (txn != nullptr) old_images.push_back(*row);
+        }
+      }
+      // Apply after the scan: Update rewrites secondary-index postings the
+      // cursor may still be iterating.
+      for (size_t i = 0; i < pending.size(); ++i) {
+        SPHERE_RETURN_NOT_OK(table->Update(pending[i].first, pending[i].second));
+        if (txn != nullptr) {
+          txn->AddUndo({storage::UndoRecord::Op::kUpdate, table->name(),
+                        pending[i].first, std::move(old_images[i])});
+        }
+      }
+      return ExecResult::Update(static_cast<int64_t>(pending.size()));
+    }
+  }
+
+  SPHERE_ASSIGN_OR_RETURN(SourceRows src,
+                          ScanTable(stmt.table, stmt.where.get(), params));
 
   int64_t updated = 0;
   WriterLock lk(table->latch());
@@ -879,10 +956,53 @@ Result<ExecResult> Executor::ExecuteDelete(const sql::DeleteStatement& stmt,
                                            storage::Transaction* txn) {
   storage::Table* table = db_->FindTable(stmt.table.name);
   if (table == nullptr) return Status::NotFound("table " + stmt.table.name);
-  SPHERE_ASSIGN_OR_RETURN(SourceRows src,
-                          ScanTable(stmt.table, stmt.where.get(), params));
   int pk = table->pk_index();
   if (pk < 0) return Status::Unsupported("DELETE on table without primary key");
+
+  // Index-backed point path, mirroring ExecuteUpdate: collect the matching
+  // keys through the access-path cursor, then delete — all under one writer
+  // section (Delete restructures the leaf chain the cursor walks, so the
+  // two phases cannot interleave).
+  if (PipelineConfig::point_dml_enabled()) {
+    SPHERE_ASSIGN_OR_RETURN(ScanPlan plan,
+                            PlanScan(stmt.table, stmt.where.get(), params));
+    if (plan.pk_cond.has_value() || plan.idx_cond.has_value()) {
+      BoundColumns columns;
+      const std::string& qual = stmt.table.EffectiveName();
+      for (const auto& col : table->schema().columns()) {
+        columns.Add(qual, col.name);
+      }
+      std::vector<Value> keys;
+      WriterLock lk(table->latch());
+      {
+        TableScanCursor cursor(plan);
+        for (const Row* row = cursor.Next(); row != nullptr;
+             row = cursor.Next()) {
+          if (stmt.where != nullptr) {
+            SPHERE_ASSIGN_OR_RETURN(
+                Value ok, EvalExpr(stmt.where.get(), columns, *row, params));
+            if (!IsTruthy(ok)) continue;
+          }
+          keys.push_back((*row)[static_cast<size_t>(pk)]);
+        }
+      }
+      int64_t removed = 0;
+      for (const Value& key : keys) {
+        Row old_row;
+        Status st = table->Delete(key, &old_row);
+        if (!st.ok()) continue;  // already gone
+        ++removed;
+        if (txn != nullptr) {
+          txn->AddUndo({storage::UndoRecord::Op::kDelete, table->name(), key,
+                        std::move(old_row)});
+        }
+      }
+      return ExecResult::Update(removed);
+    }
+  }
+
+  SPHERE_ASSIGN_OR_RETURN(SourceRows src,
+                          ScanTable(stmt.table, stmt.where.get(), params));
 
   int64_t deleted = 0;
   WriterLock lk(table->latch());

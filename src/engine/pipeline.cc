@@ -4,5 +4,8 @@ namespace sphere::engine {
 
 std::atomic<size_t> PipelineConfig::batch_size_{PipelineConfig::kDefaultBatchSize};
 std::atomic<bool> PipelineConfig::streaming_{true};
+std::atomic<bool> PipelineConfig::dml_passthrough_{true};
+std::atomic<bool> PipelineConfig::dml_param_binding_{true};
+std::atomic<bool> PipelineConfig::point_dml_{true};
 
 }  // namespace sphere::engine

@@ -21,8 +21,12 @@ Result<std::shared_ptr<const sql::Statement>> StorageNode::ParseCached(
   {
     MutexLock lk(stmt_cache_mu_);
     auto it = stmt_cache_.find(std::string(sql_text));
-    if (it != stmt_cache_.end()) return it->second;
+    if (it != stmt_cache_.end()) {
+      parse_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
+  parse_cache_misses_.fetch_add(1, std::memory_order_relaxed);
   sql::Parser parser(dialect_);
   SPHERE_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.Parse(sql_text));
   std::shared_ptr<const sql::Statement> shared(std::move(stmt));

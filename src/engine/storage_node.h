@@ -89,6 +89,13 @@ class StorageNode {
   /// Total statements executed (monitoring).
   int64_t statements_executed() const { return statements_executed_.load(); }
 
+  /// Server-side statement-cache observability: a hit skips the parser, a
+  /// miss pays a full parse. The write-lane tests and benchmarks use these
+  /// to prove the cached-text lane re-parses nothing and the structured lane
+  /// never even consults the cache.
+  int64_t parse_cache_hits() const { return parse_cache_hits_.load(); }
+  int64_t parse_cache_misses() const { return parse_cache_misses_.load(); }
+
   /// Fixed extra latency per statement (microseconds). Benchmarks use this to
   /// model storage-stack effects the in-memory engine doesn't have: buffer
   /// pool misses on large tables, or Aurora's offloaded storage fleet.
@@ -119,6 +126,8 @@ class StorageNode {
   std::atomic<bool> fail_next_prepare_{false};
   std::atomic<bool> fail_next_commit_{false};
   std::atomic<int64_t> statements_executed_{0};
+  std::atomic<int64_t> parse_cache_hits_{0};
+  std::atomic<int64_t> parse_cache_misses_{0};
   std::atomic<int64_t> statement_delay_us_{0};
   Mutex io_mu_;
   CondVar io_cv_;

@@ -70,6 +70,29 @@ Result<engine::ExecResult> RemoteConnection::Execute(
   return Call(EncodeQuery(sql_text, params));
 }
 
+Result<engine::ExecResult> RemoteConnection::ExecuteStructured(
+    const sql::Statement& stmt, const std::vector<Value>& params) {
+  // Request cost: a COM_STMT_EXECUTE-shaped packet — type byte, statement
+  // handle, and the bound parameter values. The statement text itself
+  // traveled once at prepare time, so it is not charged per execution.
+  PacketWriter request;
+  request.WriteU8(static_cast<uint8_t>(PacketType::kQuery));
+  request.WriteU64(0);  // statement-handle stand-in
+  request.WriteU32(static_cast<uint32_t>(params.size()));
+  for (const auto& p : params) request.WriteValue(p);
+  network_->Transfer(request.size());
+
+  auto result = session_->ExecuteStatement(stmt, params);
+
+  if (!result.ok()) {
+    network_->Transfer(EncodeError(result.status()).size());
+    return result;
+  }
+  // DML responses are fixed-size OK packets: type + affected + insert id.
+  network_->Transfer(1 + 8 + 8);
+  return result;
+}
+
 Status RemoteConnection::Begin(const std::string& xid) {
   return CallStatus(EncodeCommand(PacketType::kBegin, xid));
 }

@@ -34,6 +34,16 @@ class RemoteConnection {
   Result<engine::ExecResult> Execute(std::string_view sql_text,
                                      const std::vector<Value>& params = {});
 
+  /// Structured fast lane (DESIGN.md §10): executes an already-rewritten
+  /// statement on the node session directly — no text building, no request
+  /// string encode/decode, no server-side parse. The latency model still
+  /// charges a binary prepared-execute request (header + statement handle +
+  /// bound parameters) and the OK/error response, so the wire cost of the
+  /// paper's network model is preserved; only the per-execution CPU work
+  /// disappears. Intended for DML units (fixed-size OK responses).
+  Result<engine::ExecResult> ExecuteStructured(const sql::Statement& stmt,
+                                               const std::vector<Value>& params);
+
   /// Transaction verbs (each one protocol round trip).
   Status Begin(const std::string& xid = "");
   Status Commit();

@@ -116,8 +116,15 @@ Result<net::RemoteConnection*> DistributedTransaction::TransactionConnection(
 Status DistributedTransaction::BeforeUnit(net::RemoteConnection* conn,
                                           const core::SQLUnit& unit) {
   if (type_ != TransactionType::kBase) return Status::OK();
-  sql::Parser parser;
-  SPHERE_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.Parse(unit.sql));
+  // Units carry their rewritten AST on the write path (zero-reparse lane);
+  // only text-form units from older call sites still need a parse here.
+  const sql::Statement* stmt = unit.stmt.get();
+  sql::StatementPtr parsed;
+  if (stmt == nullptr) {
+    sql::Parser parser;
+    SPHERE_ASSIGN_OR_RETURN(parsed, parser.Parse(unit.sql));
+    stmt = parsed.get();
+  }
 
   switch (stmt->kind()) {
     case sql::StatementKind::kInsert: {

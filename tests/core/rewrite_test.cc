@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/route.h"
+#include "engine/pipeline.h"
 #include "sql/parser.h"
 
 namespace sphere::core {
@@ -133,21 +134,80 @@ TEST(RewriteTest, PaginationRevised) {
   EXPECT_EQ(r.merge.limit->count, 5);
 }
 
-TEST(RewriteTest, InsertSplitByRows) {
+RouteResult InsertSplitRoute() {
   RouteResult route;
   route.type = RouteType::kStandard;
   route.units.push_back(RouteUnit{"ds_0", {{"t_user", "t_user_0"}}, {0, 2}});
   route.units.push_back(RouteUnit{"ds_1", {{"t_user", "t_user_1"}}, {1}});
+  return route;
+}
+
+TEST(RewriteTest, InsertSplitByRows) {
+  // Cached-text lane: placeholders survive, rows split per unit. (The
+  // structured default skips text generation entirely; see
+  // InsertStructuredByDefault.)
+  engine::ScopedDmlPassThrough text_lane(false);
   auto r = MustRewrite(
       "INSERT INTO t_user (uid, name) VALUES (0, 'a'), (1, 'b'), (2, 'c')",
-      route);
+      InsertSplitRoute());
   ASSERT_EQ(r.units.size(), 2u);
   EXPECT_NE(r.units[0].sql.find("(0, 'a'), (2, 'c')"), std::string::npos);
   EXPECT_NE(r.units[1].sql.find("(1, 'b')"), std::string::npos);
   EXPECT_NE(r.units[1].sql.find("t_user_1"), std::string::npos);
 }
 
+TEST(RewriteTest, InsertStructuredByDefault) {
+  // Structured pass-through lane (the default): no text is rendered; the
+  // rewritten AST plus a compact per-unit parameter slice travel instead.
+  auto r = MustRewrite(
+      "INSERT INTO t_user (uid, name) VALUES (?, ?), (?, ?), (?, ?)",
+      InsertSplitRoute(),
+      {Value(0), Value("a"), Value(1), Value("b"), Value(2), Value("c")});
+  ASSERT_EQ(r.units.size(), 2u);
+  for (const auto& unit : r.units) {
+    EXPECT_TRUE(unit.sql.empty());
+    ASSERT_NE(unit.stmt, nullptr);
+  }
+  // Unit 0 got rows 0 and 2; its slice is renumbered to slots 0..3.
+  ASSERT_EQ(r.units[0].params.size(), 4u);
+  EXPECT_EQ(r.units[0].params[0], Value(0));
+  EXPECT_EQ(r.units[0].params[1], Value("a"));
+  EXPECT_EQ(r.units[0].params[2], Value(2));
+  EXPECT_EQ(r.units[0].params[3], Value("c"));
+  ASSERT_EQ(r.units[1].params.size(), 2u);
+  EXPECT_EQ(r.units[1].params[0], Value(1));
+  EXPECT_EQ(r.units[1].params[1], Value("b"));
+  // RenderSQL materializes text on demand for the remote/preview path.
+  const auto& dialect = sql::Dialect::Get(sql::DialectType::kMySQL);
+  std::string rendered = r.units[1].RenderSQL(dialect);
+  EXPECT_NE(rendered.find("t_user_1"), std::string::npos);
+  EXPECT_NE(rendered.find("(?, ?)"), std::string::npos);
+}
+
+TEST(RewriteTest, InsertCachedTextKeepsPlaceholders) {
+  // Cached-text lane: pass-through off, parameter binding on. The emitted
+  // text keeps `?` markers (stable across executions -> node parse-cache
+  // hits) and the unit carries the matching parameter slice.
+  engine::ScopedDmlPassThrough text_lane(false);
+  RouteResult route;
+  route.type = RouteType::kStandard;
+  route.units.push_back(RouteUnit{"ds_0", {{"t_user", "t_user_0"}}, {1}});
+  auto r = MustRewrite("INSERT INTO t_user (uid, name) VALUES (?, ?), (?, ?)",
+                       route, {Value(0), Value("a"), Value(2), Value("b")});
+  ASSERT_EQ(r.units.size(), 1u);
+  EXPECT_NE(r.units[0].sql.find("(?, ?)"), std::string::npos);
+  EXPECT_EQ(r.units[0].sql.find("(2, 'b')"), std::string::npos);
+  ASSERT_EQ(r.units[0].params.size(), 2u);
+  EXPECT_EQ(r.units[0].params[0], Value(2));
+  EXPECT_EQ(r.units[0].params[1], Value("b"));
+}
+
 TEST(RewriteTest, InsertParamsInlined) {
+  // Legacy remote-text lane: both knobs off inlines literals into the text
+  // (the pre-fast-lane behaviour; guaranteed node parse miss per distinct
+  // values).
+  engine::ScopedDmlPassThrough no_passthrough(false);
+  engine::ScopedDmlParamBinding no_binding(false);
   RouteResult route;
   route.type = RouteType::kStandard;
   route.units.push_back(RouteUnit{"ds_0", {{"t_user", "t_user_0"}}, {1}});
@@ -175,10 +235,31 @@ TEST(RewriteTest, StarWithAggregationRejected) {
 }
 
 TEST(RewriteTest, UpdateRenamed) {
+  engine::ScopedDmlPassThrough text_lane(false);
   auto r = MustRewrite("UPDATE t_user SET name = 'x' WHERE uid = 1",
                        TwoUnitRoute());
   EXPECT_NE(r.units[0].sql.find("UPDATE t_user_0"), std::string::npos);
+  // Even on the text lane the rewritten AST rides along so observers (BASE
+  // undo capture) never re-parse the unit.
+  EXPECT_NE(r.units[0].stmt, nullptr);
   EXPECT_FALSE(r.merge.is_select);
+}
+
+TEST(RewriteTest, UpdateStructuredByDefault) {
+  auto r = MustRewrite("UPDATE t_user SET name = ? WHERE uid = ?",
+                       TwoUnitRoute(), {Value("x"), Value(7)});
+  ASSERT_EQ(r.units.size(), 2u);
+  for (const auto& unit : r.units) {
+    EXPECT_TRUE(unit.sql.empty());
+    ASSERT_NE(unit.stmt, nullptr);
+    // UPDATE/DELETE are not row-split, so the full parameter vector ships.
+    ASSERT_EQ(unit.params.size(), 2u);
+    EXPECT_EQ(unit.params[0], Value("x"));
+    EXPECT_EQ(unit.params[1], Value(7));
+  }
+  const auto& dialect = sql::Dialect::Get(sql::DialectType::kMySQL);
+  EXPECT_NE(r.units[0].RenderSQL(dialect).find("UPDATE t_user_0"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/pipeline.h"
 #include "engine/storage_node.h"
 
 namespace sphere::engine {
@@ -206,6 +207,36 @@ TEST_F(ExecutorTest, InsertArityMismatchFails) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST_F(ExecutorTest, MultiRowInsertIsAtomic) {
+  // Regression: a mid-statement failure (second row conflicts with uid=2)
+  // used to leave the first row committed in auto-commit mode. The statement
+  // must apply all rows or none.
+  auto r = session_->Execute(
+      "INSERT INTO t_user (uid, name, score) VALUES "
+      "(10, 'x', 1.0), (2, 'dup', 2.0), (11, 'y', 3.0)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(Query("SELECT * FROM t_user WHERE uid IN (10, 11)").size(), 0u);
+  EXPECT_EQ(Query("SELECT * FROM t_user").size(), 4u);
+  auto rows = Query("SELECT name FROM t_user WHERE uid = 2");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value("bob"));
+}
+
+TEST_F(ExecutorTest, MultiRowInsertAtomicInTransaction) {
+  // The failed statement must not leave stale insert-undo records behind:
+  // after it rolls itself back, the transaction's later rollback has to
+  // restore exactly the pre-transaction state, nothing less.
+  Exec("BEGIN");
+  auto r = session_->Execute(
+      "INSERT INTO t_user (uid, name, score) VALUES (12, 'p', 1.0), (1, 'dup', 2.0)");
+  EXPECT_FALSE(r.ok());
+  Exec("INSERT INTO t_user (uid, name, score) VALUES (13, 'q', 4.0)");
+  EXPECT_EQ(Query("SELECT * FROM t_user").size(), 5u);
+  Exec("ROLLBACK");
+  EXPECT_EQ(Query("SELECT * FROM t_user").size(), 4u);
+  EXPECT_EQ(Query("SELECT * FROM t_user WHERE uid IN (12, 13)").size(), 0u);
+}
+
 TEST_F(ExecutorTest, UnknownTableFails) {
   EXPECT_FALSE(session_->Execute("SELECT * FROM nope").ok());
   EXPECT_FALSE(session_->Execute("INSERT INTO nope (a) VALUES (1)").ok());
@@ -220,6 +251,42 @@ TEST_F(ExecutorTest, SecondaryIndexLookup) {
   auto rows = Query("SELECT oid FROM t_order WHERE uid = 1 ORDER BY oid");
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0][0], Value(100));
+}
+
+TEST_F(ExecutorTest, PointUpdateViaIndexMatchesScan) {
+  Exec("CREATE INDEX idx_uid ON t_order (uid)");
+  ExecResult fast = Exec("UPDATE t_order SET amount = amount + 1 WHERE uid = 1");
+  EXPECT_EQ(fast.affected_rows, 2);
+  {
+    ScopedPointDml off(false);
+    ExecResult slow = Exec("UPDATE t_order SET amount = amount + 1 WHERE uid = 1");
+    EXPECT_EQ(slow.affected_rows, 2);
+  }
+  auto rows = Query("SELECT amount FROM t_order WHERE uid = 1 ORDER BY oid");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value(12.0));
+  EXPECT_EQ(rows[1][0], Value(22.0));
+}
+
+TEST_F(ExecutorTest, PointDeleteViaPkAndIndex) {
+  ExecResult by_pk = Exec("DELETE FROM t_order WHERE oid = 100");
+  EXPECT_EQ(by_pk.affected_rows, 1);
+  Exec("CREATE INDEX idx_uid ON t_order (uid)");
+  ExecResult by_idx = Exec("DELETE FROM t_order WHERE uid = 2");
+  EXPECT_EQ(by_idx.affected_rows, 1);
+  EXPECT_EQ(Query("SELECT * FROM t_order").size(), 2u);
+}
+
+TEST_F(ExecutorTest, PointDmlRollsBackThroughUndo) {
+  Exec("CREATE INDEX idx_uid ON t_order (uid)");
+  Exec("BEGIN");
+  EXPECT_EQ(Exec("UPDATE t_order SET amount = 0 WHERE uid = 1").affected_rows, 2);
+  EXPECT_EQ(Exec("DELETE FROM t_order WHERE oid = 102").affected_rows, 1);
+  Exec("ROLLBACK");
+  auto rows = Query("SELECT amount FROM t_order ORDER BY oid");
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][0], Value(10.0));
+  EXPECT_EQ(rows[2][0], Value(5.0));
 }
 
 TEST_F(ExecutorTest, TruncateAndDrop) {

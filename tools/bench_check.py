@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Guards committed benchmark results against silent regressions.
+
+Compares the committed BENCH_micro.json (the numbers DESIGN.md cites) against
+a fresh smoke run: if any benchmark's committed throughput is more than
+FACTOR times the smoke run's, the current tree has regressed that ablation
+and the gate fails. The wide default factor absorbs smoke-run noise
+(--benchmark_min_time=0.01) and machine variance; a real fast-lane or
+streaming regression is typically 2x-1000x, not 20%.
+
+Usage: bench_check.py <committed.json> <smoke.json> [factor]
+"""
+
+import json
+import sys
+
+
+def ops_per_second(entry):
+    """Throughput for one benchmark entry (items/sec, falling back to 1/t)."""
+    if "items_per_second" in entry:
+        return float(entry["items_per_second"])
+    scale = {"ns": 1e9, "us": 1e6, "ms": 1e3, "s": 1.0}[entry.get("time_unit", "ns")]
+    real = float(entry["real_time"])
+    return scale / real if real > 0 else 0.0
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows (mean/median/stddev)
+        out[b["name"]] = ops_per_second(b)
+    return out
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    committed_path, smoke_path = argv[1], argv[2]
+    factor = float(argv[3]) if len(argv) > 3 else 2.0
+
+    try:
+        committed = load_benchmarks(committed_path)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"bench_check: cannot read committed {committed_path}: {e}")
+        print("bench_check: regenerate it by running bench_micro from the repo root")
+        return 1
+    try:
+        smoke = load_benchmarks(smoke_path)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"bench_check: cannot read smoke run {smoke_path}: {e}")
+        return 1
+
+    failures = []
+    for name, committed_ops in sorted(committed.items()):
+        if name not in smoke:
+            # Renamed or removed benchmark: the committed file is stale but
+            # the tree didn't regress. Surface it without failing.
+            print(f"bench_check: note: '{name}' in committed results but not "
+                  f"in smoke run (stale committed entry?)")
+            continue
+        smoke_ops = smoke[name]
+        if smoke_ops <= 0 or committed_ops > factor * smoke_ops:
+            failures.append((name, committed_ops, smoke_ops))
+
+    for name, committed_ops, smoke_ops in failures:
+        ratio = committed_ops / smoke_ops if smoke_ops > 0 else float("inf")
+        print(f"bench_check: REGRESSION {name}: committed {committed_ops:.3g} "
+              f"ops/s vs smoke {smoke_ops:.3g} ops/s ({ratio:.1f}x slower "
+              f"than committed, limit {factor}x)")
+    if failures:
+        return 1
+    print(f"bench_check: {len(committed)} committed benchmarks within "
+          f"{factor}x of the smoke run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -51,13 +51,18 @@ run_ctest_tree "$ROOT/build-check/plain"
 note "3/6 bench_micro smoke"
 # One abbreviated pass over every benchmark so a bench that crashes or aborts
 # (e.g. a pipeline regression tripping its result check) fails the gate. The
-# JSON goes into build-check/ so the committed BENCH_micro.json is untouched.
+# JSON goes into build-check/ so the committed BENCH_micro.json is untouched;
+# bench_check.py then diffs the two and fails if any committed ablation has
+# regressed by more than 2x in the current tree.
 if [ -x "$ROOT/build-check/plain/bench/bench_micro" ]; then
   "$ROOT/build-check/plain/bench/bench_micro" \
     --benchmark_min_time=0.01 \
     --benchmark_out="$ROOT/build-check/BENCH_micro.smoke.json" \
     > "$ROOT/build-check/bench-smoke.log" 2>&1 \
     || fail "bench_micro smoke (see build-check/bench-smoke.log)"
+  python3 "$ROOT/tools/bench_check.py" "$ROOT/BENCH_micro.json" \
+    "$ROOT/build-check/BENCH_micro.smoke.json" \
+    || fail "bench_check.py: committed BENCH_micro.json regressed >2x"
 else
   note "3/6 bench_micro smoke (skipped: binary not built)"
   skipped+=("bench-smoke")
@@ -81,6 +86,7 @@ if command -v clang-tidy >/dev/null 2>&1; then
   # Header-only templates get no TU of their own; tidy them standalone so the
   # template bodies are analyzed even where no src/*.cc instantiates a path.
   for hdr in src/common/lru_cache.h \
+             src/core/param_slice.h \
              src/engine/scan_cursor.h \
              src/engine/topk.h \
              src/engine/row_dedup.h; do
