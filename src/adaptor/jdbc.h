@@ -56,11 +56,17 @@ class ShardingDataSource {
   }
 
  private:
+  // analyze-exempt(guarded-by): internally synchronized subsystem
   core::ShardingRuntime runtime_;
+  // analyze-exempt(guarded-by): internally synchronized subsystem
   transaction::TransactionContext txn_context_;
+  // analyze-exempt(guarded-by): internally synchronized subsystem
   distsql::DistSQLEngine distsql_;
-  Mutex distsql_mu_;
+  Mutex distsql_mu_{LockRank::kAdaptor, "adaptor/jdbc.distsql"};
+  // analyze-exempt(guarded-by): bound once in BindGovernor during setup,
+  // before the data source is shared across threads
   governor::ConfigManager* governor_ = nullptr;
+  // analyze-exempt(guarded-by): bound once in BindGovernor during setup
   governor::Registry::SessionId governor_session_ = 0;
 };
 

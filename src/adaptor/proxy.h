@@ -61,10 +61,10 @@ class ShardingProxy {
   void AcquireWorker() SPHERE_EXCLUDES(worker_mu_);
   void ReleaseWorker() SPHERE_EXCLUDES(worker_mu_);
 
-  ShardingDataSource* backend_;
+  ShardingDataSource* const backend_;
   const net::LatencyModel* client_network_;
   std::atomic<int64_t> statements_served_{0};
-  Mutex worker_mu_;
+  Mutex worker_mu_{LockRank::kAdaptor, "adaptor/proxy.worker"};
   CondVar worker_cv_;
   int worker_capacity_ SPHERE_GUARDED_BY(worker_mu_) = 0;  ///< 0 = unlimited
   int workers_busy_ SPHERE_GUARDED_BY(worker_mu_) = 0;

@@ -33,6 +33,9 @@ BenchResult RunBenchmark(baselines::SqlSystem* system,
     }
   };
 
+  // analyze-exempt(raw-thread): the load harness models N independent
+  // clients; routing them through the shared pool would serialize against
+  // the very executor pool the benchmark is measuring
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(options.threads));
   for (int t = 0; t < options.threads; ++t) {

@@ -54,7 +54,7 @@ class Histogram {
   static int64_t BucketLimit(int i);
   static int BucketFor(int64_t micros);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kCommon, "common/histogram"};
   std::vector<int64_t> buckets_ SPHERE_GUARDED_BY(mu_);
   int64_t count_ SPHERE_GUARDED_BY(mu_);
   double sum_ SPHERE_GUARDED_BY(mu_);

@@ -1,0 +1,53 @@
+#ifndef SPHERE_COMMON_LOCK_RANK_H_
+#define SPHERE_COMMON_LOCK_RANK_H_
+
+namespace sphere {
+
+/// Global lock hierarchy. A thread may only acquire a lock whose rank is
+/// less than or equal to the rank of the lock it acquired most recently
+/// (non-increasing order), so lock chains always run outer layer -> inner
+/// layer and cross-layer deadlocks are impossible by construction:
+///
+///   adaptor > governor > transaction > engine > core > storage > common
+///
+/// Equal ranks are allowed to nest (the lock-order *graph* still catches
+/// inversions between distinct same-rank locks — see common/lockdep.h), so a
+/// subsystem can hold several of its own locks, e.g. address-ordered
+/// Histogram::Merge or the txn-manager -> table-latch chain inside storage.
+///
+/// `kUnranked` locks (default-constructed, mostly test-local) are exempt
+/// from rank checking and from the order graph; they still participate in
+/// self-recursion detection.
+///
+/// The rank is ordering metadata, not ownership: a lock declared in
+/// src/storage can carry kTransaction when it brackets storage-layer locks
+/// (TransactionManager::mu_ wraps table latches while rolling back undo).
+enum class LockRank : int {
+  kUnranked = 0,
+  kCommon = 1,       ///< leaf utilities: thread pool, latch, histogram, LRU
+  kStorage = 2,      ///< table latches, catalog, B+Tree-adjacent state
+  kCore = 3,         ///< route/rewrite/plan caches, algorithm registry
+  kEngine = 4,       ///< executor, storage-node session state, net pools
+  kTransaction = 5,  ///< XA/BASE coordinators, txn managers
+  kGovernor = 6,     ///< registry, health, guard interceptors, raft
+  kAdaptor = 7,      ///< proxy/jdbc front-end session state
+};
+
+/// Human-readable rank name for lockdep reports and tooling.
+constexpr const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kUnranked:    return "unranked";
+    case LockRank::kCommon:      return "common";
+    case LockRank::kStorage:     return "storage";
+    case LockRank::kCore:        return "core";
+    case LockRank::kEngine:      return "engine";
+    case LockRank::kTransaction: return "transaction";
+    case LockRank::kGovernor:    return "governor";
+    case LockRank::kAdaptor:     return "adaptor";
+  }
+  return "?";
+}
+
+}  // namespace sphere
+
+#endif  // SPHERE_COMMON_LOCK_RANK_H_

@@ -1,0 +1,360 @@
+#include "common/lockdep.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define SPHERE_LOCKDEP_HAVE_BACKTRACE 1
+#endif
+#endif
+
+namespace sphere::lockdep {
+namespace {
+
+constexpr int kMaxFrames = 24;
+// Innermost frames are lockdep + Mutex internals; skip them so reports start
+// at the caller's acquisition site.
+constexpr int kSkipFrames = 2;
+
+struct Backtrace {
+  void* pc[kMaxFrames];
+  int depth = 0;
+
+  void Capture() {
+#ifdef SPHERE_LOCKDEP_HAVE_BACKTRACE
+    depth = backtrace(pc, kMaxFrames);
+#else
+    depth = 0;
+#endif
+  }
+
+  void Format(std::ostringstream* out) const {
+#ifdef SPHERE_LOCKDEP_HAVE_BACKTRACE
+    if (depth <= kSkipFrames) {
+      *out << "      <no frames captured>\n";
+      return;
+    }
+    char** symbols = backtrace_symbols(pc, depth);
+    for (int i = kSkipFrames; i < depth; ++i) {
+      *out << "      #" << (i - kSkipFrames) << " ";
+      if (symbols != nullptr && symbols[i] != nullptr) {
+        *out << symbols[i];
+      } else {
+        *out << pc[i];
+      }
+      *out << "\n";
+    }
+    free(symbols);  // backtrace_symbols mallocs one block
+#else
+    *out << "      <backtrace unavailable on this platform>\n";
+#endif
+  }
+};
+
+/// One entry of the thread's held-lock stack.
+struct HeldLock {
+  const void* lock;
+  int class_id;  ///< -1 when the lock has no class (empty name)
+  LockRank rank;
+  bool trylock;
+  bool shared;
+  Backtrace where;
+};
+
+struct LockClass {
+  std::string name;
+  LockRank rank;
+};
+
+/// First-observation record for one order-graph edge `from -> to`.
+struct Edge {
+  int from;
+  int to;
+  Backtrace holder_where;   ///< where `from` was acquired (still held)
+  Backtrace acquire_where;  ///< where `to` was acquired under `from`
+};
+
+struct Graph {
+  // Raw std::mutex on purpose: the checker cannot run on the locks it
+  // checks. Exempted from the raw-mutex lint rule.
+  std::mutex mu;
+  std::unordered_map<std::string, int> class_ids;
+  std::vector<LockClass> classes;
+  std::unordered_map<uint64_t, Edge> edges;   // key: from << 32 | to
+  std::vector<std::vector<int>> adjacency;    // class -> successors
+  Handler handler;                            // empty = default
+  int violations = 0;
+};
+
+Graph& graph() {
+  // Leaked singleton: worker threads may release locks during static
+  // destruction and must never race a destroyed graph.
+  static Graph* g = new Graph();
+  return *g;
+}
+
+std::vector<HeldLock>& held() {
+  thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+uint64_t EdgeKey(int from, int to) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+         static_cast<uint32_t>(to);
+}
+
+/// Interns `name` under the graph lock; returns its class id.
+int InternClassLocked(Graph& g, const char* name, LockRank rank) {
+  auto it = g.class_ids.find(name);
+  if (it != g.class_ids.end()) return it->second;
+  int id = static_cast<int>(g.classes.size());
+  g.class_ids.emplace(name, id);
+  g.classes.push_back(LockClass{name, rank});
+  g.adjacency.emplace_back();
+  return id;
+}
+
+/// DFS path `from ~> to` over the adjacency lists; fills `path` with the
+/// class ids visited (inclusive of both ends). Returns false when
+/// unreachable.
+bool FindPathLocked(const Graph& g, int from, int to, std::vector<int>* path) {
+  std::vector<int> parent(g.classes.size(), -1);
+  std::vector<int> stack{from};
+  std::vector<bool> seen(g.classes.size(), false);
+  seen[static_cast<size_t>(from)] = true;
+  while (!stack.empty()) {
+    int node = stack.back();
+    stack.pop_back();
+    if (node == to) {
+      for (int at = to; at != -1; at = parent[static_cast<size_t>(at)]) {
+        path->push_back(at);
+      }
+      std::reverse(path->begin(), path->end());
+      return true;
+    }
+    for (int next : g.adjacency[static_cast<size_t>(node)]) {
+      if (!seen[static_cast<size_t>(next)]) {
+        seen[static_cast<size_t>(next)] = true;
+        parent[static_cast<size_t>(next)] = node;
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+void DescribeClassLocked(const Graph& g, int id, std::ostringstream* out) {
+  const LockClass& cls = g.classes[static_cast<size_t>(id)];
+  *out << "\"" << cls.name << "\" (rank " << LockRankName(cls.rank) << ")";
+}
+
+/// Locking wrapper around DescribeClassLocked for report paths that run
+/// outside the graph lock.
+std::string DescribeClass(int id) {
+  std::ostringstream out;
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lk(g.mu);
+  DescribeClassLocked(g, id, &out);
+  return out.str();
+}
+
+void AppendHeldStack(std::ostringstream* out) {
+  const auto& stack = held();
+  *out << "  held by this thread (" << stack.size() << "):\n";
+  for (size_t i = 0; i < stack.size(); ++i) {
+    const HeldLock& h = stack[i];
+    *out << "    [" << i << "] ";
+    if (h.class_id >= 0) {
+      *out << DescribeClass(h.class_id);
+    } else {
+      *out << "<unnamed " << h.lock << "> (rank " << LockRankName(h.rank)
+           << ")";
+    }
+    if (h.trylock) *out << " [trylock]";
+    if (h.shared) *out << " [shared]";
+    *out << ", acquired at:\n";
+    h.where.Format(out);
+  }
+}
+
+/// Dispatches one violation to the handler (default: stderr + abort). Never
+/// called with the graph lock held — handlers may inspect lockdep state.
+void Emit(Violation::Kind kind, std::string message) {
+  Handler h;
+  {
+    Graph& g = graph();
+    std::lock_guard<std::mutex> lk(g.mu);
+    ++g.violations;
+    h = g.handler;
+  }
+  Violation v{kind, std::move(message)};
+  if (h) {
+    h(v);
+    return;
+  }
+  std::fprintf(stderr, "%s", v.message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+Handler SetHandler(Handler handler) {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lk(g.mu);
+  Handler old = std::move(g.handler);
+  g.handler = std::move(handler);
+  return old;
+}
+
+void OnAcquire(const void* lock, LockRank rank, const char* name, bool trylock,
+               bool shared) {
+  auto& stack = held();
+
+  Backtrace here;
+  here.Capture();
+
+  // 1. Same-instance recursion: deadlocks immediately for exclusive locks,
+  // and is writer-starvation-prone even shared-over-shared, so it is always
+  // a violation.
+  for (const HeldLock& h : stack) {
+    if (h.lock == lock) {
+      std::ostringstream out;
+      out << "lockdep: SELF-RECURSION\n  thread re-acquires ";
+      if (name != nullptr && name[0] != '\0') {
+        out << "\"" << name << "\"";
+      } else {
+        out << "lock " << lock;
+      }
+      out << (shared ? " (shared)" : "") << " it already holds\n"
+          << "  second acquisition at:\n";
+      here.Format(&out);
+      AppendHeldStack(&out);
+      Emit(Violation::Kind::kSelfRecursion, out.str());
+      break;
+    }
+  }
+
+  // 2. Rank discipline: non-increasing along the chain. Trylocks never
+  // block, so they may probe upward without deadlock risk; once held they
+  // still constrain later acquisitions.
+  if (!trylock && rank != LockRank::kUnranked) {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->rank == LockRank::kUnranked) continue;
+      if (static_cast<int>(rank) > static_cast<int>(it->rank)) {
+        std::ostringstream out;
+        out << "lockdep: RANK-ORDER VIOLATION\n  acquiring \""
+            << (name != nullptr ? name : "?") << "\" (rank "
+            << LockRankName(rank) << ") while holding ";
+        if (it->class_id >= 0) {
+          out << DescribeClass(it->class_id);
+        } else {
+          out << "<unnamed> (rank " << LockRankName(it->rank) << ")";
+        }
+        out << "\n  lock ranks must be non-increasing: adaptor > governor > "
+               "transaction > engine > core > storage > common\n"
+            << "  acquisition at:\n";
+        here.Format(&out);
+        AppendHeldStack(&out);
+        Emit(Violation::Kind::kRankOrder, out.str());
+      }
+      break;  // only the innermost ranked lock constrains the next rank
+    }
+  }
+
+  // 3. Order graph: add held-class -> new-class edges; a new edge that
+  // closes a cycle is a potential deadlock regardless of this run's
+  // interleaving.
+  int class_id = -1;
+  if (name != nullptr && name[0] != '\0') {
+    std::string cycle_report;
+    {
+      Graph& g = graph();
+      std::lock_guard<std::mutex> lk(g.mu);
+      class_id = InternClassLocked(g, name, rank);
+      for (const HeldLock& h : stack) {
+        if (h.class_id < 0 || h.class_id == class_id) continue;
+        uint64_t key = EdgeKey(h.class_id, class_id);
+        if (g.edges.count(key) != 0) continue;
+        // New edge h.class_id -> class_id. Existing path class_id ~>
+        // h.class_id means the opposite order was already observed: cycle.
+        std::vector<int> path;
+        if (cycle_report.empty() &&
+            FindPathLocked(g, class_id, h.class_id, &path)) {
+          std::ostringstream out;
+          out << "lockdep: LOCK-ORDER CYCLE (potential deadlock)\n"
+              << "  new dependency: ";
+          DescribeClassLocked(g, h.class_id, &out);
+          out << " -> ";
+          DescribeClassLocked(g, class_id, &out);
+          out << "\n  holder acquired at:\n";
+          h.where.Format(&out);
+          out << "  new lock acquired at:\n";
+          here.Format(&out);
+          out << "  conflicting existing order:\n";
+          for (size_t i = 0; i + 1 < path.size(); ++i) {
+            const Edge& e = g.edges.at(EdgeKey(path[i], path[i + 1]));
+            out << "    ";
+            DescribeClassLocked(g, e.from, &out);
+            out << " -> ";
+            DescribeClassLocked(g, e.to, &out);
+            out << "\n    first lock held at:\n";
+            e.holder_where.Format(&out);
+            out << "    second lock acquired at:\n";
+            e.acquire_where.Format(&out);
+          }
+          cycle_report = out.str();
+        }
+        Edge edge{h.class_id, class_id, h.where, here};
+        g.edges.emplace(key, edge);
+        g.adjacency[static_cast<size_t>(h.class_id)].push_back(class_id);
+      }
+    }
+    if (!cycle_report.empty()) {
+      Emit(Violation::Kind::kCycle, std::move(cycle_report));
+    }
+  }
+
+  stack.push_back(HeldLock{lock, class_id, rank, trylock, shared, here});
+}
+
+void OnRelease(const void* lock) {
+  auto& stack = held();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->lock == lock) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Unmatched release: the lock predates handler/coverage (e.g. acquired in
+  // a TU built without SPHERE_DEADLOCK). Silently ignore.
+}
+
+int violation_count() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lk(g.mu);
+  return g.violations;
+}
+
+size_t held_count() { return held().size(); }
+
+void ResetForTest() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lk(g.mu);
+  g.class_ids.clear();
+  g.classes.clear();
+  g.edges.clear();
+  g.adjacency.clear();
+  g.violations = 0;
+}
+
+}  // namespace sphere::lockdep

@@ -1,0 +1,80 @@
+#ifndef SPHERE_COMMON_LOCKDEP_H_
+#define SPHERE_COMMON_LOCKDEP_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "common/lock_rank.h"
+
+/// Runtime lock-dependency checker (Linux-lockdep style), wired into
+/// sphere::Mutex / sphere::SharedMutex when the tree is configured with
+/// -DSPHERE_DEADLOCK=ON. Two complementary checks run on every acquisition:
+///
+///   1. Rank discipline: a thread-local held-lock stack asserts that ranks
+///      are non-increasing along every acquisition chain (see
+///      common/lock_rank.h). Catches cross-layer ordering violations the
+///      moment they happen, on any interleaving.
+///
+///   2. Lock-order graph: every "B acquired while A held" observation adds a
+///      directed edge A -> B between *lock classes* (a class is a named
+///      declaration site; all Table latches are one class). Adding an edge
+///      that closes a cycle reports a potential deadlock — even if this
+///      particular run never interleaves into the actual deadlock — together
+///      with the acquisition backtraces of both locks on the new edge and of
+///      every edge along the existing path.
+///
+/// The checker is deterministic: observing each order once is enough, no
+/// adversarial scheduling required. TSan finds data races; this finds
+/// deadlocks. Violations go to the installed handler (default: print the
+/// full report to stderr and abort, so a violating test goes red).
+///
+/// The implementation is always compiled so the detector itself is unit
+/// tested in every build; only the Mutex hooks are gated on SPHERE_DEADLOCK.
+namespace sphere::lockdep {
+
+/// One report from the checker. `message` is the full human-readable report
+/// (held stack, ranks, and symbolized backtraces).
+struct Violation {
+  enum class Kind {
+    kRankOrder,      ///< acquired a higher rank while holding a lower one
+    kSelfRecursion,  ///< re-acquired a lock instance this thread holds
+    kCycle,          ///< new graph edge closes a lock-order cycle
+  };
+  Kind kind;
+  std::string message;
+};
+
+using Handler = std::function<void(const Violation&)>;
+
+/// Installs a violation handler, returning the previous one. Passing a null
+/// handler restores the default (print + abort). Tests install a capturing
+/// handler around seeded inversions.
+Handler SetHandler(Handler handler);
+
+/// Records an acquisition attempt by this thread. Runs the rank check and
+/// the order-graph cycle check, then pushes the lock onto the thread-local
+/// held stack. `name` is the lock's class ("" = classless: skipped by the
+/// graph and, when unranked, by the rank check). Called by Mutex::Lock
+/// before blocking, so an inversion is reported even when the run would
+/// deadlock.
+void OnAcquire(const void* lock, LockRank rank, const char* name,
+               bool trylock, bool shared);
+
+/// Pops `lock` from this thread's held stack (out-of-order release is
+/// handled for hand-over-hand patterns).
+void OnRelease(const void* lock);
+
+/// Number of violations reported process-wide since start / last reset.
+int violation_count();
+
+/// Locks currently held by the calling thread (testing / diagnostics).
+size_t held_count();
+
+/// Test hook: clears the order graph, class table and violation counter.
+/// Callers must not hold any sphere lock while resetting.
+void ResetForTest();
+
+}  // namespace sphere::lockdep
+
+#endif  // SPHERE_COMMON_LOCKDEP_H_

@@ -156,7 +156,7 @@ class ShardedLRUCache {
   using EntryList = std::list<Entry>;
 
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu{LockRank::kCommon, "common/lru_cache.shard"};
     /// Front = most recently used.
     EntryList lru SPHERE_GUARDED_BY(mu);
     std::unordered_map<Key, typename EntryList::iterator, KeyHash, KeyEqual>

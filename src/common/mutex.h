@@ -6,7 +6,27 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/lock_rank.h"
 #include "common/thread_annotations.h"
+
+/// Lockdep hooks: active only in -DSPHERE_DEADLOCK=ON builds, where every
+/// Lock/Unlock maintains a per-thread held-lock stack (rank discipline) and
+/// feeds the process-wide lock-order graph (cycle detection). See
+/// common/lockdep.h. In normal builds the macros compile to nothing.
+#ifdef SPHERE_DEADLOCK
+#include "common/lockdep.h"
+#define SPHERE_LOCKDEP_ACQUIRE(lock, rank, name, shared) \
+  ::sphere::lockdep::OnAcquire((lock), (rank), (name), /*trylock=*/false, \
+                               (shared))
+#define SPHERE_LOCKDEP_TRY_ACQUIRED(lock, rank, name) \
+  ::sphere::lockdep::OnAcquire((lock), (rank), (name), /*trylock=*/true, \
+                               /*shared=*/false)
+#define SPHERE_LOCKDEP_RELEASE(lock) ::sphere::lockdep::OnRelease((lock))
+#else
+#define SPHERE_LOCKDEP_ACQUIRE(lock, rank, name, shared) ((void)0)
+#define SPHERE_LOCKDEP_TRY_ACQUIRED(lock, rank, name) ((void)0)
+#define SPHERE_LOCKDEP_RELEASE(lock) ((void)0)
+#endif
 
 namespace sphere {
 
@@ -15,23 +35,52 @@ namespace sphere {
 /// RAII types and for the rare hand-over-hand pattern, and carries the
 /// attributes clang's `-Wthread-safety` needs to verify `SPHERE_GUARDED_BY`
 /// members.
+///
+/// Every mutex declared in src/ carries a `LockRank` and a class name
+/// ("subsystem/what-it-guards") so SPHERE_DEADLOCK builds can verify the
+/// global acquisition order — see common/lock_rank.h for the hierarchy.
+/// Default-constructed (unranked) mutexes are for tests and scratch code;
+/// tools/analyze.py flags unranked declarations inside src/.
 class SPHERE_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() SPHERE_ACQUIRE() { mu_.lock(); }
-  void Unlock() SPHERE_RELEASE() { mu_.unlock(); }
-  bool TryLock() SPHERE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() SPHERE_ACQUIRE() {
+    SPHERE_LOCKDEP_ACQUIRE(this, rank_, name_, /*shared=*/false);
+    mu_.lock();
+  }
+  void Unlock() SPHERE_RELEASE() {
+    SPHERE_LOCKDEP_RELEASE(this);
+    mu_.unlock();
+  }
+  bool TryLock() SPHERE_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    SPHERE_LOCKDEP_TRY_ACQUIRED(this, rank_, name_);
+    return true;
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
 
   /// BasicLockable spelling so `CondVar` (condition_variable_any) can park on
-  /// this mutex directly.
-  void lock() SPHERE_ACQUIRE() { mu_.lock(); }
-  void unlock() SPHERE_RELEASE() { mu_.unlock(); }
+  /// this mutex directly. Carries the same lockdep hooks so a wait's internal
+  /// release/re-acquire keeps the held-lock stack balanced.
+  void lock() SPHERE_ACQUIRE() {
+    SPHERE_LOCKDEP_ACQUIRE(this, rank_, name_, /*shared=*/false);
+    mu_.lock();
+  }
+  void unlock() SPHERE_RELEASE() {
+    SPHERE_LOCKDEP_RELEASE(this);
+    mu_.unlock();
+  }
 
  private:
   std::mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = "";
 };
 
 /// RAII critical section over `Mutex`.
@@ -49,20 +98,40 @@ class SPHERE_SCOPED_CAPABILITY MutexLock {
 };
 
 /// Annotated reader-writer mutex wrapping std::shared_mutex. Lock through
-/// `WriterLock` / `ReaderLock`.
+/// `WriterLock` / `ReaderLock`. Shared and exclusive acquisitions feed the
+/// same lockdep class: ordering, not mode, is what deadlock-freedom needs.
 class SPHERE_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex(LockRank rank, const char* name)
+      : rank_(rank), name_(name) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() SPHERE_ACQUIRE() { mu_.lock(); }
-  void Unlock() SPHERE_RELEASE() { mu_.unlock(); }
-  void LockShared() SPHERE_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() SPHERE_RELEASE_SHARED() { mu_.unlock_shared(); }
+  void Lock() SPHERE_ACQUIRE() {
+    SPHERE_LOCKDEP_ACQUIRE(this, rank_, name_, /*shared=*/false);
+    mu_.lock();
+  }
+  void Unlock() SPHERE_RELEASE() {
+    SPHERE_LOCKDEP_RELEASE(this);
+    mu_.unlock();
+  }
+  void LockShared() SPHERE_ACQUIRE_SHARED() {
+    SPHERE_LOCKDEP_ACQUIRE(this, rank_, name_, /*shared=*/true);
+    mu_.lock_shared();
+  }
+  void UnlockShared() SPHERE_RELEASE_SHARED() {
+    SPHERE_LOCKDEP_RELEASE(this);
+    mu_.unlock_shared();
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
 
  private:
   std::shared_mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = "";
 };
 
 /// RAII exclusive section over `SharedMutex`.
@@ -97,6 +166,9 @@ class SPHERE_SCOPED_CAPABILITY ReaderLock {
 
 /// Condition variable paired with `sphere::Mutex`. Callers hold the mutex
 /// (via MutexLock) across Wait, which releases and re-acquires it atomically.
+/// Under SPHERE_DEADLOCK the wait's unlock/lock round-trip goes through the
+/// lockdep hooks, so the held-lock stack stays truthful while parked and the
+/// re-acquisition is rank-checked against whatever else the thread holds.
 class CondVar {
  public:
   /// Blocks until notified (spurious wakeups possible — re-check state).

@@ -478,7 +478,7 @@ class HintInlineAlgorithm : public ShardingAlgorithm {
 // ---------------------------------------------------------------------------
 
 struct AlgorithmRegistry {
-  Mutex mu;
+  Mutex mu{LockRank::kCore, "core/algorithm_registry"};
   std::map<std::string, ShardingAlgorithmFactory> factories
       SPHERE_GUARDED_BY(mu);
 };

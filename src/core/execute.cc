@@ -177,6 +177,8 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
   } else {
     // Benchmark baseline (set_thread_pool(nullptr)): the pre-scheduler
     // spawn-per-statement dispatch.
+    // analyze-exempt(raw-thread): this IS the measured ablation — the
+    // spawn-per-statement baseline the shared pool is compared against
     std::vector<std::thread> threads;
     threads.reserve(tasks.size() - 1);
     for (size_t i = 1; i < tasks.size(); ++i) {

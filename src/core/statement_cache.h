@@ -59,9 +59,9 @@ class StatementPlan {
 
  private:
   std::shared_ptr<const sql::Statement> stmt_;
-  int param_count_;
-  sql::DialectType dialect_;
-  mutable Mutex mu_;
+  const int param_count_;
+  const sql::DialectType dialect_;
+  mutable Mutex mu_{LockRank::kCore, "core/statement_plan.routed"};
   mutable std::shared_ptr<const RoutedPlan> routed_ SPHERE_GUARDED_BY(mu_);
 };
 

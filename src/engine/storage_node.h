@@ -116,11 +116,13 @@ class StorageNode {
   Result<std::shared_ptr<const sql::Statement>> ParseCached(
       std::string_view sql_text) SPHERE_EXCLUDES(stmt_cache_mu_);
 
-  std::string name_;
+  const std::string name_;
   const sql::Dialect& dialect_;
+  // analyze-exempt(guarded-by): internally synchronized (catalog SharedMutex)
   storage::Database db_;
+  // analyze-exempt(guarded-by): internally synchronized (own Mutex)
   storage::TransactionManager txn_manager_;
-  Mutex stmt_cache_mu_;
+  Mutex stmt_cache_mu_{LockRank::kEngine, "engine/storage_node.stmt_cache"};
   std::unordered_map<std::string, std::shared_ptr<const sql::Statement>>
       stmt_cache_ SPHERE_GUARDED_BY(stmt_cache_mu_);
   std::atomic<bool> fail_next_prepare_{false};
@@ -129,7 +131,7 @@ class StorageNode {
   std::atomic<int64_t> parse_cache_hits_{0};
   std::atomic<int64_t> parse_cache_misses_{0};
   std::atomic<int64_t> statement_delay_us_{0};
-  Mutex io_mu_;
+  Mutex io_mu_{LockRank::kEngine, "engine/storage_node.io"};
   CondVar io_cv_;
   int io_slots_ SPHERE_GUARDED_BY(io_mu_) = 0;  ///< 0 = unlimited
   int io_in_use_ SPHERE_GUARDED_BY(io_mu_) = 0;

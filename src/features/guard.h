@@ -39,7 +39,7 @@ class CircuitBreaker : public core::StatementInterceptor {
  private:
   const int failure_threshold_;
   const int64_t open_duration_us_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kGovernor, "features/guard.breaker"};
   State state_ SPHERE_GUARDED_BY(mu_) = State::kClosed;
   int consecutive_failures_ SPHERE_GUARDED_BY(mu_) = 0;
   int64_t opened_at_us_ SPHERE_GUARDED_BY(mu_) = 0;
@@ -67,7 +67,7 @@ class RateThrottle : public core::StatementInterceptor {
 
   const double rate_;
   const double burst_;
-  Mutex mu_;
+  Mutex mu_{LockRank::kGovernor, "features/guard.throttle"};
   double tokens_ SPHERE_GUARDED_BY(mu_);
   int64_t last_refill_us_ SPHERE_GUARDED_BY(mu_);
   std::atomic<int64_t> throttled_{0};

@@ -50,9 +50,9 @@ class ReadWriteSplitInterceptor : public core::StatementInterceptor {
   const ReadWriteSplitConfig::Group* GroupOf(const std::string& ds) const;
   std::string PickReplica(const ReadWriteSplitConfig::Group& group);
 
-  ReadWriteSplitConfig config_;
+  const ReadWriteSplitConfig config_;
   std::atomic<uint64_t> round_robin_{0};
-  Mutex rng_mu_;
+  Mutex rng_mu_{LockRank::kCommon, "features/readwrite.rng"};
   Rng rng_ SPHERE_GUARDED_BY(rng_mu_);
   std::atomic<int64_t> replica_reads_{0};
   std::atomic<int64_t> replicated_writes_{0};

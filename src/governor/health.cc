@@ -78,6 +78,8 @@ void HealthDetector::Start() {
   MutexLock lk(mu_);
   if (running_) return;
   running_ = true;
+  // analyze-exempt(raw-thread): dedicated monitor thread; it parks on cv_
+  // for check_interval_ms at a time, which would wedge a pool worker
   thread_ = std::thread([this] {
     for (;;) {
       {

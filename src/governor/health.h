@@ -54,10 +54,13 @@ class HealthDetector {
 
   const int64_t check_interval_ms_;
   const int64_t timeout_ms_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kGovernor, "governor/health"};
   CondVar cv_;
   std::map<std::string, Instance> instances_ SPHERE_GUARDED_BY(mu_);
   StateChangeCallback callback_ SPHERE_GUARDED_BY(mu_);
+  // analyze-exempt(guarded-by): started/joined only from Start/Stop, which
+  // callers serialize. analyze-exempt(raw-thread): the detector needs a
+  // dedicated long-lived thread that blocks on cv_, not a pool task
   std::thread thread_;
   bool running_ SPHERE_GUARDED_BY(mu_) = false;
 };

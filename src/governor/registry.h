@@ -84,7 +84,7 @@ class Registry {
                   std::vector<std::pair<Watcher, RegistryEvent>>* out)
       SPHERE_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kGovernor, "governor/registry"};
   std::map<std::string, Node> nodes_ SPHERE_GUARDED_BY(mu_);
   std::map<int64_t, WatchEntry> watches_ SPHERE_GUARDED_BY(mu_);
   std::map<std::string, SessionId> locks_ SPHERE_GUARDED_BY(mu_);

@@ -32,6 +32,7 @@ class ConnectionPool {
         : pool_(pool), conn_(conn) {}
     Lease(Lease&& other) noexcept { *this = std::move(other); }
     Lease& operator=(Lease&& other) noexcept {
+      if (this == &other) return *this;
       Release();
       pool_ = other.pool_;
       conn_ = other.conn_;
@@ -66,10 +67,10 @@ class ConnectionPool {
  private:
   void ReleaseConn(RemoteConnection* conn) SPHERE_EXCLUDES(mu_);
 
-  engine::StorageNode* node_;
+  engine::StorageNode* const node_;
   const LatencyModel* network_;
   const int max_size_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kEngine, "net/pool"};
   CondVar cv_;
   std::vector<std::unique_ptr<RemoteConnection>> all_ SPHERE_GUARDED_BY(mu_);
   std::vector<RemoteConnection*> free_ SPHERE_GUARDED_BY(mu_);

@@ -87,8 +87,11 @@ class RaftGroup {
   }
 
   const net::LatencyModel* network_;
-  ApplyFn apply_;
-  mutable Mutex mu_;
+  const ApplyFn apply_;
+  /// kGovernor: the apply callback runs under this lock and may drive a full
+  /// statement into a storage node (raftdb), so it must outrank transaction
+  /// and everything below.
+  mutable Mutex mu_{LockRank::kGovernor, "raft/group"};
   std::vector<Replica> replicas_ SPHERE_GUARDED_BY(mu_);
   int leader_ SPHERE_GUARDED_BY(mu_) = 0;
 };

@@ -33,8 +33,8 @@ class Database {
   std::vector<std::string> TableNames() const SPHERE_EXCLUDES(mu_);
 
  private:
-  std::string name_;
-  mutable SharedMutex mu_;
+  const std::string name_;
+  mutable SharedMutex mu_{LockRank::kStorage, "storage/database.catalog"};
   std::map<std::string, std::unique_ptr<Table>> tables_
       SPHERE_GUARDED_BY(mu_);  // lower-cased keys
 };

@@ -91,13 +91,16 @@ class Table {
  private:
   Status ValidateAndCast(const Row& row, Row* out) const;
 
-  std::string name_;
-  Schema schema_;
-  int pk_index_;
+  const std::string name_;
+  const Schema schema_;
+  const int pk_index_;
+  // analyze-exempt(guarded-by): guarded by latch_, caller-side discipline
   int64_t next_rowid_ = 1;
+  // analyze-exempt(guarded-by): guarded by latch_, caller-side discipline
   BPlusTree<Row> rows_;
+  // analyze-exempt(guarded-by): guarded by latch_, caller-side discipline
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
-  mutable SharedMutex latch_;
+  mutable SharedMutex latch_{LockRank::kStorage, "storage/table.latch"};
 };
 
 }  // namespace sphere::storage

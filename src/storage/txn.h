@@ -91,8 +91,10 @@ class TransactionManager {
   Status RollbackLocked(Transaction* txn) SPHERE_REQUIRES(mu_);
   void ApplyUndo(const Transaction& txn);
 
-  Database* db_;
-  mutable Mutex mu_;
+  Database* const db_;
+  /// kTransaction, not kStorage: rollback holds this while re-latching
+  /// tables to replay undo, so it sits above the table latches it brackets.
+  mutable Mutex mu_{LockRank::kTransaction, "storage/txn_manager"};
   std::atomic<int64_t> next_id_{1};
   std::map<int64_t, std::unique_ptr<Transaction>> txns_ SPHERE_GUARDED_BY(mu_);
   std::map<std::string, int64_t> prepared_by_xid_ SPHERE_GUARDED_BY(mu_);

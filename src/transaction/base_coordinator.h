@@ -74,7 +74,7 @@ class BaseCoordinator {
   };
 
   const net::LatencyModel* network_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTransaction, "transaction/base"};
   std::map<std::string, GlobalTxn> txns_ SPHERE_GUARDED_BY(mu_);
   std::atomic<int64_t> next_id_{1};
 };

@@ -37,7 +37,7 @@ class XaLogStore {
   size_t size() const SPHERE_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTransaction, "transaction/xa_log"};
   std::map<std::string, Entry> entries_ SPHERE_GUARDED_BY(mu_);
 };
 

@@ -2,15 +2,17 @@
 # Single entry point for the correctness tooling gate.
 #
 # Runs, in order:
-#   1. tools/lint.py                          (project lint)
+#   1. tools/lint.py + tools/analyze.py       (project lint + lock analyzer)
 #   2. plain build + ctest                    (tier-1)
 #   3. bench_micro smoke                      (one short pass, JSON discarded)
 #   4. clang -Wthread-safety -Werror build    (skipped if clang++ missing)
 #   5. clang-tidy over src/                   (skipped if clang-tidy missing)
-#   6. ctest under ASan, UBSan, TSan          (SPHERE_SANITIZE matrix)
+#   6. ctest under SPHERE_DEADLOCK=ON         (runtime lockdep; any rank or
+#      lock-order violation aborts the offending test)
+#   7. ctest under ASan, UBSan, TSan          (SPHERE_SANITIZE matrix)
 #
 # Usage: tools/check.sh [--fast]
-#   --fast   lint + plain build/test only (skip sanitizer matrix)
+#   --fast   lint + plain build/test only (skip lockdep + sanitizer matrix)
 #
 # Each stage builds into its own tree under build-check/ so repeated runs are
 # incremental. Exits non-zero on the first failing stage.
@@ -42,13 +44,14 @@ run_ctest_tree() {
 
 mkdir -p "$ROOT/build-check"
 
-note "1/6 project lint"
+note "1/7 project lint + analyzer"
 python3 "$ROOT/tools/lint.py" || fail "tools/lint.py"
+python3 "$ROOT/tools/analyze.py" || fail "tools/analyze.py"
 
-note "2/6 tier-1 build + tests"
+note "2/7 tier-1 build + tests"
 run_ctest_tree "$ROOT/build-check/plain"
 
-note "3/6 bench_micro smoke"
+note "3/7 bench_micro smoke"
 # One abbreviated pass over every benchmark so a bench that crashes or aborts
 # (e.g. a pipeline regression tripping its result check) fails the gate. The
 # JSON goes into build-check/ so the committed BENCH_micro.json is untouched;
@@ -64,22 +67,22 @@ if [ -x "$ROOT/build-check/plain/bench/bench_micro" ]; then
     "$ROOT/build-check/BENCH_micro.smoke.json" \
     || fail "bench_check.py: committed BENCH_micro.json regressed >2x"
 else
-  note "3/6 bench_micro smoke (skipped: binary not built)"
+  note "3/7 bench_micro smoke (skipped: binary not built)"
   skipped+=("bench-smoke")
 fi
 
 if command -v clang++ >/dev/null 2>&1; then
-  note "4/6 clang -Wthread-safety -Werror"
+  note "4/7 clang -Wthread-safety -Werror"
   run_ctest_tree "$ROOT/build-check/thread-safety" \
     -DCMAKE_CXX_COMPILER=clang++ \
     -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety"
 else
-  note "4/6 clang -Wthread-safety (skipped: clang++ not installed)"
+  note "4/7 clang -Wthread-safety (skipped: clang++ not installed)"
   skipped+=("thread-safety")
 fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
-  note "5/6 clang-tidy"
+  note "5/7 clang-tidy"
   find "$ROOT/src" -name '*.cc' -print0 \
     | xargs -0 -P "$JOBS" -n 1 clang-tidy -p "$ROOT/build-check/plain" \
     || fail "clang-tidy"
@@ -94,16 +97,26 @@ if command -v clang-tidy >/dev/null 2>&1; then
       || fail "clang-tidy $hdr"
   done
 else
-  note "5/6 clang-tidy (skipped: clang-tidy not installed)"
+  note "5/7 clang-tidy (skipped: clang-tidy not installed)"
   skipped+=("clang-tidy")
 fi
 
 if [ "$FAST" -eq 1 ]; then
-  note "6/6 sanitizer matrix (skipped: --fast)"
+  note "6/7 lockdep (skipped: --fast)"
+  skipped+=("lockdep")
+else
+  # The default violation handler aborts, so a rank inversion or lock-order
+  # cycle anywhere in the suite turns its test red here.
+  note "6/7 lockdep (SPHERE_DEADLOCK=ON)"
+  run_ctest_tree "$ROOT/build-check/lockdep" -DSPHERE_DEADLOCK=ON
+fi
+
+if [ "$FAST" -eq 1 ]; then
+  note "7/7 sanitizer matrix (skipped: --fast)"
   skipped+=("sanitizers")
 else
   for san in address undefined thread; do
-    note "6/6 sanitizer: $san"
+    note "7/7 sanitizer: $san"
     run_ctest_tree "$ROOT/build-check/$san" -DSPHERE_SANITIZE="$san"
   done
 fi

@@ -12,6 +12,11 @@ Checks enforced (beyond what the compiler sees):
                          `std::condition_variable` members outside
                          src/common/mutex.h. Use sphere::Mutex / SharedMutex /
                          CondVar so clang thread-safety analysis sees them.
+  2b. raw-guard:         `std::lock_guard` / `std::unique_lock` /
+                         `std::scoped_lock` / `std::atomic_flag`-as-spinlock
+                         outside src/common/. These bypass the annotated RAII
+                         types (and the SPHERE_DEADLOCK lockdep hooks), so
+                         locking through them is invisible to every checker.
   3. include-guard:      header guards must be SPHERE_<PATH>_H_ derived from
                          the repo-relative path (e.g. src/core/route.h ->
                          SPHERE_CORE_ROUTE_H_; tests keep their tree prefix).
@@ -36,11 +41,21 @@ CXX_EXT = (".h", ".cc")
 RAW_MUTEX_EXEMPT = {
     os.path.join("src", "common", "mutex.h"),
     os.path.join("src", "common", "thread_annotations.h"),
+    # The lockdep checker runs underneath sphere::Mutex and must not recurse
+    # into the locks it is checking.
+    os.path.join("src", "common", "lockdep.cc"),
 }
 
 RAW_MUTEX_RE = re.compile(
     r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
     r"condition_variable(_any)?)\b")
+
+# RAII guards / spinlock idioms over raw primitives. Allowed inside
+# src/common/ (the wrapper layer itself needs them); everywhere else they
+# dodge sphere::MutexLock and with it the thread-safety annotations and the
+# lockdep held-stack.
+RAW_GUARD_RE = re.compile(
+    r"\bstd::(lock_guard|unique_lock|scoped_lock|atomic_flag)\b")
 
 RELATIVE_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"\.\.?/')
 
@@ -156,22 +171,54 @@ def expected_guard(rel):
     return "SPHERE_%s_H_" % token
 
 
+DANGLING_RE = re.compile(r"[>\w&*,]\s*$")
+
+
+def logical_lines(text):
+    """Yields declaration-joined lines: a physical line continues onto the
+    next while its parens are unbalanced (wrapped parameter list) or it ends
+    in a dangling type head (`static Result<...>` with the function name on
+    the following line). Without this, DECL_RE only sees single-line
+    declarations and wrapped Status/Result functions silently drop out of
+    the discarded-status name set."""
+    buf = ""
+    for line in text.split("\n"):
+        s = line.strip()
+        if not buf and s.startswith("#"):
+            # Preprocessor lines are complete on their own (`#include <x>`
+            # ends in '>' but is not a dangling template head).
+            yield s
+            continue
+        buf = (buf + " " + s) if buf else s
+        if not buf:
+            continue
+        if buf.count("(") > buf.count(")"):
+            continue  # inside a wrapped argument list
+        if "(" not in buf and DANGLING_RE.search(buf):
+            continue  # dangling return type / template head
+        yield buf
+        buf = ""
+    if buf:
+        yield buf
+
+
 def build_status_name_set(root, rels):
     names = set(SEED_STATUS_FNS)
     ambiguous = set()
     for rel in rels:
         try:
             with open(os.path.join(root, rel), encoding="utf-8") as f:
-                for line in f:
-                    m = DECL_RE.match(line)
-                    if m:
-                        names.add(m.group(1))
-                        continue
-                    m = OTHER_DECL_RE.match(line)
-                    if m and m.group(1) not in ("Status", "Result"):
-                        ambiguous.add(m.group(2))
+                text = strip_comments_keep_lines(f.read())
         except OSError:
-            pass
+            continue
+        for line in logical_lines(text):
+            m = DECL_RE.match(line)
+            if m:
+                names.add(m.group(1))
+                continue
+            m = OTHER_DECL_RE.match(line)
+            if m and m.group(1) not in ("Status", "Result"):
+                ambiguous.add(m.group(2))
     names -= ambiguous
     # Names too generic to flag reliably.
     for generic in ("OK", "value", "status"):
@@ -227,11 +274,17 @@ def check_file(root, rel, status_fns, errors):
     raw_lines = raw.split("\n")
 
     in_common_mutex = rel in RAW_MUTEX_EXEMPT
+    in_common = rel.startswith(os.path.join("src", "common") + os.sep)
     for i, line in enumerate(lines, 1):
         if not in_common_mutex and RAW_MUTEX_RE.search(line):
             errors.append((rel, i, "raw-mutex",
                            "raw std:: synchronisation primitive; use "
                            "sphere::Mutex/SharedMutex/CondVar from "
+                           "common/mutex.h"))
+        if not in_common and RAW_GUARD_RE.search(line):
+            errors.append((rel, i, "raw-guard",
+                           "raw std:: lock guard / spinlock; use "
+                           "sphere::MutexLock/ReaderLock/WriterLock from "
                            "common/mutex.h"))
         if RELATIVE_INCLUDE_RE.match(raw_lines[i - 1]):
             errors.append((rel, i, "relative-include",
