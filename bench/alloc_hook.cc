@@ -1,0 +1,108 @@
+// Global operator new/delete replacement that counts every heap allocation
+// the process makes. Linked into bench_micro ONLY (see bench/CMakeLists.txt):
+// replacing the global allocator is a whole-program decision, and the
+// production libraries must keep the stock one. The replacement is
+// deliberately boring — malloc + a relaxed atomic bump — so the counter
+// perturbs the timing benchmarks as little as possible.
+//
+// Arena and pooled-row allocations do not pass through operator new (the
+// arena bumps a pointer; the pool recycles), so AllocationCount() measures
+// exactly what the memory-discipline layer is supposed to eliminate. Arena
+// chunk growth does land here (the chunks come from the heap), which is the
+// correct accounting: steady state should stop growing chunks too.
+
+#include "bench/alloc_hook.h"
+
+#include <execinfo.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace sphere::bench {
+
+// Not in an anonymous namespace: the operator definitions below live outside
+// this namespace and need qualified access.
+std::atomic<uint64_t> g_allocations{0};
+std::atomic<bool> g_trace{false};
+
+void SetAllocTrace(bool on) { g_trace.store(on, std::memory_order_relaxed); }
+
+namespace {
+
+// Dump the current stack to stderr. backtrace_symbols_fd writes straight to
+// the fd without allocating, so this is safe to call from inside the
+// allocator; the thread_local guard stops backtrace()'s own lazy-init
+// allocations from recursing.
+void TraceAllocation() {
+  static thread_local bool in_trace = false;
+  if (in_trace) return;
+  in_trace = true;
+  void* frames[32];
+  int n = backtrace(frames, 32);
+  const char kHeader[] = "--- allocation ---\n";
+  (void)!write(2, kHeader, sizeof(kHeader) - 1);
+  backtrace_symbols_fd(frames, n, 2);
+  in_trace = false;
+}
+
+}  // namespace
+
+void* CountedAlloc(size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (g_trace.load(std::memory_order_relaxed)) TraceAllocation();
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAllocAligned(size_t size, size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size == 0 ? align : size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+uint64_t AllocationCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace sphere::bench
+
+void* operator new(size_t size) { return sphere::bench::CountedAlloc(size); }
+void* operator new[](size_t size) { return sphere::bench::CountedAlloc(size); }
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  sphere::bench::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  sphere::bench::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(size_t size, std::align_val_t align) {
+  return sphere::bench::CountedAllocAligned(size, static_cast<size_t>(align));
+}
+void* operator new[](size_t size, std::align_val_t align) {
+  return sphere::bench::CountedAllocAligned(size, static_cast<size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

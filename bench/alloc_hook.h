@@ -1,0 +1,21 @@
+#ifndef SPHERE_BENCH_ALLOC_HOOK_H_
+#define SPHERE_BENCH_ALLOC_HOOK_H_
+
+#include <cstdint>
+
+namespace sphere::bench {
+
+/// Process-wide count of heap allocations (operator new calls) since start.
+/// Backed by the global operator new/delete replacement in alloc_hook.cc,
+/// which is linked into bench_micro only — production binaries and tests
+/// keep the stock allocator.
+uint64_t AllocationCount();
+
+/// Diagnostic: while on, every counted allocation dumps a stack trace to
+/// stderr (backtrace_symbols_fd, no allocation). Used with
+/// SPHERE_ALLOC_TRACE=1 to pinpoint residual per-query allocation sites.
+void SetAllocTrace(bool on);
+
+}  // namespace sphere::bench
+
+#endif  // SPHERE_BENCH_ALLOC_HOOK_H_

@@ -8,13 +8,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "bench/alloc_hook.h"
+#include "common/arena.h"
 #include "common/thread_pool.h"
 #include "core/merge.h"
 #include "engine/pipeline.h"
+#include "engine/row_batch.h"
 #include "engine/topk.h"
 #include "core/rewrite.h"
 #include "core/route.h"
@@ -92,7 +96,7 @@ void BM_MergeOrderedStreams(benchmark::State& state) {
   int sources = static_cast<int>(state.range(0));
   for (auto _ : state) {
     state.PauseTiming();
-    std::vector<engine::ExecResult> partials;
+    ArenaVector<engine::ExecResult> partials;
     for (int s = 0; s < sources; ++s) {
       std::vector<Row> rows;
       for (int i = 0; i < 100; ++i) {
@@ -507,6 +511,115 @@ void BM_PreparedInsertCacheHit(benchmark::State& state) {
 }
 BENCHMARK(BM_PreparedInsertCacheHit)->Arg(0)->Arg(1);
 
+// ---------- Memory discipline (DESIGN.md §12) ----------
+
+/// Sets state.counters["allocs_per_query"] from a before/after reading of the
+/// global allocation counter. Call Start() after warmup, Stop() right after
+/// the timed loop.
+class AllocMeter {
+ public:
+  void Start() { start_ = bench::AllocationCount(); }
+  void Stop(benchmark::State& state) {
+    auto delta = static_cast<double>(bench::AllocationCount() - start_);
+    state.counters["allocs_per_query"] =
+        benchmark::Counter(delta / static_cast<double>(state.iterations()));
+  }
+
+ private:
+  uint64_t start_ = 0;
+};
+
+/// Steady-state point SELECT on the cache-hit path. Arg(1): arena statements
+/// + pooled batches (the default); Arg(0): both knobs off — the malloc
+/// baseline. allocs_per_query is the acceptance metric: near zero with the
+/// knobs on.
+void BM_PointSelectAllocs(benchmark::State& state) {
+  bool disciplined = state.range(0) != 0;
+  engine::ScopedArenaStatements arena(disciplined);
+  engine::ScopedPooledBatches pooled(disciplined);
+  MiniCluster cluster(/*cache_capacity=*/2048);
+  for (int i = 0; i < 64; ++i) {  // warm the caches, arena chunks and pools
+    if (!cluster.runtime->Execute(kPointSQL).ok()) std::abort();
+  }
+  if (std::getenv("SPHERE_ALLOC_TRACE") != nullptr) {
+    // Diagnostic run: backtrace every residual allocation in one steady-state
+    // query, then continue normally (traces go to stderr).
+    bench::SetAllocTrace(true);
+    (void)cluster.runtime->Execute(kPointSQL);
+    bench::SetAllocTrace(false);
+  }
+  AllocMeter meter;
+  meter.Start();
+  for (auto _ : state) {
+    auto r = cluster.runtime->Execute(kPointSQL);
+    benchmark::DoNotOptimize(r);
+  }
+  meter.Stop(state);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(disciplined ? "arena + pooled rows" : "malloc baseline");
+}
+BENCHMARK(BM_PointSelectAllocs)->Arg(0)->Arg(1);
+
+/// Fan-out SELECT drained through the merge stack with the drained batch
+/// recycled after consumption — the steady-state drain loop an adaptor runs.
+/// Per-row string copies dominate the baseline; pooled rows reuse their
+/// string capacity in place.
+void BM_FanoutDrainAllocs(benchmark::State& state) {
+  bool disciplined = state.range(0) != 0;
+  engine::ScopedArenaStatements arena(disciplined);
+  engine::ScopedPooledBatches pooled(disciplined);
+  MiniCluster cluster(/*cache_capacity=*/2048);
+  LoadSbtest(&cluster, 10000);
+  int64_t drained = 0;
+  auto run_once = [&] {
+    auto r = cluster.runtime->Execute("SELECT c FROM sbtest");
+    if (!r.ok()) std::abort();
+    std::vector<Row> rows = engine::DrainResultSet(r->result_set.get());
+    drained += static_cast<int64_t>(rows.size());
+    benchmark::DoNotOptimize(rows);
+    // Close the recycle loop the way an adaptor does: consumed rows return
+    // to the pool (no-op when pooling is off).
+    engine::RecycleRows(std::move(rows));
+  };
+  for (int i = 0; i < 4; ++i) run_once();  // warm pools to steady state
+  AllocMeter meter;
+  meter.Start();
+  for (auto _ : state) run_once();
+  meter.Stop(state);
+  state.SetItemsProcessed(drained);
+  state.SetLabel(disciplined ? "arena + pooled rows" : "malloc baseline");
+}
+BENCHMARK(BM_FanoutDrainAllocs)->Arg(0)->Arg(1);
+
+/// Cached-plan AST copy: the per-execution clone of a cached statement tree.
+/// Arg(0): plain heap clone (one operator new per node); Arg(1): clone inside
+/// an arena scope — the same Clone() code path bump-allocates every node in
+/// one pass through the ArenaManaged base.
+void BM_PlanCloneVsArenaCopy(benchmark::State& state) {
+  bool arena_copy = state.range(0) != 0;
+  auto stmt = sql::ParseSQL(kComplexSQL).value();
+  Arena arena;
+  AllocMeter meter;
+  meter.Start();
+  for (auto _ : state) {
+    if (arena_copy) {
+      ArenaScope scope(&arena);
+      auto clone = stmt->Clone();
+      benchmark::DoNotOptimize(clone);
+      clone.reset();  // delete is a no-op for arena nodes
+      arena.Reset();
+    } else {
+      auto clone = stmt->Clone();
+      benchmark::DoNotOptimize(clone);
+    }
+  }
+  meter.Stop(state);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(arena_copy ? "arena: bump-allocated nodes, wholesale reset"
+                            : "heap: operator new/delete per node");
+}
+BENCHMARK(BM_PlanCloneVsArenaCopy)->Arg(0)->Arg(1);
+
 }  // namespace
 }  // namespace sphere
 
@@ -529,6 +642,15 @@ int main(int argc, char** argv) {
   }
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());
+  // Stamp how THIS binary was compiled (the library's own build type is
+  // already emitted as "library_build_type"). tools/bench_check.py refuses
+  // committed baselines whose project_build_type is not "release" — a debug
+  // baseline would let real regressions hide inside the debug slowdown.
+#ifdef __OPTIMIZE__
+  benchmark::AddCustomContext("project_build_type", "release");
+#else
+  benchmark::AddCustomContext("project_build_type", "debug");
+#endif
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
     return 1;
   }

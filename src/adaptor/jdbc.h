@@ -8,6 +8,7 @@
 #include "common/mutex.h"
 #include "core/runtime.h"
 #include "engine/pipeline.h"
+#include "engine/row_batch.h"
 #include "distsql/distsql.h"
 #include "governor/config_manager.h"
 #include "transaction/manager.h"
@@ -73,7 +74,17 @@ class ShardingDataSource {
 /// Cursor wrapper with JDBC-style typed getters.
 class ShardingResultSet {
  public:
-  explicit ShardingResultSet(engine::ResultSetPtr rs) : rs_(std::move(rs)) {}
+  explicit ShardingResultSet(engine::ResultSetPtr rs)
+      : rs_(std::move(rs)),
+        buffer_(engine::RowStore::Instance().AcquireShell()) {}
+  ~ShardingResultSet() {
+    // The batch buffer (and the consumed rows swapped back into it) returns
+    // to the recycler; no-op when pooling is off.
+    engine::RowStore::Instance().Release(std::move(buffer_));
+  }
+
+  ShardingResultSet(ShardingResultSet&&) = default;
+  ShardingResultSet& operator=(ShardingResultSet&&) = default;
 
   /// Advances to the next row; false at end. Rows are pulled from the merge
   /// pipeline a batch at a time (engine::PipelineConfig::batch_size()), so
@@ -88,7 +99,10 @@ class ShardingResultSet {
         return false;
       }
     }
-    current_ = std::move(buffer_[pos_++]);
+    // Swap instead of move: the previous row's storage lands back in the
+    // buffer slot, so the batch returns to the pool capacity-rich instead
+    // of as a husk.
+    std::swap(current_, buffer_[pos_++]);
     return true;
   }
 

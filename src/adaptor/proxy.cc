@@ -1,5 +1,7 @@
 #include "adaptor/proxy.h"
 
+#include "engine/pipeline.h"
+
 namespace sphere::adaptor {
 
 void ShardingProxy::set_worker_capacity(int workers) {
@@ -30,6 +32,30 @@ void ShardingProxy::ReleaseWorker() {
 
 Result<engine::ExecResult> ShardingProxy::Connection::Execute(
     std::string_view sql_text, const std::vector<Value>& params) {
+  if (engine::PipelineConfig::pooled_batches_enabled()) {
+    // Pass-through lane: skip the client-protocol encode/decode round-trip
+    // but charge the byte-identical packet sizes on the client network, so
+    // the proxy's wire cost model matches the baseline exactly.
+    proxy_->client_network_->Transfer(net::EncodedQuerySize(sql_text, params));
+    proxy_->statements_served_.fetch_add(1, std::memory_order_relaxed);
+    proxy_->AcquireWorker();
+    auto result = backend_->ExecuteSQL(sql_text, params);
+    proxy_->ReleaseWorker();
+    if (!result.ok()) {
+      proxy_->client_network_->Transfer(
+          net::EncodedErrorSize(result.status()));
+      return result.status();
+    }
+    if (std::optional<size_t> size =
+            net::TryEncodedExecResultSize(result.value())) {
+      proxy_->client_network_->Transfer(*size);
+      return result;
+    }
+    std::string response = net::EncodeExecResult(&result.value());
+    proxy_->client_network_->Transfer(response.size());
+    return net::DecodeResponse(response);
+  }
+
   // Client -> proxy: the command packet crosses the client network.
   std::string request = net::EncodeQuery(sql_text, params);
   proxy_->client_network_->Transfer(request.size());

@@ -1,0 +1,182 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define SPHERE_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SPHERE_ARENA_ASAN 1
+#endif
+#endif
+
+#ifdef SPHERE_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#define SPHERE_ARENA_POISON(addr, size) ASAN_POISON_MEMORY_REGION(addr, size)
+#define SPHERE_ARENA_UNPOISON(addr, size) \
+  ASAN_UNPOISON_MEMORY_REGION(addr, size)
+#else
+#define SPHERE_ARENA_POISON(addr, size) ((void)0)
+#define SPHERE_ARENA_UNPOISON(addr, size) ((void)0)
+#endif
+
+namespace sphere {
+
+namespace {
+
+char* AlignUp(char* p, size_t align) {
+  auto v = reinterpret_cast<uintptr_t>(p);
+  return reinterpret_cast<char*>((v + align - 1) & ~(align - 1));
+}
+
+/// The calling thread's currently-installed arena (null = heap fallback).
+thread_local Arena* tls_current_arena = nullptr;
+
+/// Per-thread statement arena used by the knob-gated ArenaScope form. Chunks
+/// are retained for the life of the thread, so every statement after warm-up
+/// runs allocation-free inside it.
+Arena* StatementArena() {
+  static thread_local Arena arena;
+  return &arena;
+}
+
+}  // namespace
+
+Arena::~Arena() {
+  Reset();
+#ifdef SPHERE_ARENA_ASAN
+  // ASan forbids freeing memory that is still poisoned.
+  for (Chunk& c : chunks_) SPHERE_ARENA_UNPOISON(c.data.get(), c.size);
+#endif
+}
+
+void* Arena::Allocate(size_t size, size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0);
+  if (size == 0) size = 1;
+  char* p = ptr_ == nullptr ? nullptr : AlignUp(ptr_, align);
+  if (p == nullptr || size > static_cast<size_t>(end_ - p)) {
+    p = Refill(size, align);
+  }
+  ptr_ = p + size;
+  bytes_allocated_ += size;
+  SPHERE_ARENA_UNPOISON(p, size);
+  return p;
+}
+
+char* Arena::Refill(size_t size, size_t align) {
+  // Reuse retained chunks from earlier epochs before growing.
+  while (current_chunk_ + 1 < chunks_.size()) {
+    ++current_chunk_;
+    Chunk& c = chunks_[current_chunk_];
+    ptr_ = c.data.get();
+    end_ = ptr_ + c.size;
+    char* p = AlignUp(ptr_, align);
+    if (size <= static_cast<size_t>(end_ - p)) return p;
+  }
+  // Grow: geometric schedule, with oversize requests getting a chunk of
+  // exactly their size (plus alignment slack) so they don't distort it.
+  size_t chunk_size = std::max(next_chunk_size_, size + align);
+  next_chunk_size_ = std::min(next_chunk_size_ * 2, kMaxChunkSize);
+  Chunk c;
+  c.data = std::make_unique<char[]>(chunk_size);
+  c.size = chunk_size;
+  bytes_reserved_ += chunk_size;
+  chunks_.push_back(std::move(c));
+  current_chunk_ = chunks_.size() - 1;
+  ptr_ = chunks_.back().data.get();
+  end_ = ptr_ + chunk_size;
+  return AlignUp(ptr_, align);
+}
+
+void Arena::RegisterDestructor(void* obj, void (*fn)(void*)) {
+  auto* node =
+      static_cast<DtorNode*>(Allocate(sizeof(DtorNode), alignof(DtorNode)));
+  node->fn = fn;
+  node->obj = obj;
+  node->next = dtors_;
+  dtors_ = node;
+}
+
+void Arena::Reset() {
+  // The destructor list is prepended on registration, so walking it runs
+  // destructors in reverse creation order. The nodes themselves live in the
+  // arena: they must be walked before the space is poisoned.
+  for (DtorNode* n = dtors_; n != nullptr; n = n->next) n->fn(n->obj);
+  dtors_ = nullptr;
+#ifdef SPHERE_ARENA_ASAN
+  for (Chunk& c : chunks_) SPHERE_ARENA_POISON(c.data.get(), c.size);
+#endif
+  current_chunk_ = 0;
+  if (chunks_.empty()) {
+    ptr_ = end_ = nullptr;
+  } else {
+    ptr_ = chunks_.front().data.get();
+    end_ = ptr_ + chunks_.front().size;
+  }
+  bytes_allocated_ = 0;
+  ++reset_count_;
+}
+
+Arena* CurrentArena() { return tls_current_arena; }
+
+ArenaScope::ArenaScope(bool active) {
+  if (active && tls_current_arena == nullptr) {
+    tls_current_arena = StatementArena();
+    owned_ = true;
+    reset_on_exit_ = true;
+  }
+}
+
+ArenaScope::ArenaScope(Arena* arena) {
+  if (arena != nullptr && tls_current_arena == nullptr) {
+    tls_current_arena = arena;
+    owned_ = true;
+  }
+}
+
+ArenaScope::~ArenaScope() {
+  if (!owned_) return;
+  if (reset_on_exit_) tls_current_arena->Reset();
+  tls_current_arena = nullptr;
+}
+
+ArenaSuspend::ArenaSuspend() : saved_(tls_current_arena) {
+  tls_current_arena = nullptr;
+}
+
+ArenaSuspend::~ArenaSuspend() { tls_current_arena = saved_; }
+
+namespace arena_internal {
+
+void* TaggedAllocate(size_t size) {
+  char* base;
+  uint64_t tag;
+  if (Arena* a = tls_current_arena) {
+    base = static_cast<char*>(a->Allocate(size + kHeaderSize, kHeaderSize));
+    tag = kArenaTag;
+  } else {
+    base = static_cast<char*>(::operator new(size + kHeaderSize));
+    tag = kHeapTag;
+  }
+  std::memcpy(base, &tag, sizeof(tag));
+  return base + kHeaderSize;
+}
+
+void TaggedDeallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  char* base = static_cast<char*>(p) - kHeaderSize;
+  uint64_t tag;
+  std::memcpy(&tag, base, sizeof(tag));
+  if (tag == kHeapTag) {
+    ::operator delete(base);
+    return;
+  }
+  // Arena block: freed wholesale by the owning scope's Reset(). A tag that
+  // matches neither constant means the block was already reclaimed (an
+  // escaped pointer) — ASan builds trap on the header read above.
+  assert(tag == kArenaTag);
+}
+
+}  // namespace arena_internal
+
+}  // namespace sphere

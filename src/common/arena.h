@@ -1,0 +1,220 @@
+#ifndef SPHERE_COMMON_ARENA_H_
+#define SPHERE_COMMON_ARENA_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sphere {
+
+/// Bump-pointer arena for statement-scoped allocations (DESIGN.md §12).
+///
+/// Allocation is a pointer bump; deallocation is a no-op until Reset(), which
+/// reclaims every allocation of the epoch at once. Chunks grow geometrically
+/// (4 KiB doubling to 256 KiB) and are retained across Reset() calls, so a
+/// steady-state workload stops touching malloc entirely: the second and every
+/// later statement of a given shape runs inside already-reserved memory.
+///
+/// Trivially-destructible types are the fast path. Non-trivial types created
+/// through Create<T>() get their destructor registered and run (in reverse
+/// creation order) by Reset(). Objects placed via raw Allocate() are the
+/// caller's problem.
+///
+/// Under AddressSanitizer the reclaimed space is poisoned on Reset() and
+/// unpoisoned on reuse, so a pointer that escapes the statement scope traps
+/// on its next dereference instead of silently reading recycled bytes.
+///
+/// Not thread-safe; one arena belongs to one thread (see ArenaScope).
+class Arena {
+ public:
+  static constexpr size_t kMinChunkSize = 4096;
+  static constexpr size_t kMaxChunkSize = 256 * 1024;
+
+  Arena() = default;
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `size` bytes aligned to `align` (a power of two ≤ 16, or the
+  /// natural malloc alignment for oversize requests). Never returns null.
+  void* Allocate(size_t size, size_t align = alignof(std::max_align_t));
+
+  /// Constructs a T in the arena. Non-trivially-destructible types are
+  /// destroyed by the next Reset(); trivial ones are simply abandoned.
+  template <typename T, typename... Args>
+  T* Create(Args&&... args) {
+    void* mem = Allocate(sizeof(T), alignof(T));
+    T* obj = new (mem) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      RegisterDestructor(obj, [](void* p) { static_cast<T*>(p)->~T(); });
+    }
+    return obj;
+  }
+
+  /// Queues `fn(obj)` to run at the next Reset(), LIFO order.
+  void RegisterDestructor(void* obj, void (*fn)(void*));
+
+  /// Ends the epoch: runs registered destructors in reverse order, poisons
+  /// the reclaimed space (ASan builds), and rewinds the bump pointer. Chunks
+  /// are kept for reuse.
+  void Reset();
+
+  /// Bytes handed out since the last Reset (excludes alignment padding).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Total capacity currently reserved from the heap.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t chunk_count() const { return chunks_.size(); }
+  uint64_t reset_count() const { return reset_count_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+  struct DtorNode {
+    void (*fn)(void*);
+    void* obj;
+    DtorNode* next;
+  };
+
+  /// Slow path: advances to the next retained chunk that fits, or grows.
+  char* Refill(size_t size, size_t align);
+
+  std::vector<Chunk> chunks_;
+  size_t current_chunk_ = 0;     ///< index of the chunk being bumped
+  char* ptr_ = nullptr;          ///< next free byte in the current chunk
+  char* end_ = nullptr;          ///< one past the current chunk
+  size_t next_chunk_size_ = kMinChunkSize;
+  DtorNode* dtors_ = nullptr;    ///< LIFO list, nodes live in the arena
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+  uint64_t reset_count_ = 0;
+};
+
+/// The arena bound to the calling thread's current statement scope, or null
+/// when no scope is active (allocations fall back to the heap).
+Arena* CurrentArena();
+
+/// RAII statement scope. The knob-gated form activates the thread's
+/// statement arena for the dynamic extent of one statement — unless a scope
+/// is already active (reentrant execution, e.g. a storage node serving a
+/// middleware statement inline), in which case it no-ops and the outer scope
+/// keeps ownership. The owning scope Reset()s the arena on exit, so nothing
+/// allocated inside may outlive it (see ArenaSuspend for escapes).
+class ArenaScope {
+ public:
+  /// Gated form: activates the thread-local statement arena iff `active` and
+  /// no arena is already current. Resets it on exit when owned.
+  explicit ArenaScope(bool active);
+  /// Explicit form (tests): installs `arena` iff none is current. Does NOT
+  /// reset on exit — the caller owns the arena's epoch.
+  explicit ArenaScope(Arena* arena);
+  ~ArenaScope();
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  /// True when this scope installed the arena (outermost active scope).
+  bool owned() const { return owned_; }
+
+ private:
+  bool owned_ = false;
+  bool reset_on_exit_ = false;
+};
+
+/// Suspends the current arena for allocations that must outlive the
+/// statement: cached ASTs, published plans, anything stored into a
+/// longer-lived structure. Allocations inside the suspend hit the heap.
+class ArenaSuspend {
+ public:
+  ArenaSuspend();
+  ~ArenaSuspend();
+
+  ArenaSuspend(const ArenaSuspend&) = delete;
+  ArenaSuspend& operator=(const ArenaSuspend&) = delete;
+
+ private:
+  Arena* saved_;
+};
+
+namespace arena_internal {
+
+/// Origin tag stored in a 16-byte header ahead of every ArenaManaged /
+/// ArenaAllocator block, so operator delete / deallocate can tell arena
+/// memory (no-op, reclaimed by Reset) from heap fallback (real free). The
+/// header is 16 bytes so the returned pointer keeps max_align_t alignment.
+inline constexpr size_t kHeaderSize = 16;
+inline constexpr uint64_t kArenaTag = 0xA12E'4A11'0CA7'ED00ULL;
+inline constexpr uint64_t kHeapTag = 0x6EA9'F2EE'0B10'CC00ULL;
+
+void* TaggedAllocate(size_t size);
+void TaggedDeallocate(void* p) noexcept;
+
+}  // namespace arena_internal
+
+/// Mixin giving a class hierarchy arena-aware operator new/delete while
+/// keeping the `unique_ptr`/`make_unique` API unchanged. With a statement
+/// arena current, nodes are bump-allocated and their operator delete is a
+/// no-op (destructors still run through unique_ptr; the memory is reclaimed
+/// wholesale at scope exit). With no arena — or under ArenaSuspend — nodes
+/// come from the heap and delete frees them, so cached/shared trees behave
+/// exactly as before.
+class ArenaManaged {
+ public:
+  static void* operator new(size_t size) {
+    return arena_internal::TaggedAllocate(size);
+  }
+  static void operator delete(void* p) noexcept {
+    arena_internal::TaggedDeallocate(p);
+  }
+  static void operator delete(void* p, size_t) noexcept {
+    arena_internal::TaggedDeallocate(p);
+  }
+};
+
+/// STL allocator with the same origin-tag scheme: each block remembers where
+/// it came from, so a container that reallocates across an arena boundary
+/// (or outlives a suspend) still frees every block correctly. Intended for
+/// statement-local scratch containers (see ArenaVector).
+template <typename T>
+class ArenaAllocator {
+ public:
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "over-aligned types are not supported by ArenaAllocator");
+  using value_type = T;
+
+  ArenaAllocator() = default;
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_internal::TaggedAllocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    arena_internal::TaggedDeallocate(p);
+  }
+
+  friend bool operator==(const ArenaAllocator&, const ArenaAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const ArenaAllocator&, const ArenaAllocator&) {
+    return false;
+  }
+};
+
+/// Statement-local scratch vector: bump-allocated while a statement arena is
+/// current, plain heap vector otherwise. Must not be stored into anything
+/// that outlives the statement scope.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace sphere
+
+#endif  // SPHERE_COMMON_ARENA_H_

@@ -485,6 +485,7 @@ struct AlgorithmRegistry {
 
 AlgorithmRegistry& GetRegistry() {
   static AlgorithmRegistry* registry = [] {
+    // lint-exempt(raw-alloc): intentionally leaked process-lifetime singleton
     auto* r = new AlgorithmRegistry();
     r->factories["MOD"] = [] { return std::make_unique<ModAlgorithm>(); };
     r->factories["HASH_MOD"] = [] { return std::make_unique<HashModAlgorithm>(); };

@@ -1,8 +1,10 @@
 #include "core/execute.h"
 
 #include <algorithm>
+#include <span>
 #include <thread>
 
+#include "common/arena.h"
 #include "common/strings.h"
 
 namespace sphere::core {
@@ -31,22 +33,24 @@ std::vector<std::string> DataSourceRegistry::Names() const {
 
 namespace {
 
-/// One data source's slice of the statement's units.
+/// One data source's slice of the statement's units. Scratch only — the
+/// index vectors live in the statement arena when one is active.
 struct Group {
   net::DataSource* ds = nullptr;
   net::RemoteConnection* txn_conn = nullptr;  ///< non-null inside a transaction
-  std::vector<size_t> unit_indices;
+  ArenaVector<size_t> unit_indices;
 };
 
-/// Executes a list of units serially on one connection.
+/// Executes a list of units serially on one connection. `results` points at
+/// the per-unit slot array (indexed by the unit's position in `units`).
 void RunSerial(net::RemoteConnection* conn, const std::vector<SQLUnit>& units,
-               const std::vector<size_t>& indices, UnitObserver* observer,
-               std::vector<Result<engine::ExecResult>>* results) {
+               std::span<const size_t> indices, UnitObserver* observer,
+               Result<engine::ExecResult>* results) {
   for (size_t idx : indices) {
     if (observer != nullptr) {
       Status st = observer->BeforeUnit(conn, units[idx]);
       if (!st.ok()) {
-        (*results)[idx] = st;
+        results[idx] = st;
         continue;
       }
     }
@@ -54,15 +58,15 @@ void RunSerial(net::RemoteConnection* conn, const std::vector<SQLUnit>& units,
     // protocol encode and the node-side parse; everything else ships text.
     const SQLUnit& unit = units[idx];
     if (unit.stmt != nullptr && unit.sql.empty()) {
-      (*results)[idx] = conn->ExecuteStructured(*unit.stmt, unit.params);
+      results[idx] = conn->ExecuteStructured(*unit.stmt, unit.params);
     } else {
-      (*results)[idx] = conn->Execute(unit.sql, unit.params);
+      results[idx] = conn->Execute(unit.sql, unit.params);
     }
     if (observer != nullptr) {
       // Unconditional: the observer must also see failed units (to roll back
       // and report the branch); its status only overrides a success.
-      Status st = observer->AfterUnit(conn, units[idx], (*results)[idx]);
-      if (!st.ok() && (*results)[idx].ok()) (*results)[idx] = st;
+      Status st = observer->AfterUnit(conn, units[idx], results[idx]);
+      if (!st.ok() && results[idx].ok()) results[idx] = st;
     }
   }
 }
@@ -74,13 +78,64 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
     UnitObserver* observer) const {
   if (units.empty()) return Status::Internal("no SQL units to execute");
 
+  // ----- Single-unit fast path. -----
+  // The dominant OLTP shape (a point query routed to one shard) needs no
+  // grouping map, no task list and no per-unit result vector: one lease, one
+  // serial run, one result. Identical observer and error semantics to
+  // RunSerial below.
+  if (units.size() == 1) {
+    const SQLUnit& unit = units[0];
+    net::DataSource* ds = registry_->Find(unit.data_source);
+    if (ds == nullptr) {
+      return Status::NotFound("data source " + unit.data_source);
+    }
+    net::ConnectionPool::Lease lease;
+    net::RemoteConnection* conn = nullptr;
+    if (txn_source != nullptr) {
+      SPHERE_ASSIGN_OR_RETURN(conn,
+                              txn_source->TransactionConnection(ds->name()));
+    } else {
+      lease = ds->pool().Acquire();
+      conn = lease.get();
+    }
+    Result<engine::ExecResult> r(Status::Internal("not executed"));
+    bool executed = true;
+    if (observer != nullptr) {
+      Status st = observer->BeforeUnit(conn, unit);
+      if (!st.ok()) {
+        r = st;
+        executed = false;
+      }
+    }
+    if (executed) {
+      if (unit.stmt != nullptr && unit.sql.empty()) {
+        r = conn->ExecuteStructured(*unit.stmt, unit.params);
+      } else {
+        r = conn->Execute(unit.sql, unit.params);
+      }
+      if (observer != nullptr) {
+        Status st = observer->AfterUnit(conn, unit, r);
+        if (!st.ok() && r.ok()) r = st;
+      }
+    }
+    if (!r.ok()) return r.status();
+    ExecutionOutcome outcome;
+    outcome.mode = ConnectionMode::kMemoryStrictly;
+    outcome.results.reserve(1);
+    outcome.results.push_back(std::move(r).value());
+    return outcome;
+  }
+
   // ----- Preparation phase: group by data source. -----
   // Hash-grouped on the unit's data source name (case-insensitive, no
   // lowered-copy allocation): the string_view keys point into the units,
-  // which outlive the map.
-  std::vector<Group> groups;
-  std::unordered_map<std::string_view, size_t, CaseInsensitiveHash,
-                     CaseInsensitiveEqual>
+  // which outlive the map. All of the scratch below (groups, the map's
+  // nodes, the result slots, the task list) is statement-local, so it rides
+  // the statement arena when one is active and never outlives this call.
+  ArenaVector<Group> groups;
+  std::unordered_map<
+      std::string_view, size_t, CaseInsensitiveHash, CaseInsensitiveEqual,
+      ArenaAllocator<std::pair<const std::string_view, size_t>>>
       group_of;
   for (size_t i = 0; i < units.size(); ++i) {
     auto [it, inserted] =
@@ -104,7 +159,10 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
   }
 
   ConnectionMode overall = ConnectionMode::kMemoryStrictly;
-  std::vector<Result<engine::ExecResult>> results;
+  // Slot spine comes from the arena; the Result payloads themselves are heap
+  // (Status strings, ExecResult members use default allocators), so moving
+  // them into the outcome below is safe.
+  ArenaVector<Result<engine::ExecResult>> results;
   results.reserve(units.size());
   for (size_t i = 0; i < units.size(); ++i) {
     results.emplace_back(Status::Internal("not executed"));
@@ -114,9 +172,9 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
   struct Task {
     net::RemoteConnection* conn = nullptr;
     net::ConnectionPool::Lease lease;  ///< owns pooled connections
-    std::vector<size_t> indices;
+    ArenaVector<size_t> indices;
   };
-  std::vector<Task> tasks;
+  ArenaVector<Task> tasks;
 
   for (auto& g : groups) {
     int n = static_cast<int>(g.unit_indices.size());
@@ -125,7 +183,7 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
       if (n > 1) overall = ConnectionMode::kConnectionStrictly;
       Task t;
       t.conn = g.txn_conn;
-      t.indices = g.unit_indices;
+      t.indices = std::move(g.unit_indices);
       tasks.push_back(std::move(t));
       continue;
     }
@@ -143,7 +201,7 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
       leases = g.ds->pool().AcquireMany(want);
     }
     // Round-robin units over the acquired connections.
-    std::vector<Task> group_tasks(leases.size());
+    ArenaVector<Task> group_tasks(leases.size());
     for (size_t i = 0; i < leases.size(); ++i) {
       group_tasks[i].lease = std::move(leases[i]);
       group_tasks[i].conn = group_tasks[i].lease.get();
@@ -157,7 +215,7 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
   }
 
   if (tasks.size() == 1) {
-    RunSerial(tasks[0].conn, units, tasks[0].indices, observer, &results);
+    RunSerial(tasks[0].conn, units, tasks[0].indices, observer, results.data());
   } else if (pool_ != nullptr) {
     // The data sources execute their SQLs in parallel (paper Fig. 8), on the
     // persistent scheduler: every slice but the first goes to the pool, the
@@ -168,11 +226,11 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
     for (size_t i = 1; i < tasks.size(); ++i) {
       Task* task = &tasks[i];
       pool_->Submit([&, task] {
-        RunSerial(task->conn, units, task->indices, observer, &results);
+        RunSerial(task->conn, units, task->indices, observer, results.data());
         latch.CountDown();
       });
     }
-    RunSerial(tasks[0].conn, units, tasks[0].indices, observer, &results);
+    RunSerial(tasks[0].conn, units, tasks[0].indices, observer, results.data());
     latch.Wait();
   } else {
     // Benchmark baseline (set_thread_pool(nullptr)): the pre-scheduler
@@ -183,10 +241,10 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
     threads.reserve(tasks.size() - 1);
     for (size_t i = 1; i < tasks.size(); ++i) {
       threads.emplace_back([&, i] {
-        RunSerial(tasks[i].conn, units, tasks[i].indices, observer, &results);
+        RunSerial(tasks[i].conn, units, tasks[i].indices, observer, results.data());
       });
     }
-    RunSerial(tasks[0].conn, units, tasks[0].indices, observer, &results);
+    RunSerial(tasks[0].conn, units, tasks[0].indices, observer, results.data());
     for (auto& t : threads) t.join();
   }
 

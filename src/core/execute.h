@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/result.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -69,7 +70,7 @@ class UnitObserver {
 
 /// Outcome of executing the SQL units of one logical statement.
 struct ExecutionOutcome {
-  std::vector<engine::ExecResult> results;  ///< aligned with the input units
+  ArenaVector<engine::ExecResult> results;  ///< aligned with the input units
   ConnectionMode mode = ConnectionMode::kMemoryStrictly;
 };
 

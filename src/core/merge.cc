@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/strings.h"
 #include "engine/pipeline.h"
+#include "engine/row_batch.h"
 #include "engine/row_dedup.h"
 
 namespace sphere::core {
@@ -239,7 +240,17 @@ class IterationMergedResult : public ResultSet {
 /// one per row, and hands out mutable pointers the merge can move from.
 class BufferedCursor {
  public:
-  explicit BufferedCursor(ResultSet* source) : source_(source) {}
+  explicit BufferedCursor(ResultSet* source)
+      : source_(source),
+        buffer_(engine::RowStore::Instance().AcquireShell()) {}
+  ~BufferedCursor() {
+    // The merge moved most rows out (husks), but the spine and any tail rows
+    // return to the recycler; no-op when pooling is off.
+    engine::RowStore::Instance().Release(std::move(buffer_));
+  }
+
+  BufferedCursor(BufferedCursor&&) = default;
+  BufferedCursor& operator=(BufferedCursor&&) = default;
 
   /// Next row, owned by the buffer until the following Next() call — the
   /// caller may move from it. nullptr at end of stream.
@@ -429,13 +440,16 @@ class LimitDecoratorResult : public ResultSet {
   /// Discards the first `offset` merged rows in batches; false when the
   /// stream ends inside the offset window.
   bool SkipOffset() {
-    std::vector<Row> scratch;
+    if (skipped_ >= limit_.offset) return true;
+    // Discarded rows drain into a pooled shell and go straight back to the
+    // recycler (the last batch's rows ride out with the Release).
+    engine::RowBatch scratch(0);
     while (skipped_ < limit_.offset) {
-      scratch.clear();
+      scratch.out()->clear();
       size_t want =
           std::min(static_cast<size_t>(limit_.offset - skipped_),
                    engine::PipelineConfig::batch_size());
-      size_t n = inner_->NextBatch(&scratch, want);
+      size_t n = inner_->NextBatch(scratch.out(), want);
       if (n == 0) return false;
       skipped_ += static_cast<int64_t>(n);
     }
@@ -508,7 +522,10 @@ class DistinctDecoratorResult : public ResultSet {
 
   size_t NextBatch(std::vector<Row>* out, size_t max) override {
     size_t emitted = 0;
-    std::vector<Row> scratch;
+    // Pooled shell: admitted rows are moved into rows_, duplicates dropped —
+    // either way the scratch spine survives for the next call.
+    engine::RowBatch batch(0);
+    std::vector<Row>& scratch = *batch.out();
     while (emitted < max) {
       scratch.clear();
       if (inner_->NextBatch(&scratch, max - emitted) == 0) break;
@@ -539,7 +556,7 @@ class DistinctDecoratorResult : public ResultSet {
 }  // namespace
 
 Result<engine::ExecResult> MergeEngine::Merge(
-    std::vector<engine::ExecResult> results, const MergeContext& ctx) const {
+    ArenaVector<engine::ExecResult> results, const MergeContext& ctx) const {
   if (results.empty()) {
     return Status::Internal("merge of zero results");
   }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/arena.h"
 #include "common/result.h"
 #include "core/rewrite.h"
 #include "engine/result_set.h"
@@ -24,7 +25,7 @@ namespace sphere::core {
 class MergeEngine {
  public:
   /// `results` must align 1:1 with the rewrite's SQL units.
-  Result<engine::ExecResult> Merge(std::vector<engine::ExecResult> results,
+  Result<engine::ExecResult> Merge(ArenaVector<engine::ExecResult> results,
                                    const MergeContext& context) const;
 };
 

@@ -102,11 +102,11 @@ Result<std::vector<std::string>> RouteEngine::ShardLevel(
 
 Result<std::vector<size_t>> RouteEngine::RouteTable(
     const TableContext& table,
-    const std::vector<sql::ConditionGroup>& groups) const {
+    const ArenaVector<sql::ConditionGroup>& groups) const {
   const TableRule* rule = table.rule;
   std::set<size_t> result;
 
-  std::vector<sql::ConditionGroup> effective = groups;
+  ArenaVector<sql::ConditionGroup> effective = groups;
   if (effective.empty()) effective.emplace_back();  // no WHERE: full route
 
   for (const auto& group : effective) {

@@ -72,7 +72,7 @@ class RouteEngine {
   /// Node indices (into rule->actual_nodes()) matching the condition groups.
   Result<std::vector<size_t>> RouteTable(
       const TableContext& table,
-      const std::vector<sql::ConditionGroup>& groups) const;
+      const ArenaVector<sql::ConditionGroup>& groups) const;
 
   /// Target subset produced by one strategy level for one condition group.
   Result<std::vector<std::string>> ShardLevel(

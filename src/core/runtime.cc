@@ -1,5 +1,6 @@
 #include "core/runtime.h"
 
+#include "common/arena.h"
 #include "common/strings.h"
 #include "core/hint.h"
 #include "engine/pipeline.h"
@@ -83,6 +84,12 @@ Result<engine::ExecResult> ShardingRuntime::ExecuteStatement(
     return Status::InvalidArgument("no sharding rule configured");
   }
 
+  // Statement scope: AST clones (keygen, interceptors, rewrite output) and
+  // scratch below bump-allocate and are reclaimed wholesale on return. The
+  // merged result escapes the scope, so it must hold no arena memory — its
+  // rows and labels use plain std containers (heap) by construction.
+  ArenaScope arena_scope(engine::PipelineConfig::arena_statements_enabled());
+
   const sql::Statement* effective = &stmt;
   sql::StatementPtr keygen_stmt;
   int64_t generated_key = 0;
@@ -145,6 +152,9 @@ Result<std::shared_ptr<const StatementPlan>> ShardingRuntime::GetOrParse(
   std::shared_ptr<const StatementPlan> plan =
       stmt_cache_.Get(config_.dialect, sql_text);
   if (plan != nullptr) return plan;
+  // The parsed AST outlives this statement (it is published to the plan
+  // cache), so it must never come from a statement arena.
+  ArenaSuspend heap_scope;
   SPHERE_ASSIGN_OR_RETURN(sql::SharedStatement parsed,
                           sql::ParseShared(sql_text, dialect_));
   plan = std::make_shared<StatementPlan>(std::move(parsed), config_.dialect);
@@ -170,11 +180,16 @@ Result<engine::ExecResult> ShardingRuntime::ExecutePlan(
                             observer);
   }
 
+  ArenaScope arena_scope(engine::PipelineConfig::arena_statements_enabled());
+
   // Read the epoch before routing: if SetRule lands in between, the plan we
   // publish carries the stale epoch and is never reused.
   uint64_t epoch = stmt_cache_.epoch();
   std::shared_ptr<const RoutedPlan> routed = plan.routed(epoch);
   if (routed == nullptr) {
+    // The routed plan is published for reuse by later statements, so its
+    // rewrite (clones included) must be heap-built, not arena-built.
+    ArenaSuspend heap_scope;
     auto fresh = std::make_shared<RoutedPlan>();
     fresh->rule_epoch = epoch;
     RouteEngine router(rule_.get());

@@ -7,8 +7,8 @@
 
 namespace sphere::engine {
 
-int BoundColumns::Resolve(const std::string& qualifier,
-                          const std::string& name) const {
+int BoundColumns::Resolve(std::string_view qualifier,
+                          std::string_view name) const {
   for (size_t i = 0; i < cols_.size(); ++i) {
     if (!qualifier.empty() && !EqualsIgnoreCase(cols_[i].first, qualifier)) {
       continue;

@@ -2,8 +2,10 @@
 #define SPHERE_ENGINE_EVALUATOR_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/result.h"
 #include "common/value.h"
 #include "sql/ast.h"
@@ -13,24 +15,28 @@ namespace sphere::engine {
 /// Name environment of a row flowing through the executor: one
 /// (qualifier, column) pair per value slot. Qualifiers are table aliases (or
 /// table names); derived columns have empty qualifiers.
+///
+/// Entries are views into the statement AST and table schemas, both of which
+/// outlive the executor's statement-scoped instances — binding a source
+/// copies no strings. The spine is arena-backed inside a statement scope.
 class BoundColumns {
  public:
-  void Add(const std::string& qualifier, const std::string& name) {
+  void Add(std::string_view qualifier, std::string_view name) {
     cols_.emplace_back(qualifier, name);
   }
 
   size_t size() const { return cols_.size(); }
-  const std::pair<std::string, std::string>& at(size_t i) const {
+  const std::pair<std::string_view, std::string_view>& at(size_t i) const {
     return cols_[i];
   }
 
   /// Resolves a column reference. A qualified ref must match the qualifier;
   /// an unqualified ref matches by name (first match wins, as in MySQL's
   /// permissive mode). Returns -1 when not found.
-  int Resolve(const std::string& qualifier, const std::string& name) const;
+  int Resolve(std::string_view qualifier, std::string_view name) const;
 
  private:
-  std::vector<std::pair<std::string, std::string>> cols_;
+  ArenaVector<std::pair<std::string_view, std::string_view>> cols_;
 };
 
 /// Evaluates `expr` against one row. Aggregate function calls are rejected

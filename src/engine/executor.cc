@@ -8,6 +8,7 @@
 
 #include "common/strings.h"
 #include "engine/pipeline.h"
+#include "engine/row_batch.h"
 #include "engine/row_dedup.h"
 #include "engine/topk.h"
 #include "sql/condition.h"
@@ -35,7 +36,7 @@ struct RowLess {
 std::vector<std::string> BuildLabels(const sql::SelectStatement& stmt,
                                      const BoundColumns& cols) {
   const sql::Dialect& dialect = sql::Dialect::MySQL();
-  std::vector<std::string> labels;
+  std::vector<std::string> labels = RowStore::Instance().AcquireLabelShell();
   for (const auto& item : stmt.items) {
     if (item.is_star) {
       for (size_t i = 0; i < cols.size(); ++i) {
@@ -43,7 +44,7 @@ std::vector<std::string> BuildLabels(const sql::SelectStatement& stmt,
             !EqualsIgnoreCase(cols.at(i).first, item.star_qualifier)) {
           continue;
         }
-        labels.push_back(cols.at(i).second);
+        labels.emplace_back(cols.at(i).second);
       }
     } else {
       labels.push_back(item.Label(dialect));
@@ -73,6 +74,74 @@ Result<Row> ProjectRow(const sql::SelectStatement& stmt,
     }
   }
   return out;
+}
+
+/// One select-list output cell of the pooled projection: either a direct
+/// source-column copy (capacity-reusing assignment into the recycled row)
+/// or a general expression evaluation.
+struct ProjectionStep {
+  int col = -1;                     ///< source column index, or -1
+  const sql::Expr* expr = nullptr;  ///< evaluated when col < 0
+};
+
+/// Flattens the select list (stars expanded) into per-cell steps. Direct
+/// column references skip EvalExpr's value copy so the projection can assign
+/// straight from the borrowed source row.
+ArenaVector<ProjectionStep> BuildProjectionSteps(
+    const sql::SelectStatement& stmt, const BoundColumns& cols) {
+  ArenaVector<ProjectionStep> steps;
+  steps.reserve(stmt.items.size());
+  for (const auto& item : stmt.items) {
+    if (item.is_star) {
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (!item.star_qualifier.empty() &&
+            !EqualsIgnoreCase(cols.at(i).first, item.star_qualifier)) {
+          continue;
+        }
+        steps.push_back(ProjectionStep{static_cast<int>(i), nullptr});
+      }
+    } else if (item.expr->kind() == sql::ExprKind::kColumnRef) {
+      const auto* c = static_cast<const sql::ColumnRefExpr*>(item.expr.get());
+      int idx = cols.Resolve(c->table, c->column);
+      if (idx >= 0) {
+        steps.push_back(ProjectionStep{idx, nullptr});
+      } else {
+        // Unresolvable reference: defer to EvalExpr for identical errors.
+        steps.push_back(ProjectionStep{-1, item.expr.get()});
+      }
+    } else {
+      steps.push_back(ProjectionStep{-1, item.expr.get()});
+    }
+  }
+  return steps;
+}
+
+/// Projects into a recycled row: same-position cells are assigned in place
+/// (same-alternative variant assignment reuses string capacity), so a warm
+/// row projects with zero allocations.
+Status ProjectRowInto(const ArenaVector<ProjectionStep>& steps,
+                      const BoundColumns& cols, const Row& row,
+                      const std::vector<Value>& params, Row* out) {
+  if (out->size() > steps.size()) out->resize(steps.size());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].col >= 0) {
+      const Value& v = row[static_cast<size_t>(steps[i].col)];
+      if (i < out->size()) {
+        (*out)[i] = v;
+      } else {
+        out->push_back(v);
+      }
+    } else {
+      SPHERE_ASSIGN_OR_RETURN(Value v,
+                              EvalExpr(steps[i].expr, cols, row, params));
+      if (i < out->size()) {
+        (*out)[i] = std::move(v);
+      } else {
+        out->push_back(std::move(v));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 /// Strict weak order over (order-keys, payload) pairs per the ORDER BY spec.
@@ -236,7 +305,7 @@ Result<ScanPlan> Executor::PlanScan(const sql::TableRef& ref,
   plan.table = table;
 
   // Try to find an index-friendly condition (single AND-group only).
-  std::vector<sql::ConditionGroup> groups =
+  ArenaVector<sql::ConditionGroup> groups =
       sql::ExtractConditionGroups(where, params);
   int pk = table->pk_index();
   if (groups.size() == 1) {
@@ -344,7 +413,12 @@ Result<std::optional<ExecResult>> Executor::TryStreamSelect(
   }
 
   std::vector<std::string> labels = BuildLabels(stmt, columns);
-  std::vector<Row> output;
+  // Output spine and (on the plain-stream path) projection rows come from
+  // the recycler; with `pooled_batches` off both acquires return fresh
+  // storage, restoring the malloc baseline.
+  const bool pooled = PipelineConfig::pooled_batches_enabled();
+  std::vector<Row> output = RowStore::Instance().AcquireShell();
+  std::vector<Row> spare = RowStore::Instance().AcquireShell();
   {
     ReaderLock lk(table->latch());
     TableScanCursor cursor(plan);
@@ -395,6 +469,23 @@ Result<std::optional<ExecResult>> Executor::TryStreamSelect(
       size_t count_limit = has_count
                                ? static_cast<size_t>(stmt.limit->count)
                                : std::numeric_limits<size_t>::max();
+      // Pooled projection: recycled rows are pulled in bounded chunks (one
+      // pool lock per chunk) and assigned in place. The first chunk is
+      // capped by what the access path can possibly emit, so a point lookup
+      // borrows one row, not a whole chunk.
+      constexpr size_t kSpareChunk = 256;
+      ArenaVector<ProjectionStep> steps;
+      size_t dry_until = 0;  ///< probe the pool again at this output size
+      if (pooled) {
+        steps = BuildProjectionSteps(stmt, columns);
+        size_t bound = count_limit;
+        if (plan.pk_cond.has_value() &&
+            plan.pk_cond->kind != ColumnCondition::Kind::kRange) {
+          bound = std::min(bound, plan.pk_cond->values.size());
+        }
+        RowStore::Instance().AcquireRows(&spare,
+                                         std::min(bound, kSpareChunk));
+      }
       size_t skipped = 0;
       for (const Row* row = cursor.Next();
            row != nullptr && output.size() < count_limit;
@@ -408,13 +499,30 @@ Result<std::optional<ExecResult>> Executor::TryStreamSelect(
           ++skipped;
           continue;
         }
-        SPHERE_ASSIGN_OR_RETURN(Row projected,
-                                ProjectRow(stmt, columns, *row, params));
-        output.push_back(std::move(projected));
+        if (pooled) {
+          if (spare.empty() && output.size() >= dry_until) {
+            if (RowStore::Instance().AcquireRows(&spare, kSpareChunk) == 0) {
+              dry_until = output.size() + kSpareChunk;
+            }
+          }
+          Row projected;
+          if (!spare.empty()) {
+            projected = std::move(spare.back());
+            spare.pop_back();
+          }
+          SPHERE_RETURN_NOT_OK(
+              ProjectRowInto(steps, columns, *row, params, &projected));
+          output.push_back(std::move(projected));
+        } else {
+          SPHERE_ASSIGN_OR_RETURN(Row projected,
+                                  ProjectRow(stmt, columns, *row, params));
+          output.push_back(std::move(projected));
+        }
       }
       offset = 0;  // already applied during the scan
     }
   }
+  RowStore::Instance().Release(std::move(spare));
 
   // TopK/DISTINCT paths produced rows [0, offset+count); drop the offset.
   if (offset > 0) {

@@ -7,5 +7,7 @@ std::atomic<bool> PipelineConfig::streaming_{true};
 std::atomic<bool> PipelineConfig::dml_passthrough_{true};
 std::atomic<bool> PipelineConfig::dml_param_binding_{true};
 std::atomic<bool> PipelineConfig::point_dml_{true};
+std::atomic<bool> PipelineConfig::arena_statements_{true};
+std::atomic<bool> PipelineConfig::pooled_batches_{true};
 
 }  // namespace sphere::engine

@@ -71,12 +71,38 @@ class PipelineConfig {
     point_dml_.store(on, std::memory_order_relaxed);
   }
 
+  /// Statement-scoped arenas (DESIGN.md §12): every statement executes under
+  /// an ArenaScope, so AST nodes (parse, Clone, rewrite output) and scratch
+  /// containers bump-allocate and are reclaimed wholesale at statement end.
+  /// Off restores per-node heap allocation everywhere.
+  static bool arena_statements_enabled() {
+    return arena_statements_.load(std::memory_order_relaxed);
+  }
+  static void set_arena_statements_enabled(bool on) {
+    arena_statements_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Pooled row batches (DESIGN.md §12): the streaming select path projects
+  /// into recycled rows (string capacity reused in place), result-set drains
+  /// reuse pooled batch vectors, and the simulated wire skips the
+  /// encode/decode round-trip for in-process calls while still charging
+  /// byte-identical transfer sizes. Off restores fresh vectors per batch and
+  /// the full encode path.
+  static bool pooled_batches_enabled() {
+    return pooled_batches_.load(std::memory_order_relaxed);
+  }
+  static void set_pooled_batches_enabled(bool on) {
+    pooled_batches_.store(on, std::memory_order_relaxed);
+  }
+
  private:
   static std::atomic<size_t> batch_size_;
   static std::atomic<bool> streaming_;
   static std::atomic<bool> dml_passthrough_;
   static std::atomic<bool> dml_param_binding_;
   static std::atomic<bool> point_dml_;
+  static std::atomic<bool> arena_statements_;
+  static std::atomic<bool> pooled_batches_;
 };
 
 /// RAII toggle for tests/benchmarks that compare the streaming pipeline with
@@ -144,6 +170,43 @@ class ScopedPointDml {
 
   ScopedPointDml(const ScopedPointDml&) = delete;
   ScopedPointDml& operator=(const ScopedPointDml&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// RAII toggle for statement-scoped arenas (differential tests and the
+/// arena-vs-malloc ablation); restores the previous setting.
+class ScopedArenaStatements {
+ public:
+  explicit ScopedArenaStatements(bool on)
+      : previous_(PipelineConfig::arena_statements_enabled()) {
+    PipelineConfig::set_arena_statements_enabled(on);
+  }
+  ~ScopedArenaStatements() {
+    PipelineConfig::set_arena_statements_enabled(previous_);
+  }
+
+  ScopedArenaStatements(const ScopedArenaStatements&) = delete;
+  ScopedArenaStatements& operator=(const ScopedArenaStatements&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// RAII toggle for pooled row batches / recycled projection storage.
+class ScopedPooledBatches {
+ public:
+  explicit ScopedPooledBatches(bool on)
+      : previous_(PipelineConfig::pooled_batches_enabled()) {
+    PipelineConfig::set_pooled_batches_enabled(on);
+  }
+  ~ScopedPooledBatches() {
+    PipelineConfig::set_pooled_batches_enabled(previous_);
+  }
+
+  ScopedPooledBatches(const ScopedPooledBatches&) = delete;
+  ScopedPooledBatches& operator=(const ScopedPooledBatches&) = delete;
 
  private:
   bool previous_;

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/value.h"
+#include "engine/row_batch.h"
 
 namespace sphere::engine {
 
@@ -37,6 +38,12 @@ class ResultSet {
   /// Mixing Next and NextBatch on one cursor is allowed — both consume the
   /// same underlying stream.
   virtual size_t NextBatch(std::vector<Row>* out, size_t max);
+
+  /// Non-destructive view of the full row payload when this result set is
+  /// already materialized, null otherwise. Lets size-only consumers (the
+  /// simulated wire charging transfer bytes) observe the rows without
+  /// draining the cursor.
+  virtual const std::vector<Row>* MaterializedRows() const { return nullptr; }
 };
 
 using ResultSetPtr = std::unique_ptr<ResultSet>;
@@ -47,6 +54,23 @@ class VectorResultSet : public ResultSet {
  public:
   VectorResultSet(std::vector<std::string> columns, std::vector<Row> rows)
       : columns_(std::move(columns)), rows_(std::move(rows)) {}
+
+  /// Undrained or partially drained results hand their remaining rows, spine
+  /// and label vector back to the pool — an abandoned cursor (LIMIT, error,
+  /// discarded result) must not bleed the recycler dry.
+  ~VectorResultSet() override {
+    if (rows_.capacity() != 0) RecycleRows(std::move(rows_));
+    RowStore::Instance().ReleaseLabels(std::move(columns_));
+  }
+
+  /// The result-set node itself recycles through a fixed-size block pool:
+  /// one cursor object per query on the hot path, same size every time.
+  static void* operator new(size_t size) {
+    return RowStore::Instance().AcquireBlock(size);
+  }
+  static void operator delete(void* p, size_t size) noexcept {
+    if (!RowStore::Instance().ReleaseBlock(p, size)) ::operator delete(p);
+  }
 
   const std::vector<std::string>& columns() const override { return columns_; }
 
@@ -64,8 +88,15 @@ class VectorResultSet : public ResultSet {
     return n;
   }
 
+  const std::vector<Row>* MaterializedRows() const override { return &rows_; }
+
   size_t row_count() const { return rows_.size(); }
   const std::vector<Row>& rows() const { return rows_; }
+  /// Takes the backing storage (pool recycling); the cursor is then empty.
+  std::vector<Row> TakeRows() {
+    pos_ = 0;
+    return std::move(rows_);
+  }
 
  private:
   std::vector<std::string> columns_;

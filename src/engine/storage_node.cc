@@ -1,6 +1,8 @@
 #include "engine/storage_node.h"
 
+#include "common/arena.h"
 #include "common/clock.h"
+#include "engine/pipeline.h"
 #include "sql/parser.h"
 
 namespace sphere::engine {
@@ -20,13 +22,16 @@ Result<std::shared_ptr<const sql::Statement>> StorageNode::ParseCached(
     std::string_view sql_text) {
   {
     MutexLock lk(stmt_cache_mu_);
-    auto it = stmt_cache_.find(std::string(sql_text));
+    auto it = stmt_cache_.find(sql_text);
     if (it != stmt_cache_.end()) {
       parse_cache_hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
   parse_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  // The cached AST outlives every statement, so it must be heap-built even
+  // when the serving thread is inside a statement arena scope.
+  ArenaSuspend heap_scope;
   sql::Parser parser(dialect_);
   SPHERE_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.Parse(sql_text));
   std::shared_ptr<const sql::Statement> shared(std::move(stmt));
@@ -45,6 +50,12 @@ Result<ExecResult> StorageNode::Session::Execute(
 
 Result<ExecResult> StorageNode::Session::ExecuteStatement(
     const sql::Statement& stmt, const std::vector<Value>& params) {
+  // Node-side statement scope: executor scratch (condition groups, sort
+  // keys, temporary expression nodes) bump-allocates. No-ops when the
+  // middleware's scope is already active on this thread (inline execution);
+  // on pool threads this is the owning scope. The returned result set uses
+  // plain heap containers, so it safely outlives the scope.
+  ArenaScope arena_scope(PipelineConfig::arena_statements_enabled());
   node_->statements_executed_.fetch_add(1, std::memory_order_relaxed);
   int64_t delay = node_->statement_delay_us_.load(std::memory_order_relaxed);
   if (delay > 0) {

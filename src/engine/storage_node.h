@@ -9,6 +9,7 @@
 
 #include "common/mutex.h"
 #include "common/result.h"
+#include "common/strings.h"
 #include "engine/executor.h"
 #include "engine/result_set.h"
 #include "sql/dialect.h"
@@ -123,7 +124,10 @@ class StorageNode {
   // analyze-exempt(guarded-by): internally synchronized (own Mutex)
   storage::TransactionManager txn_manager_;
   Mutex stmt_cache_mu_{LockRank::kEngine, "engine/storage_node.stmt_cache"};
-  std::unordered_map<std::string, std::shared_ptr<const sql::Statement>>
+  // Transparent hashing: cache hits probe by string_view, so the hot path
+  // never materializes a temporary std::string key.
+  std::unordered_map<std::string, std::shared_ptr<const sql::Statement>,
+                     TransparentStringHash, std::equal_to<>>
       stmt_cache_ SPHERE_GUARDED_BY(stmt_cache_mu_);
   std::atomic<bool> fail_next_prepare_{false};
   std::atomic<bool> fail_next_commit_{false};

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "engine/row_batch.h"
+
 namespace sphere::net {
 
 void PacketWriter::WriteU16(uint16_t v) {
@@ -180,6 +182,10 @@ std::string EncodeExecResult(engine::ExecResult* result) {
   for (const Row& row : rows) {
     for (const Value& v : row) w.WriteValue(v);
   }
+  // The drained batch is fully serialized; hand its storage back to the
+  // recycler so the next projection/drain reuses it (no-op when pooling is
+  // off).
+  engine::RecycleRows(std::move(rows));
   return w.Take();
 }
 
@@ -189,6 +195,37 @@ std::string EncodeError(const Status& status) {
   w.WriteU16(static_cast<uint16_t>(status.code()));
   w.WriteString(status.message());
   return w.Take();
+}
+
+size_t EncodedValueSize(const Value& v) {
+  if (v.is_null()) return 1;
+  if (v.is_int() || v.is_double()) return 1 + 8;
+  return 1 + 4 + v.AsString().size();
+}
+
+size_t EncodedQuerySize(std::string_view sql_text,
+                        const std::vector<Value>& params) {
+  size_t n = 1 + 4 + sql_text.size() + 2;  // type + string header + u16 count
+  for (const Value& p : params) n += EncodedValueSize(p);
+  return n;
+}
+
+size_t EncodedErrorSize(const Status& status) {
+  return 1 + 2 + 4 + status.message().size();
+}
+
+std::optional<size_t> TryEncodedExecResultSize(
+    const engine::ExecResult& result) {
+  if (!result.is_query) return 1 + 8 + 8;
+  const std::vector<Row>* rows = result.result_set->MaterializedRows();
+  if (rows == nullptr) return std::nullopt;
+  size_t n = 1 + 2;
+  for (const auto& c : result.result_set->columns()) n += 4 + c.size();
+  n += 4;
+  for (const Row& row : *rows) {
+    for (const Value& v : row) n += EncodedValueSize(v);
+  }
+  return n;
 }
 
 Result<engine::ExecResult> DecodeResponse(std::string_view data) {

@@ -2,6 +2,7 @@
 #define SPHERE_NET_PACKET_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,26 @@ std::string EncodeExecResult(engine::ExecResult* result);
 std::string EncodeError(const Status& status);
 /// Decodes a response into an ExecResult (materialized) or error status.
 Result<engine::ExecResult> DecodeResponse(std::string_view data);
+
+// --- Size mirrors (pooled pass-through lane) --------------------------------
+//
+// The in-process fast lane skips the encode/decode round-trip but must keep
+// the latency model honest, so it charges the exact byte count the encoders
+// would have produced. Each mirror is kept in lockstep with its encoder; the
+// packet unit tests assert `Encode*(x).size() == Encoded*Size(x)`.
+
+/// Exact size of PacketWriter::WriteValue(v)'s output.
+size_t EncodedValueSize(const Value& v);
+/// Exact size of EncodeQuery(sql_text, params).
+size_t EncodedQuerySize(std::string_view sql_text,
+                        const std::vector<Value>& params);
+/// Exact size of EncodeError(status).
+size_t EncodedErrorSize(const Status& status);
+/// Exact size of EncodeExecResult(result) — without draining the cursor.
+/// Returns nullopt for a query result that is not materialized (the caller
+/// must fall back to the real encode path).
+std::optional<size_t> TryEncodedExecResultSize(
+    const engine::ExecResult& result);
 
 }  // namespace sphere::net
 

@@ -1,5 +1,7 @@
 #include "net/remote.h"
 
+#include "engine/pipeline.h"
+
 namespace sphere::net {
 
 std::string ServeRequest(engine::StorageNode::Session* session,
@@ -67,6 +69,27 @@ Status RemoteConnection::CallStatus(const std::string& request) {
 
 Result<engine::ExecResult> RemoteConnection::Execute(
     std::string_view sql_text, const std::vector<Value>& params) {
+  if (engine::PipelineConfig::pooled_batches_enabled()) {
+    // In-process pass-through lane: skip the encode → decode → serve →
+    // encode → decode round-trip (and all its buffers) but charge the
+    // byte-identical transfer sizes the encoders would have produced, so
+    // the latency model sees exactly the baseline's wire traffic.
+    network_->Transfer(EncodedQuerySize(sql_text, params));
+    auto result = session_->Execute(sql_text, params);
+    if (!result.ok()) {
+      network_->Transfer(EncodedErrorSize(result.status()));
+      return result;
+    }
+    if (std::optional<size_t> size = TryEncodedExecResultSize(result.value())) {
+      network_->Transfer(*size);
+      return result;
+    }
+    // Unmaterialized cursor: only a real drain can price it — take the
+    // baseline encode/decode path for the response leg.
+    std::string response = EncodeExecResult(&result.value());
+    network_->Transfer(response.size());
+    return DecodeResponse(response);
+  }
   return Call(EncodeQuery(sql_text, params));
 }
 
@@ -75,17 +98,17 @@ Result<engine::ExecResult> RemoteConnection::ExecuteStructured(
   // Request cost: a COM_STMT_EXECUTE-shaped packet — type byte, statement
   // handle, and the bound parameter values. The statement text itself
   // traveled once at prepare time, so it is not charged per execution.
-  PacketWriter request;
-  request.WriteU8(static_cast<uint8_t>(PacketType::kQuery));
-  request.WriteU64(0);  // statement-handle stand-in
-  request.WriteU32(static_cast<uint32_t>(params.size()));
-  for (const auto& p : params) request.WriteValue(p);
-  network_->Transfer(request.size());
+  // Size-only mirror of the packet fields below: type byte + u64 handle +
+  // u32 count + values. Building the buffer just to measure it would cost
+  // an allocation per DML.
+  size_t request_size = 1 + 8 + 4;
+  for (const auto& p : params) request_size += EncodedValueSize(p);
+  network_->Transfer(request_size);
 
   auto result = session_->ExecuteStatement(stmt, params);
 
   if (!result.ok()) {
-    network_->Transfer(EncodeError(result.status()).size());
+    network_->Transfer(EncodedErrorSize(result.status()));
     return result;
   }
   // DML responses are fixed-size OK packets: type + affected + insert id.

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/schema.h"
 #include "common/value.h"
 
@@ -49,7 +50,11 @@ using ExprPtr = std::unique_ptr<Expr>;
 /// Base class of every SQL expression node. Nodes are owned via unique_ptr
 /// and support deep Clone (the rewriter mutates cloned trees) and SQL
 /// re-serialization.
-class Expr {
+///
+/// ArenaManaged: inside a statement's ArenaScope, `make_unique`/`Clone`
+/// bump-allocate nodes that are reclaimed wholesale at statement end; trees
+/// destined for caches must be built under ArenaSuspend (DESIGN.md §12).
+class Expr : public ArenaManaged {
  public:
   explicit Expr(ExprKind kind) : kind_(kind) {}
   virtual ~Expr() = default;
@@ -195,7 +200,7 @@ enum class StatementKind {
   kUse,
 };
 
-class Statement {
+class Statement : public ArenaManaged {
  public:
   explicit Statement(StatementKind kind) : kind_(kind) {}
   virtual ~Statement() = default;

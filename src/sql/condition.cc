@@ -130,7 +130,7 @@ std::optional<ColumnCondition> LeafCondition(const Expr* e,
 }
 
 /// Recursively produces the OR-of-AND condition groups for an expression.
-std::vector<ConditionGroup> Extract(const Expr* e,
+ArenaVector<ConditionGroup> Extract(const Expr* e,
                                     const std::vector<Value>& params) {
   if (e->kind() == ExprKind::kBinary) {
     const auto* b = static_cast<const BinaryExpr*>(e);
@@ -145,7 +145,7 @@ std::vector<ConditionGroup> Extract(const Expr* e,
       auto left = Extract(b->left.get(), params);
       auto right = Extract(b->right.get(), params);
       // Cross-product of the two disjunctions.
-      std::vector<ConditionGroup> out;
+      ArenaVector<ConditionGroup> out;
       out.reserve(left.size() * right.size());
       for (const auto& l : left) {
         for (const auto& r : right) {
@@ -157,7 +157,7 @@ std::vector<ConditionGroup> Extract(const Expr* e,
       return out;
     }
   }
-  std::vector<ConditionGroup> out(1);
+  ArenaVector<ConditionGroup> out(1);
   if (auto leaf = LeafCondition(e, params)) {
     out[0].push_back(std::move(*leaf));
   }
@@ -166,7 +166,7 @@ std::vector<ConditionGroup> Extract(const Expr* e,
 
 }  // namespace
 
-std::vector<ConditionGroup> ExtractConditionGroups(
+ArenaVector<ConditionGroup> ExtractConditionGroups(
     const Expr* where, const std::vector<Value>& params) {
   if (where == nullptr) return {};
   return Extract(where, params);

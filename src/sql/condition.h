@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/value.h"
 #include "sql/ast.h"
 
@@ -12,13 +13,18 @@ namespace sphere::sql {
 
 /// A simple predicate on one column extracted from a WHERE clause, in a form
 /// the sharding router can evaluate: equality, IN-list, or range.
+///
+/// Conditions are statement-scoped scratch: the value list and the group
+/// spines below are arena-backed, so per-query extraction on a hot path
+/// allocates nothing once a statement arena is warm (plain heap otherwise).
+/// Cache-destined plan builds run under ArenaSuspend, which heap-routes them.
 struct ColumnCondition {
   enum class Kind { kEqual, kIn, kRange };
 
   std::string table;   ///< qualifier as written (alias or empty)
   std::string column;
   Kind kind = Kind::kEqual;
-  std::vector<Value> values;  ///< kEqual: 1 value; kIn: n values
+  ArenaVector<Value> values;  ///< kEqual: 1 value; kIn: n values
   std::optional<Value> low, high;  ///< kRange bounds (either may be absent)
   bool low_inclusive = true;
   bool high_inclusive = true;
@@ -26,7 +32,7 @@ struct ColumnCondition {
 
 /// One AND-connected group of conditions. A WHERE with top-level ORs expands
 /// to several groups; route results are unioned across groups.
-using ConditionGroup = std::vector<ColumnCondition>;
+using ConditionGroup = ArenaVector<ColumnCondition>;
 
 /// Evaluates an expression that must be constant after parameter binding
 /// (literal, parameter, or negation of those). Returns nullopt otherwise.
@@ -40,7 +46,7 @@ std::optional<Value> EvalConstExpr(const Expr* expr,
 /// not contribute a condition (they never make routing incorrect, only less
 /// selective). Returns an empty vector when `where` is null (one empty group
 /// would mean "no constraints" too; callers treat both as full route).
-std::vector<ConditionGroup> ExtractConditionGroups(
+ArenaVector<ConditionGroup> ExtractConditionGroups(
     const Expr* where, const std::vector<Value>& params);
 
 /// Returns the values of `column` in each VALUES row of an INSERT (resolving

@@ -1,5 +1,6 @@
 #include "sql/parser.h"
 
+#include "common/arena.h"
 #include "common/strings.h"
 #include "sql/lexer.h"
 
@@ -741,6 +742,11 @@ Result<StatementPtr> ParseSQL(std::string_view sql, const Dialect& dialect) {
 
 Result<SharedStatement> ParseShared(std::string_view sql,
                                     const Dialect& dialect) {
+  // Shared ASTs are cache/long-lived by contract, so the tree is always
+  // heap-built: suspend any statement arena for the duration of the parse.
+  // (Plain Parser::Parse inherits the caller's arena regime — node factories
+  // are arena-aware through Statement/Expr's ArenaManaged base.)
+  ArenaSuspend heap_scope;
   Parser parser(dialect);
   SPHERE_ASSIGN_OR_RETURN(StatementPtr stmt, parser.Parse(sql));
   SharedStatement shared;

@@ -301,6 +301,39 @@ TEST_F(WriteLaneTest, RandomizedDifferential) {
   }
 }
 
+TEST_F(WriteLaneTest, MemoryDisciplineKnobsAreBehaviorNeutral) {
+  // Arena statements + pooled batches across the write lanes: every knob
+  // combination must produce identical per-step counts and final state —
+  // including mid-transaction rollback, where arena scopes nest across the
+  // runtime and the storage nodes.
+  const std::vector<Step> script = {
+      {"INSERT INTO t_user (uid, name, age, score) VALUES (700, 'm', 31, 2.5)"},
+      {"INSERT INTO t_order (oid, uid, amount, month) VALUES (?, ?, ?, ?)",
+       {Value(int64_t{7000}), Value(int64_t{700}), Value(12.25),
+        Value(int64_t{6})}},
+      {"BEGIN"},
+      {"UPDATE t_user SET score = score + 1 WHERE uid = ?",
+       {Value(int64_t{700})}},
+      {"ROLLBACK"},
+      {"UPDATE t_order SET amount = amount + 0.5 WHERE uid = 700"},
+      {"DELETE FROM t_order WHERE oid = ?", {Value(int64_t{7000})}},
+      {"SELECT uid, score FROM t_user WHERE uid = 700"},
+  };
+  Replay baseline;
+  for (int combo = 0; combo < 4; ++combo) {
+    engine::ScopedArenaStatements arena((combo & 1) != 0);
+    engine::ScopedPooledBatches pooled((combo & 2) != 0);
+    Replay r = Run(kLanes[0], script);
+    if (combo == 0) {
+      baseline = std::move(r);
+      EXPECT_FALSE(baseline.fingerprint.empty());
+      continue;
+    }
+    EXPECT_EQ(baseline.counts, r.counts) << "combo=" << combo;
+    EXPECT_EQ(baseline.fingerprint, r.fingerprint) << "combo=" << combo;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Parse-cache accounting: proves each lane's claim about node-side parses.
 // ---------------------------------------------------------------------------

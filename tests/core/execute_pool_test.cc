@@ -51,7 +51,7 @@ class ExecutePoolTest : public ::testing::Test {
 
   /// Asserts results[i] came from the data source units[i] named.
   static void ExpectAligned(const std::vector<SQLUnit>& units,
-                            std::vector<engine::ExecResult> results) {
+                            ArenaVector<engine::ExecResult> results) {
     ASSERT_EQ(results.size(), units.size());
     for (size_t i = 0; i < results.size(); ++i) {
       Row row;

@@ -203,6 +203,44 @@ TEST_F(StreamingSelectTest, RandomizedDifferential) {
   }
 }
 
+TEST_F(StreamingSelectTest, MemoryDisciplineKnobsAreBehaviorNeutral) {
+  // Arena statements + pooled batches must be invisible in results: every
+  // query agrees byte-for-byte across all four knob combinations, on both
+  // the streaming fast path and the materializing baseline.
+  const std::vector<std::string> queries = {
+      "SELECT * FROM t_item",
+      "SELECT id, price FROM t_item WHERE qty > 25",
+      "SELECT id FROM t_item WHERE id = 17",
+      "SELECT DISTINCT category FROM t_item",
+      "SELECT id, qty FROM t_item ORDER BY qty DESC LIMIT 7",
+      "SELECT category, price FROM t_item ORDER BY id LIMIT 10 OFFSET 20",
+  };
+  for (bool streaming : {false, true}) {
+    for (const std::string& sql : queries) {
+      std::vector<Row> baseline;
+      std::vector<std::string> baseline_labels;
+      for (int combo = 0; combo < 4; ++combo) {
+        ScopedArenaStatements arena((combo & 1) != 0);
+        ScopedPooledBatches pooled((combo & 2) != 0);
+        auto [labels, rows] = Run(sql, streaming);
+        if (combo == 0) {
+          baseline = std::move(rows);
+          baseline_labels = std::move(labels);
+          continue;
+        }
+        EXPECT_EQ(labels, baseline_labels)
+            << sql << " combo=" << combo << " streaming=" << streaming;
+        ASSERT_EQ(rows.size(), baseline.size())
+            << sql << " combo=" << combo << " streaming=" << streaming;
+        for (size_t i = 0; i < rows.size(); ++i) {
+          EXPECT_EQ(rows[i], baseline[i])
+              << sql << " row " << i << " combo=" << combo;
+        }
+      }
+    }
+  }
+}
+
 TEST_F(StreamingSelectTest, StreamingSurvivesConcurrentSchema) {
   // The fast path must not hold the table latch beyond one statement: a
   // write between two streamed statements is immediately visible.

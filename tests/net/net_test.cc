@@ -57,6 +57,46 @@ TEST(PacketTest, ResultSetRoundTrip) {
   EXPECT_TRUE(rows[1][0].is_null());
 }
 
+// The pooled pass-through lane charges Encoded*Size() instead of encoding;
+// the latency model only stays honest if the mirrors match the real encoders
+// byte for byte. Any wire-format change must keep these in lockstep.
+TEST(PacketTest, SizeMirrorsMatchEncoders) {
+  const std::vector<Value> values = {Value::Null(), Value(-42), Value(2.75),
+                                     Value(""), Value("hello'world"),
+                                     Value(std::string(300, 'x'))};
+  for (const Value& v : values) {
+    PacketWriter w;
+    w.WriteValue(v);
+    EXPECT_EQ(w.buffer().size(), EncodedValueSize(v)) << v.ToString();
+  }
+
+  EXPECT_EQ(EncodeQuery("SELECT * FROM t WHERE id = ?", {Value(7)}).size(),
+            EncodedQuerySize("SELECT * FROM t WHERE id = ?", {Value(7)}));
+  EXPECT_EQ(EncodeQuery("", {}).size(), EncodedQuerySize("", {}));
+  EXPECT_EQ(EncodeQuery("Q", values).size(), EncodedQuerySize("Q", values));
+
+  Status err = Status::Conflict("duplicate key on shard 3");
+  EXPECT_EQ(EncodeError(err).size(), EncodedErrorSize(err));
+
+  engine::ExecResult update = engine::ExecResult::Update(12, 99);
+  auto update_size = TryEncodedExecResultSize(update);
+  ASSERT_TRUE(update_size.has_value());
+  EXPECT_EQ(EncodeExecResult(&update).size(), *update_size);
+
+  auto make_query_result = [] {
+    return engine::ExecResult::Query(std::make_unique<engine::VectorResultSet>(
+        std::vector<std::string>{"a", "long_column_name"},
+        std::vector<Row>{{Value(1), Value("x")},
+                         {Value::Null(), Value(0.5)},
+                         {Value(int64_t{7}), Value(std::string(100, 'y'))}}));
+  };
+  engine::ExecResult query = make_query_result();
+  auto query_size = TryEncodedExecResultSize(query);
+  ASSERT_TRUE(query_size.has_value());  // VectorResultSet is materialized
+  engine::ExecResult drained = make_query_result();
+  EXPECT_EQ(EncodeExecResult(&drained).size(), *query_size);
+}
+
 TEST(PacketTest, UpdateResultRoundTrip) {
   engine::ExecResult result = engine::ExecResult::Update(5, 99);
   auto decoded = DecodeResponse(EncodeExecResult(&result));

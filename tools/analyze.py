@@ -30,6 +30,13 @@ to *exercise* the machinery, e.g. the lockdep tests spawn raw threads):
   raw-thread       No raw std::thread / std::jthread outside
                    src/common/thread_pool.* — work goes through the pool so
                    shutdown, sizing and wait discipline stay in one place.
+  arena-escape     A function that both produces statement-scoped trees
+                   (Parse/ParseShared/Clone/Rewrite) and publishes into a
+                   cache (.Put(...), .StoreRouted(...), stmt_cache_
+                   emplace/insert) must contain an ArenaSuspend: with a
+                   statement arena current, the produced nodes die at scope
+                   exit, so publishing them is a use-after-reset. The
+                   suspend routes cache-destined allocations to the heap.
 
 Exemption marker: a comment `analyze-exempt(<rule>): <reason>` on the
 flagged line or the line directly above suppresses that rule there. The
@@ -71,6 +78,14 @@ BORROW_RE = re.compile(
     r"\s*=\s*(?P<cursor>\w+)(?:\.|->)Next\s*\(")
 
 THREAD_RE = re.compile(r"\bstd::j?thread\b")
+
+# arena-escape: producers of (possibly) arena-allocated trees, publishes into
+# long-lived caches, and the suspend that makes the combination safe.
+ARENA_PRODUCER_RE = re.compile(r"\b(?:Parse|ParseShared|Clone|Rewrite)\s*\(")
+ARENA_PUBLISH_RE = re.compile(
+    r"(?:\.|->)\s*(?:Put|StoreRouted)\s*\(|"
+    r"stmt_cache_\s*(?:\.|->)\s*(?:emplace|insert|try_emplace)\s*\(")
+ARENA_SUSPEND_RE = re.compile(r"\bArenaSuspend\b")
 RAW_THREAD_EXEMPT_FILES = (
     os.path.join("src", "common", "thread_pool.h"),
     os.path.join("src", "common", "thread_pool.cc"),
@@ -397,6 +412,44 @@ def check_borrowed_row(rel, text, exempts, findings):
     return findings
 
 
+def check_arena_escape(rel, text, exempts, findings):
+    """Chunk the file on column-0 '}' lines (house style closes namespace-
+    scope function bodies at column 0) and require ArenaSuspend in any chunk
+    that both produces statement trees and publishes into a cache. Coarse by
+    design: a class defined inline forms one chunk, which can only make the
+    rule stricter, never blinder."""
+    chunk, chunk_start = [], 1
+    lines = text.split("\n")
+
+    def flush(end_line):
+        body = "\n".join(chunk)
+        if (ARENA_PRODUCER_RE.search(body) and ARENA_PUBLISH_RE.search(body)
+                and not ARENA_SUSPEND_RE.search(body)):
+            publish_at = chunk_start
+            for off, l in enumerate(chunk):
+                if ARENA_PUBLISH_RE.search(l):
+                    publish_at = chunk_start + off
+                    break
+            if not is_exempt(exempts, "arena-escape", publish_at):
+                findings.append(Finding(
+                    rel, publish_at, "arena-escape",
+                    "this function parses/clones statement trees AND "
+                    "publishes into a cache without an ArenaSuspend — under "
+                    "an active statement arena the published nodes are "
+                    "reclaimed at scope exit (use-after-reset); build the "
+                    "cache-destined tree under ArenaSuspend, or mark "
+                    "analyze-exempt(arena-escape) with the reason it cannot "
+                    "run inside an arena scope"))
+        del chunk[:]
+        return end_line + 1
+
+    for line_no, line in enumerate(lines, 1):
+        chunk.append(line)
+        if line.startswith("}"):
+            chunk_start = flush(line_no)
+    flush(len(lines))
+
+
 def check_raw_thread(rel, text, exempts, findings):
     if rel in RAW_THREAD_EXEMPT_FILES:
         return
@@ -436,6 +489,7 @@ def analyze_file(root, rel, index, findings):
     check_blocking(rel, text, storage_lock_names(root, rel, text),
                    exempts, findings)
     check_borrowed_row(rel, text, exempts, findings)
+    check_arena_escape(rel, text, exempts, findings)
     check_raw_thread(rel, text, exempts, findings)
 
 

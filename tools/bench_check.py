@@ -2,17 +2,33 @@
 """Guards committed benchmark results against silent regressions.
 
 Compares the committed BENCH_micro.json (the numbers DESIGN.md cites) against
-a fresh smoke run: if any benchmark's committed throughput is more than
-FACTOR times the smoke run's, the current tree has regressed that ablation
-and the gate fails. The wide default factor absorbs smoke-run noise
-(--benchmark_min_time=0.01) and machine variance; a real fast-lane or
-streaming regression is typically 2x-1000x, not 20%.
+a fresh smoke run, on two axes:
+
+  - throughput: if any benchmark's committed ops/sec is more than FACTOR
+    times the smoke run's, the current tree has regressed that ablation and
+    the gate fails. The wide default factor absorbs smoke-run noise
+    (--benchmark_min_time=0.01) and machine variance; a real fast-lane or
+    streaming regression is typically 2x-1000x, not 20%.
+  - allocations: benchmarks that report an `allocs_per_query` counter are
+    lower-is-better; if the smoke run allocates more than FACTOR times the
+    committed count (plus a small absolute slack for counter noise), the
+    memory-discipline layer has regressed and the gate fails.
+
+Build-type hygiene: the committed file must carry
+`context.project_build_type == "release"` — a debug baseline would let real
+regressions hide inside the debug slowdown, so anything else is refused.
+A debug `library_build_type` (Debian ships google-benchmark's debug build)
+only warns: the library's own overhead is identical in both files.
 
 Usage: bench_check.py <committed.json> <smoke.json> [factor]
 """
 
 import json
 import sys
+
+# Allocation counts below this are treated as equal: a pooled path that does
+# 0.2 allocs/query vs a committed 0.05 is noise, not a leak.
+ALLOC_SLACK = 4.0
 
 
 def ops_per_second(entry):
@@ -24,15 +40,17 @@ def ops_per_second(entry):
     return scale / real if real > 0 else 0.0
 
 
-def load_benchmarks(path):
+def load_file(path):
     with open(path) as f:
         data = json.load(f)
-    out = {}
+    ops, allocs = {}, {}
     for b in data.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
             continue  # skip aggregate rows (mean/median/stddev)
-        out[b["name"]] = ops_per_second(b)
-    return out
+        ops[b["name"]] = ops_per_second(b)
+        if "allocs_per_query" in b:
+            allocs[b["name"]] = float(b["allocs_per_query"])
+    return data.get("context", {}), ops, allocs
 
 
 def main(argv):
@@ -43,16 +61,28 @@ def main(argv):
     factor = float(argv[3]) if len(argv) > 3 else 2.0
 
     try:
-        committed = load_benchmarks(committed_path)
+        committed_ctx, committed, committed_allocs = load_file(committed_path)
     except (OSError, ValueError, KeyError) as e:
         print(f"bench_check: cannot read committed {committed_path}: {e}")
         print("bench_check: regenerate it by running bench_micro from the repo root")
         return 1
     try:
-        smoke = load_benchmarks(smoke_path)
+        _, smoke, smoke_allocs = load_file(smoke_path)
     except (OSError, ValueError, KeyError) as e:
         print(f"bench_check: cannot read smoke run {smoke_path}: {e}")
         return 1
+
+    # Refuse a non-release committed baseline outright.
+    build_type = committed_ctx.get("project_build_type")
+    if build_type != "release":
+        print(f"bench_check: REFUSED: committed {committed_path} has "
+              f"project_build_type={build_type!r} (need \"release\")")
+        print("bench_check: rebuild with -DCMAKE_BUILD_TYPE=Release and "
+              "rerun bench_micro to regenerate the baseline")
+        return 1
+    if committed_ctx.get("library_build_type") == "debug":
+        print("bench_check: WARNING: committed baseline links google-benchmark's "
+              "debug build (harness overhead only; numbers remain comparable)")
 
     failures = []
     for name, committed_ops in sorted(committed.items()):
@@ -64,17 +94,31 @@ def main(argv):
             continue
         smoke_ops = smoke[name]
         if smoke_ops <= 0 or committed_ops > factor * smoke_ops:
-            failures.append((name, committed_ops, smoke_ops))
+            failures.append(("time", name, committed_ops, smoke_ops))
 
-    for name, committed_ops, smoke_ops in failures:
-        ratio = committed_ops / smoke_ops if smoke_ops > 0 else float("inf")
-        print(f"bench_check: REGRESSION {name}: committed {committed_ops:.3g} "
-              f"ops/s vs smoke {smoke_ops:.3g} ops/s ({ratio:.1f}x slower "
-              f"than committed, limit {factor}x)")
+    # Allocation gate: lower is better, so the comparison flips.
+    for name, committed_n in sorted(committed_allocs.items()):
+        if name not in smoke_allocs:
+            continue
+        smoke_n = smoke_allocs[name]
+        if smoke_n > factor * committed_n + ALLOC_SLACK:
+            failures.append(("alloc", name, committed_n, smoke_n))
+
+    for kind, name, committed_v, smoke_v in failures:
+        if kind == "time":
+            ratio = committed_v / smoke_v if smoke_v > 0 else float("inf")
+            print(f"bench_check: REGRESSION {name}: committed {committed_v:.3g} "
+                  f"ops/s vs smoke {smoke_v:.3g} ops/s ({ratio:.1f}x slower "
+                  f"than committed, limit {factor}x)")
+        else:
+            print(f"bench_check: ALLOC REGRESSION {name}: committed "
+                  f"{committed_v:.3g} allocs/query vs smoke {smoke_v:.3g} "
+                  f"(limit {factor}x + {ALLOC_SLACK})")
     if failures:
         return 1
     print(f"bench_check: {len(committed)} committed benchmarks within "
-          f"{factor}x of the smoke run")
+          f"{factor}x of the smoke run "
+          f"({len(committed_allocs)} with allocation gates)")
     return 0
 
 

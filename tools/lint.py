@@ -22,6 +22,14 @@ Checks enforced (beyond what the compiler sees):
                          SPHERE_CORE_ROUTE_H_; tests keep their tree prefix).
   4. relative-include:   no `#include "../foo.h"`; internal headers are
                          included by their path relative to src/ (or tests/).
+  5. raw-alloc:          raw `new` expressions / malloc-family calls in the
+                         hot-path layers (src/core, src/engine). Statement-
+                         scoped allocations go through the arena (ArenaManaged
+                         / ArenaVector, common/arena.h); row storage through
+                         engine::RowStore (engine/row_batch.h); ownership
+                         through make_unique/make_shared. Suppress a
+                         legitimate site with `lint-exempt(raw-alloc): reason`
+                         on the line or the one above.
 
 Usage:  tools/lint.py [--root DIR] [files...]
 Exits non-zero if any violation is found; prints file:line: rule: message.
@@ -58,6 +66,20 @@ RAW_GUARD_RE = re.compile(
     r"\bstd::(lock_guard|unique_lock|scoped_lock|atomic_flag)\b")
 
 RELATIVE_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"\.\.?/')
+
+# Hot-path layers where per-statement heap traffic is disciplined (arena /
+# row pool); a stray `new` or malloc here is an allocation-regression vector
+# the benchmarks will not always catch.
+RAW_ALLOC_DIRS = (
+    os.path.join("src", "core") + os.sep,
+    os.path.join("src", "engine") + os.sep,
+)
+# A new-expression (`new T`, `x = new T[...]`) — not `operator new`, not the
+# word in comments/strings (already stripped). malloc family included.
+RAW_ALLOC_RE = re.compile(
+    r"(?<!operator )\bnew\s+[A-Za-z_:(]|"
+    r"\b(?:malloc|calloc|realloc|aligned_alloc|posix_memalign|strdup)\s*\(")
+RAW_ALLOC_EXEMPT_RE = re.compile(r"lint-exempt\(raw-alloc\)\s*:\s*\S")
 
 GUARD_IFNDEF_RE = re.compile(r"^#ifndef\s+([A-Za-z0-9_]+)\s*$")
 
@@ -275,6 +297,7 @@ def check_file(root, rel, status_fns, errors):
 
     in_common_mutex = rel in RAW_MUTEX_EXEMPT
     in_common = rel.startswith(os.path.join("src", "common") + os.sep)
+    in_hot_path = rel.startswith(RAW_ALLOC_DIRS)
     for i, line in enumerate(lines, 1):
         if not in_common_mutex and RAW_MUTEX_RE.search(line):
             errors.append((rel, i, "raw-mutex",
@@ -289,6 +312,15 @@ def check_file(root, rel, status_fns, errors):
         if RELATIVE_INCLUDE_RE.match(raw_lines[i - 1]):
             errors.append((rel, i, "relative-include",
                            "relative #include; use the src/-relative path"))
+        if in_hot_path and RAW_ALLOC_RE.search(line):
+            exempt = RAW_ALLOC_EXEMPT_RE.search(raw_lines[i - 1]) or (
+                i >= 2 and RAW_ALLOC_EXEMPT_RE.search(raw_lines[i - 2]))
+            if not exempt:
+                errors.append((rel, i, "raw-alloc",
+                               "raw allocation in a hot-path layer; use the "
+                               "statement arena (common/arena.h), the row "
+                               "pool (engine/row_batch.h) or make_unique — "
+                               "or mark lint-exempt(raw-alloc): reason"))
     for start_line, stmt in iter_statements(text):
         m = BARE_CALL_RE.match(stmt)
         if not m:
