@@ -591,6 +591,33 @@ void BM_FanoutDrainAllocs(benchmark::State& state) {
 }
 BENCHMARK(BM_FanoutDrainAllocs)->Arg(0)->Arg(1);
 
+/// Observability overhead on the hottest committed path (cache-hit point
+/// SELECT): Arg(0) runs with the observability knob off (statement scopes and
+/// ScopedSpans must compile down to a thread-local read), Arg(1) with the
+/// default sampling interval. The bench_check.py gate holds Arg(1) within 5%
+/// of Arg(0).
+void BM_ObservabilityOverhead(benchmark::State& state) {
+  bool observability = state.range(0) != 0;
+  engine::ScopedObservability knob(observability);
+  engine::ScopedTraceSampling sampling(
+      engine::PipelineConfig::kDefaultTraceSampleInterval);
+  MiniCluster cluster(/*cache_capacity=*/2048);
+  auto warm = cluster.runtime->Execute(kPointSQL);
+  if (!warm.ok()) std::abort();
+  for (auto _ : state) {
+    auto r = cluster.runtime->Execute(kPointSQL);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(observability
+                     ? "tracing on, default sampling (1/" +
+                           std::to_string(
+                               engine::PipelineConfig::kDefaultTraceSampleInterval) +
+                           ")"
+                     : "observability off: thread-local read only");
+}
+BENCHMARK(BM_ObservabilityOverhead)->Arg(0)->Arg(1);
+
 /// Cached-plan AST copy: the per-execution clone of a cached statement tree.
 /// Arg(0): plain heap clone (one operator new per node); Arg(1): clone inside
 /// an arena scope — the same Clone() code path bump-allocates every node in

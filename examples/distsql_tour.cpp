@@ -1,6 +1,7 @@
 // DistSQL tour (paper §V-A): configure sharding with SQL instead of config
 // files — RDL to define rules (AutoTable), RQL to inspect them, RAL to
-// administer the runtime, and PREVIEW to see routing decisions.
+// administer the runtime, PREVIEW to see routing decisions, and
+// TRACE / SHOW METRICS to watch the pipeline run.
 //
 //   ./examples/distsql_tour
 
@@ -48,6 +49,11 @@ int main() {
   // --- PREVIEW: where would this SQL go? ---
   PrintQuery(conn.get(), "PREVIEW SELECT * FROM t_user_h WHERE uid = 3");
   PrintQuery(conn.get(), "PREVIEW SELECT COUNT(*) FROM t_user_h");
+
+  // --- Observability: where did this SQL spend its time? (DESIGN.md §13) ---
+  PrintQuery(conn.get(), "TRACE SELECT * FROM t_user_h WHERE uid > 0");
+  PrintQuery(conn.get(), "SHOW METRICS LIKE 'stage.%'");
+  PrintQuery(conn.get(), "SHOW METRICS LIKE 'statement_cache.%'");
 
   // Rules are live objects: ALTER reshards the metadata on the fly.
   std::printf("RDL> ALTER SHARDING TABLE RULE t_user_h (sharding-count=4)\n");

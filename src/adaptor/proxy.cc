@@ -1,8 +1,33 @@
 #include "adaptor/proxy.h"
 
+#include "common/metrics.h"
 #include "engine/pipeline.h"
 
 namespace sphere::adaptor {
+
+ShardingProxy::ShardingProxy(ShardingDataSource* backend,
+                             const net::LatencyModel* client_network)
+    : backend_(backend), client_network_(client_network) {
+  metrics::Registry::Instance().PublishProbe(
+      "proxy.workers_busy", this,
+      [this] { return static_cast<int64_t>(workers_busy()); });
+}
+
+ShardingProxy::~ShardingProxy() {
+  metrics::Registry::Instance().UnpublishProbes(this);
+}
+
+int ShardingProxy::workers_busy() const {
+  MutexLock lk(worker_mu_);
+  return workers_busy_;
+}
+
+void ShardingProxy::CountStatement() {
+  statements_served_.fetch_add(1, std::memory_order_relaxed);
+  static metrics::Counter* total =
+      metrics::Registry::Instance().GetCounter("proxy.statements");
+  total->Increment();
+}
 
 void ShardingProxy::set_worker_capacity(int workers) {
   {
@@ -37,7 +62,7 @@ Result<engine::ExecResult> ShardingProxy::Connection::Execute(
     // but charge the byte-identical packet sizes on the client network, so
     // the proxy's wire cost model matches the baseline exactly.
     proxy_->client_network_->Transfer(net::EncodedQuerySize(sql_text, params));
-    proxy_->statements_served_.fetch_add(1, std::memory_order_relaxed);
+    proxy_->CountStatement();
     proxy_->AcquireWorker();
     auto result = backend_->ExecuteSQL(sql_text, params);
     proxy_->ReleaseWorker();
@@ -64,7 +89,7 @@ Result<engine::ExecResult> ShardingProxy::Connection::Execute(
   // the proxy process's worker slots.
   auto decoded = net::DecodeRequest(request);
   if (!decoded.ok()) return decoded.status();
-  proxy_->statements_served_.fetch_add(1, std::memory_order_relaxed);
+  proxy_->CountStatement();
   proxy_->AcquireWorker();
   auto result = backend_->ExecuteSQL(decoded->sql, decoded->params);
   proxy_->ReleaseWorker();

@@ -21,10 +21,15 @@ namespace sphere::adaptor {
 /// share its connection pools (the pooling advantage §VII-A mentions).
 class ShardingProxy {
  public:
-  /// `client_network` models the app <-> proxy link.
+  /// `client_network` models the app <-> proxy link. Publishes a
+  /// `proxy.workers_busy` gauge probe for its lifetime (last proxy wins if
+  /// several coexist, as in capacity tests).
   ShardingProxy(ShardingDataSource* backend,
-                const net::LatencyModel* client_network)
-      : backend_(backend), client_network_(client_network) {}
+                const net::LatencyModel* client_network);
+  ~ShardingProxy();
+
+  ShardingProxy(const ShardingProxy&) = delete;
+  ShardingProxy& operator=(const ShardingProxy&) = delete;
 
   /// One client connection: its transaction state lives in the proxy-side
   /// backend connection, like a server session.
@@ -55,16 +60,23 @@ class ShardingProxy {
 
   int64_t statements_served() const { return statements_served_.load(); }
 
+  /// Statements currently holding a worker slot (observability probe).
+  int workers_busy() const SPHERE_EXCLUDES(worker_mu_);
+
  private:
   friend class Connection;
 
   void AcquireWorker() SPHERE_EXCLUDES(worker_mu_);
   void ReleaseWorker() SPHERE_EXCLUDES(worker_mu_);
 
+  /// Bumps both the per-instance count and the process-wide
+  /// `proxy.statements` registry counter.
+  void CountStatement();
+
   ShardingDataSource* const backend_;
   const net::LatencyModel* client_network_;
   std::atomic<int64_t> statements_served_{0};
-  Mutex worker_mu_{LockRank::kAdaptor, "adaptor/proxy.worker"};
+  mutable Mutex worker_mu_{LockRank::kAdaptor, "adaptor/proxy.worker"};
   CondVar worker_cv_;
   int worker_capacity_ SPHERE_GUARDED_BY(worker_mu_) = 0;  ///< 0 = unlimited
   int workers_busy_ SPHERE_GUARDED_BY(worker_mu_) = 0;

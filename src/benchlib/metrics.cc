@@ -1,11 +1,9 @@
 #include "benchlib/metrics.h"
 
 #include <atomic>
-#include <cstdio>
 #include <thread>
 
 #include "common/clock.h"
-#include "common/strings.h"
 
 namespace sphere::benchlib {
 
@@ -64,49 +62,6 @@ BenchResult RunBenchmark(baselines::SqlSystem* system,
   result.p95_ms = histogram.PercentileMillis(95);
   result.p99_ms = histogram.PercentileMillis(99);
   return result;
-}
-
-TablePrinter::TablePrinter(std::vector<std::string> headers)
-    : headers_(std::move(headers)) {}
-
-void TablePrinter::AddRow(std::vector<std::string> cells) {
-  rows_.push_back(std::move(cells));
-}
-
-std::string TablePrinter::Fmt(double v, int decimals) {
-  return StrFormat("%.*f", decimals, v);
-}
-
-void TablePrinter::Print() const {
-  std::vector<size_t> widths(headers_.size(), 0);
-  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
-  for (const auto& row : rows_) {
-    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
-      widths[i] = std::max(widths[i], row[i].size());
-    }
-  }
-  auto print_sep = [&] {
-    std::printf("+");
-    for (size_t w : widths) {
-      for (size_t i = 0; i < w + 2; ++i) std::printf("-");
-      std::printf("+");
-    }
-    std::printf("\n");
-  };
-  auto print_row = [&](const std::vector<std::string>& cells) {
-    std::printf("|");
-    for (size_t i = 0; i < widths.size(); ++i) {
-      const std::string& cell = i < cells.size() ? cells[i] : std::string();
-      std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
-    }
-    std::printf("\n");
-  };
-  print_sep();
-  print_row(headers_);
-  print_sep();
-  for (const auto& row : rows_) print_row(row);
-  print_sep();
-  std::fflush(stdout);
 }
 
 void AddResultRow(TablePrinter* table, const BenchResult& r) {

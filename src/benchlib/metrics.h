@@ -8,6 +8,7 @@
 #include "baselines/system.h"
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "common/table_printer.h"
 
 namespace sphere::benchlib {
 
@@ -43,19 +44,9 @@ BenchResult RunBenchmark(baselines::SqlSystem* system,
                          const std::string& scenario,
                          const BenchOptions& options, const BenchOp& op);
 
-/// Fixed-width table printer for bench mains.
-class TablePrinter {
- public:
-  explicit TablePrinter(std::vector<std::string> headers);
-  void AddRow(std::vector<std::string> cells);
-  void Print() const;
-
-  static std::string Fmt(double v, int decimals = 2);
-
- private:
-  std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
-};
+/// Fixed-width table printer; the implementation now lives in
+/// common/table_printer.h so trace/DistSQL rendering can share it.
+using sphere::TablePrinter;
 
 /// Appends the standard (system, tps, avg, p90, p99, err) row.
 void AddResultRow(TablePrinter* table, const BenchResult& r);

@@ -52,12 +52,29 @@ void Histogram::Merge(const Histogram& other) SPHERE_NO_THREAD_SAFETY_ANALYSIS {
 double Histogram::PercentileMillis(double p) const {
   MutexLock g(mu_);
   if (count_ == 0) return 0.0;
+  if (p <= 0.0) return static_cast<double>(min_) / 1000.0;
+  if (p >= 100.0) return static_cast<double>(max_) / 1000.0;
   int64_t threshold = static_cast<int64_t>(std::ceil(count_ * p / 100.0));
+  if (threshold < 1) threshold = 1;
+  if (threshold > count_) threshold = count_;
   int64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
     seen += buckets_[i];
     if (seen >= threshold) {
-      return static_cast<double>(BucketLimit(i)) / 1000.0;
+      // Clamp the bucket's range to the observed extremes (a single-sample
+      // histogram resolves exactly), then interpolate by rank within the
+      // bucket instead of snapping to its upper limit.
+      double lo = static_cast<double>(i == 0 ? 0 : BucketLimit(i - 1));
+      double hi = static_cast<double>(BucketLimit(i));
+      lo = std::max(lo, static_cast<double>(min_));
+      hi = std::min(hi, static_cast<double>(max_));
+      if (hi < lo) hi = lo;
+      int64_t in_bucket = buckets_[i];
+      int64_t before = seen - in_bucket;
+      double frac = static_cast<double>(threshold - before) /
+                    static_cast<double>(in_bucket);
+      return (lo + (hi - lo) * frac) / 1000.0;
     }
   }
   return static_cast<double>(max_) / 1000.0;

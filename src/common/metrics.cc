@@ -1,0 +1,190 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sphere::metrics {
+
+size_t Counter::StripeIndex() {
+  // Round-robin stripe assignment at first use per thread: cheaper and
+  // better-distributed than hashing the thread id, and stable for the
+  // thread's lifetime so its increments stay on one cache line.
+  static std::atomic<size_t> next{0};
+  thread_local size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return idx;
+}
+
+Registry& Registry::Instance() {
+  // Leaked: nodes/caches unpublish probes from destructors that may run
+  // during process teardown, after function-local statics are destroyed.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  MutexLock g(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  MutexLock g(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name) {
+  MutexLock g(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+void Registry::PublishProbe(std::string_view name, const void* owner,
+                            Probe probe) {
+  MutexLock g(mu_);
+  probes_[std::string(name)] = ProbeEntry{owner, std::move(probe)};
+}
+
+void Registry::UnpublishProbe(std::string_view name, const void* owner) {
+  MutexLock g(mu_);
+  auto it = probes_.find(name);
+  if (it != probes_.end() && it->second.owner == owner) probes_.erase(it);
+}
+
+void Registry::UnpublishProbes(const void* owner) {
+  MutexLock g(mu_);
+  for (auto it = probes_.begin(); it != probes_.end();) {
+    if (it->second.owner == owner) {
+      it = probes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Registry::MatchesPattern(std::string_view name,
+                              std::string_view pattern) {
+  if (pattern.empty()) return true;
+  if (pattern.find('%') == std::string_view::npos) {
+    return name.find(pattern) != std::string_view::npos;
+  }
+  // Iterative SQL-LIKE `%` match with backtracking to the last wildcard.
+  size_t n = 0;
+  size_t p = 0;
+  size_t star = std::string_view::npos;
+  size_t star_n = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() && pattern[p] == '%') {
+      star = p++;
+      star_n = n;
+    } else if (p < pattern.size() && pattern[p] == name[n]) {
+      ++p;
+      ++n;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      n = ++star_n;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+std::vector<Sample> Registry::Snapshot(std::string_view pattern) const {
+  // Copy matching entries out under the lock, then evaluate probes and
+  // histogram percentiles unlocked: a probe may take its own component's
+  // mutex, and histogram reads take the histogram's mutex.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  std::vector<std::pair<std::string, Probe>> probes;
+  {
+    MutexLock g(mu_);
+    for (const auto& [name, c] : counters_) {
+      if (MatchesPattern(name, pattern)) counters.emplace_back(name, c.get());
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      if (MatchesPattern(name, pattern)) gauges.emplace_back(name, gauge.get());
+    }
+    for (const auto& [name, h] : histograms_) {
+      if (MatchesPattern(name, pattern)) {
+        histograms.emplace_back(name, h.get());
+      }
+    }
+    for (const auto& [name, entry] : probes_) {
+      if (MatchesPattern(name, pattern)) {
+        probes.emplace_back(name, entry.probe);
+      }
+    }
+  }
+
+  std::vector<Sample> out;
+  out.reserve(counters.size() + gauges.size() + histograms.size() +
+              probes.size());
+  for (const auto& [name, c] : counters) {
+    Sample s;
+    s.name = name;
+    s.kind = MetricKind::kCounter;
+    s.value = c->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges) {
+    Sample s;
+    s.name = name;
+    s.kind = MetricKind::kGauge;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, probe] : probes) {
+    Sample s;
+    s.name = name;
+    s.kind = MetricKind::kGauge;
+    s.value = probe ? probe() : 0;
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms) {
+    Sample s;
+    s.name = name;
+    s.kind = MetricKind::kHistogram;
+    s.value = h->count();
+    s.avg_ms = h->AvgMillis();
+    s.p50_ms = h->PercentileMillis(50);
+    s.p95_ms = h->PercentileMillis(95);
+    s.p99_ms = h->PercentileMillis(99);
+    s.max_ms = static_cast<double>(h->max_micros()) / 1000.0;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+void Registry::ResetForTest() {
+  std::vector<Counter*> counters;
+  std::vector<Gauge*> gauges;
+  std::vector<Histogram*> histograms;
+  {
+    MutexLock g(mu_);
+    for (auto& [name, c] : counters_) counters.push_back(c.get());
+    for (auto& [name, gauge] : gauges_) gauges.push_back(gauge.get());
+    for (auto& [name, h] : histograms_) histograms.push_back(h.get());
+  }
+  for (Counter* c : counters) c->Reset();
+  for (Gauge* g : gauges) g->Set(0);
+  for (Histogram* h : histograms) h->Reset();
+}
+
+}  // namespace sphere::metrics

@@ -1,0 +1,149 @@
+#ifndef SPHERE_COMMON_METRICS_H_
+#define SPHERE_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/mutex.h"
+
+namespace sphere::metrics {
+
+/// Monotonic counter with thread-striped recording: `Add` touches one of
+/// eight cache-line-isolated atomic slots picked per thread, so concurrent
+/// hot-path increments never contend on a shared line. Reads sum the stripes
+/// (eventually consistent between concurrent adds, exact once they finish).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(int64_t delta) {
+    stripes_[StripeIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  int64_t value() const {
+    int64_t total = 0;
+    for (const Stripe& s : stripes_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Stripe& s : stripes_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kStripes = 8;
+  struct alignas(64) Stripe {
+    std::atomic<int64_t> v{0};
+  };
+  static size_t StripeIndex();
+
+  Stripe stripes_[kStripes];
+};
+
+/// Point-in-time value (queue depth, pool occupancy, liveness flag).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One row of a registry snapshot. Counters and gauges fill `value`;
+/// histograms fill `value` with the sample count plus the latency columns.
+struct Sample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  int64_t value = 0;
+  double avg_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+/// Process-wide registry of named metrics (DESIGN.md §13).
+///
+/// Two publication styles:
+///  - *owned* metrics: `GetCounter/GetGauge/GetHistogram` get-or-create by
+///    name and return a stable pointer, never freed — callers cache the
+///    pointer and record lock-free;
+///  - *probes*: `PublishProbe` registers a callback evaluated at snapshot
+///    time, for stats that already live in some component (cache shard
+///    atomics, pool occupancy, health state). Probes carry an owner token so
+///    a dying component removes exactly its own entries; re-publishing a
+///    name overwrites (last wins), and unpublish only removes entries still
+///    owned by the caller.
+///
+/// Snapshot evaluates probes *outside* the registry mutex, so a probe may
+/// take its component's own lock (any rank) without ordering through the
+/// registry; probes must not call back into the registry.
+class Registry {
+ public:
+  static Registry& Instance();
+
+  Counter* GetCounter(std::string_view name) SPHERE_EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name) SPHERE_EXCLUDES(mu_);
+  Histogram* GetHistogram(std::string_view name) SPHERE_EXCLUDES(mu_);
+
+  using Probe = std::function<int64_t()>;
+  void PublishProbe(std::string_view name, const void* owner, Probe probe)
+      SPHERE_EXCLUDES(mu_);
+  void UnpublishProbe(std::string_view name, const void* owner)
+      SPHERE_EXCLUDES(mu_);
+  /// Removes every probe registered with `owner`.
+  void UnpublishProbes(const void* owner) SPHERE_EXCLUDES(mu_);
+
+  /// All metrics (sorted by name) whose name matches `pattern`: empty
+  /// matches everything, `%` is a SQL-LIKE wildcard, and a pattern without
+  /// `%` matches as a substring.
+  std::vector<Sample> Snapshot(std::string_view pattern = {}) const
+      SPHERE_EXCLUDES(mu_);
+
+  /// Zeroes owned counters/gauges and resets histograms; probes stay (their
+  /// owners hold live state). Test isolation only — pointers stay valid.
+  void ResetForTest() SPHERE_EXCLUDES(mu_);
+
+  static bool MatchesPattern(std::string_view name, std::string_view pattern);
+
+ private:
+  Registry() = default;
+
+  struct ProbeEntry {
+    const void* owner = nullptr;
+    Probe probe;
+  };
+
+  mutable Mutex mu_{LockRank::kCommon, "common/metrics.registry"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SPHERE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      SPHERE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SPHERE_GUARDED_BY(mu_);
+  std::map<std::string, ProbeEntry, std::less<>> probes_ SPHERE_GUARDED_BY(mu_);
+};
+
+}  // namespace sphere::metrics
+
+#endif  // SPHERE_COMMON_METRICS_H_

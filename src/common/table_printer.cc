@@ -1,0 +1,64 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace sphere {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double v, int decimals) {
+  return StrFormat("%.*f", decimals, v);
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::string out;
+  auto append_sep = [&] {
+    out.push_back('+');
+    for (size_t w : widths) {
+      out.append(w + 2, '-');
+      out.push_back('+');
+    }
+    out.push_back('\n');
+  };
+  auto append_row = [&](const std::vector<std::string>& cells) {
+    out.push_back('|');
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      out.push_back(' ');
+      out.append(cell);
+      out.append(widths[i] - cell.size() + 1, ' ');
+      out.push_back('|');
+    }
+    out.push_back('\n');
+  };
+  append_sep();
+  append_row(headers_);
+  append_sep();
+  for (const auto& row : rows_) append_row(row);
+  append_sep();
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace sphere

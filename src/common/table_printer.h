@@ -1,0 +1,30 @@
+#ifndef SPHERE_COMMON_TABLE_PRINTER_H_
+#define SPHERE_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace sphere {
+
+/// Fixed-width ASCII table renderer shared by bench mains, trace rendering,
+/// and DistSQL observability output (DESIGN.md §13).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (`+---+` separators, left-aligned cells).
+  std::string ToString() const;
+  /// ToString() to stdout.
+  void Print() const;
+
+  static std::string Fmt(double v, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sphere
+
+#endif  // SPHERE_COMMON_TABLE_PRINTER_H_

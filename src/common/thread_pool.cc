@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include "common/metrics.h"
+
 namespace sphere {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -38,7 +40,20 @@ ThreadPool* SharedThreadPool() {
   static ThreadPool* pool = [] {
     size_t n = std::thread::hardware_concurrency();
     if (n < 4) n = 4;
-    return new ThreadPool(n);
+    ThreadPool* p = new ThreadPool(n);
+    // Published once for the leaked singleton; snapshot-time probes read the
+    // live queue state (DESIGN.md §13).
+    auto& registry = metrics::Registry::Instance();
+    registry.PublishProbe("executor_pool.queue_depth", p, [p] {
+      return static_cast<int64_t>(p->queue_depth());
+    });
+    registry.PublishProbe("executor_pool.active", p, [p] {
+      return static_cast<int64_t>(p->active());
+    });
+    registry.PublishProbe("executor_pool.threads", p, [p] {
+      return static_cast<int64_t>(p->num_threads());
+    });
+    return p;
   }();
   return pool;
 }

@@ -28,10 +28,21 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// Tasks enqueued but not yet picked up (observability gauge probe).
+  size_t queue_depth() const SPHERE_EXCLUDES(mu_) {
+    MutexLock g(mu_);
+    return tasks_.size();
+  }
+  /// Tasks currently executing on workers.
+  size_t active() const SPHERE_EXCLUDES(mu_) {
+    MutexLock g(mu_);
+    return active_;
+  }
+
  private:
   void WorkerLoop() SPHERE_EXCLUDES(mu_);
 
-  Mutex mu_{LockRank::kCommon, "common/thread_pool"};
+  mutable Mutex mu_{LockRank::kCommon, "common/thread_pool"};
   CondVar task_cv_;
   CondVar done_cv_;
   std::deque<std::function<void()>> tasks_ SPHERE_GUARDED_BY(mu_);

@@ -6,6 +6,7 @@
 
 #include "common/arena.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace sphere::core {
 
@@ -43,14 +44,23 @@ struct Group {
 
 /// Executes a list of units serially on one connection. `results` points at
 /// the per-unit slot array (indexed by the unit's position in `units`).
+/// `tr`/`parent` carry the statement trace across pool workers explicitly —
+/// the thread-local current trace does not propagate to the shared pool.
 void RunSerial(net::RemoteConnection* conn, const std::vector<SQLUnit>& units,
                std::span<const size_t> indices, UnitObserver* observer,
-               Result<engine::ExecResult>* results) {
+               Result<engine::ExecResult>* results, trace::Trace* tr,
+               trace::Span* parent) {
   for (size_t idx : indices) {
+    trace::Span* uspan = nullptr;
+    if (tr != nullptr) {
+      uspan = tr->StartSpan(parent, "unit");
+      tr->AddAttr(uspan, "data_source", units[idx].data_source);
+    }
     if (observer != nullptr) {
       Status st = observer->BeforeUnit(conn, units[idx]);
       if (!st.ok()) {
         results[idx] = st;
+        if (tr != nullptr) tr->EndSpan(uspan);
         continue;
       }
     }
@@ -68,6 +78,7 @@ void RunSerial(net::RemoteConnection* conn, const std::vector<SQLUnit>& units,
       Status st = observer->AfterUnit(conn, units[idx], results[idx]);
       if (!st.ok() && results[idx].ok()) results[idx] = st;
     }
+    if (tr != nullptr) tr->EndSpan(uspan);
   }
 }
 
@@ -77,6 +88,11 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
     const std::vector<SQLUnit>& units, ConnectionSource* txn_source,
     UnitObserver* observer) const {
   if (units.empty()) return Status::Internal("no SQL units to execute");
+
+  // Captured once on the statement thread; per-unit spans parent under the
+  // runtime's "execute" span even when they run on pool workers.
+  trace::Trace* tr = trace::Current();
+  trace::Span* parent = tr != nullptr ? trace::CurrentSpan() : nullptr;
 
   // ----- Single-unit fast path. -----
   // The dominant OLTP shape (a point query routed to one shard) needs no
@@ -98,6 +114,11 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
       lease = ds->pool().Acquire();
       conn = lease.get();
     }
+    trace::Span* uspan = nullptr;
+    if (tr != nullptr) {
+      uspan = tr->StartSpan(parent, "unit");
+      tr->AddAttr(uspan, "data_source", unit.data_source);
+    }
     Result<engine::ExecResult> r(Status::Internal("not executed"));
     bool executed = true;
     if (observer != nullptr) {
@@ -118,6 +139,7 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
         if (!st.ok() && r.ok()) r = st;
       }
     }
+    if (tr != nullptr) tr->EndSpan(uspan);
     if (!r.ok()) return r.status();
     ExecutionOutcome outcome;
     outcome.mode = ConnectionMode::kMemoryStrictly;
@@ -215,7 +237,8 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
   }
 
   if (tasks.size() == 1) {
-    RunSerial(tasks[0].conn, units, tasks[0].indices, observer, results.data());
+    RunSerial(tasks[0].conn, units, tasks[0].indices, observer, results.data(),
+              tr, parent);
   } else if (pool_ != nullptr) {
     // The data sources execute their SQLs in parallel (paper Fig. 8), on the
     // persistent scheduler: every slice but the first goes to the pool, the
@@ -226,11 +249,13 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
     for (size_t i = 1; i < tasks.size(); ++i) {
       Task* task = &tasks[i];
       pool_->Submit([&, task] {
-        RunSerial(task->conn, units, task->indices, observer, results.data());
+        RunSerial(task->conn, units, task->indices, observer, results.data(),
+                  tr, parent);
         latch.CountDown();
       });
     }
-    RunSerial(tasks[0].conn, units, tasks[0].indices, observer, results.data());
+    RunSerial(tasks[0].conn, units, tasks[0].indices, observer, results.data(),
+              tr, parent);
     latch.Wait();
   } else {
     // Benchmark baseline (set_thread_pool(nullptr)): the pre-scheduler
@@ -241,10 +266,12 @@ Result<ExecutionOutcome> ExecutionEngine::Execute(
     threads.reserve(tasks.size() - 1);
     for (size_t i = 1; i < tasks.size(); ++i) {
       threads.emplace_back([&, i] {
-        RunSerial(tasks[i].conn, units, tasks[i].indices, observer, results.data());
+        RunSerial(tasks[i].conn, units, tasks[i].indices, observer,
+                  results.data(), tr, parent);
       });
     }
-    RunSerial(tasks[0].conn, units, tasks[0].indices, observer, results.data());
+    RunSerial(tasks[0].conn, units, tasks[0].indices, observer, results.data(),
+              tr, parent);
     for (auto& t : threads) t.join();
   }
 

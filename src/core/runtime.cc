@@ -2,6 +2,7 @@
 
 #include "common/arena.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "core/hint.h"
 #include "engine/pipeline.h"
 
@@ -84,6 +85,16 @@ Result<engine::ExecResult> ShardingRuntime::ExecuteStatement(
     return Status::InvalidArgument("no sharding rule configured");
   }
 
+  // Span tree for this statement: joins a forced (TRACE) or sampled outer
+  // trace, samples a fresh one, or no-ops (DESIGN.md §13). Span storage is
+  // trace-owned — never the statement arena below, which is reset on return.
+  trace::StatementTraceScope tscope(
+      engine::PipelineConfig::observability_enabled(),
+      engine::PipelineConfig::trace_sample_interval());
+  if (tscope.active()) {
+    tscope.Note("kind", std::string(sql::StatementKindName(stmt.kind())));
+  }
+
   // Statement scope: AST clones (keygen, interceptors, rewrite output) and
   // scratch below bump-allocate and are reclaimed wholesale on return. The
   // merged result escapes the scope, so it must hold no arena memory — its
@@ -109,11 +120,25 @@ Result<engine::ExecResult> ShardingRuntime::ExecuteStatement(
   }
 
   RouteEngine router(rule_.get());
-  SPHERE_ASSIGN_OR_RETURN(RouteResult route, router.Route(*effective, params));
+  RouteResult route;
+  {
+    trace::ScopedSpan span("route");
+    SPHERE_ASSIGN_OR_RETURN(route, router.Route(*effective, params));
+    if (span.active()) {
+      span.Note("fan_out", std::to_string(route.units.size()));
+    }
+  }
 
   RewriteEngine rewriter(dialect_);
-  SPHERE_ASSIGN_OR_RETURN(RewriteResult rewritten,
-                          rewriter.Rewrite(*effective, route, params));
+  RewriteResult rewritten;
+  {
+    trace::ScopedSpan span("rewrite");
+    SPHERE_ASSIGN_OR_RETURN(rewritten,
+                            rewriter.Rewrite(*effective, route, params));
+    if (span.active()) {
+      span.Note("units", std::to_string(rewritten.units.size()));
+    }
+  }
 
   bool in_txn = txn_source != nullptr;
   for (auto& interceptor : interceptors_) {
@@ -121,14 +146,20 @@ Result<engine::ExecResult> ShardingRuntime::ExecuteStatement(
         interceptor->AfterRewrite(*effective, &rewritten.units, in_txn));
   }
 
-  SPHERE_ASSIGN_OR_RETURN(
-      ExecutionOutcome outcome,
-      executor_.Execute(rewritten.units, txn_source, observer));
+  ExecutionOutcome outcome;
+  {
+    trace::ScopedSpan span("execute");
+    SPHERE_ASSIGN_OR_RETURN(
+        outcome, executor_.Execute(rewritten.units, txn_source, observer));
+  }
   last_mode_.store(outcome.mode, std::memory_order_relaxed);
 
-  SPHERE_ASSIGN_OR_RETURN(
-      engine::ExecResult merged,
-      merger_.Merge(std::move(outcome.results), rewritten.merge));
+  engine::ExecResult merged;
+  {
+    trace::ScopedSpan span("merge");
+    SPHERE_ASSIGN_OR_RETURN(
+        merged, merger_.Merge(std::move(outcome.results), rewritten.merge));
+  }
   if (generated_key != 0 && merged.last_insert_id == 0) {
     merged.last_insert_id = generated_key;
   }
@@ -142,6 +173,11 @@ Result<engine::ExecResult> ShardingRuntime::ExecuteStatement(
 
 Result<engine::ExecResult> ShardingRuntime::Execute(std::string_view sql_text,
                                                     std::vector<Value> params) {
+  // Opened here (not in ExecutePlan) so the parse/cache-lookup stage lands
+  // inside the statement span; inner scopes join this one.
+  trace::StatementTraceScope tscope(
+      engine::PipelineConfig::observability_enabled(),
+      engine::PipelineConfig::trace_sample_interval());
   SPHERE_ASSIGN_OR_RETURN(std::shared_ptr<const StatementPlan> plan,
                           GetOrParse(sql_text));
   return ExecutePlan(*plan, std::move(params), nullptr);
@@ -149,9 +185,14 @@ Result<engine::ExecResult> ShardingRuntime::Execute(std::string_view sql_text,
 
 Result<std::shared_ptr<const StatementPlan>> ShardingRuntime::GetOrParse(
     std::string_view sql_text) {
+  trace::ScopedSpan span("parse");
   std::shared_ptr<const StatementPlan> plan =
       stmt_cache_.Get(config_.dialect, sql_text);
-  if (plan != nullptr) return plan;
+  if (plan != nullptr) {
+    if (span.active()) span.Note("cache", "hit");
+    return plan;
+  }
+  if (span.active()) span.Note("cache", "miss");
   // The parsed AST outlives this statement (it is published to the plan
   // cache), so it must never come from a statement arena.
   ArenaSuspend heap_scope;
@@ -180,6 +221,10 @@ Result<engine::ExecResult> ShardingRuntime::ExecutePlan(
                             observer);
   }
 
+  trace::StatementTraceScope tscope(
+      engine::PipelineConfig::observability_enabled(),
+      engine::PipelineConfig::trace_sample_interval());
+
   ArenaScope arena_scope(engine::PipelineConfig::arena_statements_enabled());
 
   // Read the epoch before routing: if SetRule lands in between, the plan we
@@ -193,18 +238,36 @@ Result<engine::ExecResult> ShardingRuntime::ExecutePlan(
     auto fresh = std::make_shared<RoutedPlan>();
     fresh->rule_epoch = epoch;
     RouteEngine router(rule_.get());
-    SPHERE_ASSIGN_OR_RETURN(fresh->route, router.Route(plan.stmt(), params));
+    {
+      trace::ScopedSpan span("route");
+      SPHERE_ASSIGN_OR_RETURN(fresh->route, router.Route(plan.stmt(), params));
+      if (span.active()) {
+        span.Note("fan_out", std::to_string(fresh->route.units.size()));
+      }
+    }
     RewriteEngine rewriter(dialect_);
-    SPHERE_ASSIGN_OR_RETURN(fresh->rewritten,
-                            rewriter.Rewrite(plan.stmt(), fresh->route, params));
+    {
+      trace::ScopedSpan span("rewrite");
+      SPHERE_ASSIGN_OR_RETURN(
+          fresh->rewritten, rewriter.Rewrite(plan.stmt(), fresh->route, params));
+      if (span.active()) {
+        span.Note("units", std::to_string(fresh->rewritten.units.size()));
+      }
+    }
     routed = fresh;
     plan.StoreRouted(std::move(fresh));
+  } else if (tscope.active()) {
+    tscope.Note("routed_plan", "reused");
   }
 
-  SPHERE_ASSIGN_OR_RETURN(
-      ExecutionOutcome outcome,
-      executor_.Execute(routed->rewritten.units, txn_source, observer));
+  ExecutionOutcome outcome;
+  {
+    trace::ScopedSpan span("execute");
+    SPHERE_ASSIGN_OR_RETURN(
+        outcome, executor_.Execute(routed->rewritten.units, txn_source, observer));
+  }
   last_mode_.store(outcome.mode, std::memory_order_relaxed);
+  trace::ScopedSpan merge_span("merge");
   return merger_.Merge(std::move(outcome.results), routed->rewritten.merge);
 }
 

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "common/lru_cache.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/strings.h"
 #include "core/rewrite.h"
@@ -77,7 +78,31 @@ class StatementPlan {
 class StatementCache {
  public:
   explicit StatementCache(size_t capacity, size_t num_shards = 8)
-      : cache_(capacity, num_shards) {}
+      : cache_(capacity, num_shards) {
+    // Registry publication (DESIGN.md §13): snapshot-time probes read the
+    // shard atomics in place; the CacheStats accessor below survives only
+    // as a compat shim for per-instance test accounting. Several runtimes
+    // in one process share the names — last construction wins, and each
+    // destructor removes only its own entries.
+    auto& registry = metrics::Registry::Instance();
+    registry.PublishProbe("statement_cache.hits", this, [this] {
+      return static_cast<int64_t>(cache_.stats().hits);
+    });
+    registry.PublishProbe("statement_cache.misses", this, [this] {
+      return static_cast<int64_t>(cache_.stats().misses);
+    });
+    registry.PublishProbe("statement_cache.evictions", this, [this] {
+      return static_cast<int64_t>(cache_.stats().evictions);
+    });
+    registry.PublishProbe("statement_cache.entries", this, [this] {
+      return static_cast<int64_t>(cache_.stats().entries);
+    });
+  }
+
+  ~StatementCache() { metrics::Registry::Instance().UnpublishProbes(this); }
+
+  StatementCache(const StatementCache&) = delete;
+  StatementCache& operator=(const StatementCache&) = delete;
 
   std::shared_ptr<const StatementPlan> Get(sql::DialectType dialect,
                                            std::string_view sql);

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/table_printer.h"
+#include "common/trace.h"
 #include "core/rewrite.h"
 #include "core/route.h"
 #include "sql/lexer.h"
@@ -131,7 +134,9 @@ bool DistSQLEngine::IsDistSQL(std::string_view sql_text) {
          StartsWithIgnoreCase(t, "SHOW VARIABLE") ||
          StartsWithIgnoreCase(t, "SET VARIABLE") ||
          StartsWithIgnoreCase(t, "SET DEFAULT STORAGE") ||
-         StartsWithIgnoreCase(t, "PREVIEW ");
+         StartsWithIgnoreCase(t, "PREVIEW ") ||
+         StartsWithIgnoreCase(t, "SHOW METRICS") ||
+         StartsWithIgnoreCase(t, "TRACE ");
 }
 
 Status DistSQLEngine::Reinstall() {
@@ -353,6 +358,72 @@ Result<engine::ExecResult> DistSQLEngine::Preview(std::string_view sql_text) {
   return MakeTable({"data_source", "actual_sql"}, std::move(rows));
 }
 
+Result<engine::ExecResult> DistSQLEngine::ShowMetrics(std::string_view rest) {
+  std::string tail = Trim(rest);
+  std::string pattern;
+  if (!tail.empty()) {
+    if (!StartsWithIgnoreCase(tail, "LIKE")) {
+      return Status::SyntaxError("expected LIKE near '" + tail + "'");
+    }
+    pattern = Trim(tail.substr(4));
+    if (pattern.size() >= 2 &&
+        (pattern.front() == '\'' || pattern.front() == '"') &&
+        pattern.back() == pattern.front()) {
+      pattern = pattern.substr(1, pattern.size() - 2);
+    }
+  }
+  std::vector<Row> rows;
+  for (const metrics::Sample& s :
+       metrics::Registry::Instance().Snapshot(pattern)) {
+    const bool is_histogram = s.kind == metrics::MetricKind::kHistogram;
+    auto ms = [&](double v) {
+      return Value(is_histogram ? TablePrinter::Fmt(v, 3) : std::string("-"));
+    };
+    const char* kind = s.kind == metrics::MetricKind::kCounter  ? "counter"
+                       : s.kind == metrics::MetricKind::kGauge ? "gauge"
+                                                               : "histogram";
+    rows.push_back(Row{Value(s.name),
+                       Value(std::string(kind)), Value(s.value), ms(s.avg_ms),
+                       ms(s.p50_ms), ms(s.p95_ms), ms(s.p99_ms), ms(s.max_ms)});
+  }
+  return MakeTable({"metric", "type", "value", "avg_ms", "p50_ms", "p95_ms",
+                    "p99_ms", "max_ms"},
+                   std::move(rows));
+}
+
+Result<engine::ExecResult> DistSQLEngine::TraceStatement(
+    std::string_view sql_text) {
+  // Force-capture: install a trace so the statement's trace scope joins it
+  // (bypassing the sampler), then drain the cursor inside the scope so any
+  // streamed merge work still lands in the tree.
+  trace::Trace tr("trace");
+  {
+    trace::TraceScope scope(&tr);
+    SPHERE_ASSIGN_OR_RETURN(ExecResult result, runtime_->Execute(sql_text));
+    if (result.is_query && result.result_set != nullptr) {
+      (void)engine::DrainResultSet(result.result_set.get());
+    }
+  }
+  tr.EndSpan(tr.root());
+  trace::NotifySink(tr);
+
+  std::vector<Row> rows;
+  tr.Visit([&rows](const trace::Span& span) {
+    std::string detail;
+    for (const auto& attr : span.attrs) {
+      if (!detail.empty()) detail += " ";
+      detail += attr.key + "=" + attr.value;
+    }
+    std::string label(2 * static_cast<size_t>(span.depth), ' ');
+    label += span.name;
+    rows.push_back(Row{Value(std::move(label)),
+                       span.duration_us < 0 ? Value(std::string("-"))
+                                            : Value(span.duration_us),
+                       Value(std::move(detail))});
+  });
+  return MakeTable({"span", "duration_us", "detail"}, std::move(rows));
+}
+
 Result<engine::ExecResult> DistSQLEngine::Execute(std::string_view sql_text,
                                                   const SessionHooks& hooks) {
   std::string text = Trim(sql_text);
@@ -436,6 +507,12 @@ Result<engine::ExecResult> DistSQLEngine::Execute(std::string_view sql_text,
   }
   if (StartsWithIgnoreCase(text, "PREVIEW ")) {
     return Preview(std::string_view(text).substr(8));
+  }
+  if (StartsWithIgnoreCase(text, "SHOW METRICS")) {
+    return ShowMetrics(std::string_view(text).substr(12));
+  }
+  if (StartsWithIgnoreCase(text, "TRACE ")) {
+    return TraceStatement(Trim(text.substr(6)));
   }
   return Status::SyntaxError("unrecognized DistSQL statement: " + text);
 }

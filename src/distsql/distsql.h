@@ -40,6 +40,8 @@ struct SessionHooks {
 ///   SET VARIABLE transaction_type = LOCAL|XA|BASE
 ///   SHOW VARIABLE transaction_type
 ///   PREVIEW <sql>          -- shows the route + rewrite result
+///   SHOW METRICS [LIKE '<pattern>']  -- registry snapshot (DESIGN.md §13)
+///   TRACE <sql>            -- executes <sql>, returns its span tree
 ///
 /// The engine owns the declarative rule configuration: every RDL statement
 /// mutates it and re-installs the compiled rule into the runtime (AutoTable
@@ -77,6 +79,8 @@ class DistSQLEngine {
   Result<engine::ExecResult> ShowBindingRules();
   Result<engine::ExecResult> ShowBroadcastRules();
   Result<engine::ExecResult> Preview(std::string_view sql_text);
+  Result<engine::ExecResult> ShowMetrics(std::string_view rest);
+  Result<engine::ExecResult> TraceStatement(std::string_view sql_text);
   Status Reinstall();
 
   core::ShardingRuntime* runtime_;

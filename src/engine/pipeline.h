@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 
 namespace sphere::engine {
 
@@ -95,6 +96,32 @@ class PipelineConfig {
     pooled_batches_.store(on, std::memory_order_relaxed);
   }
 
+  /// Observability master switch (DESIGN.md §13): gates statement-trace
+  /// sampling in the runtime. Off, the per-statement cost is a single
+  /// relaxed load — no sampler tick, no span allocation. Migrated counters
+  /// (cache hits, pool occupancy, breaker trips) stay on either way; they
+  /// were plain atomics before the registry existed.
+  static bool observability_enabled() {
+    return observability_.load(std::memory_order_relaxed);
+  }
+  static void set_observability_enabled(bool on) {
+    observability_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Trace sampling interval: every Nth statement grows a span tree that
+  /// feeds the stage-latency histograms. 1 traces everything (tests), 0
+  /// never samples (counters only); DistSQL `TRACE <sql>` bypasses the
+  /// sampler entirely. The default amortizes the span tree's cost (clock
+  /// reads, lock round-trips, vector churn) to ~2% of a point-select
+  /// statement, holding BM_ObservabilityOverhead inside its 5% gate.
+  static constexpr uint32_t kDefaultTraceSampleInterval = 128;
+  static uint32_t trace_sample_interval() {
+    return trace_sample_interval_.load(std::memory_order_relaxed);
+  }
+  static void set_trace_sample_interval(uint32_t n) {
+    trace_sample_interval_.store(n, std::memory_order_relaxed);
+  }
+
  private:
   static std::atomic<size_t> batch_size_;
   static std::atomic<bool> streaming_;
@@ -103,6 +130,8 @@ class PipelineConfig {
   static std::atomic<bool> point_dml_;
   static std::atomic<bool> arena_statements_;
   static std::atomic<bool> pooled_batches_;
+  static std::atomic<bool> observability_;
+  static std::atomic<uint32_t> trace_sample_interval_;
 };
 
 /// RAII toggle for tests/benchmarks that compare the streaming pipeline with
@@ -192,6 +221,44 @@ class ScopedArenaStatements {
 
  private:
   bool previous_;
+};
+
+/// RAII toggle for the observability master switch (overhead benches and
+/// trace tests); restores the previous setting.
+class ScopedObservability {
+ public:
+  explicit ScopedObservability(bool on)
+      : previous_(PipelineConfig::observability_enabled()) {
+    PipelineConfig::set_observability_enabled(on);
+  }
+  ~ScopedObservability() {
+    PipelineConfig::set_observability_enabled(previous_);
+  }
+
+  ScopedObservability(const ScopedObservability&) = delete;
+  ScopedObservability& operator=(const ScopedObservability&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// RAII override of the trace sampling interval (tests pin it to 1 to trace
+/// deterministically); restores the previous interval.
+class ScopedTraceSampling {
+ public:
+  explicit ScopedTraceSampling(uint32_t interval)
+      : previous_(PipelineConfig::trace_sample_interval()) {
+    PipelineConfig::set_trace_sample_interval(interval);
+  }
+  ~ScopedTraceSampling() {
+    PipelineConfig::set_trace_sample_interval(previous_);
+  }
+
+  ScopedTraceSampling(const ScopedTraceSampling&) = delete;
+  ScopedTraceSampling& operator=(const ScopedTraceSampling&) = delete;
+
+ private:
+  uint32_t previous_;
 };
 
 /// RAII toggle for pooled row batches / recycled projection storage.

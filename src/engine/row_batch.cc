@@ -2,12 +2,25 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "engine/pipeline.h"
 
 namespace sphere::engine {
 
 RowStore& RowStore::Instance() {
   static RowStore store;
+  // Pool occupancy probes, published once (DESIGN.md §13).
+  static bool published = [] {
+    auto& registry = metrics::Registry::Instance();
+    registry.PublishProbe("row_store.pooled_rows", &store, [] {
+      return static_cast<int64_t>(Instance().pooled_rows());
+    });
+    registry.PublishProbe("row_store.pooled_shells", &store, [] {
+      return static_cast<int64_t>(Instance().pooled_shells());
+    });
+    return true;
+  }();
+  (void)published;
   return store;
 }
 
@@ -115,6 +128,10 @@ size_t RowStore::pooled_shells() const {
 
 void RowStore::Clear() {
   MutexLock lk(mu_);
+  ClearLocked();
+}
+
+void RowStore::ClearLocked() {
   shells_.clear();
   rows_.clear();
   label_shells_.clear();
@@ -122,6 +139,8 @@ void RowStore::Clear() {
   blocks_.clear();
   block_size_ = 0;
 }
+
+RowStore::~RowStore() SPHERE_NO_THREAD_SAFETY_ANALYSIS { ClearLocked(); }
 
 RowBatch::RowBatch(size_t spare_hint)
     : out_(RowStore::Instance().AcquireShell()) {

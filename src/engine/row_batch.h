@@ -72,7 +72,11 @@ class RowStore {
   RowStore() = default;
   /// Pooled raw blocks are owned pointers; the singleton must free them at
   /// process exit or LeakSanitizer reports every parked block as a leak.
-  ~RowStore() { Clear(); }
+  /// Runs lock-free: static destruction is exclusive by definition, and the
+  /// lockdep thread-local state is already gone at that point.
+  ~RowStore();
+
+  void ClearLocked() SPHERE_REQUIRES(mu_);
 
   mutable Mutex mu_{LockRank::kCommon, "engine/row_store"};
   std::vector<std::vector<Row>> shells_ SPHERE_GUARDED_BY(mu_);

@@ -9,7 +9,22 @@ namespace sphere::engine {
 
 StorageNode::StorageNode(std::string name, sql::DialectType dialect)
     : name_(std::move(name)), dialect_(sql::Dialect::Get(dialect)),
-      db_(name_), txn_manager_(&db_) {}
+      db_(name_), txn_manager_(&db_) {
+  // Per-node liveness of these names follows the node: probes read the
+  // instance-owned striped counters, and the destructor retracts exactly
+  // this node's entries (same-named nodes in tests overwrite, last wins).
+  auto& registry = metrics::Registry::Instance();
+  registry.PublishProbe("node." + name_ + ".statements", this,
+                        [this] { return statements_executed_.value(); });
+  registry.PublishProbe("node." + name_ + ".parse_cache.hits", this,
+                        [this] { return parse_cache_hits_.value(); });
+  registry.PublishProbe("node." + name_ + ".parse_cache.misses", this,
+                        [this] { return parse_cache_misses_.value(); });
+}
+
+StorageNode::~StorageNode() {
+  metrics::Registry::Instance().UnpublishProbes(this);
+}
 
 StorageNode::Session::~Session() {
   if (txn_ != nullptr) {
@@ -24,11 +39,11 @@ Result<std::shared_ptr<const sql::Statement>> StorageNode::ParseCached(
     MutexLock lk(stmt_cache_mu_);
     auto it = stmt_cache_.find(sql_text);
     if (it != stmt_cache_.end()) {
-      parse_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      parse_cache_hits_.Increment();
       return it->second;
     }
   }
-  parse_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  parse_cache_misses_.Increment();
   // The cached AST outlives every statement, so it must be heap-built even
   // when the serving thread is inside a statement arena scope.
   ArenaSuspend heap_scope;
@@ -56,7 +71,7 @@ Result<ExecResult> StorageNode::Session::ExecuteStatement(
   // on pool threads this is the owning scope. The returned result set uses
   // plain heap containers, so it safely outlives the scope.
   ArenaScope arena_scope(PipelineConfig::arena_statements_enabled());
-  node_->statements_executed_.fetch_add(1, std::memory_order_relaxed);
+  node_->statements_executed_.Increment();
   int64_t delay = node_->statement_delay_us_.load(std::memory_order_relaxed);
   if (delay > 0) {
     // Occupy an IO slot for the duration of the simulated storage access.

@@ -2,6 +2,30 @@
 
 namespace sphere::features {
 
+namespace {
+
+/// Process-wide totals across all breaker/throttle instances; resolved once
+/// (registry pointers are stable for the process lifetime).
+metrics::Counter* BreakerRejectedTotal() {
+  static metrics::Counter* c =
+      metrics::Registry::Instance().GetCounter("guard.breaker.rejected");
+  return c;
+}
+metrics::Counter* BreakerTripsTotal() {
+  static metrics::Counter* c =
+      metrics::Registry::Instance().GetCounter("guard.breaker.trips");
+  return c;
+}
+metrics::Counter* ThrottleRejectedTotal() {
+  static metrics::Counter* c =
+      metrics::Registry::Instance().GetCounter("guard.throttle.rejected");
+  return c;
+}
+
+}  // namespace
+
+void CircuitBreaker::CountTrip() { BreakerTripsTotal()->Increment(); }
+
 Status CircuitBreaker::AfterRewrite(const sql::Statement& stmt,
                                     std::vector<core::SQLUnit>* units,
                                     bool in_transaction) {
@@ -18,13 +42,15 @@ Status CircuitBreaker::AfterRewrite(const sql::Statement& stmt,
         probe_in_flight_ = false;
         // fall through to half-open handling
       } else {
-        rejected_.fetch_add(1, std::memory_order_relaxed);
+        rejected_.Increment();
+        BreakerRejectedTotal()->Increment();
         return Status::Unavailable("circuit breaker is open");
       }
       [[fallthrough]];
     case State::kHalfOpen:
       if (probe_in_flight_) {
-        rejected_.fetch_add(1, std::memory_order_relaxed);
+        rejected_.Increment();
+        BreakerRejectedTotal()->Increment();
         return Status::Unavailable("circuit breaker half-open: probe in flight");
       }
       probe_in_flight_ = true;
@@ -52,16 +78,19 @@ void CircuitBreaker::RecordFailure() {
     state_ = State::kOpen;
     opened_at_us_ = NowMicros();
     probe_in_flight_ = false;
+    CountTrip();
     return;
   }
   if (++consecutive_failures_ >= failure_threshold_ && state_ == State::kClosed) {
     state_ = State::kOpen;
     opened_at_us_ = NowMicros();
+    CountTrip();
   }
 }
 
 void CircuitBreaker::Trip() {
   MutexLock lk(mu_);
+  if (state_ != State::kOpen) CountTrip();
   state_ = State::kOpen;
   opened_at_us_ = NowMicros();
 }
@@ -98,7 +127,8 @@ Status RateThrottle::AfterRewrite(const sql::Statement& stmt,
   (void)units;
   (void)in_transaction;
   if (TryAcquire()) return Status::OK();
-  throttled_.fetch_add(1, std::memory_order_relaxed);
+  throttled_.Increment();
+  ThrottleRejectedTotal()->Increment();
   return Status::ResourceExhausted("statement rate limit exceeded");
 }
 

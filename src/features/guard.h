@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "core/runtime.h"
 
@@ -34,17 +35,23 @@ class CircuitBreaker : public core::StatementInterceptor {
   void Reset() SPHERE_EXCLUDES(mu_);
 
   State state() const SPHERE_EXCLUDES(mu_);
-  int64_t rejected_statements() const { return rejected_.load(); }
+  /// Per-instance shim over the registry counter `guard.breaker.rejected`.
+  int64_t rejected_statements() const { return rejected_.value(); }
 
  private:
   const int failure_threshold_;
   const int64_t open_duration_us_;
+  /// Registers on-open accounting into the process-wide counters
+  /// `guard.breaker.trips` / `guard.breaker.rejected` (DESIGN.md §13).
+  void CountTrip() SPHERE_REQUIRES(mu_);
+
   mutable Mutex mu_{LockRank::kGovernor, "features/guard.breaker"};
   State state_ SPHERE_GUARDED_BY(mu_) = State::kClosed;
   int consecutive_failures_ SPHERE_GUARDED_BY(mu_) = 0;
   int64_t opened_at_us_ SPHERE_GUARDED_BY(mu_) = 0;
   bool probe_in_flight_ SPHERE_GUARDED_BY(mu_) = false;
-  std::atomic<int64_t> rejected_{0};
+  // analyze-exempt(guarded-by): internally synchronized (striped atomics)
+  metrics::Counter rejected_;
 };
 
 /// Request throttling (paper §IV-C): a token bucket caps the statement rate;
@@ -60,7 +67,8 @@ class RateThrottle : public core::StatementInterceptor {
                       std::vector<core::SQLUnit>* units,
                       bool in_transaction) override;
 
-  int64_t throttled_statements() const { return throttled_.load(); }
+  /// Per-instance shim over the registry counter `guard.throttle.rejected`.
+  int64_t throttled_statements() const { return throttled_.value(); }
 
  private:
   bool TryAcquire() SPHERE_EXCLUDES(mu_);
@@ -70,7 +78,8 @@ class RateThrottle : public core::StatementInterceptor {
   Mutex mu_{LockRank::kGovernor, "features/guard.throttle"};
   double tokens_ SPHERE_GUARDED_BY(mu_);
   int64_t last_refill_us_ SPHERE_GUARDED_BY(mu_);
-  std::atomic<int64_t> throttled_{0};
+  // analyze-exempt(guarded-by): internally synchronized (striped atomics)
+  metrics::Counter throttled_;
 };
 
 }  // namespace sphere::features

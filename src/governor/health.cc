@@ -1,22 +1,44 @@
 #include "governor/health.h"
 
 #include "common/clock.h"
+#include "common/metrics.h"
 
 namespace sphere::governor {
 
 HealthDetector::HealthDetector(int64_t check_interval_ms, int64_t timeout_ms)
     : check_interval_ms_(check_interval_ms), timeout_ms_(timeout_ms) {}
 
-HealthDetector::~HealthDetector() { Stop(); }
+HealthDetector::~HealthDetector() {
+  Stop();
+  // After this returns no probe can observe a dead detector: unpublish
+  // removes the entries before members are torn down.
+  metrics::Registry::Instance().UnpublishProbes(this);
+}
 
 void HealthDetector::RegisterInstance(const std::string& name) {
-  MutexLock lk(mu_);
-  instances_[name] = Instance{NowMicros(), State::kUp};
+  {
+    MutexLock lk(mu_);
+    instances_[name] = Instance{NowMicros(), State::kUp};
+  }
+  // Health surfaced as gauges (DESIGN.md §13): state is 1=UP / 0=DOWN, age is
+  // staleness of the last heartbeat. Published outside mu_; the probes take
+  // mu_ themselves when the registry evaluates them at snapshot time.
+  auto& registry = metrics::Registry::Instance();
+  registry.PublishProbe("health." + name + ".state", this, [this, name] {
+    return static_cast<int64_t>(IsHealthy(name) ? 1 : 0);
+  });
+  registry.PublishProbe("health." + name + ".heartbeat_age_ms", this,
+                        [this, name] { return HeartbeatAgeMs(name); });
 }
 
 void HealthDetector::UnregisterInstance(const std::string& name) {
-  MutexLock lk(mu_);
-  instances_.erase(name);
+  {
+    MutexLock lk(mu_);
+    instances_.erase(name);
+  }
+  auto& registry = metrics::Registry::Instance();
+  registry.UnpublishProbe("health." + name + ".state", this);
+  registry.UnpublishProbe("health." + name + ".heartbeat_age_ms", this);
 }
 
 void HealthDetector::Heartbeat(const std::string& name) {
@@ -40,6 +62,13 @@ bool HealthDetector::IsHealthy(const std::string& name) const {
   return it != instances_.end() && it->second.state == State::kUp;
 }
 
+int64_t HealthDetector::HeartbeatAgeMs(const std::string& name) const {
+  MutexLock lk(mu_);
+  auto it = instances_.find(name);
+  if (it == instances_.end()) return -1;
+  return (NowMicros() - it->second.last_heartbeat_us) / 1000;
+}
+
 std::vector<std::string> HealthDetector::HealthyInstances() const {
   MutexLock lk(mu_);
   std::vector<std::string> out;
@@ -55,6 +84,7 @@ void HealthDetector::SetStateChangeCallback(StateChangeCallback cb) {
 }
 
 void HealthDetector::RunCheckOnce() {
+  int64_t check_start_us = NowMicros();
   std::vector<std::string> went_down;
   StateChangeCallback cb;
   {
@@ -72,6 +102,9 @@ void HealthDetector::RunCheckOnce() {
   if (cb) {
     for (const auto& name : went_down) cb(name, State::kDown);
   }
+  metrics::Registry::Instance()
+      .GetGauge("health.check.last_run_us")
+      ->Set(NowMicros() - check_start_us);
 }
 
 void HealthDetector::Start() {

@@ -38,6 +38,10 @@ class HealthDetector {
   bool IsHealthy(const std::string& name) const SPHERE_EXCLUDES(mu_);
   std::vector<std::string> HealthyInstances() const SPHERE_EXCLUDES(mu_);
 
+  /// Milliseconds since `name`'s last heartbeat, or -1 if unregistered.
+  /// Backs the `health.<name>.heartbeat_age_ms` gauge probe.
+  int64_t HeartbeatAgeMs(const std::string& name) const SPHERE_EXCLUDES(mu_);
+
   void SetStateChangeCallback(StateChangeCallback cb) SPHERE_EXCLUDES(mu_);
 
   /// Starts/stops the background detector thread. RunCheckOnce is exposed so

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace sphere::net {
 
 ConnectionPool::ConnectionPool(engine::StorageNode* node,
@@ -71,6 +73,11 @@ int ConnectionPool::available() const {
   return static_cast<int>(free_.size()) + (max_size_ - created_);
 }
 
+int ConnectionPool::in_use() const {
+  MutexLock lk(mu_);
+  return in_use_;
+}
+
 int ConnectionPool::peak_in_use() const {
   MutexLock lk(mu_);
   return peak_in_use_;
@@ -83,6 +90,26 @@ void ConnectionPool::ReleaseConn(RemoteConnection* conn) {
     --in_use_;
   }
   cv_.NotifyAll();
+}
+
+DataSource::DataSource(std::string name, engine::StorageNode* node,
+                       const LatencyModel* network, int pool_size)
+    : name_(std::move(name)), node_(node), pool_(node, network, pool_size) {
+  // Probes run at Snapshot time with no locks held, so they may take the
+  // pool's mutex even though the registry's own lock is a common leaf.
+  auto& registry = metrics::Registry::Instance();
+  registry.PublishProbe("conn_pool." + name_ + ".in_use", this,
+                        [this] { return static_cast<int64_t>(pool_.in_use()); });
+  registry.PublishProbe("conn_pool." + name_ + ".available", this, [this] {
+    return static_cast<int64_t>(pool_.available());
+  });
+  registry.PublishProbe("conn_pool." + name_ + ".peak_in_use", this, [this] {
+    return static_cast<int64_t>(pool_.peak_in_use());
+  });
+}
+
+DataSource::~DataSource() {
+  metrics::Registry::Instance().UnpublishProbes(this);
 }
 
 }  // namespace sphere::net

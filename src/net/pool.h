@@ -61,6 +61,8 @@ class ConnectionPool {
 
   int max_size() const { return max_size_; }
   int available() const SPHERE_EXCLUDES(mu_);
+  /// Number of currently leased connections (observability).
+  int in_use() const SPHERE_EXCLUDES(mu_);
   /// Peak number of simultaneously leased connections (observability).
   int peak_in_use() const SPHERE_EXCLUDES(mu_);
 
@@ -84,9 +86,14 @@ class ConnectionPool {
 /// the cluster/test harness.
 class DataSource {
  public:
+  /// Publishes `conn_pool.<name>.{in_use,available,peak_in_use}` gauge
+  /// probes into the metrics registry for its lifetime.
   DataSource(std::string name, engine::StorageNode* node,
-             const LatencyModel* network, int pool_size = 64)
-      : name_(std::move(name)), node_(node), pool_(node, network, pool_size) {}
+             const LatencyModel* network, int pool_size = 64);
+  ~DataSource();
+
+  DataSource(const DataSource&) = delete;
+  DataSource& operator=(const DataSource&) = delete;
 
   const std::string& name() const { return name_; }
   engine::StorageNode* node() { return node_; }

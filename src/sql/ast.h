@@ -200,6 +200,27 @@ enum class StatementKind {
   kUse,
 };
 
+/// Lowercase name for trace attributes / diagnostics.
+constexpr const char* StatementKindName(StatementKind kind) {
+  switch (kind) {
+    case StatementKind::kSelect: return "select";
+    case StatementKind::kInsert: return "insert";
+    case StatementKind::kUpdate: return "update";
+    case StatementKind::kDelete: return "delete";
+    case StatementKind::kCreateTable: return "create_table";
+    case StatementKind::kDropTable: return "drop_table";
+    case StatementKind::kTruncate: return "truncate";
+    case StatementKind::kCreateIndex: return "create_index";
+    case StatementKind::kBegin: return "begin";
+    case StatementKind::kCommit: return "commit";
+    case StatementKind::kRollback: return "rollback";
+    case StatementKind::kSet: return "set";
+    case StatementKind::kShow: return "show";
+    case StatementKind::kUse: return "use";
+  }
+  return "unknown";
+}
+
 class Statement : public ArenaManaged {
  public:
   explicit Statement(StatementKind kind) : kind_(kind) {}

@@ -1,5 +1,6 @@
 #include "transaction/manager.h"
 
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "sql/condition.h"
 #include "sql/parser.h"
@@ -7,6 +8,12 @@
 namespace sphere::transaction {
 
 namespace {
+
+/// Branch/outcome accounting (DESIGN.md §13). Pointers resolve once; the
+/// registry owns the counters for the process lifetime.
+metrics::Counter* TxnCounter(const char* name) {
+  return metrics::Registry::Instance().GetCounter(name);
+}
 
 /// Clones an expression with every ? placeholder replaced by its bound value
 /// so the text can be re-executed standalone (image queries, compensation).
@@ -106,6 +113,8 @@ Result<net::RemoteConnection*> DistributedTransaction::TransactionConnection(
       break;
   }
   branches_.emplace(data_source, std::move(lease));
+  static metrics::Counter* opened = TxnCounter("txn.branches.opened");
+  opened->Increment();
   return conn;
 }
 
@@ -201,10 +210,15 @@ Status DistributedTransaction::AfterUnit(net::RemoteConnection* conn,
     // only fail if the global txn is already gone from the coordinator, in
     // which case there is nothing left to mark failed.
     (void)context_->tc()->ReportBranch(xid_, unit.data_source, false);
+    static metrics::Counter* failures = TxnCounter("txn.branch.failures");
+    failures->Increment();
     return result.status();
   }
   if (!conn->in_transaction()) return Status::OK();  // read-only unit
   Status st = conn->Commit();
+  static metrics::Counter* commits = TxnCounter("txn.branch.commits");
+  static metrics::Counter* failures = TxnCounter("txn.branch.failures");
+  (st.ok() ? commits : failures)->Increment();
   SPHERE_RETURN_NOT_OK(
       context_->tc()->ReportBranch(xid_, unit.data_source, st.ok()));
   return st;
@@ -364,19 +378,30 @@ Status DistributedTransaction::RollbackBase() {
 
 Status DistributedTransaction::Commit() {
   if (!active_) return Status::TransactionError("transaction not active");
+  Status st = Status::Internal("bad transaction type");
   switch (type_) {
     case TransactionType::kLocal:
-      return CommitLocal();
+      st = CommitLocal();
+      break;
     case TransactionType::kXa:
-      return CommitXa();
+      st = CommitXa();
+      break;
     case TransactionType::kBase:
-      return CommitBase();
+      st = CommitBase();
+      break;
   }
-  return Status::Internal("bad transaction type");
+  // A failed global commit always rolled the branches back (XA vote-no,
+  // BASE failed-branch), so it counts as a rollback outcome.
+  static metrics::Counter* commits = TxnCounter("txn.commits");
+  static metrics::Counter* rollbacks = TxnCounter("txn.rollbacks");
+  (st.ok() ? commits : rollbacks)->Increment();
+  return st;
 }
 
 Status DistributedTransaction::Rollback() {
   if (!active_) return Status::TransactionError("transaction not active");
+  static metrics::Counter* rollbacks = TxnCounter("txn.rollbacks");
+  rollbacks->Increment();
   if (type_ == TransactionType::kBase) {
     return RollbackBase();
   }

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <optional>
 #include <thread>
 
 #include "adaptor/jdbc.h"
 #include "adaptor/proxy.h"
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace sphere::adaptor {
@@ -146,6 +148,30 @@ TEST_F(AdaptorTest, ProxyExecutesLikeJdbc) {
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0][0], Value("via-proxy"));
   EXPECT_EQ(proxy.statements_served(), 2);
+}
+
+TEST_F(AdaptorTest, ProxyFeedsStatementCounterAndWorkerGauge) {
+  auto find = [](const std::string& name) -> std::optional<int64_t> {
+    for (const metrics::Sample& s :
+         metrics::Registry::Instance().Snapshot(name)) {
+      if (s.name == name) return s.value;
+    }
+    return std::nullopt;
+  };
+  int64_t served = find("proxy.statements").value_or(0);
+  {
+    ShardingProxy proxy(ds_.get(), &ds_->runtime()->network());
+    EXPECT_EQ(find("proxy.workers_busy"), 0);
+    auto pconn = proxy.Connect();
+    ASSERT_TRUE(
+        pconn->Execute("INSERT INTO t_user (uid, name) VALUES (60, 'm')").ok());
+    ASSERT_TRUE(pconn->Execute("SELECT * FROM t_user WHERE uid = 60").ok());
+    EXPECT_EQ(find("proxy.statements"), served + 2);
+    EXPECT_EQ(proxy.statements_served(), 2);
+  }
+  // The destructor retracts the gauge; the process-wide counter stays.
+  EXPECT_FALSE(find("proxy.workers_busy").has_value());
+  EXPECT_TRUE(find("proxy.statements").has_value());
 }
 
 TEST_F(AdaptorTest, ProxyTransactionsSpanStatements) {

@@ -37,6 +37,50 @@ TEST(HistogramTest, PercentileApproximation) {
   EXPECT_LT(p50, p99);
 }
 
+TEST(HistogramTest, PercentileOfEmptyIsZeroForAllP) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(100), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleResolvesExactly) {
+  // The bucket is ~6% wide, but clamping its range to [min, max] collapses a
+  // single-sample histogram to the exact observation at every percentile.
+  Histogram h;
+  h.Record(2500);
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(50), 2.5);
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(99.9), 2.5);
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(100), 2.5);
+}
+
+TEST(HistogramTest, PercentileBoundsClampToObservedExtremes) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(1000 + i * 10);  // 1.00ms .. 1.99ms
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(-5), 1.0);    // out-of-range p clamps
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(100), 1.99);
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(150), 1.99);
+  // Interior percentiles interpolate within [min, max], never outside.
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0}) {
+    double v = h.PercentileMillis(p);
+    EXPECT_GE(v, 1.0) << "p=" << p;
+    EXPECT_LE(v, 1.99) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, CrossBucketInterpolationIsMonotonic) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 100);  // spans many buckets
+  double prev = 0.0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    double v = h.PercentileMillis(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
 TEST(HistogramTest, MergeCombines) {
   Histogram a, b;
   a.Record(100);
@@ -45,6 +89,35 @@ TEST(HistogramTest, MergeCombines) {
   EXPECT_EQ(a.count(), 2);
   EXPECT_EQ(a.min_micros(), 100);
   EXPECT_EQ(a.max_micros(), 10000);
+}
+
+TEST(HistogramTest, MergePreservesCountSumMinMax) {
+  Histogram a, b;
+  a.Record(100);
+  a.Record(900);
+  b.Record(50);
+  b.Record(10000);
+  double expected_sum = a.sum_micros() + b.sum_micros();
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_DOUBLE_EQ(a.sum_micros(), expected_sum);
+  EXPECT_EQ(a.min_micros(), 50);
+  EXPECT_EQ(a.max_micros(), 10000);
+  // The source histogram is untouched.
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_EQ(b.min_micros(), 50);
+
+  // Merging an empty histogram must not disturb the extremes (its sentinel
+  // min/max cannot leak in).
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_EQ(a.min_micros(), 50);
+  EXPECT_EQ(a.max_micros(), 10000);
+
+  // Self-merge is a no-op, not a doubling.
+  a.Merge(a);
+  EXPECT_EQ(a.count(), 4);
 }
 
 TEST(HistogramTest, ConcurrentRecord) {

@@ -1,0 +1,191 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace sphere::metrics {
+namespace {
+
+/// Finds the snapshot row for `name`, or nullptr.
+const Sample* Find(const std::vector<Sample>& samples, const std::string& name) {
+  for (const Sample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Add(5);
+  c.Increment();
+  EXPECT_EQ(c.value(), 6);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  // The striping makes concurrent increments contention-free; the sum must
+  // still be exact once all writers are done. Valuable under TSan.
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  ThreadPool pool(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.Submit([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(c.value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(RegistryTest, GetOrCreateReturnsStablePointers) {
+  auto& registry = Registry::Instance();
+  Counter* a = registry.GetCounter("t.registry.stable");
+  Counter* b = registry.GetCounter("t.registry.stable");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = registry.GetGauge("t.registry.stable.gauge");
+  Gauge* g2 = registry.GetGauge("t.registry.stable.gauge");
+  EXPECT_EQ(g1, g2);
+  // Same name, different kind: independent entries.
+  EXPECT_NE(static_cast<void*>(registry.GetCounter("t.registry.dual")),
+            static_cast<void*>(registry.GetGauge("t.registry.dual")));
+}
+
+TEST(RegistryTest, SnapshotReportsOwnedMetrics) {
+  auto& registry = Registry::Instance();
+  registry.GetCounter("t.snapshot.counter")->Add(42);
+  registry.GetGauge("t.snapshot.gauge")->Set(-7);
+  Histogram* h = registry.GetHistogram("t.snapshot.histogram");
+  h->Record(1000);
+  h->Record(3000);
+
+  std::vector<Sample> samples = registry.Snapshot("t.snapshot.");
+  const Sample* c = Find(samples, "t.snapshot.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, MetricKind::kCounter);
+  EXPECT_EQ(c->value, 42);
+
+  const Sample* g = Find(samples, "t.snapshot.gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->kind, MetricKind::kGauge);
+  EXPECT_EQ(g->value, -7);
+
+  const Sample* hs = Find(samples, "t.snapshot.histogram");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->kind, MetricKind::kHistogram);
+  EXPECT_EQ(hs->value, 2);  // count
+  EXPECT_DOUBLE_EQ(hs->avg_ms, 2.0);
+  EXPECT_DOUBLE_EQ(hs->max_ms, 3.0);
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  auto& registry = Registry::Instance();
+  registry.GetCounter("t.sorted.b");
+  registry.GetCounter("t.sorted.a");
+  registry.GetCounter("t.sorted.c");
+  std::vector<Sample> samples = registry.Snapshot("t.sorted.");
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "t.sorted.a");
+  EXPECT_EQ(samples[1].name, "t.sorted.b");
+  EXPECT_EQ(samples[2].name, "t.sorted.c");
+}
+
+TEST(RegistryTest, ProbesPublishOverwriteAndUnpublish) {
+  auto& registry = Registry::Instance();
+  int owner_a = 0, owner_b = 0;
+  registry.PublishProbe("t.probe.x", &owner_a, [] { return int64_t{11}; });
+
+  std::vector<Sample> samples = registry.Snapshot("t.probe.x");
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].value, 11);
+  EXPECT_EQ(samples[0].kind, MetricKind::kGauge);
+
+  // Re-publish under a new owner: last wins.
+  registry.PublishProbe("t.probe.x", &owner_b, [] { return int64_t{22}; });
+  samples = registry.Snapshot("t.probe.x");
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].value, 22);
+
+  // The stale owner cannot retract the entry it no longer owns.
+  registry.UnpublishProbe("t.probe.x", &owner_a);
+  EXPECT_EQ(registry.Snapshot("t.probe.x").size(), 1u);
+  registry.UnpublishProbe("t.probe.x", &owner_b);
+  EXPECT_TRUE(registry.Snapshot("t.probe.x").empty());
+}
+
+TEST(RegistryTest, UnpublishProbesRemovesAllOfOwner) {
+  auto& registry = Registry::Instance();
+  int owner = 0, other = 0;
+  registry.PublishProbe("t.owner.a", &owner, [] { return int64_t{1}; });
+  registry.PublishProbe("t.owner.b", &owner, [] { return int64_t{2}; });
+  registry.PublishProbe("t.owner.keep", &other, [] { return int64_t{3}; });
+  registry.UnpublishProbes(&owner);
+  EXPECT_TRUE(registry.Snapshot("t.owner.a").empty());
+  EXPECT_TRUE(registry.Snapshot("t.owner.b").empty());
+  EXPECT_EQ(registry.Snapshot("t.owner.keep").size(), 1u);
+  registry.UnpublishProbes(&other);
+}
+
+TEST(RegistryTest, MatchesPattern) {
+  // Empty matches everything.
+  EXPECT_TRUE(Registry::MatchesPattern("anything", ""));
+  // No wildcard: substring.
+  EXPECT_TRUE(Registry::MatchesPattern("statement_cache.hits", "cache"));
+  EXPECT_FALSE(Registry::MatchesPattern("statement_cache.hits", "pool"));
+  // SQL-LIKE % wildcards.
+  EXPECT_TRUE(Registry::MatchesPattern("node.ds_0.parse_cache.hits",
+                                       "node.%.hits"));
+  EXPECT_FALSE(Registry::MatchesPattern("node.ds_0.parse_cache.hits",
+                                        "node.%.misses"));
+  EXPECT_TRUE(Registry::MatchesPattern("stage.route.latency", "stage.%"));
+  EXPECT_TRUE(Registry::MatchesPattern("stage.route.latency", "%latency"));
+  EXPECT_FALSE(Registry::MatchesPattern("stage.route.latency", "latency%"));
+  // Backtracking across multiple wildcards.
+  EXPECT_TRUE(Registry::MatchesPattern("a.b.c.b.d", "a%b%d"));
+  EXPECT_FALSE(Registry::MatchesPattern("a.b.c", "a%x%c"));
+  EXPECT_TRUE(Registry::MatchesPattern("abc", "%"));
+}
+
+TEST(RegistryTest, ResetForTestZeroesOwnedMetrics) {
+  auto& registry = Registry::Instance();
+  Counter* c = registry.GetCounter("t.reset.counter");
+  c->Add(9);
+  registry.ResetForTest();
+  EXPECT_EQ(c->value(), 0);           // pointer stays valid
+  EXPECT_EQ(registry.GetCounter("t.reset.counter"), c);
+}
+
+TEST(RegistryTest, ConcurrentGetAndRecordStress) {
+  // Mixed get-or-create and recording from many threads; exercises the
+  // registry mutex against the lock-free record path (run under TSan).
+  auto& registry = Registry::Instance();
+  constexpr int kThreads = 8;
+  ThreadPool pool(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.Submit([&registry, t] {
+      for (int i = 0; i < 2000; ++i) {
+        registry.GetCounter("t.stress.shared")->Increment();
+        registry.GetCounter("t.stress." + std::to_string(t))->Increment();
+        if (i % 64 == 0) (void)registry.Snapshot("t.stress.");
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(registry.GetCounter("t.stress.shared")->value(), kThreads * 2000);
+}
+
+}  // namespace
+}  // namespace sphere::metrics

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "adaptor/jdbc.h"
+#include "common/trace.h"
+#include "engine/pipeline.h"
+#include "governor/health.h"
 
 namespace sphere::distsql {
 namespace {
@@ -167,6 +172,157 @@ TEST_F(DistSQLTest, MalformedDistSQLRejected) {
                    "CREATE SHARDING TABLE RULE t (NONSENSE(1))").ok());
   EXPECT_FALSE(conn_->ExecuteSQL(
                    "CREATE SHARDING TABLE RULE t (SHARDING_COLUMN=id)").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Observability surface: SHOW METRICS / TRACE (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Column0(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& r : rows) out.push_back(r[0].ToString());
+  return out;
+}
+
+bool AnyStartsWith(const std::vector<std::string>& names,
+                   const std::string& prefix) {
+  for (const std::string& n : names) {
+    if (n.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+TEST_F(DistSQLTest, IsDistSQLRecognizesObservabilityStatements) {
+  EXPECT_TRUE(DistSQLEngine::IsDistSQL("SHOW METRICS"));
+  EXPECT_TRUE(DistSQLEngine::IsDistSQL("show metrics like 'cache%'"));
+  EXPECT_TRUE(DistSQLEngine::IsDistSQL("TRACE SELECT * FROM t"));
+  EXPECT_FALSE(DistSQLEngine::IsDistSQL("TRACEROUTE"));
+}
+
+TEST_F(DistSQLTest, ShowMetricsListsSubsystemMetrics) {
+  Exec("CREATE SHARDING TABLE RULE t_user (RESOURCES(ds_0, ds_1), "
+       "SHARDING_COLUMN=uid, TYPE=mod, PROPERTIES(\"sharding-count\"=2))");
+  Exec("CREATE TABLE t_user (uid BIGINT PRIMARY KEY, name VARCHAR(32))");
+  Exec("INSERT INTO t_user (uid, name) VALUES (1, 'a'), (2, 'b')");
+  // A forced TRACE guarantees the stage.* histograms exist regardless of the
+  // sampling interval other tests have consumed.
+  Exec("TRACE SELECT * FROM t_user");
+  // Health gauges ride along via the governor's probe publication.
+  governor::HealthDetector health(/*check_interval_ms=*/1000,
+                                  /*timeout_ms=*/1000);
+  health.RegisterInstance("proxy_0");
+
+  auto names = Column0(Rows(Exec("SHOW METRICS")));
+  EXPECT_TRUE(AnyStartsWith(names, "statement_cache."));
+  EXPECT_TRUE(AnyStartsWith(names, "node.ds_0."));
+  EXPECT_TRUE(AnyStartsWith(names, "executor_pool."));
+  EXPECT_TRUE(AnyStartsWith(names, "row_store."));
+  EXPECT_TRUE(AnyStartsWith(names, "stage."));
+  EXPECT_TRUE(AnyStartsWith(names, "health.proxy_0."));
+  // Sorted output.
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST_F(DistSQLTest, ShowMetricsLikeFiltersByPattern) {
+  Exec("CREATE SHARDING TABLE RULE t (RESOURCES(ds_0), SHARDING_COLUMN=id, "
+       "TYPE=mod, PROPERTIES(\"sharding-count\"=1))");
+  Exec("CREATE TABLE t (id INT PRIMARY KEY)");
+  Exec("SELECT * FROM t");  // touches the statement cache
+  auto rows = Rows(Exec("SHOW METRICS LIKE 'statement_cache.%'"));
+  ASSERT_FALSE(rows.empty());
+  for (const Row& r : rows) {
+    EXPECT_EQ(r[0].ToString().rfind("statement_cache.", 0), 0u)
+        << r[0].ToString();
+  }
+  // Histogram rows carry latency columns; counter rows show "-".
+  auto stage = Rows(Exec("SHOW METRICS LIKE 'stage.%.latency'"));
+  for (const Row& r : stage) {
+    EXPECT_EQ(r[1], Value("histogram"));
+    EXPECT_NE(r[4].ToString(), "-");  // p50_ms rendered numerically
+  }
+}
+
+/// Captures the completed trace's structure (span names by depth).
+class CountingSink : public trace::TraceSink {
+ public:
+  void OnTraceComplete(const trace::Trace& trace) override {
+    trace.Visit([this](const trace::Span& s) {
+      if (s.name == "unit") ++units_;
+      if (s.name == "route") ++routes_;
+    });
+    ++traces_;
+  }
+  int units() const { return units_; }
+  int routes() const { return routes_; }
+  int traces() const { return traces_; }
+
+ private:
+  int units_ = 0;
+  int routes_ = 0;
+  int traces_ = 0;
+};
+
+TEST_F(DistSQLTest, TraceShowsSpanTreeWithPerUnitFanOut) {
+  Exec("CREATE SHARDING TABLE RULE t_user (RESOURCES(ds_0, ds_1), "
+       "SHARDING_COLUMN=uid, TYPE=mod, PROPERTIES(\"sharding-count\"=2))");
+  Exec("CREATE TABLE t_user (uid BIGINT PRIMARY KEY, name VARCHAR(32))");
+  Exec("INSERT INTO t_user (uid, name) VALUES (1, 'a'), (2, 'b'), (3, 'c')");
+
+  CountingSink sink;
+  trace::TraceSink* prev = trace::SetTraceSink(&sink);
+  // Full-route SELECT: the router fans out to both shards, so the trace must
+  // contain exactly one unit span per routed unit.
+  auto rows = Rows(Exec("TRACE SELECT * FROM t_user"));
+  trace::SetTraceSink(prev);
+
+  EXPECT_EQ(sink.traces(), 1);
+  EXPECT_EQ(sink.routes(), 1);
+  EXPECT_EQ(sink.units(), 2);  // == route fan-out over ds_0, ds_1
+
+  // Rendered tree: root, statement, stages, and per-unit rows with the
+  // data_source attribute.
+  auto names = Column0(rows);
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names[0], "trace");
+  int unit_rows = 0;
+  bool saw_statement = false, saw_route = false, saw_merge = false;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::string name = names[i];
+    // Strip the depth indent.
+    size_t start = name.find_first_not_of(' ');
+    name = start == std::string::npos ? "" : name.substr(start);
+    if (name == "unit") {
+      ++unit_rows;
+      EXPECT_NE(rows[i][2].ToString().find("data_source=ds_"),
+                std::string::npos);
+    }
+    saw_statement = saw_statement || name == "statement";
+    saw_route = saw_route || name == "route";
+    saw_merge = saw_merge || name == "merge";
+  }
+  EXPECT_EQ(unit_rows, 2);
+  EXPECT_TRUE(saw_statement);
+  EXPECT_TRUE(saw_route);
+  EXPECT_TRUE(saw_merge);
+}
+
+TEST_F(DistSQLTest, TraceWorksWhenObservabilityDisabled) {
+  // TRACE force-captures: the statement scope joins the installed trace even
+  // with the sampler off, so explicit traces keep working when the global
+  // knob is disabled.
+  engine::ScopedObservability off(false);
+  Exec("CREATE SHARDING TABLE RULE plain (RESOURCES(ds_0), "
+       "SHARDING_COLUMN=id, TYPE=mod, PROPERTIES(\"sharding-count\"=1))");
+  Exec("CREATE TABLE plain (id INT PRIMARY KEY)");
+  Exec("INSERT INTO plain (id) VALUES (1)");
+  auto rows = Rows(Exec("TRACE SELECT * FROM plain"));
+  auto names = Column0(rows);
+  bool saw_execute = false;
+  for (const std::string& n : names) {
+    saw_execute = saw_execute || n.find("execute") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_execute);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "governor/config_manager.h"
 #include "governor/health.h"
 #include "governor/registry.h"
@@ -155,6 +156,35 @@ TEST(HealthTest, HealthyInstancesList) {
   EXPECT_EQ(detector.HealthyInstances(), std::vector<std::string>{"b"});
   detector.UnregisterInstance("b");
   EXPECT_TRUE(detector.HealthyInstances().empty());
+}
+
+TEST(HealthTest, PublishesStateAndHeartbeatAgeGauges) {
+  auto& registry = metrics::Registry::Instance();
+  auto gauge = [&registry](const std::string& name) -> int64_t {
+    for (const auto& s : registry.Snapshot(name)) {
+      if (s.name == name) return s.value;
+    }
+    return -999;
+  };
+  {
+    HealthDetector detector(1000, /*timeout_ms=*/0);
+    detector.RegisterInstance("hx-1");
+    EXPECT_EQ(gauge("health.hx-1.state"), 1);
+    EXPECT_GE(gauge("health.hx-1.heartbeat_age_ms"), 0);
+    SleepMicros(1500);
+    detector.RunCheckOnce();
+    EXPECT_EQ(gauge("health.hx-1.state"), 0);  // went down
+    // RunCheckOnce also records its own duration.
+    EXPECT_GE(gauge("health.check.last_run_us"), 0);
+    detector.Heartbeat("hx-1");
+    EXPECT_EQ(gauge("health.hx-1.state"), 1);  // revived
+    detector.UnregisterInstance("hx-1");
+    EXPECT_EQ(gauge("health.hx-1.state"), -999);  // probes retracted
+    detector.RegisterInstance("hx-2");
+    EXPECT_EQ(gauge("health.hx-2.state"), 1);
+  }
+  // Destruction retracts every remaining probe of this detector.
+  EXPECT_EQ(gauge("health.hx-2.state"), -999);
 }
 
 TEST(HealthTest, BackgroundThreadDetects) {

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "common/metrics.h"
 #include "net/packet.h"
 #include "net/pool.h"
 #include "net/remote.h"
@@ -217,6 +218,30 @@ TEST_F(RemoteTest, PoolBlocksUntilReleased) {
   lease.Release();
   waiter.join();
   EXPECT_TRUE(acquired.load());
+}
+
+TEST_F(RemoteTest, DataSourcePublishesPoolGauges) {
+  auto gauge = [](const std::string& name) -> int64_t {
+    for (const metrics::Sample& s :
+         metrics::Registry::Instance().Snapshot(name)) {
+      if (s.name == name) return s.value;
+    }
+    return -999;
+  };
+  {
+    DataSource source("probe_ds", &node_, &network_, /*pool_size=*/4);
+    EXPECT_EQ(gauge("conn_pool.probe_ds.in_use"), 0);
+    EXPECT_EQ(gauge("conn_pool.probe_ds.available"), 4);
+    {
+      auto leases = source.pool().AcquireMany(3);
+      EXPECT_EQ(gauge("conn_pool.probe_ds.in_use"), 3);
+      EXPECT_EQ(gauge("conn_pool.probe_ds.available"), 1);
+    }
+    EXPECT_EQ(gauge("conn_pool.probe_ds.in_use"), 0);
+    EXPECT_EQ(gauge("conn_pool.probe_ds.peak_in_use"), 3);
+  }
+  // The destructor retracts the probes.
+  EXPECT_EQ(gauge("conn_pool.probe_ds.in_use"), -999);
 }
 
 TEST_F(RemoteTest, ConcurrentAcquireManyNoDeadlock) {

@@ -13,6 +13,12 @@ a fresh smoke run, on two axes:
     lower-is-better; if the smoke run allocates more than FACTOR times the
     committed count (plus a small absolute slack for counter noise), the
     memory-discipline layer has regressed and the gate fails.
+  - observability overhead: within the committed baseline itself,
+    BM_ObservabilityOverhead/1 (tracing on, default sampling) must stay
+    within OBS_OVERHEAD_LIMIT of BM_ObservabilityOverhead/0 (knob off).
+    This is deterministic — both numbers come from the same committed run on
+    the same machine — so a chatty span or an always-on sampler cannot land
+    behind smoke-run variance.
 
 Build-type hygiene: the committed file must carry
 `context.project_build_type == "release"` — a debug baseline would let real
@@ -29,6 +35,12 @@ import sys
 # Allocation counts below this are treated as equal: a pooled path that does
 # 0.2 allocs/query vs a committed 0.05 is noise, not a leak.
 ALLOC_SLACK = 4.0
+
+# Observability gate: tracing at the default sampling interval may cost at
+# most this fraction of the knob-off throughput (DESIGN.md §13).
+OBS_OFF = "BM_ObservabilityOverhead/0"
+OBS_ON = "BM_ObservabilityOverhead/1"
+OBS_OVERHEAD_LIMIT = 0.05
 
 
 def ops_per_second(entry):
@@ -83,6 +95,21 @@ def main(argv):
     if committed_ctx.get("library_build_type") == "debug":
         print("bench_check: WARNING: committed baseline links google-benchmark's "
               "debug build (harness overhead only; numbers remain comparable)")
+
+    # Observability overhead is judged inside the committed file: both
+    # variants ran back-to-back on the same machine, so the ratio is real.
+    if OBS_OFF not in committed or OBS_ON not in committed:
+        print(f"bench_check: REFUSED: committed {committed_path} lacks "
+              f"{OBS_OFF} / {OBS_ON}; rerun bench_micro to regenerate")
+        return 1
+    obs_off, obs_on = committed[OBS_OFF], committed[OBS_ON]
+    if obs_off <= 0 or obs_on < obs_off * (1.0 - OBS_OVERHEAD_LIMIT):
+        overhead = (100.0 * (1.0 - obs_on / obs_off)) if obs_off > 0 else 100.0
+        print(f"bench_check: OBSERVABILITY REGRESSION: tracing on costs "
+              f"{overhead:.1f}% of knob-off throughput "
+              f"({obs_on:.3g} vs {obs_off:.3g} ops/s, "
+              f"limit {100 * OBS_OVERHEAD_LIMIT:.0f}%)")
+        return 1
 
     failures = []
     for name, committed_ops in sorted(committed.items()):

@@ -30,6 +30,12 @@ Checks enforced (beyond what the compiler sees):
                          through make_unique/make_shared. Suppress a
                          legitimate site with `lint-exempt(raw-alloc): reason`
                          on the line or the one above.
+  6. raw-clock:          direct `std::chrono::*_clock::now()` in the kernel
+                         layers (src/core, src/engine). Timestamps there feed
+                         trace spans and stage-latency histograms and must go
+                         through NowMicros()/NowNanos() (common/clock.h) so
+                         they share one epoch and stay mockable. Suppress with
+                         `lint-exempt(raw-clock): reason`.
 
 Usage:  tools/lint.py [--root DIR] [files...]
 Exits non-zero if any violation is found; prints file:line: rule: message.
@@ -80,6 +86,18 @@ RAW_ALLOC_RE = re.compile(
     r"(?<!operator )\bnew\s+[A-Za-z_:(]|"
     r"\b(?:malloc|calloc|realloc|aligned_alloc|posix_memalign|strdup)\s*\(")
 RAW_ALLOC_EXEMPT_RE = re.compile(r"lint-exempt\(raw-alloc\)\s*:\s*\S")
+
+# Kernel layers where wall-clock reads must go through common/clock.h: the
+# observability layer correlates span start/duration against stage histograms
+# recorded elsewhere, which only works on a single clock source.
+RAW_CLOCK_DIRS = (
+    os.path.join("src", "core") + os.sep,
+    os.path.join("src", "engine") + os.sep,
+)
+RAW_CLOCK_RE = re.compile(
+    r"\bstd::chrono::(steady_clock|system_clock|high_resolution_clock)"
+    r"\s*::\s*now\s*\(")
+RAW_CLOCK_EXEMPT_RE = re.compile(r"lint-exempt\(raw-clock\)\s*:\s*\S")
 
 GUARD_IFNDEF_RE = re.compile(r"^#ifndef\s+([A-Za-z0-9_]+)\s*$")
 
@@ -298,6 +316,7 @@ def check_file(root, rel, status_fns, errors):
     in_common_mutex = rel in RAW_MUTEX_EXEMPT
     in_common = rel.startswith(os.path.join("src", "common") + os.sep)
     in_hot_path = rel.startswith(RAW_ALLOC_DIRS)
+    in_kernel = rel.startswith(RAW_CLOCK_DIRS)
     for i, line in enumerate(lines, 1):
         if not in_common_mutex and RAW_MUTEX_RE.search(line):
             errors.append((rel, i, "raw-mutex",
@@ -321,6 +340,15 @@ def check_file(root, rel, status_fns, errors):
                                "statement arena (common/arena.h), the row "
                                "pool (engine/row_batch.h) or make_unique — "
                                "or mark lint-exempt(raw-alloc): reason"))
+        if in_kernel and RAW_CLOCK_RE.search(line):
+            exempt = RAW_CLOCK_EXEMPT_RE.search(raw_lines[i - 1]) or (
+                i >= 2 and RAW_CLOCK_EXEMPT_RE.search(raw_lines[i - 2]))
+            if not exempt:
+                errors.append((rel, i, "raw-clock",
+                               "raw std::chrono clock read in a kernel layer; "
+                               "use NowMicros()/NowNanos() (common/clock.h) "
+                               "so traces and histograms share one epoch — "
+                               "or mark lint-exempt(raw-clock): reason"))
     for start_line, stmt in iter_statements(text):
         m = BARE_CALL_RE.match(stmt)
         if not m:
